@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's quantitative artifacts (a
+theorem's scaling law, a lemma's whp event, Figure 1's separation) as an
+ASCII table, written both to stdout (visible with ``pytest -s``) and to
+``benchmarks/results/<name>.txt`` so the artifacts persist.  The timed
+callable passed to pytest-benchmark is the sweep itself, run exactly once
+(``pedantic(rounds=1)``): wall time measures the simulator, while the
+*reproduction target* is the printed round/message counts.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a bench artifact and persist it under benchmarks/results/."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def log2ceil(n: int) -> int:
+    """``ceil(log2 n)`` — the bench-default bandwidth ``B = Θ(log n)``."""
+    return max(1, math.ceil(math.log2(max(2, n))))

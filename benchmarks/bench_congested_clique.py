@@ -1,0 +1,62 @@
+"""Experiment C1 — Corollary 1: ``Θ̃(n^{1/3})`` triangles in the congested clique.
+
+The congested clique is the ``k = n`` extreme of the model.  The bench
+sweeps ``n`` (cubes, so ``q = n^{1/3}`` is exact), runs the TriPartition-
+style algorithm with one vertex per machine on ``G(n, 1/2)``, and prints
+measured rounds against both the Corollary-1 lower envelope
+``Ω(n^{1/3}/B)`` and an ``n^{1/3}`` fit — the paper's claim is that the
+two sides match up to logarithmic factors.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import repro
+from repro.core.lowerbounds.triangles import congested_clique_lower_bound
+from repro.experiments.fits import fit_power_law
+from repro.experiments.harness import Sweep
+
+from _common import emit, log2ceil
+
+NS = (64, 125, 216, 343)
+
+
+def run_sweep():
+    sweep = Sweep("C1: congested-clique triangle enumeration, G(n, 1/2)")
+    for n in NS:
+        g = repro.gnp_random_graph(n, 0.5, seed=n)
+        B = log2ceil(n)
+        res = repro.enumerate_triangles_congested_clique(g, seed=1, bandwidth=B)
+        envelope = congested_clique_lower_bound(n, B)
+        sweep.add(
+            {"n": n},
+            {
+                "measured_rounds": res.rounds,
+                "lb_envelope_rounds": envelope,
+                "ratio": res.rounds / envelope,
+                "n_cuberoot": round(n ** (1 / 3), 2),
+                "triangles": res.count,
+            },
+        )
+    return sweep
+
+
+def bench_c1_congested_clique(benchmark):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    ns = sweep.column("n")
+    fit = fit_power_law(ns, sweep.column("measured_rounds"))
+    text = sweep.render() + (
+        f"\n\nfit: rounds ~ n^{fit.exponent:.2f}"
+        f"  (paper: Θ̃(n^(1/3)) = n^0.33; r2={fit.r_squared:.3f})"
+    )
+    emit("C1_congested_clique", text)
+    benchmark.extra_info["exponent"] = fit.exponent
+
+    for row in sweep.rows:
+        assert row.values["measured_rounds"] >= row.values["lb_envelope_rounds"]
+    # Rounds grow far slower than the m = Θ(n²) data volume: sublinear in n.
+    assert fit.exponent < 0.9

@@ -1,0 +1,58 @@
+"""Experiments L12/L14 — Lemmas 12 and 14: Algorithm 1's load balance.
+
+Lemma 12: every machine sends ``O(n log n / k)`` messages in any
+iteration whp.  Lemma 14: each iteration's messages deliver in
+``Õ(n/k²)`` rounds.  The bench instruments Algorithm 1 per iteration and
+prints the worst per-machine send/receive counts and per-iteration round
+costs against the lemma envelopes.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import repro
+from repro.experiments.harness import Sweep
+
+from _common import emit, log2ceil
+
+N = 4000
+KS = (8, 16, 32)
+
+
+def run_sweep():
+    g = repro.gnp_random_graph(N, 5.0 / N, seed=0)
+    B = log2ceil(N)
+    sweep = Sweep(f"L12/L14: Algorithm-1 per-iteration load, G({N}, 5/n), B={B}")
+    for k in KS:
+        res = repro.distributed_pagerank(g, k=k, seed=1, c=1, bandwidth=B)
+        worst_sent = max(s.max_machine_sent for s in res.iteration_stats)
+        worst_recv = max(s.max_machine_received for s in res.iteration_stats)
+        worst_rounds = max(s.rounds for s in res.iteration_stats)
+        lemma12_bound = 8 * (N / k) * math.log2(N)
+        lemma14_bound = 8 * (N / k**2) * math.log2(N)
+        sweep.add(
+            {"k": k},
+            {
+                "worst_iter_sent": worst_sent,
+                "lemma12_bound": round(lemma12_bound),
+                "worst_iter_recv": worst_recv,
+                "worst_iter_rounds": worst_rounds,
+                "lemma14_bound": round(lemma14_bound, 1),
+                "iterations": res.iterations,
+            },
+        )
+    return sweep
+
+
+def bench_l12_l14_load_balance(benchmark):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit("L12_L14_load_balance", sweep.render())
+    for row in sweep.rows:
+        assert row.values["worst_iter_sent"] <= row.values["lemma12_bound"]
+        assert row.values["worst_iter_recv"] <= row.values["lemma12_bound"]
+        assert row.values["worst_iter_rounds"] <= max(2, row.values["lemma14_bound"])

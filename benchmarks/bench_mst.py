@@ -1,0 +1,67 @@
+"""Experiment X2 — §1.3: MST under random partition.
+
+The paper's §1.3 discussion: the General Lower Bound Theorem gives
+``Ω̃(n/k²)`` for MST directly (lower-bound input: complete graph with
+random edge weights), tight by the SPAA'16 algorithm.  The bench runs
+the proxy-based Borůvka of :mod:`repro.core.mst` on that input, checks
+exact agreement with Kruskal, verifies the lower-bound sandwich, and
+reports the k-scaling.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np
+
+import repro
+from repro.core.lowerbounds.extensions import mst_round_lower_bound
+from repro.core.mst import distributed_mst, kruskal_mst
+from repro.experiments.fits import fit_power_law
+from repro.experiments.harness import Sweep
+
+from _common import emit, log2ceil
+
+N = 300
+KS = (4, 8, 16, 32)
+
+
+def run_sweep():
+    g = repro.complete_graph(N)
+    w = np.random.default_rng(0).random(g.m)
+    _, ref_total = kruskal_mst(g, w)
+    B = log2ceil(N)
+    sweep = Sweep(f"X2: MST on K_{N} with random weights, B={B}")
+    for k in KS:
+        res = distributed_mst(g, w, k=k, seed=1, bandwidth=B)
+        assert res.total_weight == ref_total
+        envelope = mst_round_lower_bound(N, k, B)
+        sweep.add(
+            {"k": k},
+            {
+                "measured_rounds": res.rounds,
+                "lb_envelope_rounds": round(envelope, 2),
+                "ratio": round(res.rounds / envelope, 1),
+                "phases": res.phases,
+                "mst_weight": round(res.total_weight, 4),
+            },
+        )
+    return sweep
+
+
+def bench_x2_mst(benchmark):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    fit = fit_power_law(sweep.column("k"), sweep.column("measured_rounds"))
+    emit(
+        "X2_mst",
+        sweep.render()
+        + f"\n\nfit: rounds ~ k^{fit.exponent:.2f}  (§1.3 LB: Ω̃(n/k²); the SPAA'16"
+        " algorithm is tight — ours is Borůvka+proxies, within log factors)",
+    )
+    benchmark.extra_info["exponent"] = fit.exponent
+    for row in sweep.rows:
+        assert row.values["measured_rounds"] >= row.values["lb_envelope_rounds"]
+    assert fit.exponent < -1.2

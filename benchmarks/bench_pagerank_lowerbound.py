@@ -1,0 +1,70 @@
+"""Experiments T2 + L5 — Theorem 2: the ``Ω̃(n/Bk²)`` PageRank lower bound.
+
+On sampled Figure-1 instances this bench prints, per ``k``:
+
+* the Theorem-2 envelope ``IC/(Bk) = (n-1)/(4Bk²)``;
+* Algorithm 1's measured rounds (must sit above the envelope — the
+  sandwich that certifies both theorems' consistency);
+* Lemma 5's whp event: the max number of weakly-connected chains any
+  machine learns from the RVP for free, versus the ``O(n log n/k²)``
+  bound (Premise (1) of the General Lower Bound Theorem).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np
+
+import repro
+from repro.core.lowerbounds.pagerank import (
+    lemma5_measured_paths,
+    lemma5_path_bound,
+    pagerank_round_lower_bound,
+)
+from repro.experiments.harness import Sweep
+from repro.kmachine.partition import random_vertex_partition
+
+from _common import emit, log2ceil
+
+Q = 1000  # n = 4001
+KS = (4, 8, 16, 32)
+TRIALS = 5
+
+
+def run_sweep():
+    inst = repro.pagerank_lowerbound_graph(q=Q, seed=0)
+    n = inst.n
+    B = log2ceil(n)
+    sweep = Sweep(f"T2: PageRank LB on Figure-1 graph H, n={n}, B={B}")
+    for k in KS:
+        envelope = pagerank_round_lower_bound(n, k, B)
+        res = repro.distributed_pagerank(inst.graph, k=k, seed=1, c=2, bandwidth=B)
+        max_paths = 0
+        for t in range(TRIALS):
+            p = random_vertex_partition(n, k, seed=100 + t)
+            max_paths = max(max_paths, int(lemma5_measured_paths(inst, p).max()))
+        sweep.add(
+            {"k": k},
+            {
+                "lb_envelope_rounds": envelope,
+                "measured_rounds": res.rounds,
+                "ratio": res.rounds / envelope,
+                "lemma5_max_paths": max_paths,
+                "lemma5_bound": lemma5_path_bound(n, k),
+            },
+        )
+    return sweep
+
+
+def bench_t2_pagerank_lower_bound(benchmark):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit("T2_pagerank_lowerbound", sweep.render())
+    for row in sweep.rows:
+        # The sandwich: measured >= envelope on every configuration.
+        assert row.values["measured_rounds"] >= row.values["lb_envelope_rounds"]
+        # Lemma 5's whp event held on every sampled partition.
+        assert row.values["lemma5_max_paths"] <= row.values["lemma5_bound"]

@@ -1,0 +1,63 @@
+"""Experiment FN3 — footnote 3: REP → RVP conversion in ``Õ(m/k² + n/k)``.
+
+The bench sweeps the edge count ``m`` and the machine count ``k``, runs
+the conversion protocol, and checks measured rounds against the
+``m/k²``-shaped envelope (the ``n/k`` additive term is negligible at
+these sizes since home machines are hash-derived).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import repro
+from repro.experiments.fits import fit_power_law
+from repro.experiments.harness import Sweep
+from repro.kmachine import LinkNetwork, random_edge_partition, rep_to_rvp
+
+from _common import emit, log2ceil
+
+N = 1500
+
+
+def run_sweep():
+    sweep = Sweep(f"FN3: REP->RVP conversion, n={N}")
+    for p in (0.05, 0.1, 0.2):
+        g = repro.gnp_random_graph(N, p, seed=int(p * 100))
+        B = log2ceil(N)
+        for k in (4, 8, 16, 32):
+            net = LinkNetwork(k, bandwidth=B)
+            ep = random_edge_partition(g.m, k, seed=1)
+            _, metrics = rep_to_rvp(g.edges, g.n, ep, net, seed=2)
+            sweep.add(
+                {"m": g.m, "k": k},
+                {
+                    "measured_rounds": metrics.rounds,
+                    "m_over_Bk2": round(2 * g.m * 2 * log2ceil(N) / (B * k * k), 1),
+                },
+            )
+    return sweep
+
+
+def bench_fn3_rep_conversion(benchmark):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    # Fit the k-exponent at the largest m.
+    biggest_m = max(sweep.column("m"))
+    rows = [r for r in sweep.rows if r.params["m"] == biggest_m]
+    ks = [r.params["k"] for r in rows]
+    rounds = [r.values["measured_rounds"] for r in rows]
+    fit = fit_power_law(ks, rounds)
+    emit(
+        "FN3_rep_conversion",
+        sweep.render()
+        + f"\n\nfit at m={biggest_m}: rounds ~ k^{fit.exponent:.2f}  (paper: k^-2;"
+        f" r2={fit.r_squared:.3f})",
+    )
+    benchmark.extra_info["exponent"] = fit.exponent
+    assert fit.exponent < -1.5
+    # Rounds track the m/k² envelope within a small constant.
+    for r in sweep.rows:
+        assert r.values["measured_rounds"] <= 4 * max(1.0, r.values["m_over_Bk2"])

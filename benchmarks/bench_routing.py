@@ -1,0 +1,85 @@
+"""Experiment L13 — Lemma 13: random routing in ``O((x log x)/k)`` rounds.
+
+Synthetic workloads: every machine sends ``x`` messages to i.u.r.
+destinations; the bench sweeps ``x`` and ``k`` and prints measured rounds
+of the direct schedule against the Lemma-13 envelope, plus the
+adversarial single-sink workload where Valiant two-hop routing (the
+randomized-proxy primitive) beats direct routing.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np
+
+import repro
+from repro.experiments.harness import Sweep
+from repro.kmachine.message import Message
+from repro.kmachine.network import LinkNetwork
+from repro.kmachine.routing import direct_exchange, lemma13_round_bound, valiant_exchange
+
+from _common import emit
+
+BITS = 16
+B = 32
+
+
+def random_workload(k, x, rng):
+    out = [[] for _ in range(k)]
+    dests = rng.integers(0, k, size=(k, x))
+    for i in range(k):
+        out[i] = [Message(src=i, dst=int(j), kind="w", bits=BITS) for j in dests[i]]
+    return out
+
+
+def run_random_sweep():
+    rng = np.random.default_rng(0)
+    sweep = Sweep("L13: direct routing of x random-destination messages/machine")
+    for k in (8, 16, 32):
+        for x in (200, 800, 3200):
+            net = LinkNetwork(k, bandwidth=B)
+            direct_exchange(net, random_workload(k, x, rng))
+            envelope = lemma13_round_bound(x, k, BITS, B)
+            sweep.add(
+                {"k": k, "x": x},
+                {
+                    "measured_rounds": net.rounds,
+                    "lemma13_envelope": round(envelope, 1),
+                    "ratio": net.rounds / envelope,
+                },
+            )
+    return sweep
+
+
+def run_adversarial():
+    rng = np.random.default_rng(1)
+    sweep = Sweep("L13 adversarial: all messages to one sink (proxy routing wins)")
+    k, x = 16, 2000
+    out = [[] for _ in range(k)]
+    out[1] = [Message(src=1, dst=0, kind="w", bits=BITS) for _ in range(x)]
+    net_direct = LinkNetwork(k, bandwidth=B)
+    direct_exchange(net_direct, [list(b) for b in out])
+    net_valiant = LinkNetwork(k, bandwidth=B)
+    valiant_exchange(net_valiant, out, rng=rng)
+    sweep.add(
+        {"k": k, "x": x},
+        {"direct_rounds": net_direct.rounds, "valiant_rounds": net_valiant.rounds},
+    )
+    return sweep
+
+
+def bench_l13_random_routing(benchmark):
+    rand, adv = benchmark.pedantic(
+        lambda: (run_random_sweep(), run_adversarial()), rounds=1, iterations=1
+    )
+    emit("L13_routing", rand.render() + "\n\n" + adv.render())
+    for row in rand.rows:
+        # Within a small constant of the Lemma-13 envelope (the bench
+        # accepts 4x slack for the whp deviations at small loads).
+        assert row.values["measured_rounds"] <= 4 * max(1.0, row.values["lemma13_envelope"])
+    row = adv.rows[0]
+    assert row.values["valiant_rounds"] < row.values["direct_rounds"]

@@ -1,0 +1,94 @@
+"""Experiments T3 + P2 — Theorem 3: the ``Ω̃(m/Bk^{5/3})`` triangle lower bound.
+
+Per ``k`` on a ``G(n, 1/2)`` instance, the bench prints:
+
+* the Theorem-3 envelope ``IC/(Bk)`` with ``IC = Θ((t/k)^{2/3})``
+  evaluated at the *measured* triangle count (the paper's "real lower
+  bound" ``Ω̃((t/k)^{2/3}/k)``);
+* the Theorem-5 algorithm's measured rounds (the sandwich);
+* Lemma 11's premise quantities: the max per-machine local triangle count
+  ``t₃`` (must be ``o(t/k)``) and the max output per machine
+  (``>= t/k`` for some machine, Lemma 9A);
+* Proposition 2: the empirical max induced-edge count of random
+  ``t``-subsets versus the ``3ηt²`` threshold.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np
+
+import repro
+from repro.core.lowerbounds.triangles import (
+    induced_edge_count,
+    local_triangles_per_machine,
+    proposition2_edge_bound,
+    triangle_round_lower_bound,
+)
+from repro.experiments.harness import Sweep
+from repro.kmachine.partition import random_vertex_partition
+
+from _common import emit, log2ceil
+
+N = 180
+KS = (8, 27, 64)
+
+
+def run_lb_sweep():
+    g = repro.gnp_random_graph(N, 0.5, seed=0)
+    B = log2ceil(N)
+    sweep = Sweep(f"T3: triangle LB on G({N}, 1/2), B={B}")
+    for k in KS:
+        res = repro.enumerate_triangles_distributed(g, k=k, seed=1, bandwidth=B)
+        t = res.count
+        envelope = triangle_round_lower_bound(N, k, B, t=t)
+        p = random_vertex_partition(N, k, seed=2)
+        t3_max = int(local_triangles_per_machine(g, p).max())
+        sweep.add(
+            {"k": k},
+            {
+                "lb_envelope_rounds": envelope,
+                "measured_rounds": res.rounds,
+                "ratio": res.rounds / envelope,
+                "t": t,
+                "t_over_k": t / k,
+                "t3_max": t3_max,
+                "max_output_per_machine": int(res.per_machine_output.max()),
+            },
+        )
+    return sweep
+
+
+def run_prop2_check():
+    g = repro.gnp_random_graph(400, 0.5, seed=3)
+    rng = np.random.default_rng(4)
+    sweep = Sweep("P2: induced-subgraph edge concentration (Rödl-Ruciński)")
+    for t in (40, 80, 160):
+        threshold = proposition2_edge_bound(g.m, g.n, t)
+        worst = max(
+            induced_edge_count(g, rng.choice(g.n, size=t, replace=False))
+            for _ in range(30)
+        )
+        sweep.add(
+            {"subset_size_t": t},
+            {"max_induced_edges": worst, "prop2_threshold": threshold},
+        )
+    return sweep
+
+
+def bench_t3_triangle_lower_bound(benchmark):
+    lb, prop2 = benchmark.pedantic(
+        lambda: (run_lb_sweep(), run_prop2_check()), rounds=1, iterations=1
+    )
+    emit("T3_triangle_lowerbound", lb.render() + "\n\n" + prop2.render())
+    for row in lb.rows:
+        assert row.values["measured_rounds"] >= row.values["lb_envelope_rounds"]
+        # Lemma 11 premise: t3 = o(t/k); Lemma 9A: some machine outputs >= t/k.
+        assert row.values["t3_max"] < row.values["t_over_k"]
+        assert row.values["max_output_per_machine"] >= row.values["t_over_k"]
+    for row in prop2.rows:
+        assert row.values["max_induced_edges"] < row.values["prop2_threshold"]

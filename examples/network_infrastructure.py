@@ -1,0 +1,81 @@
+"""Infrastructure planning: distributed MST + connectivity on a weighted network.
+
+The §1.3 extensions in one scenario: a "datacenter interconnect" graph
+with link costs is processed by the k-machine cluster to (a) check
+connectivity, (b) compute the minimum-cost spanning backbone, and (c)
+compare the measured round cost with the §1.3 ``Ω̃(n/k²)`` lower bound —
+the first non-graph-output application the paper suggests for the
+General Lower Bound Theorem after sorting.
+
+Run:  python examples/network_infrastructure.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.core.connectivity import connected_components_distributed
+from repro.core.lowerbounds.extensions import mst_round_lower_bound
+from repro.core.mst import distributed_mst, kruskal_mst
+from repro.experiments.tables import format_table
+
+
+def main(n: int = 500, k: int = 16) -> None:
+    # A clustered topology: dense "racks" plus sparse cross-links.
+    rng = np.random.default_rng(11)
+    racks = 10
+    per = n // racks
+    edges = []
+    for r in range(racks):
+        base = r * per
+        for i in range(per):
+            for j in range(i + 1, per):
+                if rng.random() < 0.25:
+                    edges.append((base + i, base + j))
+    for r in range(racks - 1):
+        for _ in range(3):
+            a = r * per + int(rng.integers(per))
+            b = (r + 1) * per + int(rng.integers(per))
+            edges.append((min(a, b), max(a, b)))
+    edges = sorted(set(edges))
+    g = repro.Graph(n=n, edges=np.array(edges, dtype=np.int64))
+    weights = rng.random(g.m) * 10.0
+    print(f"interconnect: n={g.n} nodes, m={g.m} candidate links, k={k} machines")
+
+    conn = connected_components_distributed(g, k=k, seed=1)
+    print(
+        f"\nconnectivity: {conn.num_components} component(s) in {conn.rounds} rounds"
+        f" — {'fully connected' if conn.is_connected() else 'PARTITIONED'}"
+    )
+
+    res = distributed_mst(g, weights, k=k, seed=2)
+    _, ref_total = kruskal_mst(g, weights)
+    print("\nminimum-cost backbone (distributed Borůvka + proxies):")
+    rows = [
+        ["backbone links", res.edges.shape[0]],
+        ["total cost", f"{res.total_weight:.3f} (Kruskal: {ref_total:.3f})"],
+        ["Borůvka phases", res.phases],
+        ["rounds", res.rounds],
+        ["messages", res.metrics.messages],
+    ]
+    print(format_table(["metric", "value"], rows))
+
+    B = res.metrics.bandwidth
+    lb = mst_round_lower_bound(n, k, B)
+    print(
+        f"\n§1.3 MST lower bound at B={B}: {lb:.2f} rounds"
+        f" (measured/bound = {res.rounds / lb:.0f}x — the polylog gap)"
+    )
+
+    # Which cross-rack links made the backbone?
+    cross = [
+        (int(u), int(v))
+        for u, v in res.edges
+        if u // per != v // per
+    ]
+    print(f"cross-rack backbone links: {len(cross)} (need >= {racks - 1} for connectivity)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Web-scale ranking scenario: PageRank on a heavy-tailed graph.
+
+The paper's introduction motivates the k-machine model with web/social
+graphs whose degree distributions are heavy-tailed — exactly the inputs
+where naive token forwarding congests the machines hosting hub pages.
+This example builds a Chung-Lu power-law graph ("the web"), ranks pages
+with Algorithm 1, and contrasts its communication profile with the prior
+Õ(n/k) baseline, including the heavy-vertex ablation.
+
+Run:  python examples/web_ranking.py [n] [k]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.experiments.tables import format_table
+
+
+def main(n: int = 2000, k: int = 16) -> None:
+    g = repro.chung_lu_graph(n, exponent=2.1, avg_degree=12, seed=7)
+    deg = g.degrees()
+    print(
+        f"synthetic web graph: n={g.n}, m={g.m}, max degree {deg.max()} "
+        f"(mean {deg.mean():.1f}) — {int((deg > 10 * deg.mean()).sum())} hub pages"
+    )
+
+    eps = 0.15
+    exact = repro.pagerank_walk_series(g, eps=eps)
+    algo = repro.distributed_pagerank(g, k=k, eps=eps, seed=1, c=40)
+    base = repro.baseline_pagerank(g, k=k, eps=eps, seed=1, c=40)
+    no_heavy = repro.distributed_pagerank(
+        g, k=k, eps=eps, seed=1, c=40, enable_heavy_path=False
+    )
+
+    print("\ncommunication profile (token phases):")
+    rows = [
+        ["Algorithm 1 (paper)", algo.token_rounds(), algo.metrics.messages, f"{algo.l1_error(exact):.4f}"],
+        ["  ablation: no heavy path", no_heavy.token_rounds(), no_heavy.metrics.messages, f"{no_heavy.l1_error(exact):.4f}"],
+        ["baseline Õ(n/k) [KNPR15]", base.token_rounds(), base.metrics.messages, f"{base.l1_error(exact):.4f}"],
+    ]
+    print(format_table(["algorithm", "rounds", "messages", "L1 err"], rows))
+
+    print("\ntop-10 ranked pages (Algorithm 1 estimates vs exact):")
+    top = np.argsort(exact)[::-1][:10]
+    rows = [
+        [f"page-{v}", int(deg[v]), f"{algo.estimates[v]:.5f}", f"{exact[v]:.5f}"]
+        for v in top
+    ]
+    print(format_table(["page", "degree", "estimated", "exact"], rows))
+
+    # Rank correlation on the head of the distribution.
+    est_top = set(np.argsort(algo.estimates)[::-1][:20].tolist())
+    ref_top = set(top.tolist())
+    print(f"\ntop-10 pages recovered within estimated top-20: {len(est_top & ref_top)}/10")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

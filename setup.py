@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (no-network installs).
+
+`pip install -e . --no-use-pep517` uses this; all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,154 @@
+"""repro — reproduction of *On the Distributed Complexity of Large-Scale
+Graph Computations* (Pandurangan, Robinson, Scquizzato; SPAA 2018).
+
+The package provides:
+
+* :mod:`repro.kmachine` — the k-machine model simulator (machines, links
+  of bandwidth ``B``, exact round/message/bit accounting, random vertex /
+  edge partitions, routing);
+* :mod:`repro.graphs` — CSR graphs, generators, the Figure-1 lower-bound
+  graph, exact sequential triangle enumeration;
+* :mod:`repro.core.pagerank` — Algorithm 1 (``Õ(n/k²)`` PageRank) and the
+  prior ``Õ(n/k)`` baseline;
+* :mod:`repro.core.triangles` — the Theorem-5 ``Õ(m/k^{5/3} + n/k^{4/3})``
+  triangle enumeration, the congested-clique variant, and baselines;
+* :mod:`repro.core.lowerbounds` — the General Lower Bound Theorem
+  (Theorem 1) and its instantiations (Theorems 2-3, Corollaries 1-2,
+  §1.3 extensions);
+* :mod:`repro.core.sorting` — ``Õ(n/k²)`` distributed sorting;
+* :mod:`repro.info` / :mod:`repro.experiments` — information-theoretic
+  helpers and the sweep/fit harness used by the benches.
+
+Quickstart::
+
+    from repro import gnp_random_graph, distributed_pagerank
+
+    g = gnp_random_graph(1000, 0.01, seed=1)
+    result = distributed_pagerank(g, k=8, seed=1)
+    print(result.rounds, result.estimates[:5])
+"""
+
+from repro._version import __version__
+
+from repro.graphs import (
+    Graph,
+    gnp_random_graph,
+    complete_graph,
+    star_graph,
+    path_graph,
+    cycle_graph,
+    empty_graph,
+    planted_triangles_graph,
+    chung_lu_graph,
+    random_regularish_graph,
+    pagerank_lowerbound_graph,
+    PageRankLowerBoundInstance,
+    enumerate_triangles,
+    count_triangles,
+    count_open_triads,
+)
+from repro.kmachine import (
+    Cluster,
+    LinkNetwork,
+    Message,
+    Metrics,
+    VertexPartition,
+    EdgePartition,
+    random_vertex_partition,
+    random_edge_partition,
+    rep_to_rvp,
+)
+from repro.core.pagerank import (
+    distributed_pagerank,
+    baseline_pagerank,
+    pagerank_walk_series,
+    pagerank_teleport,
+    PageRankResult,
+)
+from repro.core.triangles import (
+    enumerate_triangles_distributed,
+    enumerate_triangles_congested_clique,
+    enumerate_triangles_broadcast,
+    enumerate_triangles_conversion,
+    TriangleResult,
+)
+from repro.core.subgraphs import (
+    enumerate_subgraphs_distributed,
+    enumerate_k4_edges,
+    enumerate_c4_edges,
+    count_k4,
+    count_c4,
+)
+from repro.core.mst import distributed_mst, kruskal_mst, MSTResult, DisjointSetUnion
+from repro.core.sorting import distributed_sort, SortResult
+from repro.core.lowerbounds import (
+    GeneralLowerBound,
+    general_lower_bound_rounds,
+    pagerank_round_lower_bound,
+    triangle_round_lower_bound,
+    congested_clique_lower_bound,
+    triangle_message_lower_bound,
+    sorting_round_lower_bound,
+    mst_round_lower_bound,
+)
+
+__all__ = [
+    "__version__",
+    # graphs
+    "Graph",
+    "gnp_random_graph",
+    "complete_graph",
+    "star_graph",
+    "path_graph",
+    "cycle_graph",
+    "empty_graph",
+    "planted_triangles_graph",
+    "chung_lu_graph",
+    "random_regularish_graph",
+    "pagerank_lowerbound_graph",
+    "PageRankLowerBoundInstance",
+    "enumerate_triangles",
+    "count_triangles",
+    "count_open_triads",
+    # k-machine model
+    "Cluster",
+    "LinkNetwork",
+    "Message",
+    "Metrics",
+    "VertexPartition",
+    "EdgePartition",
+    "random_vertex_partition",
+    "random_edge_partition",
+    "rep_to_rvp",
+    # algorithms
+    "distributed_pagerank",
+    "baseline_pagerank",
+    "pagerank_walk_series",
+    "pagerank_teleport",
+    "PageRankResult",
+    "enumerate_triangles_distributed",
+    "enumerate_triangles_congested_clique",
+    "enumerate_triangles_broadcast",
+    "enumerate_triangles_conversion",
+    "TriangleResult",
+    "enumerate_subgraphs_distributed",
+    "enumerate_k4_edges",
+    "enumerate_c4_edges",
+    "count_k4",
+    "count_c4",
+    "distributed_mst",
+    "kruskal_mst",
+    "MSTResult",
+    "DisjointSetUnion",
+    "distributed_sort",
+    "SortResult",
+    # lower bounds
+    "GeneralLowerBound",
+    "general_lower_bound_rounds",
+    "pagerank_round_lower_bound",
+    "triangle_round_lower_bound",
+    "congested_clique_lower_bound",
+    "triangle_message_lower_bound",
+    "sorting_round_lower_bound",
+    "mst_round_lower_bound",
+]

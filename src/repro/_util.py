@@ -1,0 +1,138 @@
+"""Small shared utilities: integer math, bit-length helpers, RNG plumbing.
+
+Everything in this module is deterministic and dependency-light; it is used
+by every other subpackage.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ceil_div",
+    "bits_for",
+    "bits_for_count",
+    "ilog2",
+    "is_perfect_cube",
+    "icbrt",
+    "as_rng",
+    "spawn_rngs",
+    "check_positive_int",
+    "polylog",
+]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division ``ceil(a / b)`` for non-negative ``a``, positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    if a < 0:
+        raise ValueError(f"dividend must be non-negative, got {a}")
+    return -(-a // b)
+
+
+def bits_for(n_values: int) -> int:
+    """Number of bits needed to address one of ``n_values`` distinct values.
+
+    ``bits_for(1) == 1`` by convention (a message still occupies a slot).
+    """
+    if n_values <= 0:
+        raise ValueError(f"n_values must be positive, got {n_values}")
+    return max(1, math.ceil(math.log2(n_values))) if n_values > 1 else 1
+
+
+def bits_for_count(max_count: int) -> int:
+    """Bits needed to encode an integer count in ``[0, max_count]``."""
+    if max_count < 0:
+        raise ValueError(f"max_count must be non-negative, got {max_count}")
+    return bits_for(max_count + 1)
+
+
+def ilog2(n: int) -> int:
+    """Floor of log2 for positive integers."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return n.bit_length() - 1
+
+
+def is_perfect_cube(n: int) -> bool:
+    """True iff ``n`` is a perfect cube of a positive integer."""
+    if n <= 0:
+        return False
+    r = icbrt(n)
+    return r * r * r == n
+
+
+def icbrt(n: int) -> int:
+    """Integer cube root: largest ``r`` with ``r**3 <= n``."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if n == 0:
+        return 0
+    r = round(n ** (1.0 / 3.0))
+    # Fix float rounding either way.
+    while r * r * r > n:
+        r -= 1
+    while (r + 1) ** 3 <= n:
+        r += 1
+    return r
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``seed`` (int, Generator, or None) into a numpy Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | None, n: int) -> list[np.random.Generator]:
+    """Spawn ``n`` independent, reproducible Generators from one seed.
+
+    Uses :class:`numpy.random.SeedSequence` spawning so per-machine streams
+    are statistically independent yet fully determined by ``seed``.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive int and return it."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def polylog(n: int, factor: int = 32, power: int = 1) -> int:
+    """A concrete ``Θ(polylog n)`` value: ``factor * ceil(log2 n)**power``.
+
+    Used as the default link bandwidth ``B``.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(factor, "factor")
+    check_positive_int(power, "power")
+    return factor * (max(1, math.ceil(math.log2(max(2, n)))) ** power)
+
+
+def stable_hash64(x: int, salt: int = 0) -> int:
+    """Deterministic 64-bit integer hash (splitmix64), independent of PYTHONHASHSEED."""
+    z = (x + 0x9E3779B97F4A7C15 + salt * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return z ^ (z >> 31)
+
+
+def stable_hash64_array(xs: "np.ndarray", salt: int = 0) -> "np.ndarray":
+    """Vectorized splitmix64 over an integer array (returns uint64 array)."""
+    z = xs.astype(np.uint64, copy=True)
+    z += np.uint64((0x9E3779B97F4A7C15 + salt * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF)
+    with np.errstate(over="ignore"):
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))

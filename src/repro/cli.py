@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``pagerank``     run Algorithm 1 on a generated graph and report
+                 rounds/messages/error vs the exact reference and the
+                 Theorem-2 lower bound.
+``triangles``    run the Theorem-5 enumeration and report counts, rounds,
+                 and the Theorem-3 lower bound.
+``sort``         run the §1.3 sample sort.
+``mst``          run proxy-Borůvka MST on a weighted random graph.
+``lowerbounds``  print the Theorem-1 cookbook table for given (n, k, B).
+``sweep``        sweep k for pagerank or triangles and fit the exponent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+import repro
+from repro._util import polylog
+from repro.experiments.fits import fit_power_law
+from repro.experiments.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _graph_from_args(args) -> "repro.Graph":
+    n = args.n
+    if args.graph == "gnp":
+        return repro.gnp_random_graph(n, args.avg_degree / n, seed=args.seed)
+    if args.graph == "dense":
+        return repro.gnp_random_graph(n, 0.5, seed=args.seed)
+    if args.graph == "star":
+        return repro.star_graph(n)
+    if args.graph == "powerlaw":
+        return repro.chung_lu_graph(n, avg_degree=args.avg_degree, seed=args.seed)
+    if args.graph == "lb":
+        return repro.pagerank_lowerbound_graph(q=max(1, (n - 1) // 4), seed=args.seed).graph
+    raise SystemExit(f"unknown graph family {args.graph!r}")
+
+
+def cmd_pagerank(args) -> int:
+    g = _graph_from_args(args)
+    res = repro.distributed_pagerank(g, k=args.k, seed=args.seed, c=args.tokens)
+    ref = repro.pagerank_walk_series(g, eps=res.eps)
+    lb = repro.pagerank_round_lower_bound(g.n, args.k, res.metrics.bandwidth)
+    rows = [
+        ["n / m / k / B", f"{g.n} / {g.m} / {args.k} / {res.metrics.bandwidth}"],
+        ["rounds (total / token)", f"{res.rounds} / {res.token_rounds()}"],
+        ["messages / bits", f"{res.metrics.messages} / {res.metrics.bits}"],
+        ["iterations", res.iterations],
+        ["L1 error vs reference", f"{res.l1_error(ref):.5f}"],
+        ["Theorem-2 lower bound", f"{lb:.3f} rounds"],
+    ]
+    print(format_table(["PageRank (Algorithm 1)", "value"], rows))
+    return 0
+
+
+def cmd_triangles(args) -> int:
+    g = _graph_from_args(args)
+    res = repro.enumerate_triangles_distributed(g, k=args.k, seed=args.seed)
+    lb = repro.triangle_round_lower_bound(
+        g.n, args.k, res.metrics.bandwidth, t=max(1, res.count)
+    )
+    rows = [
+        ["n / m / k / B", f"{g.n} / {g.m} / {args.k} / {res.metrics.bandwidth}"],
+        ["triangles", res.count],
+        ["rounds", res.rounds],
+        ["messages / bits", f"{res.metrics.messages} / {res.metrics.bits}"],
+        ["colors q", res.num_colors],
+        ["Theorem-3 lower bound", f"{lb:.3f} rounds"],
+    ]
+    print(format_table(["Triangles (Theorem 5)", "value"], rows))
+    return 0
+
+
+def cmd_sort(args) -> int:
+    values = np.random.default_rng(args.seed).random(args.n)
+    res = repro.distributed_sort(values, k=args.k, seed=args.seed)
+    ok = bool(np.all(np.diff(res.concatenated()) >= 0))
+    lb = repro.sorting_round_lower_bound(args.n, args.k, res.metrics.bandwidth)
+    rows = [
+        ["n / k / B", f"{args.n} / {args.k} / {res.metrics.bandwidth}"],
+        ["rounds", res.rounds],
+        ["globally sorted", ok],
+        ["block imbalance", f"{res.max_block_imbalance():.3f}"],
+        ["§1.3 lower bound", f"{lb:.3f} rounds"],
+    ]
+    print(format_table(["Sorting (sample sort)", "value"], rows))
+    return 0 if ok else 1
+
+
+def cmd_mst(args) -> int:
+    g = _graph_from_args(args)
+    w = np.random.default_rng(args.seed).random(g.m)
+    res = repro.distributed_mst(g, w, k=args.k, seed=args.seed)
+    _, ref_total = repro.kruskal_mst(g, w)
+    rows = [
+        ["n / m / k", f"{g.n} / {g.m} / {args.k}"],
+        ["forest edges", res.edges.shape[0]],
+        ["weight (vs Kruskal)", f"{res.total_weight:.4f} ({ref_total:.4f})"],
+        ["phases / rounds", f"{res.phases} / {res.rounds}"],
+        ["components", res.num_components],
+    ]
+    print(format_table(["MST (proxy-Borůvka)", "value"], rows))
+    return 0 if abs(res.total_weight - ref_total) < 1e-9 else 1
+
+
+def cmd_lowerbounds(args) -> int:
+    n, k = args.n, args.k
+    B = args.bandwidth or polylog(n, factor=1)
+    rows = [
+        ["PageRank (Thm 2)", f"{repro.pagerank_round_lower_bound(n, k, B):.4g}"],
+        ["Triangles (Thm 3)", f"{repro.triangle_round_lower_bound(n, k, B):.4g}"],
+        ["Congested clique triangles (Cor 1, k=n)", f"{repro.congested_clique_lower_bound(n, B):.4g}"],
+        ["Triangle messages (Cor 2)", f"{repro.triangle_message_lower_bound(n, k):.4g}"],
+        ["Sorting (§1.3)", f"{repro.sorting_round_lower_bound(n, k, B):.4g}"],
+        ["MST (§1.3)", f"{repro.mst_round_lower_bound(n, k, B):.4g}"],
+    ]
+    print(f"General Lower Bound Theorem cookbook — n={n}, k={k}, B={B}\n")
+    print(format_table(["problem", "lower bound (rounds)"], rows))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    g = _graph_from_args(args)
+    ks = [int(x) for x in args.ks.split(",")]
+    rows = []
+    rounds = []
+    for k in ks:
+        if args.problem == "pagerank":
+            r = repro.distributed_pagerank(g, k=k, seed=args.seed, c=args.tokens)
+            val = r.token_rounds()
+        else:
+            r = repro.enumerate_triangles_distributed(g, k=k, seed=args.seed)
+            val = r.rounds
+        rounds.append(val)
+        rows.append([k, val])
+    print(format_table(["k", "rounds"], rows))
+    if len(ks) >= 2 and all(v > 0 for v in rounds):
+        fit = fit_power_law(ks, rounds)
+        target = "-2 (Thm 4)" if args.problem == "pagerank" else "-5/3 (Thm 5)"
+        print(f"\nfit: rounds ~ k^{fit.exponent:.2f}   (paper: {target})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="k-machine model algorithms from 'On the Distributed "
+        "Complexity of Large-Scale Graph Computations' (SPAA 2018).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, default_n=1000):
+        p.add_argument("--n", type=int, default=default_n, help="problem size")
+        p.add_argument("--k", type=int, default=8, help="number of machines")
+        p.add_argument("--seed", type=int, default=1, help="random seed")
+        p.add_argument(
+            "--graph",
+            choices=("gnp", "dense", "star", "powerlaw", "lb"),
+            default="gnp",
+            help="input graph family",
+        )
+        p.add_argument("--avg-degree", type=float, default=8.0)
+
+    p = sub.add_parser("pagerank", help="run Algorithm 1")
+    common(p)
+    p.add_argument("--tokens", type=float, default=16.0, help="token constant c")
+    p.set_defaults(func=cmd_pagerank)
+
+    p = sub.add_parser("triangles", help="run the Theorem-5 enumeration")
+    common(p, default_n=200)
+    p.set_defaults(func=cmd_triangles)
+
+    p = sub.add_parser("sort", help="run the §1.3 sample sort")
+    p.add_argument("--n", type=int, default=50_000)
+    p.add_argument("--k", type=int, default=8)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_sort)
+
+    p = sub.add_parser("mst", help="run proxy-Borůvka MST")
+    common(p, default_n=300)
+    p.set_defaults(func=cmd_mst)
+
+    p = sub.add_parser("lowerbounds", help="print the Theorem-1 cookbook table")
+    p.add_argument("--n", type=int, default=100_000)
+    p.add_argument("--k", type=int, default=32)
+    p.add_argument("--bandwidth", type=int, default=None)
+    p.set_defaults(func=cmd_lowerbounds)
+
+    p = sub.add_parser("sweep", help="sweep k and fit the scaling exponent")
+    common(p, default_n=1000)
+    p.add_argument("--problem", choices=("pagerank", "triangles"), default="pagerank")
+    p.add_argument("--ks", default="4,8,16,32", help="comma-separated k values")
+    p.add_argument("--tokens", type=float, default=1.0)
+    p.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

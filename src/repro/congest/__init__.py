@@ -1,0 +1,30 @@
+"""The CONGEST model substrate and the Conversion Theorem of Klauck et al.
+
+The paper's §1.3 (Upper Bounds) explains that *all* previous k-machine
+algorithms were obtained by designing CONGEST-model algorithms and
+translating them with the Conversion Theorem of [Klauck et al., SODA'15]
+— and that this paper's improvements come from abandoning that route.
+To make the comparison concrete, this package provides:
+
+* :class:`~repro.congest.model.CongestNetwork` — the classic CONGEST
+  model: one processor per graph vertex, synchronous rounds, one
+  ``B = O(log n)``-bit message per edge direction per round;
+* :func:`~repro.congest.pagerank.congest_pagerank` — the Das Sarma et
+  al. random-walk PageRank the paper's Algorithm 1 builds on, recorded
+  as a CONGEST execution;
+* :func:`~repro.congest.conversion.convert_execution` — the Conversion
+  Theorem as an executable transformation: every CONGEST edge message
+  ``u -> v`` is replayed on the machine link ``home(u) -> home(v)``,
+  with exact round accounting in the k-machine simulator.
+"""
+
+from repro.congest.model import CongestNetwork, CongestExecution
+from repro.congest.pagerank import congest_pagerank
+from repro.congest.conversion import convert_execution
+
+__all__ = [
+    "CongestNetwork",
+    "CongestExecution",
+    "congest_pagerank",
+    "convert_execution",
+]

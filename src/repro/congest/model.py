@@ -1,0 +1,109 @@
+"""The CONGEST model: one processor per vertex, B bits per edge per round."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import polylog
+from repro.errors import ModelError
+from repro.graphs.graph import Graph
+
+__all__ = ["CongestNetwork", "CongestExecution", "RoundTraffic"]
+
+
+@dataclass(frozen=True)
+class RoundTraffic:
+    """Messages of one CONGEST round as parallel arrays.
+
+    ``src[i] -> dst[i]`` carried ``bits[i]`` bits; every (src, dst) pair
+    must be an edge of the graph and may appear at most once per round.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    bits: np.ndarray
+
+
+@dataclass
+class CongestExecution:
+    """A recorded CONGEST execution: per-round traffic plus totals."""
+
+    n: int
+    bandwidth: int
+    rounds: list[RoundTraffic] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of communication rounds."""
+        return len(self.rounds)
+
+    @property
+    def total_messages(self) -> int:
+        """Total edge messages across all rounds."""
+        return int(sum(r.src.size for r in self.rounds))
+
+    @property
+    def total_bits(self) -> int:
+        """Total bits across all rounds."""
+        return int(sum(r.bits.sum() for r in self.rounds))
+
+
+class CongestNetwork:
+    """Synchronous message passing over the edges of a fixed graph.
+
+    Each round, every vertex may send one message of at most ``B`` bits
+    along each of its (out-)edges.  The network records the execution for
+    later conversion to the k-machine model.
+    """
+
+    def __init__(self, graph: Graph, bandwidth: int | None = None) -> None:
+        self.graph = graph
+        self.bandwidth = int(bandwidth) if bandwidth is not None else polylog(max(2, graph.n), factor=1)
+        if self.bandwidth <= 0:
+            raise ModelError(f"bandwidth must be positive, got {self.bandwidth}")
+        self.execution = CongestExecution(n=graph.n, bandwidth=self.bandwidth)
+
+    def round(
+        self, src: np.ndarray, dst: np.ndarray, bits: np.ndarray
+    ) -> None:
+        """Execute one round with the given edge messages.
+
+        Validates the CONGEST constraints: every (src, dst) is an edge of
+        the graph (in the right direction for digraphs), appears at most
+        once, and carries at most ``B`` bits.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        bits = np.asarray(bits, dtype=np.int64)
+        if not (src.shape == dst.shape == bits.shape) or src.ndim != 1:
+            raise ModelError("src, dst and bits must be equal-length 1-D arrays")
+        if src.size:
+            if src.min() < 0 or src.max() >= self.graph.n or dst.min() < 0 or dst.max() >= self.graph.n:
+                raise ModelError("message endpoints out of range")
+            if bits.max() > self.bandwidth:
+                raise ModelError(
+                    f"a CONGEST message may carry at most B={self.bandwidth} bits, "
+                    f"got {int(bits.max())}"
+                )
+            if bits.min() <= 0:
+                raise ModelError("message sizes must be positive")
+            key = src * self.graph.n + dst
+            if np.unique(key).size != key.size:
+                raise ModelError("at most one message per edge direction per round")
+            # Edge membership: binary search each dst in src's adjacency.
+            indptr, indices = self.graph.indptr, self.graph.indices
+            lo = indptr[src]
+            hi = indptr[src + 1]
+            for s, d, l, h in zip(src, dst, lo, hi):
+                row = indices[l:h]
+                i = np.searchsorted(row, d)
+                if i >= row.size or row[i] != d:
+                    raise ModelError(f"({s}, {d}) is not an edge of the graph")
+        self.execution.rounds.append(RoundTraffic(src=src, dst=dst, bits=bits))
+
+    @property
+    def num_rounds(self) -> int:
+        """Rounds executed so far."""
+        return self.execution.num_rounds

@@ -1,0 +1,86 @@
+"""Das Sarma et al.'s random-walk PageRank in the CONGEST model.
+
+This is the algorithm the paper's Algorithm 1 builds on (§3.1): every
+vertex creates ``Θ(log n)`` tokens; each round every token terminates
+with probability ``eps`` or moves to a uniform random out-neighbor; only
+*counts* travel — one count message per edge per round, which is what
+keeps it a valid ``O(log n / eps)``-round CONGEST algorithm.
+
+The execution (every per-round edge message) is recorded so the
+Conversion Theorem can replay it in the k-machine model — reproducing
+the ``Õ(n/k)`` route the paper improves on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.errors import AlgorithmError
+from repro.graphs.graph import Graph
+from repro.congest.model import CongestExecution, CongestNetwork
+
+__all__ = ["congest_pagerank"]
+
+
+def congest_pagerank(
+    graph: Graph,
+    eps: float = 0.15,
+    c: float = 16.0,
+    seed: int | np.random.Generator | None = None,
+    bandwidth: int | None = None,
+    max_iterations: int | None = None,
+) -> tuple[np.ndarray, CongestExecution]:
+    """Run the CONGEST PageRank; returns (estimates, recorded execution)."""
+    if not (0.0 < eps < 1.0):
+        raise AlgorithmError(f"eps must lie in (0, 1), got {eps}")
+    n = graph.n
+    if n == 0:
+        raise AlgorithmError("empty graph")
+    rng = as_rng(seed)
+    net = CongestNetwork(graph, bandwidth=bandwidth)
+    t0 = max(1, math.ceil(c * math.log2(max(2, n))))
+    if max_iterations is None:
+        max_iterations = max(1, math.ceil(4.0 * math.log(max(2, n * t0)) / eps))
+
+    indptr, indices = graph.indptr, graph.indices
+    tokens = np.full(n, t0, dtype=np.int64)
+    psi = np.full(n, t0, dtype=np.int64)
+
+    for _ in range(max_iterations):
+        live = np.flatnonzero(tokens)
+        if live.size == 0:
+            break
+        # Terminate with probability eps.
+        tokens[live] -= rng.binomial(tokens[live], eps)
+        live = np.flatnonzero(tokens)
+        if live.size == 0:
+            break
+        deg = indptr[live + 1] - indptr[live]
+        tokens[live[deg == 0]] = 0  # dangling absorption
+        live, deg = live[deg > 0], deg[deg > 0]
+        if live.size == 0:
+            break
+        counts = tokens[live]
+        tokens[live] = 0
+        # Per-token neighbor choice, aggregated per edge (u, v) — the
+        # count message that makes this CONGEST-legal.
+        src_rep = np.repeat(live, counts)
+        deg_rep = np.repeat(deg, counts)
+        offs = rng.integers(0, deg_rep)
+        dsts = indices[np.repeat(indptr[live], counts) + offs]
+        keys = src_rep * n + dsts
+        uniq, agg = np.unique(keys, return_counts=True)
+        src, dst = uniq // n, uniq % n
+        # A count <= n*t0 fits in O(log n) <= B bits.
+        bits = np.maximum(1, np.ceil(np.log2(agg + 2)).astype(np.int64))
+        net.round(src, dst, np.minimum(bits, net.bandwidth))
+        incoming = np.zeros(n, dtype=np.int64)
+        np.add.at(incoming, dst, agg)
+        tokens += incoming
+        psi += incoming
+
+    estimates = eps * psi.astype(np.float64) / (n * t0)
+    return estimates, net.execution

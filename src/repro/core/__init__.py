@@ -1,0 +1,3 @@
+"""The paper's contributions: lower bounds (Theorems 1-3, Corollaries 1-2)
+and algorithms (PageRank Algorithm 1 / Theorem 4, triangle enumeration /
+Theorem 5), plus the §1.3 extensions (distributed sorting)."""

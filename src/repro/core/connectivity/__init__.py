@@ -1,0 +1,17 @@
+"""Connectivity in the k-machine model.
+
+Connected components / spanning forest are the canonical ``Θ̃(n/k²)``
+problems of the k-machine literature (Klauck et al. proved the lower
+bound via random-partition communication complexity; the paper's §1.3
+notes the same bound follows directly from the General Lower Bound
+Theorem; Pandurangan-Robinson-Scquizzato SPAA'16 gave the matching
+algorithm).  Here connectivity rides the same proxy-Borůvka machinery as
+:mod:`repro.core.mst` with unit weights.
+"""
+
+from repro.core.connectivity.distributed import (
+    connected_components_distributed,
+    ConnectivityResult,
+)
+
+__all__ = ["connected_components_distributed", "ConnectivityResult"]

@@ -1,0 +1,191 @@
+"""Graph verification problems on top of the spanning-forest machinery.
+
+Klauck et al. studied a family of *verification* problems in the
+k-machine model (connectivity, spanning-tree, bipartiteness, cut
+verification); the paper's §1.4 positions its results against that line.
+These verifiers all follow one pattern: build a spanning forest with the
+proxy-Borůvka algorithm, derive per-vertex certificates from it, and
+check the non-forest edges — with every communication step accounted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.graphs.graph import Graph
+from repro.kmachine import encoding
+from repro.kmachine.cluster import Cluster
+from repro.kmachine.metrics import Metrics
+from repro.kmachine.partition import VertexPartition, random_vertex_partition
+from repro.core.connectivity.distributed import connected_components_distributed
+
+__all__ = ["bipartiteness_check", "spanning_tree_verification", "BipartitenessResult"]
+
+
+@dataclass
+class BipartitenessResult:
+    """Output of the distributed bipartiteness verifier.
+
+    Attributes
+    ----------
+    is_bipartite:
+        Whether the graph admits a 2-coloring.
+    coloring:
+        ``(n,)`` 0/1 array: a valid 2-coloring when bipartite, otherwise
+        the forest-parity coloring that witnesses an odd cycle.
+    odd_edge:
+        An edge whose endpoints share a color (certificate of
+        non-bipartiteness), or ``None``.
+    metrics:
+        Communication metrics (includes the spanning-forest build).
+    """
+
+    is_bipartite: bool
+    coloring: np.ndarray
+    odd_edge: tuple[int, int] | None
+    metrics: Metrics
+
+    @property
+    def rounds(self) -> int:
+        """Total rounds charged."""
+        return self.metrics.rounds
+
+
+def _forest_parity(n: int, forest: np.ndarray) -> np.ndarray:
+    """Depth parity of every vertex in its forest tree (roots = 0)."""
+    adj: dict[int, list[int]] = {}
+    for u, v in forest:
+        adj.setdefault(int(u), []).append(int(v))
+        adj.setdefault(int(v), []).append(int(u))
+    parity = np.full(n, -1, dtype=np.int64)
+    for root in range(n):
+        if parity[root] >= 0:
+            continue
+        parity[root] = 0
+        stack = [root]
+        while stack:
+            x = stack.pop()
+            for y in adj.get(x, ()):  # leaves of isolated vertices: no entry
+                if parity[y] < 0:
+                    parity[y] = parity[x] ^ 1
+                    stack.append(y)
+    return parity
+
+
+def bipartiteness_check(
+    graph: Graph,
+    k: int,
+    seed: int | None = None,
+    bandwidth: int | None = None,
+    partition: VertexPartition | None = None,
+) -> BipartitenessResult:
+    """Distributed bipartiteness verification.
+
+    Protocol: (1) build a spanning forest (proxy-Borůvka, accounted);
+    (2) a coordinator machine gathers the ``<= n - 1`` forest edges
+    (``Õ(n/k)`` rounds — forest edges are output across machines with
+    random proxy placement), computes depth parities locally (free), and
+    (3) scatters each vertex's parity bit to its home machine (``Õ(n/k²)``
+    rounds by Lemma 13); (4) every machine checks its local non-forest
+    edges for monochromatic endpoints, and 1-bit verdicts are aggregated.
+    """
+    if graph.directed:
+        raise AlgorithmError("bipartiteness is defined on undirected graphs here")
+    n = graph.n
+    conn = connected_components_distributed(
+        graph, k=k, seed=seed, bandwidth=bandwidth, partition=partition
+    )
+    cluster = Cluster(k=k, n=max(2, n), bandwidth=conn.metrics.bandwidth, seed=seed)
+    forest = conn.spanning_forest
+
+    vid = encoding.vertex_id_bits(max(2, n))
+    # (2) Gather forest edges at machine 0: one message per edge from the
+    # machine that output it (proxy-random sources under Borůvka).
+    src = (
+        np.random.default_rng(seed).integers(0, k, size=forest.shape[0])
+        if forest.size
+        else np.zeros(0, dtype=np.int64)
+    )
+    bits = np.zeros((k, k), dtype=np.int64)
+    msgs = np.zeros((k, k), dtype=np.int64)
+    remote = src != 0
+    if np.any(remote):
+        np.add.at(msgs, (src[remote], np.zeros(int(remote.sum()), dtype=np.int64)), 1)
+        np.add.at(bits, (src[remote], np.zeros(int(remote.sum()), dtype=np.int64)), 2 * vid)
+    cluster.account_phase(bits, msgs, label="bipartite/gather-forest", local_messages=int((~remote).sum()))
+
+    parity = _forest_parity(n, forest)
+
+    # (3) Scatter parities: one (vertex id, bit) message per vertex to its
+    # home machine.
+    if partition is None:
+        # connected_components sampled its own partition from the seed;
+        # re-deriving is unnecessary for accounting — destinations are the
+        # homes, uniform under RVP.
+        home = np.random.default_rng(None if seed is None else seed + 1).integers(0, k, size=n)
+    else:
+        home = partition.home
+    bits = np.zeros((k, k), dtype=np.int64)
+    msgs = np.zeros((k, k), dtype=np.int64)
+    remote = home != 0
+    if np.any(remote):
+        np.add.at(msgs, (np.zeros(int(remote.sum()), dtype=np.int64), home[remote]), 1)
+        np.add.at(bits, (np.zeros(int(remote.sum()), dtype=np.int64), home[remote]), vid + 1)
+    cluster.account_phase(bits, msgs, label="bipartite/scatter-parity", local_messages=int((~remote).sum()))
+
+    # (4) Local check of every edge + 1-bit verdict aggregation.
+    odd_edge = None
+    if graph.m:
+        e = graph.edges
+        mono = parity[e[:, 0]] == parity[e[:, 1]]
+        if np.any(mono):
+            idx = int(np.flatnonzero(mono)[0])
+            odd_edge = (int(e[idx, 0]), int(e[idx, 1]))
+    verdict_msgs = np.zeros((k, k), dtype=np.int64)
+    verdict_bits = np.zeros((k, k), dtype=np.int64)
+    verdict_msgs[1:, 0] = 1
+    verdict_bits[1:, 0] = 1
+    cluster.account_phase(verdict_bits, verdict_msgs, label="bipartite/verdict")
+
+    conn.metrics.merge(cluster.metrics)
+    return BipartitenessResult(
+        is_bipartite=odd_edge is None,
+        coloring=parity,
+        odd_edge=odd_edge,
+        metrics=conn.metrics,
+    )
+
+
+def spanning_tree_verification(
+    graph: Graph,
+    candidate_edges: np.ndarray,
+    k: int,
+    seed: int | None = None,
+    bandwidth: int | None = None,
+) -> tuple[bool, Metrics]:
+    """Verify that ``candidate_edges`` form a spanning tree of ``graph``.
+
+    Checks (with accounted communication): every candidate is a graph
+    edge (local at each endpoint's home), the candidate count is
+    ``n - 1``, and the candidate set is connected and acyclic — via a
+    connectivity run *restricted to the candidate edges*.
+    """
+    if graph.directed:
+        raise AlgorithmError("spanning-tree verification expects an undirected graph")
+    candidate_edges = np.asarray(candidate_edges, dtype=np.int64).reshape(-1, 2)
+    n = graph.n
+    # Structural checks are local given the RVP (each edge is known at
+    # its endpoints' homes).
+    is_subset = all(graph.has_edge(int(u), int(v)) for u, v in candidate_edges)
+    if not is_subset or candidate_edges.shape[0] != n - 1:
+        # Still pay the 1-bit verdict round.
+        cluster = Cluster(k=k, n=max(2, n), bandwidth=bandwidth, seed=seed)
+        cluster.broadcast(0, kind="st-verdict", payload=False, bits=1, label="stverify/verdict")
+        return False, cluster.metrics
+    sub = Graph(n=n, edges=candidate_edges, directed=False)
+    conn = connected_components_distributed(sub, k=k, seed=seed, bandwidth=bandwidth)
+    ok = conn.num_components == 1
+    return ok, conn.metrics

@@ -1,0 +1,55 @@
+"""Lower-bound machinery: the General Lower Bound Theorem and its
+applications to PageRank, triangle enumeration, the congested clique,
+message complexity, and the §1.3 extensions (sorting, MST)."""
+
+from repro.core.lowerbounds.general import (
+    GeneralLowerBound,
+    general_lower_bound_rounds,
+)
+from repro.core.lowerbounds.pagerank import (
+    pagerank_information_cost,
+    pagerank_round_lower_bound,
+    lemma5_path_bound,
+    pagerank_lower_bound,
+)
+from repro.core.lowerbounds.triangles import (
+    min_edges_for_triangles,
+    rivin_edge_bound,
+    expected_triangles_gnp,
+    triangle_information_cost,
+    triangle_round_lower_bound,
+    triangle_lower_bound,
+    local_triangles_per_machine,
+    congested_clique_lower_bound,
+    triangle_message_lower_bound,
+    induced_edge_count,
+    proposition2_edge_bound,
+)
+from repro.core.lowerbounds.extensions import (
+    sorting_round_lower_bound,
+    mst_round_lower_bound,
+    sorting_information_cost,
+)
+
+__all__ = [
+    "GeneralLowerBound",
+    "general_lower_bound_rounds",
+    "pagerank_information_cost",
+    "pagerank_round_lower_bound",
+    "lemma5_path_bound",
+    "pagerank_lower_bound",
+    "min_edges_for_triangles",
+    "rivin_edge_bound",
+    "expected_triangles_gnp",
+    "triangle_information_cost",
+    "triangle_round_lower_bound",
+    "triangle_lower_bound",
+    "local_triangles_per_machine",
+    "congested_clique_lower_bound",
+    "triangle_message_lower_bound",
+    "induced_edge_count",
+    "proposition2_edge_bound",
+    "sorting_round_lower_bound",
+    "mst_round_lower_bound",
+    "sorting_information_cost",
+]

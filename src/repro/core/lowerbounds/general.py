@@ -1,0 +1,114 @@
+"""The General Lower Bound Theorem (paper Theorem 1) as executable machinery.
+
+Theorem 1 (informal): let ``Z`` be a random variable determined by the
+input and ``IC`` an *information cost*.  If, on a ``(1 - eps - n^-Ω(1))``
+fraction of (partition, randomness) pairs (the set ``Good``),
+
+* Premise (1): every machine's input gives ``Pr[Z=z | p_i, r] <=
+  2^-(H[Z] - o(IC))`` (little initial knowledge), and
+* Premise (2): some machine's *output* gives ``Pr[Z=z | out, p_i, r] >=
+  2^-(H[Z] - IC)`` (it ends up knowing ``IC`` bits),
+
+then the round complexity is ``T = Ω(IC / Bk)``.
+
+The proof chain is: surprisal change ``=> I[Out_i; Z | p_i, r] >= IC -
+o(IC)`` (Lemma 2) ``=>`` transcript entropy ``>= IC - o(IC)`` (Lemma 1 +
+eq. 6) ``=>`` Lemma 3's ``(B+1)(k-1)T`` transcript cap forces ``T =
+Ω(IC/Bk)``.  This module exposes each step numerically so the two graph
+applications (and any new problem) can instantiate the theorem in the
+"cookbook" style the paper advertises.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.info.surprisal import SurprisalAccount, min_rounds_for_entropy
+
+__all__ = ["GeneralLowerBound", "general_lower_bound_rounds"]
+
+
+@dataclass(frozen=True)
+class GeneralLowerBound:
+    """An instantiation of Theorem 1 for a concrete problem.
+
+    Parameters
+    ----------
+    information_cost:
+        ``IC(n, k)`` in bits — the surprisal change some machine must
+        undergo (Premises (1)+(2)).
+    bandwidth:
+        Link bandwidth ``B`` in bits/round.
+    k:
+        Number of machines.
+    entropy_z:
+        ``H[Z]``; optional, used for the error-probability admissibility
+        check (the theorem needs ``eps = o(IC / H[Z])``).
+    """
+
+    information_cost: float
+    bandwidth: int
+    k: int
+    entropy_z: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.information_cost < 0:
+            raise ValueError("information cost must be non-negative")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.k < 2:
+            raise ValueError("k must be >= 2")
+        if self.entropy_z is not None:
+            if self.entropy_z < 0:
+                raise ValueError("entropy must be non-negative")
+            if self.information_cost > self.entropy_z + 1e-9:
+                raise ValueError(
+                    "IC cannot exceed H[Z] "
+                    f"(IC={self.information_cost}, H[Z]={self.entropy_z})"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def rounds(self) -> float:
+        """The conclusion ``T = Ω(IC / Bk)``, as the concrete value ``IC/(B·k)``.
+
+        Constant-free: benches compare measured rounds against this value
+        directly, so a measured/bound ratio ``>= 1`` certifies consistency.
+        Internally this is Lemma 3's exact inversion with the paper's
+        ``(B+1)(k-1)`` sharpened to the asymptotic ``Bk``.
+        """
+        return self.information_cost / (self.bandwidth * self.k)
+
+    @property
+    def rounds_lemma3_exact(self) -> float:
+        """Lemma 3's exact form: ``IC / ((B+1)(k-1))`` rounds."""
+        return min_rounds_for_entropy(self.information_cost, self.bandwidth, self.k)
+
+    def admissible_error(self, error: float) -> bool:
+        """Check the theorem's error condition ``eps = o(IC / H[Z])``.
+
+        For a concrete instance we test ``error < IC / (2 * H[Z])`` (the
+        natural finite-size surrogate for the asymptotic condition); when
+        ``H[Z]`` was not supplied, any ``error < 1/2`` is accepted.
+        """
+        if not (0.0 <= error < 1.0):
+            raise ValueError("error must lie in [0, 1)")
+        if self.entropy_z is None or self.entropy_z == 0:
+            return error < 0.5
+        return error < self.information_cost / (2.0 * self.entropy_z)
+
+    def verify_premises(self, account: SurprisalAccount, slack: float = 1.0) -> bool:
+        """Check that a measured :class:`SurprisalAccount` certifies ``IC``.
+
+        ``account.information_cost`` (output knowledge minus initial
+        knowledge, in bits) must be at least ``information_cost / slack``.
+        """
+        if slack < 1.0:
+            raise ValueError("slack must be >= 1")
+        return account.information_cost >= self.information_cost / slack
+
+
+def general_lower_bound_rounds(information_cost: float, bandwidth: int, k: int) -> float:
+    """Functional shortcut for ``GeneralLowerBound(...).rounds``."""
+    return GeneralLowerBound(information_cost, bandwidth, k).rounds

@@ -1,0 +1,145 @@
+"""Theorem 2: the ``Ω̃(n / Bk²)`` PageRank lower bound.
+
+Instantiates the General Lower Bound Theorem on the Figure-1 graph ``H``:
+
+* ``Z`` = the set of pairs ``{(b_i, v_i)}`` — edge directions matched to
+  the (random) ids of the output vertices; ``H[Z] >= q = m/4`` bits.
+* Premise (1): by Lemma 5, under RVP a machine discovers only
+  ``O(n log n / k²)`` chains for free, so its input leaves
+  ``m/4 - O(n log n / k²)`` chain bits undetermined (Lemma 7).
+* Premise (2): some machine outputs ``Ω(n/k)`` PageRank values of
+  ``V``-vertices (Lemma 6A); each output value reveals its chain's
+  ``(b_i, v_i)`` pair via the Lemma-4 separation (Lemma 8).
+* Hence ``IC = m/4k = Θ(n/k)`` and ``T = Ω(n / Bk²)``.
+
+Besides the closed-form bound, this module verifies the premises
+*empirically* on sampled instances: :func:`lemma5_measured_paths` counts
+the chains each machine actually learns from a partition, and
+:func:`surprisal_account` converts such counts into the
+:class:`~repro.info.surprisal.SurprisalAccount` Theorem 1 consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.lowerbounds.general import GeneralLowerBound
+from repro.graphs.lowerbound import PageRankLowerBoundInstance
+from repro.info.surprisal import SurprisalAccount
+from repro.kmachine.partition import VertexPartition
+
+__all__ = [
+    "pagerank_information_cost",
+    "pagerank_round_lower_bound",
+    "pagerank_lower_bound",
+    "lemma5_path_bound",
+    "lemma5_measured_paths",
+    "surprisal_account",
+    "PageRankLBReport",
+]
+
+
+def pagerank_information_cost(n: int, k: int) -> float:
+    """``IC = m/4k`` with ``m = n - 1`` (paper, after Lemma 6)."""
+    if n < 5 or k < 2:
+        raise ValueError(f"need n >= 5 and k >= 2, got n={n}, k={k}")
+    return (n - 1) / (4.0 * k)
+
+
+def pagerank_round_lower_bound(n: int, k: int, bandwidth: int) -> float:
+    """Theorem 2's conclusion: ``T = Ω(n / Bk²)``, returned as ``IC/(Bk)``."""
+    return GeneralLowerBound(
+        information_cost=pagerank_information_cost(n, k),
+        bandwidth=bandwidth,
+        k=k,
+        entropy_z=(n - 1) / 4.0,  # H[Z] >= one fair bit per chain
+    ).rounds
+
+
+def pagerank_lower_bound(n: int, k: int, bandwidth: int) -> GeneralLowerBound:
+    """The full Theorem-1 instantiation object for PageRank."""
+    return GeneralLowerBound(
+        information_cost=pagerank_information_cost(n, k),
+        bandwidth=bandwidth,
+        k=k,
+        entropy_z=(n - 1) / 4.0,
+    )
+
+
+def lemma5_path_bound(n: int, k: int, constant: float = 8.0) -> float:
+    """Lemma 5's whp bound: ``O(n log n / k²)`` chains known per machine."""
+    if n < 2 or k < 2:
+        raise ValueError(f"need n >= 2 and k >= 2, got n={n}, k={k}")
+    return constant * n * math.log(n) / k**2
+
+
+def lemma5_measured_paths(
+    instance: PageRankLowerBoundInstance, partition: VertexPartition
+) -> np.ndarray:
+    """Per-machine count of chains discovered from the input alone."""
+    return instance.weakly_connected_paths_known(partition)
+
+
+def surprisal_account(
+    instance: PageRankLowerBoundInstance,
+    partition: VertexPartition,
+    machine: int,
+    outputs: int,
+) -> SurprisalAccount:
+    """Build the Premise-(1)/(2) account for ``machine``.
+
+    ``Z`` has one fair bit per chain, so ``H[Z] = q``.  The machine's input
+    resolves the chains counted by Lemma 5; outputting ``outputs``
+    PageRank values of distinct ``v_i`` resolves that many further chains
+    (Lemma 8: ``lambda <= m/4 - m/4k`` unknown pairs remain).
+    """
+    q = instance.q
+    known0 = float(lemma5_measured_paths(instance, partition)[machine])
+    known1 = min(float(q), known0 + float(outputs))
+    return SurprisalAccount(
+        entropy_z=float(q), initial_known_bits=known0, output_known_bits=known1
+    )
+
+
+@dataclass(frozen=True)
+class PageRankLBReport:
+    """Empirical premise verification on one sampled (instance, partition).
+
+    Attributes mirror the quantities in Lemmas 5-8; benches print them
+    next to the analytic bounds.
+    """
+
+    n: int
+    k: int
+    q: int
+    max_paths_known: int
+    lemma5_bound: float
+    information_cost: float
+    round_lower_bound: float
+
+    @property
+    def premise1_holds(self) -> bool:
+        """Lemma 5 event: no machine knows more than the whp bound."""
+        return self.max_paths_known <= self.lemma5_bound
+
+
+def verify_lower_bound_premises(
+    instance: PageRankLowerBoundInstance,
+    partition: VertexPartition,
+    bandwidth: int,
+) -> PageRankLBReport:
+    """Measure Lemma 5 on a concrete (instance, partition) pair."""
+    paths = lemma5_measured_paths(instance, partition)
+    n, k = instance.n, partition.k
+    return PageRankLBReport(
+        n=n,
+        k=k,
+        q=instance.q,
+        max_paths_known=int(paths.max(initial=0)),
+        lemma5_bound=lemma5_path_bound(n, k),
+        information_cost=pagerank_information_cost(n, k),
+        round_lower_bound=pagerank_round_lower_bound(n, k, bandwidth),
+    )

@@ -1,0 +1,25 @@
+"""Minimum spanning tree / forest in the k-machine model (§1.3 extension).
+
+The paper shows (§1.3) that the General Lower Bound Theorem yields an
+``Ω̃(n/k²)`` round lower bound for MST under random partition (lower-bound
+input: a complete graph with random edge weights), tight by the
+``Õ(n/k²)`` algorithm of the companion SPAA'16 paper.  This package
+provides:
+
+* :func:`distributed_mst` — a Borůvka-style algorithm built from the same
+  *randomized proxy computation* primitive the paper's algorithms use
+  (component proxies aggregate minimum-weight outgoing edges, pointer
+  jumping over proxies merges components).  It matches the lower bound's
+  scaling on sparse graphs (``Õ(m/k² · log n)`` rounds) — a faithful
+  proxy-technique demonstration, not the full SPAA'16 algorithm.
+* :func:`kruskal_mst` — the sequential reference (with a union-find
+  substrate in :mod:`repro.core.mst.dsu`).
+* The §1.3 lower-bound side lives in
+  :mod:`repro.core.lowerbounds.extensions`.
+"""
+
+from repro.core.mst.dsu import DisjointSetUnion
+from repro.core.mst.reference import kruskal_mst
+from repro.core.mst.distributed import distributed_mst, MSTResult
+
+__all__ = ["DisjointSetUnion", "kruskal_mst", "distributed_mst", "MSTResult"]

@@ -1,0 +1,247 @@
+"""Borůvka MST with randomized proxy computation.
+
+Each Borůvka phase runs four accounted message flows (all with random
+sources and/or hash-random destinations, so Lemma 13 prices them at
+``Õ(volume/k²)`` rounds):
+
+1. **Neighbor labels** — for every edge, the home of each endpoint learns
+   the other endpoint's current component label (volume ``<= 2m``).
+2. **Candidate MWOEs** — every machine reduces its vertices' outgoing
+   edges to one minimum-weight candidate per (machine, component) pair
+   and sends it to the component's *proxy* (``hash(label) % k``), which
+   takes the global minimum: the paper's randomized-proxy primitive
+   applied to the classic MWOE aggregation.
+3. **Pointer jumping** — the merge forest ``c -> parent(c)`` (the other
+   endpoint's component) is star-contracted by proxies exchanging
+   ``parent(parent(c))`` queries/replies; 2-cycles break toward the
+   smaller label.  ``O(log n)`` jump rounds of ``<= #components``
+   messages each.
+4. **Label refresh** — every (machine, old-component) pair queries the
+   proxy for the new root label.
+
+``O(log n)`` phases halve the component count, so on sparse graphs the
+total is ``Õ(m/k² + polylog)`` rounds — consistent with (and bounded
+below by) the §1.3 ``Ω̃(n/k²)`` lower bound.  The companion SPAA'16 paper
+removes the log factors with a more intricate algorithm; see DESIGN.md.
+
+Message flows are accounted at aggregate level (load matrices), which is
+exact for these oblivious patterns; the driver computes the same values a
+per-machine execution would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_positive_int, stable_hash64_array
+from repro.errors import AlgorithmError
+from repro.graphs.graph import Graph
+from repro.kmachine import encoding
+from repro.kmachine.cluster import Cluster
+from repro.kmachine.metrics import Metrics
+from repro.kmachine.partition import VertexPartition, random_vertex_partition
+
+__all__ = ["distributed_mst", "MSTResult"]
+
+_WEIGHT_BITS = 32
+
+
+@dataclass
+class MSTResult:
+    """Output of the distributed MST computation.
+
+    Attributes
+    ----------
+    edges:
+        ``(t, 2)`` spanning-forest edge rows (canonical order).
+    total_weight:
+        Sum of the chosen edges' weights.
+    metrics:
+        Communication metrics.
+    phases:
+        Number of Borůvka phases executed.
+    num_components:
+        Final component count (1 for connected inputs).
+    """
+
+    edges: np.ndarray
+    total_weight: float
+    metrics: Metrics
+    phases: int
+    num_components: int
+
+    @property
+    def rounds(self) -> int:
+        """Total rounds charged."""
+        return self.metrics.rounds
+
+
+def _account(cluster: Cluster, src: np.ndarray, dst: np.ndarray, bits_per: int, label: str) -> None:
+    """Account one flow of unit messages given per-message (src, dst)."""
+    k = cluster.k
+    bits = np.zeros((k, k), dtype=np.int64)
+    msgs = np.zeros((k, k), dtype=np.int64)
+    remote = src != dst
+    if np.any(remote):
+        np.add.at(msgs, (src[remote], dst[remote]), 1)
+        np.add.at(bits, (src[remote], dst[remote]), bits_per)
+    cluster.account_phase(bits, msgs, label=label, local_messages=int((~remote).sum()))
+
+
+def distributed_mst(
+    graph: Graph,
+    weights: np.ndarray,
+    k: int,
+    seed: int | None = None,
+    bandwidth: int | None = None,
+    partition: VertexPartition | None = None,
+    max_phases: int | None = None,
+) -> MSTResult:
+    """Compute the minimum spanning forest of ``graph`` with ``k`` machines.
+
+    Ties in edge weights are broken by edge index, so the result is the
+    unique MSF of the perturbed weights and matches Kruskal exactly.
+    """
+    if graph.directed:
+        raise AlgorithmError("MST is defined on undirected graphs")
+    check_positive_int(k, "k")
+    n, m = graph.n, graph.m
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (m,):
+        raise AlgorithmError(f"weights must have shape ({m},), got {weights.shape}")
+    cluster = Cluster(k=k, n=max(2, n), bandwidth=bandwidth, seed=seed)
+    if partition is None:
+        partition = random_vertex_partition(n, k, seed=cluster.shared_rng)
+    elif partition.n != n or partition.k != k:
+        raise AlgorithmError("partition does not match the graph/cluster")
+    home = partition.home
+    if max_phases is None:
+        max_phases = max(1, int(np.ceil(np.log2(max(2, n)))) + 1)
+
+    vid = encoding.vertex_id_bits(max(2, n))
+    edges = graph.edges
+    # Total order on edges: (weight, index) — makes the MSF unique.
+    rank = np.lexsort((np.arange(m), weights)) if m else np.zeros(0, dtype=np.int64)
+    edge_order = np.empty(m, dtype=np.int64)
+    edge_order[rank] = np.arange(m)
+
+    labels = np.arange(n, dtype=np.int64)
+    chosen = np.zeros(m, dtype=bool)
+    phases = 0
+
+    for _ in range(max_phases):
+        if m == 0:
+            break
+        lu, lv = labels[edges[:, 0]], labels[edges[:, 1]]
+        crossing = lu != lv
+        if not np.any(crossing):
+            break
+        phases += 1
+
+        # ---- Flow 1: neighbor labels (both directions of every edge). ----
+        src = np.concatenate([home[edges[:, 1]], home[edges[:, 0]]])
+        dst = np.concatenate([home[edges[:, 0]], home[edges[:, 1]]])
+        _account(cluster, src, dst, 2 * vid, f"mst/labels/{phases}")
+
+        # ---- Flow 2: candidate MWOE per (machine, component) -> proxy. ----
+        ce = np.flatnonzero(crossing)
+        # Each endpoint's machine proposes the edge for its own component.
+        cand_edge = np.concatenate([ce, ce])
+        cand_comp = np.concatenate([lu[ce], lv[ce]])
+        cand_machine = np.concatenate([home[edges[ce, 0]], home[edges[ce, 1]]])
+        order = np.lexsort((edge_order[cand_edge], cand_comp, cand_machine))
+        cand_edge, cand_comp, cand_machine = (
+            cand_edge[order],
+            cand_comp[order],
+            cand_machine[order],
+        )
+        first = np.ones(cand_edge.size, dtype=bool)
+        first[1:] = (np.diff(cand_machine) != 0) | (np.diff(cand_comp) != 0)
+        cand_edge, cand_comp, cand_machine = (
+            cand_edge[first],
+            cand_comp[first],
+            cand_machine[first],
+        )
+        proxy_of_comp = (
+            stable_hash64_array(cand_comp, salt=9) % np.uint64(k)
+        ).astype(np.int64)
+        _account(
+            cluster,
+            cand_machine,
+            proxy_of_comp,
+            2 * vid + vid + _WEIGHT_BITS,
+            f"mst/candidates/{phases}",
+        )
+
+        # Proxies take the global minimum candidate per component.
+        order = np.lexsort((edge_order[cand_edge], cand_comp))
+        se, sc = cand_edge[order], cand_comp[order]
+        first = np.ones(se.size, dtype=bool)
+        first[1:] = np.diff(sc) != 0
+        mwoe_comp = sc[first]
+        mwoe_edge = se[first]
+        chosen[mwoe_edge] = True
+
+        # ---- Flow 3: pointer jumping over component proxies. ----
+        parent = {}
+        for comp, e in zip(mwoe_comp, mwoe_edge):
+            a, b = labels[edges[e, 0]], labels[edges[e, 1]]
+            parent[int(comp)] = int(b) if int(a) == int(comp) else int(a)
+        comps = np.fromiter(parent.keys(), dtype=np.int64)
+        par = np.fromiter((parent[int(c)] for c in comps), dtype=np.int64)
+        # Components without an own MWOE entry may still be merge targets;
+        # give them a self-parent so lookups resolve.
+        index = {int(c): i for i, c in enumerate(comps)}
+
+        def resolve(c: int) -> int:
+            return par[index[c]] if c in index else c
+
+        # Break 2-cycles toward the smaller label.
+        for i, c in enumerate(comps):
+            p = int(par[i])
+            if resolve(p) == int(c) and int(c) < p:
+                par[i] = int(c)
+        # Jump until fixpoint; each jump is a query+reply between the
+        # proxies of c and parent(c).
+        proxies = (stable_hash64_array(comps, salt=9) % np.uint64(k)).astype(np.int64)
+        while True:
+            parents_of_parents = np.fromiter(
+                (resolve(int(p)) for p in par), dtype=np.int64, count=par.size
+            )
+            if np.array_equal(parents_of_parents, par):
+                break
+            parent_proxies = (
+                stable_hash64_array(par, salt=9) % np.uint64(k)
+            ).astype(np.int64)
+            _account(cluster, proxies, parent_proxies, vid, f"mst/jump-query/{phases}")
+            _account(cluster, parent_proxies, proxies, vid, f"mst/jump-reply/{phases}")
+            par = parents_of_parents
+
+        root_of = {int(c): int(p) for c, p in zip(comps, par)}
+
+        # ---- Flow 4: label refresh per (machine, component) pair. ----
+        vert_machine = home
+        pair_key = vert_machine * (labels.max() + 1) + labels
+        uniq = np.unique(pair_key)
+        q_machine = uniq // (labels.max() + 1)
+        q_comp = uniq % (labels.max() + 1)
+        q_proxy = (stable_hash64_array(q_comp, salt=9) % np.uint64(k)).astype(np.int64)
+        _account(cluster, q_machine, q_proxy, vid, f"mst/label-query/{phases}")
+        _account(cluster, q_proxy, q_machine, 2 * vid, f"mst/label-reply/{phases}")
+
+        labels = np.fromiter(
+            (root_of.get(int(l), int(l)) for l in labels), dtype=np.int64, count=n
+        )
+
+    forest_idx = np.flatnonzero(chosen)
+    out_edges = edges[forest_idx] if forest_idx.size else np.zeros((0, 2), dtype=np.int64)
+    total = float(weights[forest_idx].sum()) if forest_idx.size else 0.0
+    return MSTResult(
+        edges=out_edges,
+        total_weight=total,
+        metrics=cluster.metrics,
+        phases=phases,
+        num_components=int(np.unique(labels).size) if n else 0,
+    )

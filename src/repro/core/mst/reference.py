@@ -1,0 +1,48 @@
+"""Sequential MST reference: Kruskal over a weighted edge list."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.graphs.graph import Graph
+from repro.core.mst.dsu import DisjointSetUnion
+
+__all__ = ["kruskal_mst"]
+
+
+def kruskal_mst(graph: Graph, weights: np.ndarray) -> tuple[np.ndarray, float]:
+    """Minimum spanning forest of an undirected weighted graph.
+
+    Parameters
+    ----------
+    graph:
+        Undirected :class:`Graph`.
+    weights:
+        ``(m,)`` weights aligned with ``graph.edges``.
+
+    Returns
+    -------
+    (edges, total_weight)
+        ``(t, 2)`` MSF edge rows (canonical order) and the forest weight.
+        For connected graphs ``t = n - 1``.
+    """
+    if graph.directed:
+        raise AlgorithmError("MST is defined on undirected graphs")
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (graph.m,):
+        raise AlgorithmError(
+            f"weights must have shape ({graph.m},), got {weights.shape}"
+        )
+    order = np.argsort(weights, kind="stable")
+    dsu = DisjointSetUnion(graph.n)
+    chosen: list[int] = []
+    for e in order:
+        u, v = graph.edges[e]
+        if dsu.union(int(u), int(v)):
+            chosen.append(int(e))
+            if dsu.num_components == 1:
+                break
+    chosen_arr = np.array(sorted(chosen), dtype=np.int64)
+    edges = graph.edges[chosen_arr] if chosen_arr.size else np.zeros((0, 2), dtype=np.int64)
+    return edges, float(weights[chosen_arr].sum()) if chosen_arr.size else 0.0

@@ -1,0 +1,27 @@
+"""PageRank in the k-machine model.
+
+* :func:`distributed_pagerank` — the paper's Algorithm 1 (Theorem 4):
+  Monte-Carlo random-walk PageRank with per-destination token-count
+  aggregation, heavy/light vertex splitting, and randomized routing;
+  ``Õ(n/k²)`` rounds.
+* :func:`baseline_pagerank` — the prior ``Õ(n/k)`` approach of Klauck et
+  al. (Conversion-Theorem-style per-edge token forwarding).
+* :mod:`~repro.core.pagerank.reference` — exact sequential PageRank
+  (walk-series and teleport semantics) used as ground truth.
+* :mod:`~repro.core.pagerank.lemma4` — the Lemma-4 closed forms.
+"""
+
+from repro.core.pagerank.distributed import distributed_pagerank
+from repro.core.pagerank.baseline import baseline_pagerank
+from repro.core.pagerank.reference import pagerank_walk_series, pagerank_teleport
+from repro.core.pagerank.result import PageRankResult
+from repro.core.pagerank import lemma4
+
+__all__ = [
+    "distributed_pagerank",
+    "baseline_pagerank",
+    "pagerank_walk_series",
+    "pagerank_teleport",
+    "PageRankResult",
+    "lemma4",
+]

@@ -1,0 +1,294 @@
+"""Algorithm 1: ``Õ(n/k²)``-round distributed PageRank (paper §3.1, Theorem 4).
+
+The Monte-Carlo random-walk estimator of Das Sarma et al. is executed
+directly in the k-machine model with the two ideas that achieve the
+``Õ(n/k²)`` bound:
+
+* **Per-destination count aggregation (light vertices).**  Each machine
+  aggregates, across *all* of its light vertices, the number of tokens
+  destined for each target vertex ``v`` into one array entry ``α[v]`` and
+  sends a single ``<α[v], dest: v>`` message to ``v``'s home machine
+  (lines 8-16).  Destinations are uniformly spread by the RVP, so by
+  Lemma 13 a phase of ``Õ(n/k)`` such messages per machine delivers in
+  ``Õ(n/k²)`` rounds (Lemmas 12 and 14).
+
+* **Randomized proxy delivery for heavy vertices.**  A vertex holding
+  ``>= k`` tokens would overload per-destination messages; instead its
+  machine samples, for every token, a destination *machine* from the
+  vertex's neighbor distribution (line 23) and ships one ``<β[j], src: u>``
+  count per machine.  The receiving machine re-samples concrete neighbors
+  locally (lines 31-36) — statistically identical to per-token forwarding
+  (Proposition 1) at ``O(k)`` messages per heavy vertex.
+
+Estimates: with ``T0 = Θ(log n)`` initial tokens per vertex,
+``PageRank(v) ≈ eps * ψ_v / (n T0)`` where ``ψ_v`` counts all visits
+to ``v``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._util import check_positive_int
+from repro.errors import AlgorithmError
+from repro.graphs.graph import Graph
+from repro.kmachine import encoding
+from repro.kmachine.cluster import Cluster
+from repro.kmachine.message import Message
+from repro.kmachine.partition import VertexPartition, random_vertex_partition
+from repro.core.pagerank.result import IterationStats, PageRankResult
+from repro.core.pagerank.tokens import (
+    heavy_machine_counts,
+    move_light_tokens,
+    split_tokens_among_local_neighbors,
+    terminate_tokens,
+)
+
+__all__ = ["distributed_pagerank"]
+
+
+def _light_outbox_messages(
+    src_machine: int,
+    dest_vertices: np.ndarray,
+    dest_counts: np.ndarray,
+    home: np.ndarray,
+    n: int,
+    k: int,
+) -> list[Message]:
+    """Batch the ``<α[v], dest: v>`` messages per destination machine."""
+    vid_bits = encoding.vertex_id_bits(n)
+    dest_machines = home[dest_vertices]
+    order = np.argsort(dest_machines, kind="stable")
+    dv, dc, dm = dest_vertices[order], dest_counts[order], dest_machines[order]
+    boundaries = np.flatnonzero(np.diff(dm)) + 1
+    messages: list[Message] = []
+    for chunk_v, chunk_c in zip(np.split(dv, boundaries), np.split(dc, boundaries)):
+        if chunk_v.size == 0:
+            continue
+        j = int(home[chunk_v[0]])
+        bits = int(chunk_v.size * vid_bits + encoding.count_bits_array(chunk_c).sum())
+        messages.append(
+            Message(
+                src=src_machine,
+                dst=j,
+                kind="pr-light",
+                payload=(chunk_v, chunk_c),
+                bits=bits,
+                multiplicity=int(chunk_v.size),
+            )
+        )
+    return messages
+
+
+def distributed_pagerank(
+    graph: Graph,
+    k: int,
+    eps: float = 0.15,
+    seed: int | None = None,
+    c: float = 16.0,
+    bandwidth: int | None = None,
+    partition: VertexPartition | None = None,
+    cluster: Cluster | None = None,
+    heavy_threshold: int | None = None,
+    max_iterations: int | None = None,
+    enable_heavy_path: bool = True,
+    sources: np.ndarray | None = None,
+) -> PageRankResult:
+    """Run Algorithm 1 on ``graph`` with ``k`` machines.
+
+    Parameters
+    ----------
+    graph:
+        Input graph; random walks follow out-edges (all edges when
+        undirected).  Out-degree-0 vertices absorb tokens, matching the
+        walk-series reference semantics.
+    k:
+        Number of machines.
+    eps:
+        Reset probability of the PageRank walk.
+    c:
+        Token-count constant: every vertex starts with
+        ``T0 = max(1, ceil(c * log2 n))`` tokens.  Larger ``c`` tightens
+        the ``δ``-approximation at proportional communication cost.
+    partition:
+        Vertex placement; a fresh RVP is sampled when omitted.
+    heavy_threshold:
+        Token count at which a vertex is treated as *heavy*; the paper
+        uses ``k`` (§3.1).
+    enable_heavy_path:
+        Ablation switch: when ``False`` every vertex uses the light path
+        regardless of load (used to demonstrate why the heavy path is
+        needed on star-like graphs).
+    max_iterations:
+        Cap on walk iterations; defaults to ``ceil(4 ln(n T0 n) / eps)``,
+        by which point all tokens have terminated whp.  The run also stops
+        early via an explicit (and accounted) termination-detection phase.
+    sources:
+        When given, compute *personalized* PageRank: walks start only at
+        these vertices and estimates are normalized by ``|sources|``
+        (matching ``pagerank_walk_series(..., sources=...)``).
+
+    Returns
+    -------
+    PageRankResult
+    """
+    check_positive_int(k, "k")
+    if not (0.0 < eps < 1.0):
+        raise AlgorithmError(f"eps must lie in (0, 1), got {eps}")
+    n = graph.n
+    if n == 0:
+        raise AlgorithmError("cannot compute PageRank of the empty graph")
+    if cluster is None:
+        cluster = Cluster(k=k, n=n, bandwidth=bandwidth, seed=seed)
+    elif cluster.k != k:
+        raise AlgorithmError(f"cluster has k={cluster.k}, expected {k}")
+    if partition is None:
+        partition = random_vertex_partition(n, k, seed=cluster.shared_rng)
+    elif partition.n != n or partition.k != k:
+        raise AlgorithmError("partition does not match the graph/cluster")
+
+    home = partition.home
+    parts = partition.vertices_by_machine()
+    indptr, indices = graph.indptr, graph.indices
+    t0 = max(1, math.ceil(c * math.log2(max(2, n))))
+    thr = int(heavy_threshold) if heavy_threshold is not None else k
+    if thr < 2:
+        raise AlgorithmError(f"heavy threshold must be >= 2, got {thr}")
+    if max_iterations is None:
+        max_iterations = max(1, math.ceil(4.0 * math.log(max(2, n * t0)) / eps))
+
+    vid_bits = encoding.vertex_id_bits(n)
+    if sources is None:
+        tokens = np.full(n, t0, dtype=np.int64)
+        num_sources = n
+    else:
+        sources = np.asarray(sources, dtype=np.int64)
+        if sources.size == 0 or sources.min() < 0 or sources.max() >= n:
+            raise AlgorithmError("sources must be a non-empty array of vertex ids")
+        if np.unique(sources).size != sources.size:
+            raise AlgorithmError("sources must be distinct vertex ids")
+        tokens = np.zeros(n, dtype=np.int64)
+        tokens[sources] = t0
+        num_sources = int(sources.size)
+    psi = tokens.copy()  # every token visits its birth vertex
+    stats: list[IterationStats] = []
+
+    for it in range(max_iterations):
+        incoming = np.zeros(n, dtype=np.int64)
+        outboxes = cluster.empty_outboxes()
+        local_heavy: list[tuple[int, int, int]] = []  # (machine, vertex, count)
+
+        for i in range(cluster.k):
+            rng = cluster.machine_rngs[i]
+            verts = parts[i]
+            active = verts[tokens[verts] > 0]
+            if active.size == 0:
+                continue
+            # Lines 5-6: terminate each token with probability eps.
+            tokens[active] = terminate_tokens(tokens[active], eps, rng)
+            active = active[tokens[active] > 0]
+            if active.size == 0:
+                continue
+            deg = indptr[active + 1] - indptr[active]
+            # Out-degree-0 vertices absorb their tokens.
+            tokens[active[deg == 0]] = 0
+            active, deg = active[deg > 0], deg[deg > 0]
+            if active.size == 0:
+                continue
+
+            counts = tokens[active]
+            if enable_heavy_path:
+                is_heavy = counts >= thr
+            else:
+                is_heavy = np.zeros(active.size, dtype=bool)
+
+            light_v = active[~is_heavy]
+            dv, dc = move_light_tokens(light_v, tokens[light_v], indptr, indices, rng)
+            tokens[light_v] = 0
+            if dv.size:
+                local_mask = home[dv] == i
+                # Local deliveries are free; remote ones form the α messages.
+                if np.any(local_mask):
+                    np.add.at(incoming, dv[local_mask], dc[local_mask])
+                remote_v, remote_c = dv[~local_mask], dc[~local_mask]
+                outboxes[i].extend(
+                    _light_outbox_messages(i, remote_v, remote_c, home, n, cluster.k)
+                )
+
+            for u in active[is_heavy]:
+                cnt = int(tokens[u])
+                tokens[u] = 0
+                beta = heavy_machine_counts(int(u), cnt, indptr, indices, home, cluster.k, rng)
+                for j in np.flatnonzero(beta):
+                    j = int(j)
+                    if j == i:
+                        local_heavy.append((i, int(u), int(beta[j])))
+                        continue
+                    outboxes[i].append(
+                        Message(
+                            src=i,
+                            dst=j,
+                            kind="pr-heavy",
+                            payload=(int(u), int(beta[j])),
+                            bits=vid_bits + encoding.count_bits(int(beta[j])),
+                        )
+                    )
+
+        inboxes = cluster.exchange(outboxes, label=f"pagerank/tokens/{it}")
+
+        for j, inbox in enumerate(inboxes):
+            rng = cluster.machine_rngs[j]
+            for msg in inbox:
+                if msg.kind == "pr-light":
+                    chunk_v, chunk_c = msg.payload
+                    np.add.at(incoming, chunk_v, chunk_c)
+                elif msg.kind == "pr-heavy":
+                    u, cnt = msg.payload
+                    nbrs = indices[indptr[u] : indptr[u + 1]]
+                    local = nbrs[home[nbrs] == j]
+                    dv, dc = split_tokens_among_local_neighbors(u, cnt, local, rng)
+                    np.add.at(incoming, dv, dc)
+        for (i, u, cnt) in local_heavy:
+            rng = cluster.machine_rngs[i]
+            nbrs = indices[indptr[u] : indptr[u + 1]]
+            local = nbrs[home[nbrs] == i]
+            dv, dc = split_tokens_among_local_neighbors(u, cnt, local, rng)
+            np.add.at(incoming, dv, dc)
+
+        tokens += incoming
+        psi += incoming
+        phase = cluster.metrics.phase_log[-1]
+        live = int(tokens.sum())
+        stats.append(
+            IterationStats(
+                iteration=it,
+                rounds=phase.rounds,
+                messages=phase.messages,
+                max_machine_sent=phase.max_machine_sent,
+                max_machine_received=phase.max_machine_received,
+                live_tokens=live,
+            )
+        )
+
+        # Termination detection (accounted): every machine reports a 1-bit
+        # liveness flag to machine 0, which broadcasts the verdict.
+        flags = cluster.empty_outboxes()
+        for i in range(1, cluster.k):
+            alive = bool(tokens[parts[i]].sum() > 0)
+            flags[i].append(Message(src=i, dst=0, kind="pr-alive", payload=alive, bits=1))
+        cluster.exchange(flags, label="pagerank/control/report")
+        cluster.broadcast(0, kind="pr-continue", payload=live > 0, bits=1, label="pagerank/control/verdict")
+        if live == 0:
+            break
+
+    estimates = eps * psi.astype(np.float64) / (num_sources * t0)
+    return PageRankResult(
+        estimates=estimates,
+        metrics=cluster.metrics,
+        iterations=len(stats),
+        tokens_per_vertex=t0,
+        eps=eps,
+        iteration_stats=stats,
+    )

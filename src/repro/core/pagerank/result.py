@@ -1,0 +1,73 @@
+"""Result container for distributed PageRank runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kmachine.metrics import Metrics
+
+__all__ = ["PageRankResult", "IterationStats"]
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Per-iteration instrumentation (used to verify Lemmas 12 and 14)."""
+
+    iteration: int
+    rounds: int
+    messages: int
+    max_machine_sent: int
+    max_machine_received: int
+    live_tokens: int
+
+
+@dataclass
+class PageRankResult:
+    """Output of a distributed PageRank execution.
+
+    Attributes
+    ----------
+    estimates:
+        ``(n,)`` PageRank estimates indexed by vertex id.
+    metrics:
+        Full communication metrics of the run.
+    iterations:
+        Number of token-walk iterations executed.
+    tokens_per_vertex:
+        Initial token count ``Θ(log n)`` per vertex.
+    eps:
+        Reset probability.
+    iteration_stats:
+        One :class:`IterationStats` per iteration.
+    """
+
+    estimates: np.ndarray
+    metrics: Metrics
+    iterations: int
+    tokens_per_vertex: int
+    eps: float
+    iteration_stats: list[IterationStats] = field(default_factory=list)
+
+    @property
+    def rounds(self) -> int:
+        """Total rounds charged."""
+        return self.metrics.rounds
+
+    def token_rounds(self) -> int:
+        """Rounds spent delivering token messages (excludes control phases).
+
+        The ``Õ(n/k²)`` bound of Theorem 4 concerns these; the termination-
+        detection control phases add only the ``polylog`` additive term.
+        """
+        return sum(p.rounds for p in self.metrics.phase_log if "/tokens" in p.label)
+
+    def linf_relative_error(self, reference: np.ndarray, floor: float = 1e-15) -> float:
+        """``max_v |est(v) - ref(v)| / max(ref(v), floor)``."""
+        ref = np.asarray(reference, dtype=np.float64)
+        return float(np.max(np.abs(self.estimates - ref) / np.maximum(ref, floor)))
+
+    def l1_error(self, reference: np.ndarray) -> float:
+        """Total variation style error ``sum_v |est(v) - ref(v)|``."""
+        return float(np.abs(self.estimates - np.asarray(reference, dtype=np.float64)).sum())

@@ -1,0 +1,116 @@
+"""Vectorized random-walk token kinematics for Algorithm 1.
+
+Token state is a per-vertex integer count; all sampling is numpy-
+vectorized per machine per iteration (the HPC guides' "vectorize the hot
+loop"): termination is a batched binomial, light-vertex moves expand
+counts into per-token uniform neighbor picks, heavy-vertex moves sample a
+multinomial over destination *machines* weighted by the vertex's neighbor
+distribution (Algorithm 1, line 23).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "terminate_tokens",
+    "move_light_tokens",
+    "heavy_machine_counts",
+    "split_tokens_among_local_neighbors",
+]
+
+
+def terminate_tokens(
+    counts: np.ndarray, eps: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Terminate each token independently with probability ``eps``.
+
+    Returns the surviving counts (Algorithm 1, lines 5-6).
+    """
+    counts = np.asarray(counts)
+    if counts.size == 0:
+        return counts.copy()
+    terminated = rng.binomial(counts, eps)
+    return counts - terminated
+
+
+def move_light_tokens(
+    vertices: np.ndarray,
+    counts: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Move every token of the given light vertices to a uniform out-neighbor.
+
+    Returns ``(dest_vertices, dest_counts)`` aggregated per destination —
+    the array ``α`` of Algorithm 1 (lines 8-14): counts are summed across
+    *all* light source vertices of the machine, which is the aggregation
+    that avoids per-edge congestion.
+
+    Vertices with out-degree 0 absorb their tokens (they terminate).
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    if vertices.size == 0 or counts.sum() == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    deg = indptr[vertices + 1] - indptr[vertices]
+    live = (deg > 0) & (counts > 0)
+    vertices, counts, deg = vertices[live], counts[live], deg[live]
+    if vertices.size == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    # One row per token: repeat each vertex by its token count, then pick a
+    # uniform neighbor index within its adjacency slice.
+    src_rep = np.repeat(vertices, counts)
+    deg_rep = np.repeat(deg, counts)
+    offsets = rng.integers(0, deg_rep)
+    dests = indices[np.repeat(indptr[vertices], counts) + offsets]
+    agg = np.bincount(dests)
+    dest_vertices = np.flatnonzero(agg)
+    return dest_vertices.astype(np.int64), agg[dest_vertices].astype(np.int64)
+
+
+def heavy_machine_counts(
+    vertex: int,
+    tokens: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    home: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample destination machines for a heavy vertex's tokens.
+
+    Implements Algorithm 1's line 23: each token picks machine ``j`` with
+    probability ``n_{j,u} / d_u`` (the fraction of ``u``'s neighbors hosted
+    at ``j``).  Returns a ``(k,)`` array ``β`` of token counts per machine.
+    """
+    nbrs = indices[indptr[vertex] : indptr[vertex + 1]]
+    if nbrs.size == 0 or tokens == 0:
+        return np.zeros(k, dtype=np.int64)
+    per_machine = np.bincount(home[nbrs], minlength=k).astype(np.float64)
+    return rng.multinomial(tokens, per_machine / per_machine.sum()).astype(np.int64)
+
+
+def split_tokens_among_local_neighbors(
+    vertex: int,
+    tokens: int,
+    local_neighbors: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Receiving side of a heavy message (Algorithm 1, lines 31-36).
+
+    The destination machine delivers each of the ``tokens`` tokens to a
+    uniform vertex among the locally-hosted neighbors of the heavy source.
+    Returns ``(dest_vertices, dest_counts)``.
+    """
+    local_neighbors = np.asarray(local_neighbors, dtype=np.int64)
+    if local_neighbors.size == 0:
+        raise ValueError(
+            f"machine received tokens for vertex {vertex} but hosts none of its neighbors"
+        )
+    if tokens == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    picks = rng.multinomial(tokens, np.full(local_neighbors.size, 1.0 / local_neighbors.size))
+    nz = picks > 0
+    return local_neighbors[nz], picks[nz].astype(np.int64)

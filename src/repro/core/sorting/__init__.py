@@ -1,0 +1,11 @@
+"""Distributed sorting in the k-machine model (§1.3 extension).
+
+The paper notes that the General Lower Bound Theorem gives an
+``Ω̃(n/k²)`` round lower bound for sorting ``n`` randomly-distributed
+elements, and that a matching ``Õ(n/k²)`` algorithm exists.  This package
+provides that algorithm (a sample-sort) and its result type.
+"""
+
+from repro.core.sorting.distributed import distributed_sort, SortResult
+
+__all__ = ["distributed_sort", "SortResult"]

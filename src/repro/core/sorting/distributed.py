@@ -1,0 +1,210 @@
+"""``Õ(n/k²)``-round distributed sorting (sample sort).
+
+Input: ``n`` elements distributed i.u.r. across the ``k`` machines
+(the sorting analogue of the RVP).  Output: machine ``i`` holds the
+``i``-th contiguous block of order statistics — the output convention of
+the paper's §1.3 sorting discussion.
+
+Protocol (classic sample sort, AKS-style oversampling):
+
+1. **Sample**: every machine includes each local element in a sample with
+   probability ``Θ(k log n / n)`` and sends the sample to machine 0
+   (``Õ(k)`` elements in total, ``Õ(1)`` per link — negligible).
+2. **Splitters**: machine 0 sorts the samples, picks ``k - 1`` splitters
+   at the sample quantiles, and broadcasts them (``Õ(k)`` bits per link).
+3. **Redistribute**: every machine buckets its elements by splitter and
+   ships each to its target machine.  Whp each bucket holds ``Õ(n/k)``
+   elements; sources are random, so by Lemma 13 the phase costs
+   ``Õ(n/k²)`` rounds — the dominant term.
+4. **Local sort**: each machine sorts its bucket (free local computation).
+
+Machine ``i``'s block is a contiguous range of the global order
+statistics (blocks concatenate to the sorted sequence); oversampling keeps
+every block at ``Õ(n/k)`` elements whp, which tests assert.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng, check_positive_int
+from repro.errors import AlgorithmError
+from repro.kmachine import encoding
+from repro.kmachine.cluster import Cluster
+from repro.kmachine.message import Message
+from repro.kmachine.metrics import Metrics
+
+__all__ = ["distributed_sort", "SortResult"]
+
+
+@dataclass
+class SortResult:
+    """Output of a distributed sort.
+
+    Attributes
+    ----------
+    blocks:
+        Per-machine sorted arrays; concatenating them in machine order is
+        the globally sorted sequence.
+    metrics:
+        Communication metrics.
+    splitters:
+        The broadcast splitters.
+    """
+
+    blocks: list[np.ndarray]
+    metrics: Metrics
+    splitters: np.ndarray
+
+    @property
+    def rounds(self) -> int:
+        """Total rounds charged."""
+        return self.metrics.rounds
+
+    def concatenated(self) -> np.ndarray:
+        """The full output sequence in machine order."""
+        return np.concatenate(self.blocks) if self.blocks else np.zeros(0)
+
+    def max_block_imbalance(self) -> float:
+        """``max block size / (n/k)``."""
+        n = sum(b.size for b in self.blocks)
+        if n == 0:
+            return 0.0
+        return max(b.size for b in self.blocks) / (n / len(self.blocks))
+
+
+def distributed_sort(
+    values: np.ndarray,
+    k: int,
+    seed: int | None = None,
+    bandwidth: int | None = None,
+    assignment: np.ndarray | None = None,
+    oversample: float = 8.0,
+) -> SortResult:
+    """Sort ``values`` with ``k`` machines in ``Õ(n/k²)`` rounds.
+
+    Parameters
+    ----------
+    values:
+        ``(n,)`` array of comparable numbers (ties allowed; broken by
+        original index to keep the protocol deterministic given seeds).
+    assignment:
+        Optional explicit element→machine placement; i.u.r. when omitted.
+    oversample:
+        Sampling-rate constant: each element is sampled with probability
+        ``min(1, oversample * k * ln n / n)``.
+    """
+    values = np.asarray(values)
+    n = int(values.size)
+    check_positive_int(k, "k")
+    if n == 0:
+        raise AlgorithmError("cannot sort an empty input")
+    cluster = Cluster(k=k, n=max(2, n), bandwidth=bandwidth, seed=seed)
+    if assignment is None:
+        assignment = cluster.shared_rng.integers(0, k, size=n)
+    else:
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if assignment.shape != (n,) or (n and (assignment.min() < 0 or assignment.max() >= k)):
+            raise AlgorithmError("assignment must map every element to a machine in [0, k)")
+
+    val_bits = encoding.FLOAT_BITS
+
+    # ------------------------------------------------------------------
+    # Phase 1 — sampling to machine 0.
+    p = min(1.0, oversample * k * math.log(max(2, n)) / n)
+    sample_parts: list[np.ndarray] = []
+    outboxes = cluster.empty_outboxes()
+    for i in range(k):
+        mine = values[assignment == i]
+        take = cluster.machine_rngs[i].random(mine.size) < p
+        sample = mine[take]
+        if i == 0:
+            sample_parts.append(sample)
+        elif sample.size:
+            outboxes[i].append(
+                Message(
+                    src=i,
+                    dst=0,
+                    kind="sort-sample",
+                    payload=sample,
+                    bits=int(sample.size) * val_bits,
+                    multiplicity=int(sample.size),
+                )
+            )
+    inboxes = cluster.exchange(outboxes, label="sort/sample")
+    for msg in inboxes[0]:
+        sample_parts.append(msg.payload)
+    samples = np.sort(np.concatenate(sample_parts)) if sample_parts else np.zeros(0)
+
+    # ------------------------------------------------------------------
+    # Phase 2 — splitter selection and broadcast.
+    if samples.size >= k:
+        idx = (np.arange(1, k) * samples.size) // k
+        splitters = samples[idx]
+    else:
+        # Degenerate sample: fall back to value-range splitters.
+        lo, hi = float(values.min()), float(values.max())
+        splitters = np.linspace(lo, hi, k + 1)[1:-1]
+    cluster.broadcast(
+        0,
+        kind="sort-splitters",
+        payload=splitters,
+        bits=int(max(1, splitters.size)) * val_bits,
+        label="sort/splitters",
+    )
+
+    # ------------------------------------------------------------------
+    # Phase 3 — redistribution.  Bucket by value; searchsorted(right)
+    # keeps values equal to a splitter in the lower bucket, and ties
+    # within a bucket are later broken by original index.
+    bucket = np.searchsorted(splitters, values, side="right")
+    outboxes = cluster.empty_outboxes()
+    received: list[list[np.ndarray]] = [[] for _ in range(k)]
+    idx_all = np.arange(n)
+    for i in range(k):
+        mask = assignment == i
+        vals_i, buck_i = values[mask], bucket[mask]
+        idx_i = idx_all[mask]
+        order = np.argsort(buck_i, kind="stable")
+        vals_i, buck_i, idx_i = vals_i[order], buck_i[order], idx_i[order]
+        boundaries = np.flatnonzero(np.diff(buck_i)) + 1
+        starts = np.concatenate([[0], boundaries]) if vals_i.size else np.zeros(0, dtype=np.int64)
+        for s, chunk_v, chunk_idx in zip(
+            starts, np.split(vals_i, boundaries), np.split(idx_i, boundaries)
+        ):
+            if chunk_v.size == 0:
+                continue
+            j = int(buck_i[s])
+            payload = np.column_stack([chunk_v, chunk_idx])
+            if j == i:
+                received[i].append(payload)
+                continue
+            outboxes[i].append(
+                Message(
+                    src=i,
+                    dst=j,
+                    kind="sort-elems",
+                    payload=payload,
+                    bits=int(chunk_v.size) * (val_bits + encoding.vertex_id_bits(n)),
+                    multiplicity=int(chunk_v.size),
+                )
+            )
+    inboxes = cluster.exchange(outboxes, label="sort/redistribute")
+    for j, inbox in enumerate(inboxes):
+        for msg in inbox:
+            received[j].append(msg.payload)
+
+    # ------------------------------------------------------------------
+    # Phase 4 — local sort (free), ties broken by original index.
+    blocks: list[np.ndarray] = []
+    for j in range(k):
+        if received[j]:
+            block = np.concatenate(received[j], axis=0)
+            order = np.lexsort((block[:, 1], block[:, 0]))
+            blocks.append(block[order, 0])
+        else:
+            blocks.append(np.zeros(0, dtype=values.dtype))
+    return SortResult(blocks=blocks, metrics=cluster.metrics, splitters=np.asarray(splitters))

@@ -1,0 +1,39 @@
+"""Small-subgraph enumeration beyond triangles (paper §1.2).
+
+The paper notes that the triangle techniques and results "can be
+generalized to the enumeration of other small subgraphs such as cycles
+and cliques".  This package carries that out for the 4-vertex patterns:
+
+* **4-cliques (K4)** and **4-cycles (C4)** via the natural generalization
+  of the Theorem-5 machinery: ``q = floor(k^{1/4})`` colors, one machine
+  per ordered color *4-tuple*, edges shipped through random proxies to
+  every sorted 4-multiset owner containing both endpoint colors
+  (``C(q+1, 2)`` machines per edge), local enumeration + color-multiset
+  filtering so every occurrence is output exactly once.
+"""
+
+from repro.core.subgraphs.local import (
+    enumerate_k4_edges,
+    enumerate_c4_edges,
+    count_k4,
+    count_c4,
+)
+from repro.core.subgraphs.distributed import enumerate_subgraphs_distributed
+from repro.core.subgraphs.colors4 import (
+    num_colors_for_machines_r4,
+    machine_for_quad,
+    quad_for_machine,
+    quads_needing_edge_array,
+)
+
+__all__ = [
+    "enumerate_k4_edges",
+    "enumerate_c4_edges",
+    "count_k4",
+    "count_c4",
+    "enumerate_subgraphs_distributed",
+    "num_colors_for_machines_r4",
+    "machine_for_quad",
+    "quad_for_machine",
+    "quads_needing_edge_array",
+]

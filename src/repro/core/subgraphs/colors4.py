@@ -1,0 +1,106 @@
+"""Color 4-tuple bookkeeping: the r = 4 analogue of
+:mod:`repro.core.triangles.colors`.
+
+With ``q = floor(k^{1/4})`` colors there are ``q⁴ <= k`` ordered color
+4-tuples, one per machine.  The canonical enumerator of a 4-vertex
+occurrence with corner-color multiset ``{a <= b <= c <= d}`` is the
+machine owning the sorted tuple, and an edge with endpoint colors
+``{cu, cv}`` must reach exactly the sorted multisets obtained by adding
+one more color *pair* — ``C(q+1, 2) = q(q+1)/2`` machines per edge, so the
+re-routing volume is ``m·Θ(k^{1/2})`` (against triangle's ``m·k^{1/3}``:
+richer patterns are costlier, as the general AGM/Afrati-Ullman bound
+predicts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive_int
+from repro.errors import AlgorithmError
+
+__all__ = [
+    "num_colors_for_machines_r4",
+    "machine_for_quad",
+    "quad_for_machine",
+    "sorted_quads",
+    "quads_needing_edge",
+    "quads_needing_edge_array",
+]
+
+
+def num_colors_for_machines_r4(k: int) -> int:
+    """``q = floor(k^{1/4})``."""
+    check_positive_int(k, "k")
+    q = int(round(k ** 0.25))
+    while q**4 > k:
+        q -= 1
+    while (q + 1) ** 4 <= k:
+        q += 1
+    return max(1, q)
+
+
+def machine_for_quad(a: int, b: int, c: int, d: int, q: int) -> int:
+    """Machine owning the ordered 4-tuple (lex rank, ``< q⁴ <= k``)."""
+    for x in (a, b, c, d):
+        if not (0 <= x < q):
+            raise AlgorithmError(f"color {x} out of range [0, {q})")
+    return ((a * q + b) * q + c) * q + d
+
+
+def quad_for_machine(machine: int, q: int) -> tuple[int, int, int, int]:
+    """Inverse of :func:`machine_for_quad` for machines ``< q⁴``."""
+    if not (0 <= machine < q**4):
+        raise AlgorithmError(f"machine {machine} is not a quad owner (q={q})")
+    rest, d = divmod(machine, q)
+    rest, c = divmod(rest, q)
+    a, b = divmod(rest, q)
+    return a, b, c, d
+
+
+def sorted_quads(q: int) -> list[tuple[int, int, int, int]]:
+    """All sorted 4-multisets ``a <= b <= c <= d`` (``C(q+3, 4)`` of them)."""
+    check_positive_int(q, "q")
+    return [
+        (a, b, c, d)
+        for a in range(q)
+        for b in range(a, q)
+        for c in range(b, q)
+        for d in range(c, q)
+    ]
+
+
+def quads_needing_edge(cu: int, cv: int, q: int) -> np.ndarray:
+    """Owners of sorted 4-multisets whose multiset contains ``{cu, cv}``.
+
+    One per added color pair ``w1 <= w2``: ``q(q+1)/2`` distinct machines.
+    """
+    lo, hi = (cu, cv) if cu <= cv else (cv, cu)
+    out = []
+    # Distinct added pairs {w1, w2} yield distinct multisets (the union
+    # with the fixed base {lo, hi} is injective), so no dedup is needed.
+    for w1 in range(q):
+        for w2 in range(w1, q):
+            a, b, c, d = sorted((lo, hi, w1, w2))
+            out.append(machine_for_quad(a, b, c, d, q))
+    return np.array(out, dtype=np.int64)
+
+
+def quads_needing_edge_array(cu: np.ndarray, cv: np.ndarray, q: int) -> np.ndarray:
+    """Vectorized :func:`quads_needing_edge`: ``(m, q(q+1)/2)`` machine ids."""
+    cu = np.asarray(cu, dtype=np.int64)
+    cv = np.asarray(cv, dtype=np.int64)
+    pairs = np.array(
+        [(w1, w2) for w1 in range(q) for w2 in range(w1, q)], dtype=np.int64
+    )
+    m = cu.size
+    p = pairs.shape[0]
+    # Stack the four colors per (edge, pair) and sort rowwise.
+    stack = np.empty((m, p, 4), dtype=np.int64)
+    stack[:, :, 0] = cu[:, None]
+    stack[:, :, 1] = cv[:, None]
+    stack[:, :, 2] = pairs[None, :, 0]
+    stack[:, :, 3] = pairs[None, :, 1]
+    stack.sort(axis=2)
+    a, b, c, d = stack[:, :, 0], stack[:, :, 1], stack[:, :, 2], stack[:, :, 3]
+    return ((a * q + b) * q + c) * q + d

@@ -1,0 +1,39 @@
+"""Triangle (and open-triad) enumeration in the k-machine model.
+
+* :func:`enumerate_triangles_distributed` — the paper's ``Õ(m/k^{5/3} +
+  n/k^{4/3})`` algorithm (§3.2, Theorem 5): color-triplet partitioning
+  plus randomized edge proxies.
+* :func:`enumerate_triangles_congested_clique` — Dolev et al.'s
+  deterministic ``O(n^{1/3})`` TriPartition at ``k = n`` (Corollary 1's
+  matching upper bound).
+* :mod:`~repro.core.triangles.baseline` — the prior ``Õ(n^{7/3}/k²)``
+  conversion baseline of Klauck et al. and a gather-everything baseline.
+"""
+
+from repro.core.triangles.colors import (
+    num_colors_for_machines,
+    sorted_triplets,
+    machine_for_triplet,
+    triplet_for_machine,
+    machines_needing_edge,
+)
+from repro.core.triangles.distributed import enumerate_triangles_distributed
+from repro.core.triangles.congested_clique import enumerate_triangles_congested_clique
+from repro.core.triangles.baseline import (
+    enumerate_triangles_broadcast,
+    enumerate_triangles_conversion,
+)
+from repro.core.triangles.result import TriangleResult
+
+__all__ = [
+    "num_colors_for_machines",
+    "sorted_triplets",
+    "machine_for_triplet",
+    "triplet_for_machine",
+    "machines_needing_edge",
+    "enumerate_triangles_distributed",
+    "enumerate_triangles_congested_clique",
+    "enumerate_triangles_broadcast",
+    "enumerate_triangles_conversion",
+    "TriangleResult",
+]

@@ -1,0 +1,56 @@
+"""Triangle enumeration in the congested clique (``k = n``).
+
+The congested clique is the special case of the k-machine model where
+every machine hosts exactly one vertex and knows its incident edges.
+Corollary 1 shows a ``Ω(n^{1/3}/B)`` lower bound there; the matching
+upper bound is Dolev-Lenzen-Peled's TriPartition, whose k-machine
+generalization is exactly the Theorem-5 algorithm.  We therefore run the
+Theorem-5 machinery with ``k = n``, the identity partition, and the proxy
+stage playing the role of Lenzen's load-balancing routing (randomized
+instead of deterministic — the whp guarantees match the model's).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.graphs.graph import Graph
+from repro.kmachine.cluster import Cluster
+from repro.kmachine.partition import VertexPartition
+from repro.core.triangles.distributed import enumerate_triangles_distributed
+from repro.core.triangles.result import TriangleResult
+
+__all__ = ["enumerate_triangles_congested_clique"]
+
+
+def enumerate_triangles_congested_clique(
+    graph: Graph,
+    seed: int | None = None,
+    bandwidth: int | None = None,
+) -> TriangleResult:
+    """Enumerate all triangles with ``n`` machines, one vertex each.
+
+    Parameters
+    ----------
+    graph:
+        Undirected input graph with ``n >= 2`` vertices.
+    bandwidth:
+        Link bandwidth; defaults to ``Θ(polylog n)`` as in the k-machine
+        runs, so measured rounds are comparable to
+        :func:`~repro.core.lowerbounds.triangles.congested_clique_lower_bound`.
+    """
+    if graph.directed:
+        raise AlgorithmError("triangle enumeration expects an undirected graph")
+    n = graph.n
+    if n < 2:
+        raise AlgorithmError(f"the congested clique needs n >= 2, got n={n}")
+    cluster = Cluster(k=n, n=n, bandwidth=bandwidth, seed=seed)
+    partition = VertexPartition(home=np.arange(n, dtype=np.int64), k=n)
+    return enumerate_triangles_distributed(
+        graph,
+        k=n,
+        cluster=cluster,
+        partition=partition,
+        use_proxies=True,
+    )

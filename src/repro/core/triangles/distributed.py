@@ -1,0 +1,313 @@
+"""Theorem 5: ``Õ(m/k^{5/3} + n/k^{4/3})``-round triangle enumeration.
+
+The algorithm (§3.2), generalizing Dolev et al.'s congested-clique
+TriPartition with two k-machine-specific ingredients:
+
+1. **Color partition.**  A shared hash colors every vertex with one of
+   ``q = floor(k^{1/3})`` colors; machine ``(a, b, c)`` (one per ordered
+   triplet) examines all edges between color classes of its triplet.
+
+2. **Randomized edge proxies.**  Every edge is first shipped to a
+   uniformly random *proxy* machine, and each proxy forwards its edges to
+   the ``q`` (sorted-)triplet machines that need them.  The proxy
+   indirection balances send load: without it a machine hosting a
+   high-degree vertex would have to push ``Θ(Δ k^{1/3})`` copies itself.
+   The *proxy assignment rule* additionally balances who ships each edge
+   to its proxy: for an edge with exactly one endpoint of degree
+   ``>= 2k log n``, the low-degree endpoint's home machine ships it (the
+   high-degree machine only broadcasts a designation request); ties
+   (both high / both low) are broken by a shared coin per edge.
+
+3. **Local enumeration.**  Each triplet machine enumerates triangles in
+   its received edge set and outputs those whose corner-color multiset
+   equals its triplet — every triangle is output by exactly one machine.
+
+With ``use_proxies=False`` the proxy stage is skipped (home machines send
+edges straight to triplet machines) — the ablation showing proxy load
+balancing is what removes the ``Δ`` dependence.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._util import check_positive_int
+from repro.errors import AlgorithmError
+from repro.graphs.graph import Graph
+from repro.graphs.triangles_ref import enumerate_triangles_edges
+from repro.kmachine import encoding
+from repro.kmachine.cluster import Cluster
+from repro.kmachine.message import Message
+from repro.kmachine.partition import VertexPartition, random_vertex_partition
+from repro.core.triangles.colors import (
+    machines_needing_edge_array,
+    num_colors_for_machines,
+)
+from repro.core.triangles.result import TriangleResult
+
+__all__ = ["enumerate_triangles_distributed"]
+
+
+def _scatter_edges(
+    outboxes: list[list[Message]],
+    edges: np.ndarray,
+    src_machines: np.ndarray,
+    dest_machines: np.ndarray,
+    kind: str,
+    n: int,
+) -> None:
+    """Batch per-edge messages into one envelope per (src, dst) machine pair.
+
+    A single lexsort + split groups all edges at once, so the cost is
+    ``O((m q) log(m q))`` independent of ``k``.
+    """
+    if edges.shape[0] == 0:
+        return
+    ebits = encoding.edge_message_bits(n)
+    order = np.lexsort((dest_machines, src_machines))
+    edges = edges[order]
+    src_machines = src_machines[order]
+    dest_machines = dest_machines[order]
+    change = (np.diff(src_machines) != 0) | (np.diff(dest_machines) != 0)
+    boundaries = np.flatnonzero(change) + 1
+    starts = np.concatenate([[0], boundaries])
+    for s, chunk in zip(starts, np.split(edges, boundaries)):
+        if chunk.shape[0] == 0:
+            continue
+        outboxes[int(src_machines[s])].append(
+            Message(
+                src=int(src_machines[s]),
+                dst=int(dest_machines[s]),
+                kind=kind,
+                payload=chunk,
+                bits=int(chunk.shape[0]) * ebits,
+                multiplicity=int(chunk.shape[0]),
+            )
+        )
+
+
+def enumerate_triangles_distributed(
+    graph: Graph,
+    k: int,
+    seed: int | None = None,
+    bandwidth: int | None = None,
+    partition: VertexPartition | None = None,
+    cluster: Cluster | None = None,
+    use_proxies: bool = True,
+    degree_threshold: int | None = None,
+    enumerate_triads: bool = False,
+    skip_local_enumeration: bool = False,
+) -> TriangleResult:
+    """Enumerate all triangles of ``graph`` with ``k`` machines (Theorem 5).
+
+    Parameters
+    ----------
+    graph:
+        Undirected input graph.
+    k:
+        Number of machines; ``q = floor(k^{1/3})`` colors are used and the
+        first ``q³`` machines own triplets (all ``k`` serve as proxies).
+    use_proxies:
+        Ablation switch for the randomized edge-proxy stage.
+    degree_threshold:
+        The proxy-assignment-rule threshold; the paper uses
+        ``2 k log n``.
+    enumerate_triads:
+        Also enumerate *open triads* (vertex triples with exactly two
+        edges, §1.2).  A triplet machine holds every edge and non-edge
+        between its color classes, so it can decide openness locally.
+    skip_local_enumeration:
+        Account all communication phases but skip Phase 3's local
+        enumeration (which is free in the k-machine model anyway).  Used
+        by large-scale *round-scaling* benches; the returned triangle
+        array is empty.
+
+    Returns
+    -------
+    TriangleResult
+        Triangles exactly once each, plus metrics.
+    """
+    if graph.directed:
+        raise AlgorithmError("triangle enumeration expects an undirected graph")
+    check_positive_int(k, "k")
+    n = graph.n
+    if n == 0:
+        raise AlgorithmError("empty graph")
+    if cluster is None:
+        cluster = Cluster(k=k, n=n, bandwidth=bandwidth, seed=seed)
+    elif cluster.k != k:
+        raise AlgorithmError(f"cluster has k={cluster.k}, expected {k}")
+    if partition is None:
+        partition = random_vertex_partition(n, k, seed=cluster.shared_rng)
+    elif partition.n != n or partition.k != k:
+        raise AlgorithmError("partition does not match the graph/cluster")
+
+    home = partition.home
+    q = num_colors_for_machines(k)
+    # Shared hash h: V -> C (public randomness, known to every machine).
+    colors = cluster.shared_rng.integers(0, q, size=n)
+    if degree_threshold is None:
+        degree_threshold = max(1, 2 * k * math.ceil(math.log2(max(2, n))))
+
+    edges = graph.edges
+    m = edges.shape[0]
+    deg = graph.degrees()
+
+    # ------------------------------------------------------------------
+    # Phase 0 — designation requests: machines hosting vertices of degree
+    # >= threshold broadcast one request per such vertex (paper: "requests
+    # all other machines to designate the respective edge proxies").
+    high = deg >= degree_threshold
+    vid_bits = encoding.vertex_id_bits(n)
+    if np.any(high):
+        outboxes = cluster.empty_outboxes()
+        for v in np.flatnonzero(high):
+            i = int(home[v])
+            for j in range(k):
+                if j != i:
+                    outboxes[i].append(
+                        Message(src=i, dst=j, kind="tri-request", payload=int(v), bits=vid_bits)
+                    )
+        cluster.exchange(outboxes, label="triangles/requests")
+
+    # ------------------------------------------------------------------
+    # Shipping responsibility per edge (the proxy assignment rule):
+    #   one endpoint high  -> the low endpoint's home ships it;
+    #   both low / both high -> a shared fair coin picks the endpoint.
+    if m:
+        hu, hv = high[edges[:, 0]], high[edges[:, 1]]
+        coin = cluster.shared_rng.integers(0, 2, size=m).astype(bool)
+        ship_second = np.where(hu ^ hv, hu, coin)  # True -> endpoint 1 ships
+        shipper_vertex = np.where(ship_second, edges[:, 1], edges[:, 0])
+        shipper = home[shipper_vertex]
+    else:
+        shipper = np.zeros(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Phase 1 — edges to random proxies (each shipper picks i.u.r. proxies
+    # with its private randomness).
+    if use_proxies:
+        proxy = np.empty(m, dtype=np.int64)
+        for i in range(k):
+            mask = shipper == i
+            cnt = int(mask.sum())
+            if cnt:
+                proxy[mask] = cluster.machine_rngs[i].integers(0, k, size=cnt)
+        outboxes = cluster.empty_outboxes()
+        remote = shipper != proxy
+        _scatter_edges(outboxes, edges[remote], shipper[remote], proxy[remote], "tri-edge-proxy", n)
+        cluster.exchange(outboxes, label="triangles/to-proxies")
+        holder = proxy
+    else:
+        holder = shipper
+
+    # ------------------------------------------------------------------
+    # Phase 2 — proxies forward every edge to the q sorted-triplet owners
+    # that need it (owners are computable from the shared hash alone).
+    targets = machines_needing_edge_array(colors[edges[:, 0]], colors[edges[:, 1]], q) if m else np.zeros((0, 0), dtype=np.int64)
+    outboxes = cluster.empty_outboxes()
+    received: list[list[np.ndarray]] = [[] for _ in range(k)]
+    if m:
+        flat_src = np.repeat(holder, q)
+        flat_dst = targets.ravel()
+        flat_edges = np.repeat(edges, q, axis=0)
+        local = flat_src == flat_dst
+        if np.any(local):
+            ld, le = flat_dst[local], flat_edges[local]
+            order = np.argsort(ld, kind="stable")
+            ld, le = ld[order], le[order]
+            boundaries = np.flatnonzero(np.diff(ld)) + 1
+            starts = np.concatenate([[0], boundaries])
+            for s, chunk in zip(starts, np.split(le, boundaries)):
+                if chunk.shape[0]:
+                    received[int(ld[s])].append(chunk)
+        remote = ~local
+        _scatter_edges(
+            outboxes, flat_edges[remote], flat_src[remote], flat_dst[remote], "tri-edge-final", n
+        )
+    inboxes = cluster.exchange(outboxes, label="triangles/to-triplets")
+    for j, inbox in enumerate(inboxes):
+        for msg in inbox:
+            received[j].append(msg.payload)
+
+    # ------------------------------------------------------------------
+    # Phase 3 — local enumeration on each triplet machine; a machine
+    # outputs exactly the triangles whose color multiset equals its
+    # (sorted) triplet, so the global output has no duplicates.
+    all_tris: list[np.ndarray] = []
+    all_triads: list[np.ndarray] = []
+    per_machine = np.zeros(k, dtype=np.int64)
+    if skip_local_enumeration:
+        return TriangleResult(
+            triangles=np.zeros((0, 3), dtype=np.int64),
+            metrics=cluster.metrics,
+            per_machine_output=per_machine,
+            num_colors=q,
+        )
+    for j in range(min(k, q**3)):
+        if not received[j]:
+            continue
+        local_edges = np.concatenate(received[j], axis=0)
+        tris = enumerate_triangles_edges(n, local_edges)
+        if tris.size:
+            csort = np.sort(colors[tris], axis=1)
+            key = csort[:, 0] * q * q + csort[:, 1] * q + csort[:, 2]
+            mine = tris[key == j]
+            if mine.size:
+                all_tris.append(mine)
+                per_machine[j] += mine.shape[0]
+        if enumerate_triads:
+            triads = _local_open_triads(n, local_edges, colors, q, j)
+            if triads.size:
+                all_triads.append(triads)
+
+    if all_tris:
+        triangles = np.concatenate(all_tris, axis=0)
+        order = np.lexsort((triangles[:, 2], triangles[:, 1], triangles[:, 0]))
+        triangles = triangles[order]
+    else:
+        triangles = np.zeros((0, 3), dtype=np.int64)
+    open_triads = None
+    if enumerate_triads:
+        open_triads = (
+            np.concatenate(all_triads, axis=0) if all_triads else np.zeros((0, 3), dtype=np.int64)
+        )
+    return TriangleResult(
+        triangles=triangles,
+        metrics=cluster.metrics,
+        per_machine_output=per_machine,
+        num_colors=q,
+        open_triads=open_triads,
+    )
+
+
+def _local_open_triads(
+    n: int, local_edges: np.ndarray, colors: np.ndarray, q: int, machine: int
+) -> np.ndarray:
+    """Open triads decidable at one triplet machine (center listed first).
+
+    The machine received *all* edges between its color classes, so for a
+    wedge ``a - v - b`` with the right color multiset, the absence of the
+    received edge ``(a, b)`` certifies the triad is open.
+    """
+    if local_edges.size == 0:
+        return np.zeros((0, 3), dtype=np.int64)
+    local_edges = np.unique(np.sort(local_edges, axis=1), axis=0)
+    adj: dict[int, set[int]] = {}
+    for u, v in local_edges:
+        adj.setdefault(int(u), set()).add(int(v))
+        adj.setdefault(int(v), set()).add(int(u))
+    rows: list[tuple[int, int, int]] = []
+    for center, nbrs in adj.items():
+        nb = sorted(nbrs)
+        for ai in range(len(nb)):
+            for bi in range(ai + 1, len(nb)):
+                a, b = nb[ai], nb[bi]
+                cs = sorted((int(colors[center]), int(colors[a]), int(colors[b])))
+                if cs[0] * q * q + cs[1] * q + cs[2] != machine:
+                    continue
+                if b not in adj.get(a, ()):
+                    rows.append((center, a, b))
+    return np.array(rows, dtype=np.int64).reshape(-1, 3)

@@ -1,0 +1,36 @@
+"""Exception types for the :mod:`repro` package."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "PartitionError",
+    "BandwidthError",
+    "GraphError",
+    "AlgorithmError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ModelError(ReproError):
+    """Misuse of the k-machine model (bad k, bad machine index, ...)."""
+
+
+class PartitionError(ReproError):
+    """Invalid or inconsistent input partition."""
+
+
+class BandwidthError(ReproError):
+    """Invalid bandwidth configuration or accounting inconsistency."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or query."""
+
+
+class AlgorithmError(ReproError):
+    """An algorithm's preconditions were violated or it failed internally."""

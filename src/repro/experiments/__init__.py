@@ -1,0 +1,7 @@
+"""Experiment harness: parameter sweeps, log-log exponent fits, tables."""
+
+from repro.experiments.fits import fit_power_law, PowerLawFit
+from repro.experiments.tables import format_table
+from repro.experiments.harness import Sweep, SweepRow
+
+__all__ = ["fit_power_law", "PowerLawFit", "format_table", "Sweep", "SweepRow"]

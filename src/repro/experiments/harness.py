@@ -1,0 +1,58 @@
+"""A tiny sweep runner shared by benches and examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.experiments.tables import format_table
+
+__all__ = ["SweepRow", "Sweep"]
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One measured configuration: parameters plus result values."""
+
+    params: dict
+    values: dict
+
+
+@dataclass
+class Sweep:
+    """Collects rows of (params, measurements) and renders them.
+
+    Benches use this to print the same table shape regardless of which
+    experiment they regenerate.
+    """
+
+    name: str
+    rows: list[SweepRow] = field(default_factory=list)
+
+    def add(self, params: dict, values: dict) -> SweepRow:
+        """Record one configuration's measurements."""
+        row = SweepRow(params=dict(params), values=dict(values))
+        self.rows.append(row)
+        return row
+
+    def column(self, key: str) -> list:
+        """Extract one value (or parameter) column across rows."""
+        out = []
+        for row in self.rows:
+            if key in row.values:
+                out.append(row.values[key])
+            elif key in row.params:
+                out.append(row.params[key])
+            else:
+                raise KeyError(f"column {key!r} not present in sweep {self.name!r}")
+        return out
+
+    def render(self) -> str:
+        """ASCII table of all rows (param columns first)."""
+        if not self.rows:
+            return f"[{self.name}] (no rows)"
+        headers = list(self.rows[0].params) + list(self.rows[0].values)
+        body = [
+            [row.params.get(h, row.values.get(h)) for h in headers] for row in self.rows
+        ]
+        return f"[{self.name}]\n" + format_table(headers, body)

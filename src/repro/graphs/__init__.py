@@ -1,0 +1,46 @@
+"""Graph substrate: CSR graphs, generators, the Figure-1 lower-bound graph,
+vertex hashing, and exact sequential triangle/triad enumeration."""
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import (
+    gnp_random_graph,
+    complete_graph,
+    star_graph,
+    path_graph,
+    cycle_graph,
+    empty_graph,
+    planted_triangles_graph,
+    chung_lu_graph,
+    random_regularish_graph,
+)
+from repro.graphs.lowerbound import PageRankLowerBoundInstance, pagerank_lowerbound_graph
+from repro.graphs.hashing import hash_colors, hash_machines
+from repro.graphs.triangles_ref import (
+    enumerate_triangles,
+    count_triangles,
+    count_open_triads,
+    enumerate_open_triads,
+    triangles_per_vertex,
+)
+
+__all__ = [
+    "Graph",
+    "gnp_random_graph",
+    "complete_graph",
+    "star_graph",
+    "path_graph",
+    "cycle_graph",
+    "empty_graph",
+    "planted_triangles_graph",
+    "chung_lu_graph",
+    "random_regularish_graph",
+    "PageRankLowerBoundInstance",
+    "pagerank_lowerbound_graph",
+    "hash_colors",
+    "hash_machines",
+    "enumerate_triangles",
+    "count_triangles",
+    "count_open_triads",
+    "enumerate_open_triads",
+    "triangles_per_vertex",
+]

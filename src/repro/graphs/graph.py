@@ -1,0 +1,205 @@
+"""A lightweight CSR graph used throughout the reproduction.
+
+Undirected graphs store each edge in both adjacency lists; directed graphs
+store out-adjacency (in-adjacency is built lazily).  Vertices are integers
+``0 .. n-1``; the lower-bound constructions layer random public ids on top
+(see :mod:`repro.graphs.lowerbound`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """Compressed-sparse-row graph.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    edges:
+        ``(m, 2)`` integer array (or iterable of pairs).  For undirected
+        graphs each pair is one undirected edge; duplicates (including
+        reversed duplicates) and self-loops are rejected.
+    directed:
+        Whether edges are directed ``u -> v``.
+    """
+
+    __slots__ = (
+        "n",
+        "directed",
+        "_edges",
+        "indptr",
+        "indices",
+        "_in_indptr",
+        "_in_indices",
+    )
+
+    def __init__(self, n: int, edges: Iterable | np.ndarray = (), directed: bool = False) -> None:
+        if n < 0:
+            raise GraphError(f"n must be non-negative, got {n}")
+        self.n = int(n)
+        self.directed = bool(directed)
+        edges = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges, dtype=np.int64)
+        if edges.size == 0:
+            edges = edges.reshape(0, 2)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise GraphError(f"edges must have shape (m, 2), got {edges.shape}")
+        if edges.size:
+            if edges.min() < 0 or edges.max() >= self.n:
+                raise GraphError("edge endpoints out of range")
+            if np.any(edges[:, 0] == edges[:, 1]):
+                raise GraphError("self-loops are not allowed")
+        if not self.directed and edges.size:
+            # Canonicalize undirected edges as (min, max) and reject duplicates.
+            edges = np.sort(edges, axis=1)
+        if edges.size:
+            keys = edges[:, 0] * self.n + edges[:, 1]
+            if np.unique(keys).size != keys.size:
+                raise GraphError("duplicate edges are not allowed")
+            order = np.argsort(keys, kind="stable")
+            edges = edges[order]
+        self._edges = edges
+        self.indptr, self.indices = self._build_csr(edges, out=True)
+        self._in_indptr: np.ndarray | None = None
+        self._in_indices: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _build_csr(self, edges: np.ndarray, out: bool) -> tuple[np.ndarray, np.ndarray]:
+        n = self.n
+        if self.directed:
+            src = edges[:, 0] if out else edges[:, 1]
+            dst = edges[:, 1] if out else edges[:, 0]
+        else:
+            src = np.concatenate([edges[:, 0], edges[:, 1]])
+            dst = np.concatenate([edges[:, 1], edges[:, 0]])
+        counts = np.bincount(src, minlength=n) if src.size else np.zeros(n, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        if src.size:
+            # Lexsort by (src, dst) so every neighbor list comes out sorted,
+            # enabling binary-search membership tests without a per-vertex loop.
+            order = np.lexsort((dst, src))
+            indices = dst[order]
+        else:
+            indices = np.zeros(0, dtype=np.int64)
+        return indptr, indices
+
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of edges (undirected edges counted once)."""
+        return int(self._edges.shape[0])
+
+    @property
+    def edges(self) -> np.ndarray:
+        """``(m, 2)`` canonical edge array (sorted; undirected as (min, max))."""
+        return self._edges
+
+    def out_neighbors(self, v: int) -> np.ndarray:
+        """Sorted out-neighbors of ``v`` (neighbors, if undirected)."""
+        self._check_vertex(v)
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Alias for :meth:`out_neighbors` on undirected graphs."""
+        if self.directed:
+            raise GraphError("neighbors() is for undirected graphs; use out_neighbors/in_neighbors")
+        return self.out_neighbors(v)
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """Sorted in-neighbors of ``v`` (directed graphs)."""
+        self._check_vertex(v)
+        if not self.directed:
+            return self.out_neighbors(v)
+        if self._in_indptr is None:
+            self._in_indptr, self._in_indices = self._build_csr(self._edges, out=False)
+        return self._in_indices[self._in_indptr[v] : self._in_indptr[v + 1]]
+
+    def out_degrees(self) -> np.ndarray:
+        """``(n,)`` out-degree array (degree, if undirected)."""
+        return np.diff(self.indptr)
+
+    def degrees(self) -> np.ndarray:
+        """``(n,)`` degree array; for directed graphs, in+out degree."""
+        if not self.directed:
+            return self.out_degrees()
+        return self.out_degrees() + self.in_degrees()
+
+    def in_degrees(self) -> np.ndarray:
+        """``(n,)`` in-degree array."""
+        if not self.directed:
+            return self.out_degrees()
+        if self._edges.size == 0:
+            return np.zeros(self.n, dtype=np.int64)
+        return np.bincount(self._edges[:, 1], minlength=self.n)
+
+    def max_degree(self) -> int:
+        """Maximum degree Δ."""
+        d = self.degrees()
+        return int(d.max()) if d.size else 0
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Membership test via binary search in the (out-)adjacency of ``u``."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        nbrs = self.out_neighbors(u)
+        i = np.searchsorted(nbrs, v)
+        return bool(i < nbrs.size and nbrs[i] == v)
+
+    def subgraph_edges(self, vertices: np.ndarray) -> np.ndarray:
+        """Edges of the induced subgraph on ``vertices`` (as global ids)."""
+        mask = np.zeros(self.n, dtype=bool)
+        mask[np.asarray(vertices, dtype=np.int64)] = True
+        e = self._edges
+        keep = mask[e[:, 0]] & mask[e[:, 1]]
+        return e[keep]
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense boolean adjacency matrix (small graphs only)."""
+        a = np.zeros((self.n, self.n), dtype=bool)
+        e = self._edges
+        if e.size:
+            a[e[:, 0], e[:, 1]] = True
+            if not self.directed:
+                a[e[:, 1], e[:, 0]] = True
+        return a
+
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Convert to a networkx graph (optional dependency, tests only)."""
+        import networkx as nx
+
+        g = nx.DiGraph() if self.directed else nx.Graph()
+        g.add_nodes_from(range(self.n))
+        g.add_edges_from(map(tuple, self._edges))
+        return g
+
+    @classmethod
+    def from_networkx(cls, g) -> "Graph":
+        """Build from a networkx (Di)Graph with integer nodes ``0..n-1``."""
+        import networkx as nx
+
+        directed = isinstance(g, nx.DiGraph)
+        n = g.number_of_nodes()
+        nodes = sorted(g.nodes())
+        if nodes != list(range(n)):
+            raise GraphError("from_networkx requires nodes labelled 0..n-1")
+        edges = np.array([(u, v) for u, v in g.edges() if u != v], dtype=np.int64).reshape(-1, 2)
+        return cls(n=n, edges=edges, directed=directed)
+
+    # ------------------------------------------------------------------
+    def _check_vertex(self, v: int) -> None:
+        if not (0 <= v < self.n):
+            raise GraphError(f"vertex {v} out of range [0, {self.n})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "DiGraph" if self.directed else "Graph"
+        return f"<repro.{kind} n={self.n} m={self.m}>"

@@ -1,0 +1,44 @@
+"""Deterministic vertex hashing to machines and to colors.
+
+The paper implements the RVP and the triangle algorithm's color partition
+via hash functions known to all machines (§1.1, §3.2).  These helpers use
+the splitmix64 hash from :mod:`repro._util`, so "if a machine knows a
+vertex ID, it also knows where it is hashed to" holds with zero
+communication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng, check_positive_int, stable_hash64_array
+
+__all__ = ["hash_machines", "hash_colors", "random_colors"]
+
+
+def hash_machines(vertex_ids: np.ndarray, k: int, salt: int = 0) -> np.ndarray:
+    """Home machine of each vertex id via deterministic hashing."""
+    check_positive_int(k, "k")
+    ids = np.asarray(vertex_ids, dtype=np.int64)
+    return (stable_hash64_array(ids, salt=salt) % np.uint64(k)).astype(np.int64)
+
+
+def hash_colors(vertex_ids: np.ndarray, num_colors: int, salt: int = 1) -> np.ndarray:
+    """Color in ``[0, num_colors)`` of each vertex id via hashing.
+
+    Used by the triangle algorithm: ``num_colors = k^{1/3}`` colors induce
+    the color-based partition of §3.2.
+    """
+    check_positive_int(num_colors, "num_colors")
+    ids = np.asarray(vertex_ids, dtype=np.int64)
+    return (stable_hash64_array(ids, salt=salt) % np.uint64(num_colors)).astype(np.int64)
+
+
+def random_colors(
+    n: int, num_colors: int, seed: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """I.u.r. color assignment (the paper's hash function h: V -> C)."""
+    check_positive_int(n, "n")
+    check_positive_int(num_colors, "num_colors")
+    rng = as_rng(seed)
+    return rng.integers(0, num_colors, size=n)

@@ -1,0 +1,211 @@
+"""The Figure-1 PageRank lower-bound graph ``H`` (paper §2.3).
+
+``H`` is a weakly connected directed graph on ``n = 4q + 1`` vertices and
+``m = n - 1 = 4q`` edges.  It consists of ``q`` disjoint chains
+
+    x_i  ?  u_i  ->  t_i  ->  v_i  ->  w
+
+where the direction of the edge between ``x_i`` and ``u_i`` is given by a
+fair coin ``b_i``: if ``b_i = 0`` there is an edge ``u_i -> x_i``,
+otherwise ``x_i -> u_i``.  Flipping ``b_i`` changes ``PageRank(v_i)`` by a
+constant factor (Lemma 4), so a correct algorithm must learn the pair
+``(b_i, id(v_i))`` for every chain — the source of the ``IC = Θ(n/k)``
+information cost behind Theorem 2.
+
+Vertex ids are a uniformly random permutation of ``[0, n)`` (the paper's
+"random IDs obfuscate the position of a vertex"), so knowing an id reveals
+nothing about the chain index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng, check_positive_int
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.kmachine.partition import VertexPartition
+
+__all__ = ["PageRankLowerBoundInstance", "pagerank_lowerbound_graph"]
+
+
+@dataclass(frozen=True)
+class PageRankLowerBoundInstance:
+    """A sampled instance of the Figure-1 graph ``H``.
+
+    Attributes
+    ----------
+    graph:
+        The directed :class:`Graph` over *public* vertex ids.
+    b:
+        ``(q,)`` bit vector; ``b[i]`` is the direction of the
+        ``(x_i, u_i)`` edge.
+    x_ids, u_ids, t_ids, v_ids:
+        ``(q,)`` arrays of public ids per group.
+    w_id:
+        Public id of the sink ``w``.
+    """
+
+    graph: Graph
+    b: np.ndarray
+    x_ids: np.ndarray
+    u_ids: np.ndarray
+    t_ids: np.ndarray
+    v_ids: np.ndarray
+    w_id: int
+
+    @property
+    def q(self) -> int:
+        """Number of chains (``m/4`` in the paper's notation)."""
+        return int(self.b.size)
+
+    @property
+    def n(self) -> int:
+        """Number of vertices (``4q + 1``)."""
+        return self.graph.n
+
+    # ------------------------------------------------------------------
+    def analytic_pagerank(self, eps: float) -> np.ndarray:
+        """Exact PageRank vector of this instance (walk-series semantics).
+
+        ``pi(v) = (eps/n) * sum_{u} sum_{j>=0} (1-eps)^j P^j[u, v]`` with
+        ``P`` the (sub-stochastic) out-edge transition matrix; tokens at
+        out-degree-0 vertices are absorbed.  Closed forms per Lemma 4.
+        """
+        if not (0.0 < eps < 1.0):
+            raise GraphError(f"eps must lie in (0, 1), got {eps}")
+        beta = 1.0 - eps
+        n = self.n
+        pr = np.zeros(n, dtype=np.float64)
+        b = self.b.astype(bool)
+
+        # Chains with b = 0 (edge u -> x): u has out-degree 2, x out-degree 0.
+        pr[self.x_ids[~b]] = 1.0 + beta / 2.0
+        pr[self.u_ids[~b]] = 1.0
+        pr[self.t_ids[~b]] = 1.0 + beta / 2.0
+        pr[self.v_ids[~b]] = 1.0 + beta + beta**2 / 2.0
+        w_in_0 = beta + beta**2 + beta**3 / 2.0
+
+        # Chains with b = 1 (edge x -> u): the chain is a directed path.
+        pr[self.x_ids[b]] = 1.0
+        pr[self.u_ids[b]] = 1.0 + beta
+        pr[self.t_ids[b]] = 1.0 + beta + beta**2
+        pr[self.v_ids[b]] = 1.0 + beta + beta**2 + beta**3
+        w_in_1 = beta + beta**2 + beta**3 + beta**4
+
+        n0 = int((~b).sum())
+        n1 = int(b.sum())
+        pr[self.w_id] = 1.0 + n0 * w_in_0 + n1 * w_in_1
+        return eps * pr / n
+
+    def lemma4_values(self, eps: float) -> tuple[float, float]:
+        """The two possible values of ``PageRank(v_i)`` (Lemma 4).
+
+        Returns ``(value_b0, value_b1)``:
+        ``eps*(2.5 - 2eps + eps^2/2)/n`` and
+        ``eps*(1 + (1-eps) + (1-eps)^2 + (1-eps)^3)/n >= eps*(3 - 3eps + eps^2)/n``.
+        """
+        beta = 1.0 - eps
+        v0 = eps * (1.0 + beta + beta**2 / 2.0) / self.n
+        v1 = eps * (1.0 + beta + beta**2 + beta**3) / self.n
+        return v0, v1
+
+    def infer_b(self, values: np.ndarray, eps: float) -> np.ndarray:
+        """Recover ``b`` from (approximate) PageRank values of the ``v_i``.
+
+        This is the reconstruction step in the proof of Lemma 7: outputting
+        ``PageRank(v_i)`` reveals the pair ``(b_i, id(v_i))``.  Each value is
+        classified to the nearest of the two Lemma-4 analytic values;
+        ``values`` is indexed by public vertex id.
+        """
+        v0, v1 = self.lemma4_values(eps)
+        vals = np.asarray(values, dtype=np.float64)[self.v_ids]
+        return (np.abs(vals - v1) < np.abs(vals - v0)).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def weakly_connected_paths_known(self, partition: VertexPartition) -> np.ndarray:
+        """Per-machine count of initially-known weakly connected paths (Lemma 5).
+
+        Machine ``M`` discovers chain ``i`` "for free" iff it hosts
+        ``{x_i, t_i}`` or ``{u_i, v_i}`` (proof of Lemma 5): either pair
+        links the edge direction ``b_i`` to the id of ``v_i`` through a
+        shared neighbor id.
+        """
+        if partition.n != self.n:
+            raise GraphError(
+                f"partition covers {partition.n} vertices but the instance has {self.n}"
+            )
+        home = partition.home
+        k = partition.k
+        counts = np.zeros(k, dtype=np.int64)
+        via_xt = home[self.x_ids] == home[self.t_ids]
+        via_uv = home[self.u_ids] == home[self.v_ids]
+        # A chain may be discovered through either pair; attribute it to
+        # each machine that can discover it (counts bound per-machine
+        # knowledge, so double attribution across machines is correct).
+        np.add.at(counts, home[self.x_ids[via_xt]], 1)
+        both_same_machine = via_xt & via_uv & (home[self.x_ids] == home[self.u_ids])
+        extra = via_uv & ~both_same_machine
+        np.add.at(counts, home[self.u_ids[extra]], 1)
+        return counts
+
+
+def pagerank_lowerbound_graph(
+    q: int,
+    seed: int | np.random.Generator | None = None,
+    b: np.ndarray | None = None,
+    randomize_ids: bool = True,
+) -> PageRankLowerBoundInstance:
+    """Sample an instance of the Figure-1 graph with ``q`` chains.
+
+    Parameters
+    ----------
+    q:
+        Number of chains; the graph has ``n = 4q + 1`` vertices.
+    seed:
+        Randomness for the bit vector ``b`` and the id permutation.
+    b:
+        Optional explicit bit vector (``(q,)`` of {0, 1}).
+    randomize_ids:
+        When ``False``, public ids equal structural indices (useful in
+        tests); the paper's construction requires ``True``.
+    """
+    check_positive_int(q, "q")
+    rng = as_rng(seed)
+    if b is None:
+        b = rng.integers(0, 2, size=q)
+    else:
+        b = np.asarray(b, dtype=np.int64)
+        if b.shape != (q,) or np.any((b != 0) & (b != 1)):
+            raise GraphError(f"b must be a (q,) 0/1 vector, got shape {b.shape}")
+
+    n = 4 * q + 1
+    # Structural indices: x_i = i, u_i = q+i, t_i = 2q+i, v_i = 3q+i, w = 4q.
+    idx = np.arange(q, dtype=np.int64)
+    x_s, u_s, t_s, v_s, w_s = idx, q + idx, 2 * q + idx, 3 * q + idx, 4 * q
+
+    if randomize_ids:
+        perm = rng.permutation(n).astype(np.int64)
+    else:
+        perm = np.arange(n, dtype=np.int64)
+
+    x, u, t, v, w = perm[x_s], perm[u_s], perm[t_s], perm[v_s], int(perm[w_s])
+
+    ux = np.column_stack([u, x])  # b = 0: u -> x
+    xu = np.column_stack([x, u])  # b = 1: x -> u
+    bit = b.astype(bool)
+    first = np.where(bit[:, None], xu, ux)
+    edges = np.concatenate(
+        [
+            first,
+            np.column_stack([u, t]),
+            np.column_stack([t, v]),
+            np.column_stack([v, np.full(q, w, dtype=np.int64)]),
+        ]
+    )
+    graph = Graph(n=n, edges=edges, directed=True)
+    return PageRankLowerBoundInstance(
+        graph=graph, b=b, x_ids=x, u_ids=u, t_ids=t, v_ids=v, w_id=w
+    )

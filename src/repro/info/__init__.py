@@ -1,0 +1,29 @@
+"""Information-theory substrate used by the General Lower Bound Theorem."""
+
+from repro.info.entropy import (
+    entropy,
+    binary_entropy,
+    conditional_entropy,
+    joint_entropy,
+    mutual_information,
+    kl_divergence,
+)
+from repro.info.surprisal import (
+    surprisal,
+    surprisal_change,
+    SurprisalAccount,
+    transcript_entropy_bound,
+)
+
+__all__ = [
+    "entropy",
+    "binary_entropy",
+    "conditional_entropy",
+    "joint_entropy",
+    "mutual_information",
+    "kl_divergence",
+    "surprisal",
+    "surprisal_change",
+    "SurprisalAccount",
+    "transcript_entropy_bound",
+]

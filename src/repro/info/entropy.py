@@ -1,0 +1,93 @@
+"""Shannon entropy, conditional entropy, and mutual information.
+
+These are the standard definitions the proof of Theorem 1 uses
+(paper §2.2, citing Cover & Thomas):
+
+* ``H[X] = -sum_x Pr[X=x] log2 Pr[X=x]``
+* ``H[X | Y] = sum_y Pr[Y=y] H[X | Y=y]``                       (eq. 4)
+* ``I[X; Y] = H[X] - H[X | Y]``                                 (eq. 5)
+
+All functions operate on finite distributions given as arrays; joint
+distributions are 2-D arrays ``P[x, y]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "entropy",
+    "binary_entropy",
+    "joint_entropy",
+    "conditional_entropy",
+    "mutual_information",
+    "kl_divergence",
+]
+
+_ATOL = 1e-9
+
+
+def _validate_dist(p: np.ndarray, name: str = "p") -> np.ndarray:
+    p = np.asarray(p, dtype=np.float64)
+    if np.any(p < -_ATOL):
+        raise ValueError(f"{name} has negative entries")
+    total = p.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise ValueError(f"{name} must sum to 1, sums to {total}")
+    return np.clip(p, 0.0, None)
+
+
+def entropy(p: np.ndarray) -> float:
+    """Shannon entropy in bits of a finite distribution."""
+    p = _validate_dist(p)
+    nz = p[p > 0]
+    return float(-(nz * np.log2(nz)).sum())
+
+
+def binary_entropy(p: float) -> float:
+    """Entropy of a Bernoulli(p) bit."""
+    if not (0.0 <= p <= 1.0):
+        raise ValueError(f"p must lie in [0, 1], got {p}")
+    if p in (0.0, 1.0):
+        return 0.0
+    return float(-p * np.log2(p) - (1 - p) * np.log2(1 - p))
+
+
+def joint_entropy(joint: np.ndarray) -> float:
+    """Entropy ``H[X, Y]`` of a joint distribution ``P[x, y]``."""
+    return entropy(np.asarray(joint, dtype=np.float64).ravel())
+
+
+def conditional_entropy(joint: np.ndarray) -> float:
+    """``H[X | Y]`` from the joint ``P[x, y]`` (conditioning on columns ``y``)."""
+    joint = _validate_dist(np.asarray(joint, dtype=np.float64), "joint").reshape(
+        np.asarray(joint).shape
+    )
+    py = joint.sum(axis=0)
+    h = 0.0
+    for y in range(joint.shape[1]):
+        if py[y] <= 0:
+            continue
+        cond = joint[:, y] / py[y]
+        nz = cond[cond > 0]
+        h += py[y] * float(-(nz * np.log2(nz)).sum())
+    return h
+
+
+def mutual_information(joint: np.ndarray) -> float:
+    """``I[X; Y] = H[X] - H[X | Y]`` from the joint ``P[x, y]``."""
+    joint = np.asarray(joint, dtype=np.float64)
+    px = joint.sum(axis=1)
+    return entropy(px) - conditional_entropy(joint)
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """``D(p || q)`` in bits; infinite when ``p`` has mass where ``q`` has none."""
+    p = _validate_dist(p, "p")
+    q = _validate_dist(q, "q")
+    if p.shape != q.shape:
+        raise ValueError("p and q must have the same shape")
+    mask = p > 0
+    if np.any(q[mask] == 0):
+        return float("inf")
+    return float((p[mask] * np.log2(p[mask] / q[mask])).sum())

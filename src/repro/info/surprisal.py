@@ -1,0 +1,95 @@
+"""Surprisal (self-information) and the transcript-entropy bound of Lemma 3.
+
+The General Lower Bound Theorem is driven by the *surprisal change*
+argument (paper §2.1): Premise (1) bounds every machine's initial
+knowledge — ``Pr[Z = z | p_i, r] <= 2^-(H[Z] - o(IC))`` — and Premise (2)
+shows some machine's output raises that probability to
+``>= 2^-(H[Z] - IC)``.  The difference of surprisals is the information
+the machine must have *received*, and Lemma 3 caps what ``T`` rounds over
+``k - 1`` links of bandwidth ``B`` can deliver:
+``H[transcript] <= (B + 1)(k - 1) T``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "surprisal",
+    "surprisal_change",
+    "SurprisalAccount",
+    "transcript_entropy_bound",
+    "min_rounds_for_entropy",
+]
+
+
+def surprisal(probability: float) -> float:
+    """Self-information ``log2(1 / Pr[E])`` in bits of an event."""
+    if not (0.0 < probability <= 1.0):
+        raise ValueError(f"probability must lie in (0, 1], got {probability}")
+    return -math.log2(probability)
+
+
+def surprisal_change(prob_before: float, prob_after: float) -> float:
+    """Bits of information gained when an event's probability rises.
+
+    ``surprisal(prob_before) - surprisal(prob_after)``; positive when the
+    observer became *less* surprised (learned something).
+    """
+    return surprisal(prob_before) - surprisal(prob_after)
+
+
+@dataclass(frozen=True)
+class SurprisalAccount:
+    """Bookkeeping of Premises (1) and (2) of Theorem 1 for one machine.
+
+    Attributes
+    ----------
+    entropy_z:
+        ``H[Z]`` — entropy of the problem's target random variable.
+    initial_known_bits:
+        Bits of ``Z`` resolvable from the machine's input alone, i.e.
+        Premise (1) holds with exponent ``H[Z] - initial_known_bits``.
+    output_known_bits:
+        Bits of ``Z`` resolvable from input + output, i.e. Premise (2)
+        holds with exponent ``H[Z] - output_known_bits``.
+    """
+
+    entropy_z: float
+    initial_known_bits: float
+    output_known_bits: float
+
+    def __post_init__(self) -> None:
+        if self.entropy_z < 0:
+            raise ValueError("entropy must be non-negative")
+        if not (0 <= self.initial_known_bits <= self.entropy_z + 1e-9):
+            raise ValueError("initial knowledge must lie in [0, H[Z]]")
+        if not (0 <= self.output_known_bits <= self.entropy_z + 1e-9):
+            raise ValueError("output knowledge must lie in [0, H[Z]]")
+
+    @property
+    def information_cost(self) -> float:
+        """``IC`` — the surprisal change forced by producing the output."""
+        return max(0.0, self.output_known_bits - self.initial_known_bits)
+
+
+def transcript_entropy_bound(bandwidth: int, k: int, rounds: int) -> float:
+    """Lemma 3: max entropy of a machine's ``T``-round receive transcript.
+
+    The transcript takes at most ``2^{(B+1)(k-1)T}`` values (silence on a
+    link in a round is itself a signal, hence ``B + 1``), so its entropy is
+    at most ``(B + 1)(k - 1) T`` bits.
+    """
+    if bandwidth <= 0 or k < 2 or rounds < 0:
+        raise ValueError("need bandwidth > 0, k >= 2, rounds >= 0")
+    return float((bandwidth + 1) * (k - 1) * rounds)
+
+
+def min_rounds_for_entropy(bits: float, bandwidth: int, k: int) -> float:
+    """Invert Lemma 3: rounds needed for a machine to receive ``bits`` bits."""
+    if bits < 0:
+        raise ValueError("bits must be non-negative")
+    if bandwidth <= 0 or k < 2:
+        raise ValueError("need bandwidth > 0 and k >= 2")
+    return bits / ((bandwidth + 1) * (k - 1))

@@ -1,0 +1,54 @@
+"""The k-machine model substrate.
+
+This subpackage implements the *Big Data / k-machine model* of
+Klauck-Nanongkai-Pandurangan-Robinson (SODA 2015), as used by the paper:
+
+* ``k > 2`` machines, pairwise interconnected by bidirectional
+  point-to-point links;
+* synchronous rounds; each link carries at most ``B = Θ(polylog n)`` bits
+  per round;
+* local computation is free; the cost of an algorithm is its round
+  complexity (worst case over machines).
+
+The simulator is *phase-accurate*: an algorithm runs as a sequence of
+communication phases (supersteps).  A phase in which link ``(i, j)``
+carries ``L_ij`` bits costs ``max_ij ceil(L_ij / B)`` rounds, which is the
+exact cost of the oblivious delivery schedule all of the paper's
+upper-bound arguments use (cf. Lemma 13).  A strict round-by-round engine
+is also provided and is tested to agree with the phase formula.
+"""
+
+from repro.kmachine.message import Message
+from repro.kmachine.metrics import Metrics, PhaseStats
+from repro.kmachine.network import LinkNetwork
+from repro.kmachine.cluster import Cluster
+from repro.kmachine.partition import (
+    VertexPartition,
+    EdgePartition,
+    random_vertex_partition,
+    random_edge_partition,
+    rep_to_rvp,
+)
+from repro.kmachine.routing import (
+    direct_exchange,
+    valiant_exchange,
+    lemma13_round_bound,
+)
+from repro.kmachine import encoding
+
+__all__ = [
+    "Message",
+    "Metrics",
+    "PhaseStats",
+    "LinkNetwork",
+    "Cluster",
+    "VertexPartition",
+    "EdgePartition",
+    "random_vertex_partition",
+    "random_edge_partition",
+    "rep_to_rvp",
+    "direct_exchange",
+    "valiant_exchange",
+    "lemma13_round_bound",
+    "encoding",
+]

@@ -1,0 +1,131 @@
+"""The :class:`Cluster`: machines, per-machine RNG streams, and the network.
+
+A :class:`Cluster` bundles everything an algorithm driver needs:
+
+* ``k`` machines (indices ``0 .. k-1``),
+* a :class:`~repro.kmachine.network.LinkNetwork` with bandwidth ``B``,
+* one independent, seeded :class:`numpy.random.Generator` per machine
+  (the paper's "private source of true random bits") plus one shared
+  generator (the public random string used by the lower-bound analysis).
+
+Algorithms are written as *drivers*: per superstep they compute each
+machine's outbox from that machine's local state only, then call
+:meth:`Cluster.exchange`.  This is the BSP-style structure the paper
+itself notes the k-machine model simplifies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro._util import check_positive_int, polylog, spawn_rngs
+from repro.errors import ModelError
+from repro.kmachine.message import Message
+from repro.kmachine.metrics import Metrics
+from repro.kmachine.network import LinkNetwork
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A simulated k-machine cluster.
+
+    Parameters
+    ----------
+    k:
+        Number of machines, ``k >= 2``.
+    n:
+        Problem-size parameter used to pick the default bandwidth
+        ``B = Θ(polylog n)``; required when ``bandwidth`` is omitted.
+    bandwidth:
+        Link bandwidth in bits/round.  Defaults to
+        ``polylog(n) = 32 * ceil(log2 n)``.
+    seed:
+        Master seed; spawns ``k`` private machine generators and one shared
+        generator, all reproducible.
+    mode:
+        Network accounting mode (``"phase"`` or ``"strict"``).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        n: int | None = None,
+        bandwidth: int | None = None,
+        seed: int | None = None,
+        mode: str = "phase",
+    ) -> None:
+        check_positive_int(k, "k")
+        if k < 2:
+            raise ModelError(f"the k-machine model requires k >= 2, got k={k}")
+        if bandwidth is None:
+            if n is None:
+                raise ModelError("provide either bandwidth or n (for the polylog default)")
+            bandwidth = polylog(n)
+        self.k = int(k)
+        self.n = None if n is None else int(n)
+        self.network = LinkNetwork(k=self.k, bandwidth=int(bandwidth), mode=mode)
+        rngs = spawn_rngs(seed, self.k + 1)
+        #: Per-machine private random generators.
+        self.machine_rngs: list[np.random.Generator] = rngs[: self.k]
+        #: The shared ("public") random string generator.
+        self.shared_rng: np.random.Generator = rngs[self.k]
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    @property
+    def bandwidth(self) -> int:
+        """Link bandwidth ``B`` in bits per round."""
+        return self.network.bandwidth
+
+    @property
+    def metrics(self) -> Metrics:
+        """Accumulated execution metrics."""
+        return self.network.metrics
+
+    @property
+    def rounds(self) -> int:
+        """Total rounds accounted so far."""
+        return self.network.rounds
+
+    def exchange(
+        self, outboxes: Sequence[Iterable[Message]], label: str = ""
+    ) -> list[list[Message]]:
+        """Run one communication phase (see :meth:`LinkNetwork.exchange`)."""
+        return self.network.exchange(outboxes, label=label)
+
+    def account_phase(
+        self,
+        bits_matrix: np.ndarray,
+        messages_matrix: np.ndarray,
+        label: str = "",
+        local_messages: int = 0,
+    ) -> int:
+        """Account an aggregate-only phase (see :meth:`LinkNetwork.account_phase`)."""
+        return self.network.account_phase(
+            bits_matrix, messages_matrix, label=label, local_messages=local_messages
+        )
+
+    def empty_outboxes(self) -> list[list[Message]]:
+        """A fresh list of ``k`` empty outboxes."""
+        return [[] for _ in range(self.k)]
+
+    def broadcast(
+        self, src: int, kind: str, payload, bits: int, label: str = "broadcast"
+    ) -> list[list[Message]]:
+        """Machine ``src`` sends the same message to every other machine."""
+        if not (0 <= src < self.k):
+            raise ModelError(f"machine index {src} out of range [0, {self.k})")
+        outboxes = self.empty_outboxes()
+        outboxes[src] = [
+            Message(src=src, dst=j, kind=kind, payload=payload, bits=bits)
+            for j in range(self.k)
+            if j != src
+        ]
+        return self.exchange(outboxes, label=label)
+
+    def reset_metrics(self) -> None:
+        """Discard accumulated metrics."""
+        self.network.reset_metrics()

@@ -1,0 +1,61 @@
+"""Message envelopes exchanged between machines.
+
+A :class:`Message` carries a logical payload plus an explicit size in bits.
+Sizes are *logical* (what a real implementation would put on the wire:
+vertex ids, counts, machine ids), computed by :mod:`repro.kmachine.encoding`
+— never Python object sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message"]
+
+
+@dataclass(slots=True)
+class Message:
+    """A point-to-point message in the k-machine model.
+
+    Parameters
+    ----------
+    src:
+        Index of the sending machine, in ``[0, k)``.
+    dst:
+        Index of the destination machine, in ``[0, k)``.  ``dst == src``
+        denotes a local (free) delivery.
+    kind:
+        A short tag identifying the message type (e.g. ``"token-count"``).
+    payload:
+        Arbitrary logical content.
+    bits:
+        Size of the message on the wire, in bits.  Must be positive for
+        remote messages.  For a batch (``multiplicity > 1``) this is the
+        *total* size of all logical messages in the batch.
+    multiplicity:
+        Number of logical messages this envelope represents.  Batching
+        messages that share a (src, dst) machine pair into one envelope is
+        a pure performance optimization of the simulator: metrics count
+        ``multiplicity`` messages and ``bits`` bits either way.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: Any = None
+    bits: int = 1
+    multiplicity: int = 1
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ValueError(f"machine indices must be non-negative: src={self.src} dst={self.dst}")
+        if self.bits <= 0:
+            raise ValueError(f"message size must be positive, got {self.bits} bits")
+        if self.multiplicity <= 0:
+            raise ValueError(f"multiplicity must be positive, got {self.multiplicity}")
+
+    @property
+    def is_local(self) -> bool:
+        """True when source and destination machine coincide (zero cost)."""
+        return self.src == self.dst

@@ -1,0 +1,186 @@
+"""The pairwise link network with exact per-link round accounting.
+
+Two equivalent execution modes:
+
+* ``"phase"`` (default): a communication phase with per-link bit loads
+  ``L_ij`` costs ``max_ij ceil(L_ij / B)`` rounds.  This is exact for the
+  oblivious schedule in which every link drains its own queue, which is the
+  schedule all of the paper's upper-bound proofs charge (messages between a
+  fixed pair of machines always use the direct link; cf. Lemma 13).
+
+* ``"strict"``: the same queues are drained round by round, ``B`` bits per
+  link per round, messages in FIFO order and never split across rounds
+  unless larger than ``B`` (a message of ``b > B`` bits occupies
+  ``ceil(b/B)`` consecutive rounds of its link).  Tests assert both modes
+  charge identical rounds, which holds because per-link round cost is
+  ``ceil(sum-of-message-bits / B)`` only when messages pack perfectly; in
+  strict mode we therefore account fragmentation explicitly and the phase
+  mode is a lower bound.  For the algorithms in this repo messages are far
+  smaller than ``B``, so the two agree up to the packing of the last round;
+  see ``tests/kmachine/test_network.py``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro._util import ceil_div, check_positive_int
+from repro.errors import ModelError
+from repro.kmachine.message import Message
+from repro.kmachine.metrics import Metrics
+
+__all__ = ["LinkNetwork"]
+
+
+class LinkNetwork:
+    """A complete network of ``k`` machines with ``B``-bit links.
+
+    Parameters
+    ----------
+    k:
+        Number of machines (``k >= 2``).
+    bandwidth:
+        Link bandwidth ``B`` in bits per round.
+    mode:
+        ``"phase"`` or ``"strict"`` (see module docstring).
+    packing:
+        In strict mode, whether multiple messages may share one round on a
+        link as long as their total size fits in ``B`` (``True``, default)
+        or each round carries at most one message (``False``, which models
+        the common "one B-bit message per link per round" reading of the
+        model).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        bandwidth: int,
+        mode: str = "phase",
+        packing: bool = True,
+    ) -> None:
+        check_positive_int(k, "k")
+        if k < 2:
+            raise ModelError(f"the k-machine model requires k >= 2, got k={k}")
+        check_positive_int(bandwidth, "bandwidth")
+        if mode not in ("phase", "strict"):
+            raise ValueError(f"mode must be 'phase' or 'strict', got {mode!r}")
+        self.k = int(k)
+        self.bandwidth = int(bandwidth)
+        self.mode = mode
+        self.packing = bool(packing)
+        self.metrics = Metrics(k=self.k, bandwidth=self.bandwidth)
+
+    # ------------------------------------------------------------------
+    def _validate(self, outboxes: Sequence[Iterable[Message]]) -> None:
+        if len(outboxes) != self.k:
+            raise ModelError(
+                f"expected one outbox per machine ({self.k}), got {len(outboxes)}"
+            )
+
+    def exchange(
+        self,
+        outboxes: Sequence[Iterable[Message]],
+        label: str = "",
+    ) -> list[list[Message]]:
+        """Deliver one communication phase and account its cost.
+
+        ``outboxes[i]`` are the messages machine ``i`` sends this phase.
+        Returns ``inboxes`` where ``inboxes[j]`` lists the messages machine
+        ``j`` receives (remote first in link order, then local), and
+        accumulates rounds/messages/bits into :attr:`metrics`.
+        """
+        self._validate(outboxes)
+        k = self.k
+        bits = np.zeros((k, k), dtype=np.int64)
+        msgs = np.zeros((k, k), dtype=np.int64)
+        inboxes: list[list[Message]] = [[] for _ in range(k)]
+        local = 0
+        per_link: dict[tuple[int, int], list[Message]] = {}
+
+        for i, outbox in enumerate(outboxes):
+            for msg in outbox:
+                if msg.src != i:
+                    raise ModelError(
+                        f"machine {i} tried to send a message with src={msg.src}"
+                    )
+                if not (0 <= msg.dst < k):
+                    raise ModelError(
+                        f"message destination {msg.dst} out of range [0, {k})"
+                    )
+                if msg.is_local:
+                    local += msg.multiplicity
+                    inboxes[msg.dst].append(msg)
+                    continue
+                bits[msg.src, msg.dst] += msg.bits
+                msgs[msg.src, msg.dst] += msg.multiplicity
+                per_link.setdefault((msg.src, msg.dst), []).append(msg)
+
+        if self.mode == "strict":
+            rounds = self._strict_rounds(per_link)
+            # Record with the strict round count: replicate record_phase but
+            # override the round formula with the simulated value.
+            stats = self.metrics.record_phase(bits, msgs, label=label, local_messages=local)
+            delta = rounds - stats.rounds
+            if delta:
+                stats_rounds = stats.rounds + delta
+                self.metrics.rounds += delta
+                self.metrics.phase_log[-1].rounds = stats_rounds
+        else:
+            self.metrics.record_phase(bits, msgs, label=label, local_messages=local)
+
+        for (_, dst), batch in sorted(per_link.items()):
+            inboxes[dst].extend(batch)
+        return inboxes
+
+    # ------------------------------------------------------------------
+    def account_phase(
+        self,
+        bits_matrix: np.ndarray,
+        messages_matrix: np.ndarray,
+        label: str = "",
+        local_messages: int = 0,
+    ) -> int:
+        """Account a phase given aggregate loads only (no message objects).
+
+        Used by analytically-simulated baselines whose message volume would
+        be prohibitive to materialize.  Returns the rounds charged.
+        """
+        stats = self.metrics.record_phase(
+            bits_matrix, messages_matrix, label=label, local_messages=local_messages
+        )
+        return stats.rounds
+
+    # ------------------------------------------------------------------
+    def _strict_rounds(self, per_link: dict[tuple[int, int], list[Message]]) -> int:
+        """Simulate FIFO draining of every link queue, B bits per round."""
+        B = self.bandwidth
+        worst = 0
+        for _, queue in per_link.items():
+            rounds = 0
+            budget = 0
+            for msg in queue:
+                if self.packing:
+                    if msg.bits <= budget:
+                        budget -= msg.bits
+                    else:
+                        need = msg.bits - budget
+                        extra = ceil_div(need, B)
+                        rounds += extra
+                        budget = extra * B - need
+                else:
+                    rounds += ceil_div(msg.bits, B)
+            worst = max(worst, rounds)
+        return worst
+
+    # ------------------------------------------------------------------
+    @property
+    def rounds(self) -> int:
+        """Total rounds accounted so far."""
+        return self.metrics.rounds
+
+    def reset_metrics(self) -> None:
+        """Discard accumulated metrics (e.g. between benchmark repetitions)."""
+        self.metrics = Metrics(k=self.k, bandwidth=self.bandwidth)

@@ -1,0 +1,80 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_pagerank_defaults(self):
+        args = build_parser().parse_args(["pagerank"])
+        assert args.n == 1000 and args.k == 8 and args.graph == "gnp"
+
+    def test_sweep_parses_ks(self):
+        args = build_parser().parse_args(["sweep", "--ks", "2,4,8"])
+        assert args.ks == "2,4,8"
+
+    def test_rejects_unknown_graph(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["pagerank", "--graph", "nope"])
+
+
+class TestCommands:
+    def test_pagerank_runs(self, capsys):
+        rc = main(["pagerank", "--n", "120", "--k", "4", "--tokens", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rounds" in out and "Theorem-2" in out
+
+    def test_triangles_runs(self, capsys):
+        rc = main(["triangles", "--n", "60", "--k", "8", "--graph", "dense"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "triangles" in out and "Theorem-3" in out
+
+    def test_sort_runs(self, capsys):
+        rc = main(["sort", "--n", "2000", "--k", "4"])
+        assert rc == 0
+        assert "globally sorted" in capsys.readouterr().out
+
+    def test_mst_runs(self, capsys):
+        rc = main(["mst", "--n", "80", "--k", "4"])
+        assert rc == 0
+        assert "Kruskal" in capsys.readouterr().out
+
+    def test_lowerbounds_runs(self, capsys):
+        rc = main(["lowerbounds", "--n", "10000", "--k", "16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("PageRank", "Triangles", "Sorting", "MST"):
+            assert name in out
+
+    def test_sweep_pagerank(self, capsys):
+        rc = main(
+            ["sweep", "--problem", "pagerank", "--n", "300", "--ks", "4,8", "--tokens", "2"]
+        )
+        assert rc == 0
+        assert "fit: rounds ~ k^" in capsys.readouterr().out
+
+    def test_sweep_triangles(self, capsys):
+        rc = main(
+            ["sweep", "--problem", "triangles", "--n", "80", "--graph", "dense", "--ks", "8,27"]
+        )
+        assert rc == 0
+        assert "Thm 5" in capsys.readouterr().out
+
+    def test_star_family(self, capsys):
+        rc = main(["pagerank", "--n", "200", "--k", "4", "--graph", "star", "--tokens", "4"])
+        assert rc == 0
+
+    def test_lb_family(self, capsys):
+        rc = main(["pagerank", "--n", "201", "--k", "4", "--graph", "lb", "--tokens", "8"])
+        assert rc == 0
+
+    def test_powerlaw_family(self, capsys):
+        rc = main(["triangles", "--n", "100", "--k", "8", "--graph", "powerlaw"])
+        assert rc == 0

@@ -1,0 +1,194 @@
+"""Tests for the CONGEST substrate, CONGEST PageRank, and the Conversion
+Theorem replay."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.congest import CongestNetwork, congest_pagerank, convert_execution
+from repro.errors import ModelError
+from repro.kmachine.partition import random_vertex_partition
+
+
+class TestCongestNetwork:
+    def test_valid_round_recorded(self):
+        g = repro.cycle_graph(5)
+        net = CongestNetwork(g, bandwidth=8)
+        net.round(np.array([0, 1]), np.array([1, 2]), np.array([4, 4]))
+        assert net.num_rounds == 1
+        assert net.execution.total_messages == 2
+        assert net.execution.total_bits == 8
+
+    def test_rejects_non_edge(self):
+        g = repro.cycle_graph(5)
+        net = CongestNetwork(g, bandwidth=8)
+        with pytest.raises(ModelError, match="not an edge"):
+            net.round(np.array([0]), np.array([2]), np.array([1]))
+
+    def test_rejects_oversized_message(self):
+        g = repro.cycle_graph(5)
+        net = CongestNetwork(g, bandwidth=8)
+        with pytest.raises(ModelError, match="at most B"):
+            net.round(np.array([0]), np.array([1]), np.array([9]))
+
+    def test_rejects_duplicate_edge_use(self):
+        g = repro.cycle_graph(5)
+        net = CongestNetwork(g, bandwidth=8)
+        with pytest.raises(ModelError, match="one message per edge"):
+            net.round(np.array([0, 0]), np.array([1, 1]), np.array([1, 1]))
+
+    def test_directed_graph_respects_orientation(self):
+        g = repro.path_graph(3, directed=True)
+        net = CongestNetwork(g, bandwidth=8)
+        net.round(np.array([0]), np.array([1]), np.array([1]))
+        with pytest.raises(ModelError, match="not an edge"):
+            net.round(np.array([1]), np.array([0]), np.array([1]))
+
+    def test_empty_round_allowed(self):
+        g = repro.cycle_graph(4)
+        net = CongestNetwork(g, bandwidth=8)
+        net.round(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        assert net.num_rounds == 1
+
+
+class TestCongestPageRank:
+    def test_approximates_reference(self):
+        g = repro.gnp_random_graph(100, 0.08, seed=1)
+        ref = repro.pagerank_walk_series(g, eps=0.25)
+        est, execution = congest_pagerank(g, eps=0.25, c=80, seed=2)
+        assert np.abs(est - ref).max() / ref.max() < 0.3
+        assert execution.num_rounds > 0
+
+    def test_round_count_logarithmic(self):
+        g = repro.gnp_random_graph(200, 0.05, seed=3)
+        _, execution = congest_pagerank(g, eps=0.3, c=8, seed=4)
+        # O(log n / eps) rounds: far below n.
+        assert execution.num_rounds < 120
+
+    def test_execution_messages_bounded_by_edges(self):
+        g = repro.gnp_random_graph(60, 0.15, seed=5)
+        _, execution = congest_pagerank(g, eps=0.3, c=8, seed=6)
+        for traffic in execution.rounds:
+            assert traffic.src.size <= 2 * g.m  # one per edge direction
+
+    def test_deterministic_given_seed(self):
+        g = repro.gnp_random_graph(50, 0.1, seed=7)
+        a, ea = congest_pagerank(g, seed=8, c=10)
+        b, eb = congest_pagerank(g, seed=8, c=10)
+        assert np.array_equal(a, b)
+        assert ea.num_rounds == eb.num_rounds
+
+
+class TestConversionTheorem:
+    def test_conversion_preserves_message_totals(self):
+        g = repro.gnp_random_graph(80, 0.1, seed=9)
+        _, execution = congest_pagerank(g, seed=10, c=8)
+        p = random_vertex_partition(g.n, 8, seed=11)
+        metrics = convert_execution(execution, p, k=8, bandwidth=16)
+        assert metrics.messages + metrics.local_messages == execution.total_messages
+        assert metrics.phases == execution.num_rounds
+
+    def test_conversion_rounds_at_least_congest_rounds(self):
+        # Each non-empty CONGEST round costs >= 1 k-machine round.
+        g = repro.gnp_random_graph(80, 0.1, seed=12)
+        _, execution = congest_pagerank(g, seed=13, c=8)
+        p = random_vertex_partition(g.n, 8, seed=14)
+        metrics = convert_execution(execution, p, k=8, bandwidth=10**9)
+        nonempty = sum(1 for t in execution.rounds if t.src.size)
+        # A round whose traffic happens to be machine-local costs 0.
+        assert nonempty - 3 <= metrics.rounds <= nonempty
+
+    def test_star_conversion_congests(self):
+        # The §3.1 story: on a star, conversion costs Θ(n/k) per early
+        # round (the hub's n in-edges all land on one machine), while
+        # Algorithm 1's cross-source count aggregation sends one message
+        # per machine.  The separation factor is ~k/log n, so it needs
+        # k >> log n and a small token count (leaves light).
+        g = repro.star_graph(4800)
+        B, k = 16, 64
+        _, execution = congest_pagerank(g, seed=15, c=1, bandwidth=B)
+        p = random_vertex_partition(g.n, k, seed=16)
+        converted = convert_execution(execution, p, k=k, bandwidth=B)
+        direct = repro.distributed_pagerank(
+            g, k=k, seed=15, c=1, bandwidth=B, partition=p
+        )
+        assert direct.token_rounds() * 3 < converted.rounds
+
+    def test_rejects_mismatched_partition(self):
+        g = repro.cycle_graph(10)
+        _, execution = congest_pagerank(g, seed=17, c=4)
+        p = random_vertex_partition(11, 4, seed=18)
+        with pytest.raises(ModelError):
+            convert_execution(execution, p, k=4)
+        p2 = random_vertex_partition(10, 5, seed=19)
+        with pytest.raises(ModelError):
+            convert_execution(execution, p2, k=4)
+
+
+class TestConnectivity:
+    def test_components_match_networkx(self):
+        import networkx as nx
+        from repro.core.connectivity import connected_components_distributed
+
+        g = repro.Graph(n=12, edges=[(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (7, 5)])
+        res = connected_components_distributed(g, k=4, seed=0)
+        nxg = g.to_networkx()
+        assert res.num_components == nx.number_connected_components(nxg)
+        for comp in nx.connected_components(nxg):
+            labels = {int(res.labels[v]) for v in comp}
+            assert len(labels) == 1
+            assert min(comp) in labels  # canonical: min vertex id
+
+    def test_connected_random_graph(self):
+        from repro.core.connectivity import connected_components_distributed
+
+        g = repro.gnp_random_graph(100, 0.1, seed=1)
+        res = connected_components_distributed(g, k=8, seed=2)
+        import networkx as nx
+
+        assert res.num_components == nx.number_connected_components(g.to_networkx())
+        assert res.spanning_forest.shape[0] == g.n - res.num_components
+
+    def test_same_component_queries(self):
+        from repro.core.connectivity import connected_components_distributed
+
+        g = repro.Graph(n=5, edges=[(0, 1), (2, 3)])
+        res = connected_components_distributed(g, k=2, seed=3)
+        assert res.same_component(0, 1)
+        assert not res.same_component(1, 2)
+        assert not res.is_connected()
+
+
+class TestPersonalizedPageRank:
+    def test_matches_personalized_reference(self):
+        g = repro.gnp_random_graph(80, 0.1, seed=20)
+        sources = np.array([0, 5, 9])
+        ref = repro.pagerank_walk_series(g, eps=0.3, sources=sources)
+        res = repro.distributed_pagerank(
+            g, k=4, eps=0.3, seed=21, c=300, sources=sources
+        )
+        # Monte-Carlo noise is relatively large on tiny masses: compare
+        # only where the reference carries real weight.
+        mask = ref > ref.max() / 10
+        err = np.abs(res.estimates - ref)[mask] / ref[mask]
+        assert err.max() < 0.4
+
+    def test_mass_concentrates_near_sources(self):
+        g = repro.path_graph(60)
+        res = repro.distributed_pagerank(
+            g, k=4, eps=0.3, seed=22, c=60, sources=np.array([0])
+        )
+        assert res.estimates[:5].sum() > res.estimates[30:].sum()
+
+    def test_rejects_bad_sources(self):
+        g = repro.cycle_graph(10)
+        with pytest.raises(Exception):
+            repro.distributed_pagerank(g, k=4, sources=np.array([10]))
+        with pytest.raises(Exception):
+            repro.distributed_pagerank(g, k=4, sources=np.array([1, 1]))
+
+    def test_reference_personalized_sums(self):
+        g = repro.cycle_graph(20, directed=True)
+        pr = repro.pagerank_walk_series(g, eps=0.2, sources=np.array([3]))
+        assert pr.sum() == pytest.approx(1.0)
+        assert pr[3] == pr.max()

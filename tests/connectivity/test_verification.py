@@ -1,0 +1,138 @@
+"""Tests for bipartiteness and spanning-tree verification."""
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+import repro
+from repro.core.connectivity.verification import (
+    bipartiteness_check,
+    spanning_tree_verification,
+)
+from repro.core.mst import kruskal_mst
+from repro.graphs.generators import barbell_graph, grid_graph, random_bipartite_graph
+
+
+class TestGenerators:
+    def test_grid_shape(self):
+        g = grid_graph(4, 5)
+        assert g.n == 20
+        assert g.m == 4 * 4 + 3 * 5  # horizontal + vertical
+        assert g.max_degree() == 4
+
+    def test_grid_degenerate_rows(self):
+        g = grid_graph(1, 6)
+        assert g.m == 5
+
+    def test_grid_is_bipartite(self):
+        g = grid_graph(5, 5)
+        assert nx.is_bipartite(g.to_networkx())
+
+    def test_barbell_structure(self):
+        g = barbell_graph(5, bridge_length=3)
+        assert g.n == 2 * 5 + 2
+        assert repro.count_triangles(g) == 2 * 10  # C(5,3) per clique
+
+    def test_barbell_short_bridge(self):
+        g = barbell_graph(4, bridge_length=1)
+        assert g.n == 8
+        assert g.has_edge(3, 4)
+
+    def test_barbell_connected(self):
+        g = barbell_graph(6, bridge_length=4)
+        assert nx.is_connected(g.to_networkx())
+
+    def test_random_bipartite_no_triangles(self):
+        g = random_bipartite_graph(20, 25, 0.3, seed=0)
+        assert repro.count_triangles(g) == 0
+        assert nx.is_bipartite(g.to_networkx())
+
+    def test_random_bipartite_edges_cross_sides(self):
+        g = random_bipartite_graph(10, 15, 0.5, seed=1)
+        for u, v in g.edges:
+            assert (u < 10) != (v < 10)
+
+
+class TestBipartiteness:
+    def test_bipartite_graph_accepted(self):
+        g = random_bipartite_graph(30, 30, 0.15, seed=2)
+        res = bipartiteness_check(g, k=4, seed=3)
+        assert res.is_bipartite
+        assert res.odd_edge is None
+        # The returned coloring is proper.
+        for u, v in g.edges:
+            assert res.coloring[u] != res.coloring[v]
+
+    def test_grid_accepted(self):
+        res = bipartiteness_check(grid_graph(6, 7), k=4, seed=4)
+        assert res.is_bipartite
+
+    def test_odd_cycle_rejected_with_certificate(self):
+        g = repro.cycle_graph(7)
+        res = bipartiteness_check(g, k=4, seed=5)
+        assert not res.is_bipartite
+        u, v = res.odd_edge
+        assert g.has_edge(u, v)
+        assert res.coloring[u] == res.coloring[v]
+
+    def test_even_cycle_accepted(self):
+        res = bipartiteness_check(repro.cycle_graph(8), k=4, seed=6)
+        assert res.is_bipartite
+
+    def test_triangle_rich_graph_rejected(self):
+        g = repro.gnp_random_graph(40, 0.3, seed=7)
+        if repro.count_triangles(g) > 0:
+            res = bipartiteness_check(g, k=4, seed=8)
+            assert not res.is_bipartite
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_networkx(self, seed):
+        g = repro.gnp_random_graph(30, 0.08, seed=seed)
+        res = bipartiteness_check(g, k=4, seed=seed + 100)
+        assert res.is_bipartite == nx.is_bipartite(g.to_networkx())
+
+    def test_disconnected_bipartite(self):
+        g = repro.Graph(n=6, edges=[(0, 1), (2, 3)])
+        res = bipartiteness_check(g, k=2, seed=9)
+        assert res.is_bipartite
+
+    def test_rounds_accounted(self):
+        g = grid_graph(8, 8)
+        res = bipartiteness_check(g, k=4, seed=10)
+        assert res.rounds > 0
+        labels = {p.label for p in res.metrics.phase_log}
+        assert any("bipartite/" in l for l in labels)
+
+
+class TestSpanningTreeVerification:
+    def test_accepts_true_spanning_tree(self):
+        g = repro.gnp_random_graph(40, 0.2, seed=11)
+        tree, _ = kruskal_mst(g, np.random.default_rng(12).random(g.m))
+        ok, metrics = spanning_tree_verification(g, tree, k=4, seed=13)
+        assert ok
+        assert metrics.rounds > 0
+
+    def test_rejects_wrong_edge_count(self):
+        g = repro.cycle_graph(5)
+        ok, _ = spanning_tree_verification(g, g.edges[:3], k=2, seed=14)
+        assert not ok
+
+    def test_rejects_cycle(self):
+        g = repro.complete_graph(5)
+        # 4 edges forming a cycle + isolated vertex coverage fails.
+        cand = np.array([[0, 1], [1, 2], [2, 3], [0, 3]])
+        ok, _ = spanning_tree_verification(g, cand, k=2, seed=15)
+        assert not ok
+
+    def test_rejects_non_subgraph_edges(self):
+        g = repro.path_graph(5)
+        cand = np.array([[0, 1], [1, 2], [2, 3], [0, 4]])  # (0,4) not an edge
+        ok, _ = spanning_tree_verification(g, cand, k=2, seed=16)
+        assert not ok
+
+    def test_rejects_disconnected_forest(self):
+        g = repro.complete_graph(6)
+        cand = np.array([[0, 1], [1, 2], [3, 4], [4, 5], [0, 2]])
+        ok, _ = spanning_tree_verification(g, cand, k=2, seed=17)
+        assert not ok

@@ -1,0 +1,54 @@
+"""Unit tests for table rendering and the sweep harness."""
+
+import pytest
+
+from repro.experiments.harness import Sweep
+from repro.experiments.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        out = format_table(["k", "rounds"], [[8, 120], [16, 30]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "k" in lines[0] and "rounds" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        # Columns right-aligned: the widths of all lines match.
+        assert len({len(l) for l in lines}) == 1
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.00012345], [123456.0], [1.5]])
+        assert "1.234e-04" in out or "1.235e-04" in out
+        assert "1.235e+05" in out or "1.234e+05" in out
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestSweep:
+    def test_add_and_column(self):
+        s = Sweep("demo")
+        s.add({"k": 8}, {"rounds": 100})
+        s.add({"k": 16}, {"rounds": 25})
+        assert s.column("k") == [8, 16]
+        assert s.column("rounds") == [100, 25]
+
+    def test_column_missing_key(self):
+        s = Sweep("demo")
+        s.add({"k": 8}, {"rounds": 100})
+        with pytest.raises(KeyError):
+            s.column("nope")
+
+    def test_render_contains_values(self):
+        s = Sweep("demo")
+        s.add({"k": 8}, {"rounds": 100})
+        out = s.render()
+        assert "demo" in out and "100" in out and "k" in out
+
+    def test_render_empty(self):
+        assert "no rows" in Sweep("empty").render()

@@ -1,0 +1,132 @@
+"""Unit tests for the CSR Graph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(n=5)
+        assert g.n == 5 and g.m == 0
+        assert g.out_neighbors(0).size == 0
+
+    def test_undirected_neighbors_both_sides(self):
+        g = Graph(n=4, edges=[(0, 1), (1, 2)])
+        assert g.neighbors(1).tolist() == [0, 2]
+        assert g.neighbors(0).tolist() == [1]
+        assert g.neighbors(3).tolist() == []
+
+    def test_undirected_canonicalizes_order(self):
+        g = Graph(n=3, edges=[(2, 0)])
+        assert g.edges.tolist() == [[0, 2]]
+
+    def test_directed_adjacency_one_sided(self):
+        g = Graph(n=3, edges=[(0, 1), (1, 2)], directed=True)
+        assert g.out_neighbors(0).tolist() == [1]
+        assert g.out_neighbors(1).tolist() == [2]
+        assert g.out_neighbors(2).tolist() == []
+        assert g.in_neighbors(2).tolist() == [1]
+        assert g.in_neighbors(0).tolist() == []
+
+    def test_neighbor_lists_sorted(self):
+        g = Graph(n=5, edges=[(0, 4), (0, 2), (0, 1), (0, 3)])
+        assert g.neighbors(0).tolist() == [1, 2, 3, 4]
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            Graph(n=3, edges=[(1, 1)])
+
+    def test_rejects_duplicate_edges(self):
+        with pytest.raises(GraphError, match="duplicate"):
+            Graph(n=3, edges=[(0, 1), (0, 1)])
+
+    def test_rejects_reversed_duplicate_undirected(self):
+        with pytest.raises(GraphError, match="duplicate"):
+            Graph(n=3, edges=[(0, 1), (1, 0)])
+
+    def test_directed_antiparallel_allowed(self):
+        g = Graph(n=3, edges=[(0, 1), (1, 0)], directed=True)
+        assert g.m == 2
+
+    def test_rejects_out_of_range_endpoint(self):
+        with pytest.raises(GraphError, match="range"):
+            Graph(n=3, edges=[(0, 3)])
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(GraphError, match="shape"):
+            Graph(n=3, edges=np.array([[0, 1, 2]]))
+
+
+class TestQueries:
+    def test_degrees_undirected(self):
+        g = Graph(n=4, edges=[(0, 1), (0, 2), (0, 3)])
+        assert g.degrees().tolist() == [3, 1, 1, 1]
+        assert g.max_degree() == 3
+
+    def test_degrees_directed(self):
+        g = Graph(n=3, edges=[(0, 1), (0, 2), (1, 2)], directed=True)
+        assert g.out_degrees().tolist() == [2, 1, 0]
+        assert g.in_degrees().tolist() == [0, 1, 2]
+        assert g.degrees().tolist() == [2, 2, 2]
+
+    def test_has_edge(self):
+        g = Graph(n=4, edges=[(0, 1), (2, 3)])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.has_edge(2, 3)
+        assert not g.has_edge(0, 2)
+
+    def test_has_edge_directed_is_oriented(self):
+        g = Graph(n=3, edges=[(0, 1)], directed=True)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_subgraph_edges(self):
+        g = Graph(n=5, edges=[(0, 1), (1, 2), (2, 3), (3, 4)])
+        sub = g.subgraph_edges(np.array([1, 2, 3]))
+        assert sub.tolist() == [[1, 2], [2, 3]]
+
+    def test_adjacency_matrix_symmetry(self):
+        g = Graph(n=4, edges=[(0, 1), (2, 3)])
+        a = g.adjacency_matrix()
+        assert np.array_equal(a, a.T)
+        assert a[0, 1] and a[3, 2]
+
+    def test_vertex_range_check(self):
+        g = Graph(n=3)
+        with pytest.raises(GraphError):
+            g.out_neighbors(3)
+
+    def test_neighbors_rejects_directed(self):
+        g = Graph(n=3, edges=[(0, 1)], directed=True)
+        with pytest.raises(GraphError):
+            g.neighbors(0)
+
+
+class TestNetworkxRoundTrip:
+    def test_undirected_round_trip(self):
+        import networkx as nx
+
+        g = Graph(n=6, edges=[(0, 1), (1, 2), (3, 4)])
+        nxg = g.to_networkx()
+        assert isinstance(nxg, nx.Graph)
+        back = Graph.from_networkx(nxg)
+        assert np.array_equal(back.edges, g.edges)
+
+    def test_directed_round_trip(self):
+        import networkx as nx
+
+        g = Graph(n=4, edges=[(0, 1), (1, 0), (2, 3)], directed=True)
+        back = Graph.from_networkx(g.to_networkx())
+        assert back.directed
+        assert np.array_equal(back.edges, g.edges)
+
+    def test_from_networkx_requires_contiguous_labels(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(GraphError):
+            Graph.from_networkx(g)

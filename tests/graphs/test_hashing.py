@@ -1,0 +1,51 @@
+"""Unit tests for deterministic vertex hashing."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.hashing import hash_colors, hash_machines, random_colors
+
+
+class TestHashMachines:
+    def test_deterministic(self):
+        ids = np.arange(100)
+        assert np.array_equal(hash_machines(ids, 8), hash_machines(ids, 8))
+
+    def test_range(self):
+        out = hash_machines(np.arange(1000), 7)
+        assert out.min() >= 0 and out.max() < 7
+
+    def test_salt_changes_assignment(self):
+        ids = np.arange(200)
+        assert not np.array_equal(hash_machines(ids, 8, salt=0), hash_machines(ids, 8, salt=1))
+
+    def test_roughly_uniform(self):
+        out = hash_machines(np.arange(8000), 8)
+        counts = np.bincount(out, minlength=8)
+        assert counts.min() > 700 and counts.max() < 1300
+
+
+class TestColors:
+    def test_hash_colors_range_and_determinism(self):
+        ids = np.arange(500)
+        a = hash_colors(ids, 5)
+        assert a.min() >= 0 and a.max() < 5
+        assert np.array_equal(a, hash_colors(ids, 5))
+
+    def test_hash_colors_independent_of_machine_hash(self):
+        ids = np.arange(500)
+        colors = hash_colors(ids, 4, salt=1)
+        machines = hash_machines(ids, 4, salt=0)
+        assert not np.array_equal(colors, machines)
+
+    def test_random_colors_seeded(self):
+        a = random_colors(100, 3, seed=5)
+        b = random_colors(100, 3, seed=5)
+        assert np.array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 3
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            random_colors(0, 3)
+        with pytest.raises(ValueError):
+            hash_colors(np.arange(5), 0)

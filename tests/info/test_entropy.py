@@ -1,0 +1,92 @@
+"""Unit tests for entropy / mutual information."""
+
+import numpy as np
+import pytest
+
+from repro.info.entropy import (
+    binary_entropy,
+    conditional_entropy,
+    entropy,
+    joint_entropy,
+    kl_divergence,
+    mutual_information,
+)
+
+
+class TestEntropy:
+    def test_uniform_maximizes(self):
+        assert entropy(np.full(8, 1 / 8)) == pytest.approx(3.0)
+
+    def test_point_mass_zero(self):
+        assert entropy(np.array([1.0, 0.0, 0.0])) == 0.0
+
+    def test_binary_entropy_symmetry_and_peak(self):
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+        assert binary_entropy(0.1) == pytest.approx(binary_entropy(0.9))
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+
+    def test_rejects_non_distribution(self):
+        with pytest.raises(ValueError):
+            entropy(np.array([0.5, 0.6]))
+        with pytest.raises(ValueError):
+            entropy(np.array([1.2, -0.2]))
+
+    def test_binary_entropy_range_check(self):
+        with pytest.raises(ValueError):
+            binary_entropy(1.5)
+
+
+class TestJointQuantities:
+    def test_independent_variables_zero_information(self):
+        px = np.array([0.3, 0.7])
+        py = np.array([0.25, 0.25, 0.5])
+        joint = np.outer(px, py)
+        assert mutual_information(joint) == pytest.approx(0.0, abs=1e-12)
+        assert joint_entropy(joint) == pytest.approx(entropy(px) + entropy(py))
+
+    def test_perfectly_correlated(self):
+        joint = np.diag([0.5, 0.5])
+        assert mutual_information(joint) == pytest.approx(1.0)
+        assert conditional_entropy(joint) == pytest.approx(0.0)
+
+    def test_chain_rule(self):
+        rng = np.random.default_rng(0)
+        joint = rng.random((4, 5))
+        joint /= joint.sum()
+        # H[X, Y] = H[Y] + H[X | Y]
+        hy = entropy(joint.sum(axis=0))
+        assert joint_entropy(joint) == pytest.approx(hy + conditional_entropy(joint))
+
+    def test_information_symmetric(self):
+        rng = np.random.default_rng(1)
+        joint = rng.random((3, 3))
+        joint /= joint.sum()
+        assert mutual_information(joint) == pytest.approx(mutual_information(joint.T), abs=1e-10)
+
+    def test_information_nonnegative(self):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            joint = rng.random((3, 4))
+            joint /= joint.sum()
+            assert mutual_information(joint) >= -1e-12
+
+
+class TestKL:
+    def test_zero_for_identical(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_positive_for_different(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.5, 0.5])
+        assert kl_divergence(p, q) > 0
+
+    def test_infinite_when_support_mismatch(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([1.0, 0.0])
+        assert kl_divergence(p, q) == float("inf")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            kl_divergence(np.array([1.0]), np.array([0.5, 0.5]))

@@ -1,0 +1,69 @@
+"""Unit tests for surprisal accounting and the Lemma-3 transcript bound."""
+
+import pytest
+
+from repro.info.surprisal import (
+    SurprisalAccount,
+    min_rounds_for_entropy,
+    surprisal,
+    surprisal_change,
+    transcript_entropy_bound,
+)
+
+
+class TestSurprisal:
+    def test_certain_event_no_surprise(self):
+        assert surprisal(1.0) == 0.0
+
+    def test_fair_coin_one_bit(self):
+        assert surprisal(0.5) == pytest.approx(1.0)
+
+    def test_rare_event_many_bits(self):
+        assert surprisal(2**-20) == pytest.approx(20.0)
+
+    def test_rejects_zero_probability(self):
+        with pytest.raises(ValueError):
+            surprisal(0.0)
+
+    def test_surprisal_change_positive_when_learning(self):
+        # Event went from prob 1/1024 to 1/2: learned 9 bits.
+        assert surprisal_change(2**-10, 0.5) == pytest.approx(9.0)
+
+    def test_surprisal_change_negative_when_forgetting(self):
+        assert surprisal_change(0.5, 0.25) == pytest.approx(-1.0)
+
+
+class TestSurprisalAccount:
+    def test_information_cost(self):
+        acc = SurprisalAccount(entropy_z=100, initial_known_bits=10, output_known_bits=60)
+        assert acc.information_cost == 50
+
+    def test_no_negative_ic(self):
+        acc = SurprisalAccount(entropy_z=100, initial_known_bits=60, output_known_bits=10)
+        assert acc.information_cost == 0.0
+
+    def test_rejects_knowledge_above_entropy(self):
+        with pytest.raises(ValueError):
+            SurprisalAccount(entropy_z=10, initial_known_bits=11, output_known_bits=5)
+        with pytest.raises(ValueError):
+            SurprisalAccount(entropy_z=10, initial_known_bits=1, output_known_bits=11)
+
+
+class TestTranscriptBound:
+    def test_lemma3_formula(self):
+        # 2^{(B+1)(k-1)T} values -> (B+1)(k-1)T bits.
+        assert transcript_entropy_bound(bandwidth=4, k=3, rounds=5) == 50.0
+
+    def test_zero_rounds_zero_entropy(self):
+        assert transcript_entropy_bound(4, 3, 0) == 0.0
+
+    def test_inversion_consistency(self):
+        bits = 120.0
+        rounds = min_rounds_for_entropy(bits, bandwidth=4, k=3)
+        assert transcript_entropy_bound(4, 3, rounds) == pytest.approx(bits)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            transcript_entropy_bound(0, 3, 1)
+        with pytest.raises(ValueError):
+            min_rounds_for_entropy(-1, 4, 3)

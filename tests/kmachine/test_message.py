@@ -1,0 +1,42 @@
+"""Unit tests for the Message envelope."""
+
+import pytest
+
+from repro.kmachine.message import Message
+
+
+class TestMessageConstruction:
+    def test_basic_fields(self):
+        m = Message(src=0, dst=1, kind="x", payload=42, bits=8)
+        assert m.src == 0 and m.dst == 1 and m.kind == "x"
+        assert m.payload == 42 and m.bits == 8 and m.multiplicity == 1
+
+    def test_local_flag(self):
+        assert Message(src=2, dst=2, kind="x").is_local
+        assert not Message(src=2, dst=3, kind="x").is_local
+
+    def test_default_bits_positive(self):
+        assert Message(src=0, dst=1, kind="x").bits == 1
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError, match="positive"):
+            Message(src=0, dst=1, kind="x", bits=0)
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ValueError):
+            Message(src=0, dst=1, kind="x", bits=-5)
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(ValueError):
+            Message(src=-1, dst=0, kind="x")
+        with pytest.raises(ValueError):
+            Message(src=0, dst=-2, kind="x")
+
+    def test_rejects_nonpositive_multiplicity(self):
+        with pytest.raises(ValueError, match="multiplicity"):
+            Message(src=0, dst=1, kind="x", multiplicity=0)
+
+    def test_batch_envelope(self):
+        m = Message(src=0, dst=1, kind="batch", bits=100, multiplicity=10)
+        assert m.multiplicity == 10
+        assert m.bits == 100

@@ -1,0 +1,44 @@
+"""Unit tests for §1.3 lower-bound extensions (sorting, MST)."""
+
+import pytest
+
+import repro
+from repro.core.lowerbounds import extensions as ext
+
+
+class TestSortingLB:
+    def test_scaling_n_over_k_squared(self):
+        n, B = 10_000, 16
+        r8 = ext.sorting_round_lower_bound(n, 8, B)
+        r16 = ext.sorting_round_lower_bound(n, 16, B)
+        assert r8 == pytest.approx(4 * r16)
+
+    def test_information_cost_shape(self):
+        assert ext.sorting_information_cost(1024, 8) == pytest.approx((1024 / 8) * 10)
+
+    def test_algorithm_respects_bound(self):
+        import numpy as np
+
+        n, k, B = 20_000, 8, 16
+        values = np.random.default_rng(0).random(n)
+        result = repro.distributed_sort(values, k=k, seed=1, bandwidth=B)
+        assert result.rounds >= ext.sorting_round_lower_bound(n, k, B)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ext.sorting_information_cost(1, 4)
+
+
+class TestMstLB:
+    def test_scaling_matches_sorting(self):
+        n, B = 10_000, 16
+        assert ext.mst_round_lower_bound(n, 8, B) == pytest.approx(
+            4 * ext.mst_round_lower_bound(n, 16, B)
+        )
+
+    def test_ic_positive(self):
+        assert ext.mst_information_cost(100, 4) > 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ext.mst_information_cost(100, 1)

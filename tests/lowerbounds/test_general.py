@@ -1,0 +1,87 @@
+"""Unit tests for the General Lower Bound Theorem machinery (Theorem 1)."""
+
+import pytest
+
+from repro.core.lowerbounds.general import GeneralLowerBound, general_lower_bound_rounds
+from repro.info.surprisal import SurprisalAccount
+
+
+class TestGeneralLowerBound:
+    def test_conclusion_formula(self):
+        lb = GeneralLowerBound(information_cost=1000, bandwidth=10, k=5)
+        assert lb.rounds == pytest.approx(1000 / 50)
+
+    def test_functional_shortcut(self):
+        assert general_lower_bound_rounds(1000, 10, 5) == pytest.approx(20.0)
+
+    def test_lemma3_exact_form_is_stronger_for_small_k(self):
+        lb = GeneralLowerBound(information_cost=1000, bandwidth=10, k=5)
+        # IC/((B+1)(k-1)) vs IC/(Bk): (B+1)(k-1) = 44 < 50.
+        assert lb.rounds_lemma3_exact > lb.rounds
+
+    def test_scaling_in_k(self):
+        r4 = GeneralLowerBound(1000, 10, 4).rounds
+        r8 = GeneralLowerBound(1000, 10, 8).rounds
+        assert r4 == pytest.approx(2 * r8)
+
+    def test_scaling_in_bandwidth(self):
+        r1 = GeneralLowerBound(1000, 10, 4).rounds
+        r2 = GeneralLowerBound(1000, 20, 4).rounds
+        assert r1 == pytest.approx(2 * r2)
+
+    def test_rejects_ic_above_entropy(self):
+        with pytest.raises(ValueError, match="IC"):
+            GeneralLowerBound(information_cost=100, bandwidth=10, k=4, entropy_z=50)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            GeneralLowerBound(-1, 10, 4)
+        with pytest.raises(ValueError):
+            GeneralLowerBound(10, 0, 4)
+        with pytest.raises(ValueError):
+            GeneralLowerBound(10, 10, 1)
+
+
+class TestErrorAdmissibility:
+    def test_small_error_admissible(self):
+        lb = GeneralLowerBound(information_cost=100, bandwidth=10, k=4, entropy_z=1000)
+        # Needs error = o(IC / H[Z]) = o(0.1); 0.01 passes the surrogate.
+        assert lb.admissible_error(0.01)
+
+    def test_large_error_rejected(self):
+        lb = GeneralLowerBound(information_cost=100, bandwidth=10, k=4, entropy_z=1000)
+        assert not lb.admissible_error(0.2)
+
+    def test_without_entropy_uses_half(self):
+        lb = GeneralLowerBound(information_cost=100, bandwidth=10, k=4)
+        assert lb.admissible_error(0.4)
+        assert not lb.admissible_error(0.6)
+
+    def test_rejects_error_out_of_range(self):
+        lb = GeneralLowerBound(100, 10, 4)
+        with pytest.raises(ValueError):
+            lb.admissible_error(1.0)
+
+
+class TestPremiseVerification:
+    def test_account_certifies_ic(self):
+        lb = GeneralLowerBound(information_cost=50, bandwidth=10, k=4, entropy_z=200)
+        acc = SurprisalAccount(entropy_z=200, initial_known_bits=20, output_known_bits=80)
+        assert lb.verify_premises(acc)
+
+    def test_account_below_ic_fails(self):
+        lb = GeneralLowerBound(information_cost=50, bandwidth=10, k=4, entropy_z=200)
+        acc = SurprisalAccount(entropy_z=200, initial_known_bits=20, output_known_bits=40)
+        assert not lb.verify_premises(acc)
+
+    def test_slack_loosens(self):
+        lb = GeneralLowerBound(information_cost=50, bandwidth=10, k=4, entropy_z=200)
+        acc = SurprisalAccount(entropy_z=200, initial_known_bits=20, output_known_bits=50)
+        assert not lb.verify_premises(acc)
+        assert lb.verify_premises(acc, slack=2.0)
+
+    def test_rejects_slack_below_one(self):
+        lb = GeneralLowerBound(50, 10, 4)
+        acc = SurprisalAccount(entropy_z=200, initial_known_bits=0, output_known_bits=50)
+        with pytest.raises(ValueError):
+            lb.verify_premises(acc, slack=0.5)

@@ -1,0 +1,101 @@
+"""Unit tests for the Theorem-2 PageRank lower bound."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.lowerbounds import pagerank as lb
+from repro.kmachine.partition import random_vertex_partition
+
+
+class TestClosedForms:
+    def test_information_cost_formula(self):
+        # IC = m/4k = (n-1)/4k.
+        assert lb.pagerank_information_cost(4001, 10) == pytest.approx(100.0)
+
+    def test_round_bound_scales_n_over_k_squared(self):
+        n, B = 8001, 16
+        r10 = lb.pagerank_round_lower_bound(n, 10, B)
+        r20 = lb.pagerank_round_lower_bound(n, 20, B)
+        assert r10 == pytest.approx(4 * r20)
+
+    def test_round_bound_linear_in_n(self):
+        B, k = 16, 10
+        r1 = lb.pagerank_round_lower_bound(4001, k, B)
+        r2 = lb.pagerank_round_lower_bound(8001, k, B)
+        assert r2 / r1 == pytest.approx(2.0, rel=0.01)
+
+    def test_full_object_carries_entropy(self):
+        obj = lb.pagerank_lower_bound(4001, 10, 16)
+        assert obj.entropy_z == pytest.approx(1000.0)
+        assert obj.rounds > 0
+
+    def test_rejects_tiny_inputs(self):
+        with pytest.raises(ValueError):
+            lb.pagerank_information_cost(3, 2)
+
+    def test_lemma5_bound_shape(self):
+        n = 4001
+        b8 = lb.lemma5_path_bound(n, 8)
+        b16 = lb.lemma5_path_bound(n, 16)
+        assert b8 == pytest.approx(4 * b16)
+
+
+class TestEmpiricalPremises:
+    def test_lemma5_holds_on_sampled_instances(self):
+        # The whp event of Lemma 5: no machine learns more than
+        # O(n log n / k^2) chains from the RVP.
+        for seed in range(5):
+            inst = repro.pagerank_lowerbound_graph(q=250, seed=seed)
+            p = random_vertex_partition(inst.n, 8, seed=seed)
+            report = lb.verify_lower_bound_premises(inst, p, bandwidth=32)
+            assert report.premise1_holds
+            assert report.max_paths_known <= report.lemma5_bound
+
+    def test_measured_paths_decrease_with_k(self):
+        inst = repro.pagerank_lowerbound_graph(q=2000, seed=1)
+        means = []
+        for k in (4, 16):
+            vals = []
+            for seed in range(5):
+                p = random_vertex_partition(inst.n, k, seed=seed)
+                vals.append(lb.lemma5_measured_paths(inst, p).max())
+            means.append(np.mean(vals))
+        # Expected chains per machine scale as q * (2/k^2)-ish.
+        assert means[0] > 4 * means[1]
+
+    def test_surprisal_account_certifies_ic(self):
+        # A machine outputting Ω(n/k) values satisfies Premise (2).
+        inst = repro.pagerank_lowerbound_graph(q=400, seed=2)
+        p = random_vertex_partition(inst.n, 8, seed=3)
+        outputs = inst.q // 8  # the Lemma-6 guarantee
+        acc = lb.surprisal_account(inst, p, machine=0, outputs=outputs)
+        theorem = lb.pagerank_lower_bound(inst.n, 8, 32)
+        # IC from the account should reach the theorem's IC up to the
+        # Lemma-5 initial-knowledge correction.
+        assert acc.information_cost >= lb.pagerank_information_cost(inst.n, 8) * 0.5
+
+    def test_report_fields_consistent(self):
+        inst = repro.pagerank_lowerbound_graph(q=100, seed=4)
+        p = random_vertex_partition(inst.n, 4, seed=5)
+        report = lb.verify_lower_bound_premises(inst, p, bandwidth=16)
+        assert report.n == inst.n and report.q == 100 and report.k == 4
+        assert report.information_cost == pytest.approx((inst.n - 1) / 16)
+        assert report.round_lower_bound == pytest.approx(
+            report.information_cost / (16 * 4)
+        )
+
+
+class TestAlgorithmRespectsLowerBound:
+    def test_algorithm1_rounds_exceed_lower_bound_on_H(self):
+        # Theorem 2 (LB) and Theorem 4 (UB) sandwich Algorithm 1's
+        # measured rounds on the lower-bound graph.
+        inst = repro.pagerank_lowerbound_graph(q=500, seed=6)
+        k, B = 8, 16
+        result = repro.distributed_pagerank(
+            inst.graph, k=k, eps=0.2, seed=7, c=4, bandwidth=B
+        )
+        bound = lb.pagerank_round_lower_bound(inst.n, k, B)
+        assert result.rounds >= bound

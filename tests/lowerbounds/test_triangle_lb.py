@@ -1,0 +1,170 @@
+"""Unit tests for the Theorem-3 triangle lower bounds and Corollaries 1-2."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.lowerbounds import triangles as lb
+from repro.graphs.triangles_ref import enumerate_triangles
+from repro.kmachine.partition import VertexPartition, random_vertex_partition
+
+
+class TestRivinBound:
+    def test_min_edges_exact_small_cases(self):
+        # 1 triangle needs 3 edges; 4 triangles need C(5,2)=10 edges
+        # minus... check against brute extremal values: K4 (6 edges) has 4.
+        assert lb.min_edges_for_triangles(0) == 0
+        assert lb.min_edges_for_triangles(1) == 3
+        assert lb.min_edges_for_triangles(2) == 5  # K4 minus an edge: 2 triangles
+        assert lb.min_edges_for_triangles(4) == 6  # K4
+        assert lb.min_edges_for_triangles(10) == 10  # K5
+        assert lb.min_edges_for_triangles(20) == 15  # K6
+
+    def test_min_edges_monotone(self):
+        vals = [lb.min_edges_for_triangles(t) for t in range(0, 200, 7)]
+        assert all(a <= b for a, b in zip(vals, vals[1:]))
+
+    def test_asymptotic_bound_below_exact(self):
+        for t in (1, 10, 100, 10_000, 10**6):
+            assert lb.rivin_edge_bound(t) <= lb.min_edges_for_triangles(t) + 1e-9
+
+    def test_asymptotic_two_thirds_scaling(self):
+        r = lb.rivin_edge_bound(8_000_000) / lb.rivin_edge_bound(1_000_000)
+        assert r == pytest.approx(4.0)  # 8^{2/3}
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            lb.rivin_edge_bound(-1)
+
+
+class TestClosedForms:
+    def test_expected_triangles_gnp_half(self):
+        n = 100
+        assert lb.expected_triangles_gnp(n) == pytest.approx(math.comb(n, 3) / 8)
+
+    def test_information_cost_default_t(self):
+        n, k = 300, 27
+        ic = lb.triangle_information_cost(n, k)
+        t = math.comb(n, 3) / 8
+        assert ic == pytest.approx((6 * t / k) ** (2 / 3) / 2)
+
+    def test_round_bound_k_scaling_is_five_thirds(self):
+        n, B = 1000, 16
+        r = lb.triangle_round_lower_bound(n, 8, B) / lb.triangle_round_lower_bound(n, 64, B)
+        assert r == pytest.approx(8 ** (5 / 3), rel=0.01)
+
+    def test_round_bound_n_scaling_is_quadratic(self):
+        B, k = 16, 27
+        r = lb.triangle_round_lower_bound(2000, k, B) / lb.triangle_round_lower_bound(1000, k, B)
+        assert r == pytest.approx(4.0, rel=0.05)
+
+    def test_sparse_form_with_explicit_t(self):
+        # The "real lower bound" Ω̃((t/k)^{2/3}/k) applies with measured t.
+        small = lb.triangle_round_lower_bound(1000, 8, 16, t=100)
+        large = lb.triangle_round_lower_bound(1000, 8, 16, t=100_000)
+        assert large > small
+
+    def test_congested_clique_third_root_scaling(self):
+        B = 16
+        r = lb.congested_clique_lower_bound(8000, B) / lb.congested_clique_lower_bound(1000, B)
+        assert r == pytest.approx(2.0, rel=0.05)  # (8x)^{1/3}
+
+    def test_message_bound_formula(self):
+        assert lb.triangle_message_lower_bound(100, 8) == pytest.approx(100**2 * 2.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            lb.triangle_information_cost(2, 8)
+        with pytest.raises(ValueError):
+            lb.triangle_message_lower_bound(100, 1)
+
+
+class TestLocalTriangles:
+    def test_all_on_one_machine(self):
+        g = repro.complete_graph(6)
+        p = VertexPartition(home=np.zeros(6, dtype=np.int64), k=2)
+        counts = lb.local_triangles_per_machine(g, p)
+        assert counts[0] == 20 and counts[1] == 0
+
+    def test_spread_vertices_no_local_triangles(self):
+        g = repro.complete_graph(3)
+        p = VertexPartition(home=np.array([0, 1, 2]), k=3)
+        assert lb.local_triangles_per_machine(g, p).sum() == 0
+
+    def test_two_corners_suffice(self):
+        g = repro.complete_graph(3)
+        p = VertexPartition(home=np.array([0, 0, 1]), k=2)
+        counts = lb.local_triangles_per_machine(g, p)
+        assert counts[0] == 1 and counts[1] == 0
+
+    def test_brute_force_agreement(self):
+        g = repro.gnp_random_graph(30, 0.4, seed=0)
+        p = random_vertex_partition(30, 4, seed=1)
+        counts = lb.local_triangles_per_machine(g, p)
+        brute = np.zeros(4, dtype=np.int64)
+        for tri in enumerate_triangles(g):
+            homes = p.home[tri]
+            for mach in set(homes.tolist()):
+                if (homes == mach).sum() >= 2:
+                    brute[mach] += 1
+        assert np.array_equal(counts, brute)
+
+    def test_t3_small_relative_to_total_under_rvp(self):
+        # Lemma 11 needs t3 = o(t/k); with balanced RVP most triangles
+        # straddle machines.
+        g = repro.gnp_random_graph(60, 0.5, seed=2)
+        p = random_vertex_partition(60, 8, seed=3)
+        t = enumerate_triangles(g).shape[0]
+        t3 = lb.local_triangles_per_machine(g, p)
+        assert t3.max() < t / 8
+
+
+class TestProposition2:
+    def test_induced_edge_count(self):
+        g = repro.complete_graph(10)
+        assert lb.induced_edge_count(g, np.arange(4)) == 6
+
+    def test_random_subsets_respect_threshold(self):
+        # Empirical check of the whp event of Proposition 2.
+        g = repro.gnp_random_graph(300, 0.5, seed=4)
+        rng = np.random.default_rng(5)
+        t = 60
+        threshold = lb.proposition2_edge_bound(g.m, g.n, t)
+        for _ in range(20):
+            subset = rng.choice(g.n, size=t, replace=False)
+            assert lb.induced_edge_count(g, subset) < threshold
+
+    def test_eta_floor_applied(self):
+        # Sparse graph: eta floor 1/(3t) kicks in.
+        bound_sparse = lb.proposition2_edge_bound(10, 1000, 30)
+        assert bound_sparse == pytest.approx(3 * (1 / 90) * 900)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            lb.proposition2_edge_bound(-1, 10, 5)
+
+
+class TestSurprisalAccounting:
+    def test_output_increases_knowledge(self):
+        g = repro.gnp_random_graph(40, 0.5, seed=6)
+        p = random_vertex_partition(40, 4, seed=7)
+        t = enumerate_triangles(g).shape[0]
+        acc = lb.surprisal_account(g, p, machine=0, triangles_output=t // 4)
+        assert acc.information_cost > 0
+
+    def test_zero_output_zero_ic(self):
+        g = repro.gnp_random_graph(40, 0.5, seed=8)
+        p = random_vertex_partition(40, 4, seed=9)
+        acc = lb.surprisal_account(g, p, machine=0, triangles_output=0)
+        assert acc.information_cost == 0.0
+
+    def test_algorithm_rounds_exceed_lower_bound(self):
+        # Theorem 3 sandwich on a dense instance.
+        g = repro.gnp_random_graph(100, 0.5, seed=10)
+        k, B = 27, 16
+        result = repro.enumerate_triangles_distributed(g, k=k, seed=11, bandwidth=B)
+        t = result.count
+        bound = lb.triangle_round_lower_bound(g.n, k, B, t=t)
+        assert result.rounds >= bound

@@ -1,0 +1,74 @@
+"""Tests for the Õ(n/k) per-edge-forwarding PageRank baseline."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestBaselineCorrectness:
+    def test_approximates_walk_series(self):
+        g = repro.gnp_random_graph(100, 0.08, seed=1)
+        ref = repro.pagerank_walk_series(g, eps=0.25)
+        res = repro.baseline_pagerank(g, k=6, eps=0.25, seed=2, c=80)
+        assert res.linf_relative_error(ref) < 0.25
+
+    def test_handles_dangling(self):
+        inst = repro.pagerank_lowerbound_graph(q=30, seed=3)
+        ref = inst.analytic_pagerank(0.25)
+        res = repro.baseline_pagerank(inst.graph, k=4, eps=0.25, seed=4, c=80)
+        assert res.linf_relative_error(ref) < 0.3
+
+    def test_deterministic_given_seed(self):
+        g = repro.gnp_random_graph(60, 0.1, seed=5)
+        a = repro.baseline_pagerank(g, k=4, seed=6, c=20)
+        b = repro.baseline_pagerank(g, k=4, seed=6, c=20)
+        assert np.array_equal(a.estimates, b.estimates)
+
+    def test_same_estimator_distribution_as_algorithm1(self):
+        # Means over seeds should agree: the protocols differ only in the
+        # message pattern, not the walk process.
+        g = repro.gnp_random_graph(50, 0.15, seed=7)
+        ref = repro.pagerank_walk_series(g, eps=0.3)
+        base = np.zeros(g.n)
+        algo = np.zeros(g.n)
+        runs = 6
+        for s in range(runs):
+            base += repro.baseline_pagerank(g, k=4, eps=0.3, seed=200 + s, c=30).estimates
+            algo += repro.distributed_pagerank(g, k=4, eps=0.3, seed=300 + s, c=30).estimates
+        assert np.abs(base / runs - ref).max() < 0.15 * ref.max() + np.abs(
+            algo / runs - ref
+        ).max()
+
+
+class TestBaselineCost:
+    def test_algorithm1_beats_baseline_on_star(self):
+        # The paper's motivating example: the hub's token traffic costs
+        # the baseline Θ̃(n/k) rounds per iteration.
+        g = repro.star_graph(800)
+        k, B = 8, 16
+        base = repro.baseline_pagerank(g, k=k, seed=8, c=8, bandwidth=B)
+        algo = repro.distributed_pagerank(g, k=k, seed=8, c=8, bandwidth=B)
+        assert algo.token_rounds() * 3 < base.token_rounds()
+
+    def test_algorithm1_beats_baseline_on_lb_graph(self):
+        # On H, the sink w concentrates Θ(n/4) edge messages per early
+        # iteration in the baseline.
+        inst = repro.pagerank_lowerbound_graph(q=400, seed=9)
+        k, B = 8, 16
+        base = repro.baseline_pagerank(inst.graph, k=k, seed=10, c=8, bandwidth=B)
+        algo = repro.distributed_pagerank(inst.graph, k=k, seed=10, c=8, bandwidth=B)
+        assert algo.token_rounds() < base.token_rounds()
+
+    def test_baseline_rounds_scale_inverse_k(self):
+        g = repro.star_graph(600)
+        B = 16
+        r4 = repro.baseline_pagerank(g, k=4, seed=11, c=8, bandwidth=B).token_rounds()
+        r16 = repro.baseline_pagerank(g, k=16, seed=11, c=8, bandwidth=B).token_rounds()
+        # Θ(n/k): factor ~4, clearly below quadratic improvement.
+        assert 2 < r4 / r16 < 10
+
+    def test_metrics_consistent(self):
+        g = repro.gnp_random_graph(60, 0.1, seed=12)
+        res = repro.baseline_pagerank(g, k=4, seed=13, c=10)
+        res.metrics.check_conservation()

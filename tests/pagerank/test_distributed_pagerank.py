@@ -1,0 +1,159 @@
+"""Tests for Algorithm 1 (distributed PageRank)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import AlgorithmError
+from repro.kmachine.partition import random_vertex_partition
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: repro.gnp_random_graph(120, 0.08, seed=1),
+            lambda: repro.cycle_graph(100),
+            lambda: repro.star_graph(100),
+        ],
+        ids=["gnp", "cycle", "star"],
+    )
+    def test_approximates_walk_series(self, maker):
+        g = maker()
+        ref = repro.pagerank_walk_series(g, eps=0.25)
+        res = repro.distributed_pagerank(g, k=6, eps=0.25, seed=2, c=80)
+        # Monte-Carlo estimator: generous delta on small graphs.
+        assert res.linf_relative_error(ref) < 0.25
+
+    def test_directed_graph_with_dangling(self):
+        inst = repro.pagerank_lowerbound_graph(q=40, seed=3)
+        ref = inst.analytic_pagerank(0.25)
+        res = repro.distributed_pagerank(inst.graph, k=4, eps=0.25, seed=4, c=80)
+        assert res.linf_relative_error(ref) < 0.3
+
+    def test_estimates_close_in_l1(self):
+        g = repro.gnp_random_graph(150, 0.06, seed=5)
+        ref = repro.pagerank_walk_series(g, eps=0.2)
+        res = repro.distributed_pagerank(g, k=8, eps=0.2, seed=6, c=80)
+        assert res.l1_error(ref) < 0.08
+
+    def test_recovers_lemma4_bits(self):
+        # Functional end-to-end test of the lower-bound reconstruction:
+        # a delta-approximation reveals every b_i.
+        inst = repro.pagerank_lowerbound_graph(q=60, seed=7)
+        res = repro.distributed_pagerank(inst.graph, k=6, eps=0.25, seed=8, c=120)
+        assert np.array_equal(inst.infer_b(res.estimates, 0.25), inst.b)
+
+    def test_total_mass_close_to_reference_total(self):
+        g = repro.gnp_random_graph(100, 0.1, seed=9)
+        ref = repro.pagerank_walk_series(g, eps=0.3)
+        res = repro.distributed_pagerank(g, k=4, eps=0.3, seed=10, c=60)
+        assert res.estimates.sum() == pytest.approx(ref.sum(), rel=0.05)
+
+    def test_unbiased_over_seeds(self):
+        # Averaging estimates across seeds converges to the reference.
+        g = repro.gnp_random_graph(60, 0.15, seed=11)
+        ref = repro.pagerank_walk_series(g, eps=0.3)
+        acc = np.zeros(g.n)
+        runs = 8
+        for s in range(runs):
+            acc += repro.distributed_pagerank(g, k=4, eps=0.3, seed=100 + s, c=30).estimates
+        assert np.abs(acc / runs - ref).max() / ref.max() < 0.1
+
+
+class TestDeterminismAndValidation:
+    def test_seeded_runs_identical(self):
+        g = repro.gnp_random_graph(80, 0.1, seed=12)
+        a = repro.distributed_pagerank(g, k=4, eps=0.25, seed=13, c=20)
+        b = repro.distributed_pagerank(g, k=4, eps=0.25, seed=13, c=20)
+        assert np.array_equal(a.estimates, b.estimates)
+        assert a.rounds == b.rounds
+
+    def test_different_seeds_differ(self):
+        g = repro.gnp_random_graph(80, 0.1, seed=12)
+        a = repro.distributed_pagerank(g, k=4, eps=0.25, seed=13, c=20)
+        b = repro.distributed_pagerank(g, k=4, eps=0.25, seed=14, c=20)
+        assert not np.array_equal(a.estimates, b.estimates)
+
+    def test_rejects_bad_eps(self):
+        g = repro.cycle_graph(10)
+        with pytest.raises(AlgorithmError):
+            repro.distributed_pagerank(g, k=4, eps=1.5)
+
+    def test_rejects_mismatched_partition(self):
+        g = repro.cycle_graph(10)
+        p = random_vertex_partition(11, 4, seed=0)
+        with pytest.raises(AlgorithmError):
+            repro.distributed_pagerank(g, k=4, partition=p)
+
+    def test_accepts_explicit_partition(self):
+        g = repro.cycle_graph(30)
+        p = random_vertex_partition(30, 4, seed=1)
+        res = repro.distributed_pagerank(g, k=4, partition=p, seed=2, c=10)
+        assert res.estimates.shape == (30,)
+
+    def test_metrics_consistency(self):
+        g = repro.gnp_random_graph(60, 0.1, seed=15)
+        res = repro.distributed_pagerank(g, k=4, seed=16, c=10)
+        res.metrics.check_conservation()
+        assert res.metrics.rounds == res.rounds
+        assert res.iterations == len(res.iteration_stats)
+
+    def test_tokens_eventually_die(self):
+        g = repro.cycle_graph(40)
+        res = repro.distributed_pagerank(g, k=4, eps=0.3, seed=17, c=10)
+        assert res.iteration_stats[-1].live_tokens == 0
+
+
+class TestCommunicationBehaviour:
+    def test_rounds_decrease_superlinearly_in_k(self):
+        # Theorem 4: rounds scale superlinearly in k (~1/k² asymptotically).
+        # Quadrupling k must cut the first (fully-loaded) iteration's
+        # rounds by clearly more than 4x.  A small token factor keeps the
+        # per-machine destination count below the n-saturation point so the
+        # scaling is visible at these small k (see bench_pagerank_rounds
+        # for the asymptotic-fit version).
+        g = repro.gnp_random_graph(2000, 0.008, seed=18)
+        r8 = repro.distributed_pagerank(g, k=8, seed=19, c=0.25, bandwidth=16)
+        r32 = repro.distributed_pagerank(g, k=32, seed=19, c=0.25, bandwidth=16)
+        first8 = r8.iteration_stats[0].rounds
+        first32 = r32.iteration_stats[0].rounds
+        assert first8 > 5.5 * first32  # linear scaling would give 4x
+        assert r8.token_rounds() > 3 * r32.token_rounds()
+
+    def test_heavy_path_tames_star_congestion(self):
+        # Ablation (Lemma 12's point): with the heavy path disabled, the
+        # hub's token fan-out floods its home machine's links.
+        g = repro.star_graph(800)
+        k, B = 8, 16
+        with_heavy = repro.distributed_pagerank(
+            g, k=k, seed=20, c=8, bandwidth=B, enable_heavy_path=True
+        )
+        without = repro.distributed_pagerank(
+            g, k=k, seed=20, c=8, bandwidth=B, enable_heavy_path=False
+        )
+        assert with_heavy.token_rounds() < without.token_rounds()
+
+    def test_lemma12_per_machine_send_load(self):
+        # No machine sends more than O~(n/k) messages in any iteration.
+        g = repro.gnp_random_graph(600, 0.02, seed=21)
+        k = 8
+        res = repro.distributed_pagerank(g, k=k, seed=22, c=8)
+        n = g.n
+        bound = 8 * (n / k) * np.log2(n)
+        for stats in res.iteration_stats:
+            assert stats.max_machine_sent <= bound
+
+    def test_control_phases_labelled(self):
+        g = repro.cycle_graph(30)
+        res = repro.distributed_pagerank(g, k=4, seed=23, c=4)
+        labels = {p.label for p in res.metrics.phase_log}
+        assert any(l.startswith("pagerank/control") for l in labels)
+        assert any(l.startswith("pagerank/tokens") for l in labels)
+        assert res.token_rounds() <= res.rounds
+
+    def test_estimator_normalization_uses_t0(self):
+        g = repro.cycle_graph(20)
+        res = repro.distributed_pagerank(g, k=4, seed=24, c=10)
+        # psi >= t0 everywhere, so every estimate is >= eps * t0/(n t0).
+        assert np.all(res.estimates >= res.eps / g.n - 1e-12)

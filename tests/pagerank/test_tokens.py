@@ -1,0 +1,114 @@
+"""Unit tests for the vectorized token kinematics."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.pagerank import tokens as tk
+
+
+class TestTerminate:
+    def test_eps_one_kills_everything(self):
+        rng = np.random.default_rng(0)
+        out = tk.terminate_tokens(np.array([5, 10, 0]), 1.0, rng)
+        assert out.tolist() == [0, 0, 0]
+
+    def test_eps_zero_keeps_everything(self):
+        rng = np.random.default_rng(0)
+        counts = np.array([5, 10, 0])
+        out = tk.terminate_tokens(counts, 1e-12, rng)
+        assert np.array_equal(out, counts)
+
+    def test_expected_survival_rate(self):
+        rng = np.random.default_rng(1)
+        counts = np.full(1000, 100)
+        out = tk.terminate_tokens(counts, 0.25, rng)
+        assert out.sum() == pytest.approx(0.75 * counts.sum(), rel=0.02)
+
+    def test_never_negative(self):
+        rng = np.random.default_rng(2)
+        out = tk.terminate_tokens(np.array([1, 2, 3]), 0.9, rng)
+        assert np.all(out >= 0)
+
+    def test_empty_input(self):
+        rng = np.random.default_rng(3)
+        assert tk.terminate_tokens(np.zeros(0, dtype=np.int64), 0.5, rng).size == 0
+
+
+class TestMoveLight:
+    def test_token_conservation(self):
+        g = repro.gnp_random_graph(30, 0.2, seed=0)
+        rng = np.random.default_rng(4)
+        verts = np.arange(30)
+        counts = np.full(30, 7)
+        dv, dc = tk.move_light_tokens(verts, counts, g.indptr, g.indices, rng)
+        assert dc.sum() == 7 * (g.degrees() > 0).sum()
+
+    def test_tokens_land_on_neighbors(self):
+        g = repro.star_graph(10)
+        rng = np.random.default_rng(5)
+        dv, dc = tk.move_light_tokens(
+            np.array([0]), np.array([100]), g.indptr, g.indices, rng
+        )
+        assert set(dv.tolist()) <= set(range(1, 10))
+        assert dc.sum() == 100
+
+    def test_degree_zero_absorbs(self):
+        g = repro.empty_graph(5)
+        rng = np.random.default_rng(6)
+        dv, dc = tk.move_light_tokens(np.array([0, 1]), np.array([3, 4]), g.indptr, g.indices, rng)
+        assert dv.size == 0 and dc.size == 0
+
+    def test_aggregation_across_sources(self):
+        # Two leaves of a star both send to the hub: one aggregated entry.
+        g = repro.star_graph(5)
+        rng = np.random.default_rng(7)
+        dv, dc = tk.move_light_tokens(
+            np.array([1, 2]), np.array([4, 6]), g.indptr, g.indices, rng
+        )
+        assert dv.tolist() == [0]
+        assert dc.tolist() == [10]
+
+    def test_roughly_uniform_over_neighbors(self):
+        g = repro.complete_graph(5)
+        rng = np.random.default_rng(8)
+        dv, dc = tk.move_light_tokens(np.array([0]), np.array([40_000]), g.indptr, g.indices, rng)
+        assert np.allclose(dc, 10_000, rtol=0.1)
+
+
+class TestHeavyPath:
+    def test_machine_distribution_proportional_to_neighbors(self):
+        g = repro.star_graph(41)  # hub 0 with 40 leaves
+        home = np.zeros(41, dtype=np.int64)
+        home[1:21] = 1  # 20 leaves on machine 1
+        home[21:31] = 2  # 10 leaves on machine 2
+        home[31:41] = 3  # 10 leaves on machine 3
+        rng = np.random.default_rng(9)
+        beta = tk.heavy_machine_counts(0, 40_000, g.indptr, g.indices, home, 4, rng)
+        assert beta.sum() == 40_000
+        assert beta[1] == pytest.approx(20_000, rel=0.05)
+        assert beta[2] == pytest.approx(10_000, rel=0.1)
+        assert beta[0] == 0  # machine 0 hosts no neighbor of the hub
+
+    def test_zero_tokens(self):
+        g = repro.star_graph(5)
+        home = np.zeros(5, dtype=np.int64)
+        rng = np.random.default_rng(10)
+        beta = tk.heavy_machine_counts(0, 0, g.indptr, g.indices, home, 2, rng)
+        assert beta.sum() == 0
+
+    def test_split_among_local_neighbors_conserves(self):
+        rng = np.random.default_rng(11)
+        dv, dc = tk.split_tokens_among_local_neighbors(0, 1000, np.array([3, 5, 7]), rng)
+        assert dc.sum() == 1000
+        assert set(dv.tolist()) <= {3, 5, 7}
+
+    def test_split_uniform(self):
+        rng = np.random.default_rng(12)
+        dv, dc = tk.split_tokens_among_local_neighbors(0, 90_000, np.array([1, 2, 3]), rng)
+        assert np.allclose(dc, 30_000, rtol=0.05)
+
+    def test_split_raises_without_local_neighbors(self):
+        rng = np.random.default_rng(13)
+        with pytest.raises(ValueError):
+            tk.split_tokens_among_local_neighbors(0, 10, np.array([], dtype=np.int64), rng)

@@ -1,0 +1,101 @@
+"""Property-based tests for the information-theory substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lowerbounds.general import GeneralLowerBound
+from repro.core.lowerbounds.triangles import min_edges_for_triangles, rivin_edge_bound
+from repro.info.entropy import conditional_entropy, entropy, joint_entropy, mutual_information
+from repro.info.surprisal import surprisal, transcript_entropy_bound
+
+
+@st.composite
+def distributions(draw, max_size=8):
+    size = draw(st.integers(1, max_size))
+    raw = draw(
+        st.lists(st.floats(0.01, 1.0), min_size=size, max_size=size)
+    )
+    p = np.array(raw)
+    return p / p.sum()
+
+
+@st.composite
+def joints(draw, max_size=5):
+    rows = draw(st.integers(1, max_size))
+    cols = draw(st.integers(1, max_size))
+    raw = draw(
+        st.lists(st.floats(0.01, 1.0), min_size=rows * cols, max_size=rows * cols)
+    )
+    j = np.array(raw).reshape(rows, cols)
+    return j / j.sum()
+
+
+class TestEntropyProperties:
+    @given(distributions())
+    @settings(max_examples=80, deadline=None)
+    def test_entropy_bounds(self, p):
+        h = entropy(p)
+        assert -1e-9 <= h <= np.log2(p.size) + 1e-9
+
+    @given(joints())
+    @settings(max_examples=80, deadline=None)
+    def test_conditioning_reduces_entropy(self, j):
+        hx = entropy(j.sum(axis=1))
+        assert conditional_entropy(j) <= hx + 1e-9
+
+    @given(joints())
+    @settings(max_examples=80, deadline=None)
+    def test_mutual_information_nonnegative_and_bounded(self, j):
+        mi = mutual_information(j)
+        hx = entropy(j.sum(axis=1))
+        hy = entropy(j.sum(axis=0))
+        assert -1e-9 <= mi <= min(hx, hy) + 1e-9
+
+    @given(joints())
+    @settings(max_examples=80, deadline=None)
+    def test_chain_rule(self, j):
+        assert abs(joint_entropy(j) - (entropy(j.sum(axis=0)) + conditional_entropy(j))) < 1e-8
+
+    @given(st.floats(1e-9, 1.0))
+    @settings(max_examples=80)
+    def test_surprisal_nonnegative_decreasing(self, p):
+        assert surprisal(p) >= 0
+        assert surprisal(p) >= surprisal(min(1.0, p * 2))
+
+
+class TestLowerBoundProperties:
+    @given(st.floats(0, 1e6), st.integers(1, 1000), st.integers(2, 1000))
+    @settings(max_examples=80)
+    def test_rounds_monotone_in_ic(self, ic, bandwidth, k):
+        lb1 = GeneralLowerBound(ic, bandwidth, k)
+        lb2 = GeneralLowerBound(ic + 1, bandwidth, k)
+        assert lb2.rounds > lb1.rounds
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=80)
+    def test_rivin_below_exact_extremal(self, t):
+        assert rivin_edge_bound(t) <= min_edges_for_triangles(t) + 1e-9
+
+    @given(st.integers(1, 10**7))
+    @settings(max_examples=60)
+    def test_min_edges_inverse_consistency(self, t):
+        # e = min_edges(t) edges can support >= t triangles, e-1 cannot.
+        e = min_edges_for_triangles(t)
+
+        def max_tris(edges):
+            d = int((1 + np.sqrt(1 + 8 * edges)) // 2)
+            while d * (d - 1) // 2 > edges:
+                d -= 1
+            r = edges - d * (d - 1) // 2
+            return d * (d - 1) * (d - 2) // 6 + r * (r - 1) // 2
+
+        assert max_tris(e) >= t
+        if e > 0:
+            assert max_tris(e - 1) < t
+
+    @given(st.integers(1, 64), st.integers(2, 64), st.integers(0, 200))
+    @settings(max_examples=60)
+    def test_transcript_bound_monotone(self, bandwidth, k, rounds):
+        a = transcript_entropy_bound(bandwidth, k, rounds)
+        b = transcript_entropy_bound(bandwidth, k, rounds + 1)
+        assert b > a or (a == b == 0)

@@ -1,0 +1,100 @@
+"""Property-based tests for the k-machine substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro._util import bits_for, bits_for_count, ceil_div, icbrt, is_perfect_cube
+from repro.kmachine.message import Message
+from repro.kmachine.metrics import Metrics
+from repro.kmachine.network import LinkNetwork
+from repro.kmachine.partition import random_vertex_partition
+
+
+@st.composite
+def workloads(draw):
+    """A small random message workload with valid sources."""
+    k = draw(st.integers(2, 6))
+    n_msgs = draw(st.integers(0, 40))
+    msgs = []
+    for _ in range(n_msgs):
+        i = draw(st.integers(0, k - 1))
+        j = draw(st.integers(0, k - 1))
+        bits = draw(st.integers(1, 25))
+        msgs.append(Message(src=i, dst=j, kind="w", bits=bits))
+    return k, msgs
+
+
+class TestNetworkProperties:
+    @given(workloads(), st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_delivery_conserves_messages(self, workload, bandwidth):
+        k, msgs = workload
+        net = LinkNetwork(k, bandwidth=bandwidth)
+        out = [[] for _ in range(k)]
+        for m in msgs:
+            out[m.src].append(m)
+        inboxes = net.exchange(out)
+        assert sum(len(b) for b in inboxes) == len(msgs)
+        net.metrics.check_conservation()
+
+    @given(workloads(), st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_rounds_lower_bounded_by_total_bits(self, workload, bandwidth):
+        # Rounds >= total remote bits / (B * k * (k-1)): the network cannot
+        # move more than B bits per link per round.
+        k, msgs = workload
+        net = LinkNetwork(k, bandwidth=bandwidth)
+        out = [[] for _ in range(k)]
+        for m in msgs:
+            out[m.src].append(m)
+        net.exchange(out)
+        remote_bits = sum(m.bits for m in msgs if not m.is_local)
+        assert net.rounds * bandwidth * k * (k - 1) >= remote_bits
+
+    @given(workloads(), st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_strict_mode_at_least_phase_mode(self, workload, bandwidth):
+        k, msgs = workload
+        phase = LinkNetwork(k, bandwidth=bandwidth, mode="phase")
+        strict = LinkNetwork(k, bandwidth=bandwidth, mode="strict")
+        out = [[m for m in msgs if m.src == i] for i in range(k)]
+        phase.exchange([list(b) for b in out])
+        strict.exchange([list(b) for b in out])
+        assert strict.rounds >= phase.rounds
+
+    @given(st.integers(1, 500), st.integers(2, 12), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_covers_everything(self, n, k, seed):
+        p = random_vertex_partition(n, k, seed=seed)
+        counts = p.counts()
+        assert counts.sum() == n
+        assert counts.size == k
+
+
+class TestUtilProperties:
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_ceil_div_definition(self, a, b):
+        q = ceil_div(a, b)
+        assert (q - 1) * b < a <= q * b or (a == 0 and q == 0)
+
+    @given(st.integers(2, 10**9))
+    def test_bits_for_addresses_all_values(self, n):
+        b = bits_for(n)
+        assert 2**b >= n
+        assert 2 ** (b - 1) < n
+
+    @given(st.integers(0, 10**9))
+    def test_bits_for_count_covers_range(self, c):
+        b = bits_for_count(c)
+        assert 2**b >= c + 1
+
+    @given(st.integers(0, 10**12))
+    def test_icbrt_definition(self, n):
+        r = icbrt(n)
+        assert r**3 <= n < (r + 1) ** 3
+
+    @given(st.integers(1, 1000))
+    def test_perfect_cube_detection(self, r):
+        assert is_perfect_cube(r**3)
+        if r > 1:
+            assert not is_perfect_cube(r**3 - 1)

@@ -1,0 +1,89 @@
+"""Tests for distributed sample sort (§1.3 extension)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import AlgorithmError
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,k", [(100, 4), (1000, 8), (5000, 16), (50, 2)])
+    def test_output_globally_sorted(self, n, k):
+        values = np.random.default_rng(n + k).random(n)
+        res = repro.distributed_sort(values, k=k, seed=1)
+        out = res.concatenated()
+        assert out.size == n
+        assert np.all(np.diff(out) >= 0)
+        assert np.array_equal(np.sort(out), np.sort(values))
+
+    def test_blocks_are_contiguous_rank_ranges(self):
+        values = np.random.default_rng(0).random(2000)
+        res = repro.distributed_sort(values, k=8, seed=2)
+        expected = np.sort(values)
+        start = 0
+        for block in res.blocks:
+            assert np.array_equal(np.sort(block), expected[start : start + block.size])
+            start += block.size
+
+    def test_handles_duplicates(self):
+        values = np.random.default_rng(1).integers(0, 10, size=3000).astype(float)
+        res = repro.distributed_sort(values, k=8, seed=3)
+        out = res.concatenated()
+        assert np.array_equal(out, np.sort(values))
+
+    def test_handles_constant_input(self):
+        values = np.full(500, 3.14)
+        res = repro.distributed_sort(values, k=4, seed=4)
+        assert np.array_equal(res.concatenated(), values)
+
+    def test_handles_integers(self):
+        values = np.random.default_rng(2).integers(-1000, 1000, size=1000)
+        res = repro.distributed_sort(values, k=4, seed=5)
+        assert np.array_equal(res.concatenated(), np.sort(values))
+
+    def test_explicit_assignment(self):
+        values = np.random.default_rng(3).random(100)
+        assignment = np.arange(100) % 4
+        res = repro.distributed_sort(values, k=4, seed=6, assignment=assignment)
+        assert np.array_equal(res.concatenated(), np.sort(values))
+
+    def test_tiny_input(self):
+        res = repro.distributed_sort(np.array([3.0, 1.0, 2.0]), k=2, seed=7)
+        assert res.concatenated().tolist() == [1.0, 2.0, 3.0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(AlgorithmError):
+            repro.distributed_sort(np.zeros(0), k=2)
+
+    def test_rejects_bad_assignment(self):
+        with pytest.raises(AlgorithmError):
+            repro.distributed_sort(np.ones(5), k=2, assignment=np.array([0, 1, 2, 0, 1]))
+
+
+class TestBalanceAndCost:
+    def test_blocks_balanced_whp(self):
+        values = np.random.default_rng(4).random(20_000)
+        res = repro.distributed_sort(values, k=16, seed=8)
+        assert res.max_block_imbalance() < 2.0
+
+    def test_rounds_scale_inverse_k_squared(self):
+        values = np.random.default_rng(5).random(40_000)
+        B = 64
+        r4 = repro.distributed_sort(values, k=4, seed=9, bandwidth=B).rounds
+        r16 = repro.distributed_sort(values, k=16, seed=9, bandwidth=B).rounds
+        # Ideal 16x; allow slack for splitter/sample overhead.
+        assert r4 > 8 * r16
+
+    def test_deterministic_given_seed(self):
+        values = np.random.default_rng(6).random(1000)
+        a = repro.distributed_sort(values, k=8, seed=10)
+        b = repro.distributed_sort(values, k=8, seed=10)
+        assert all(np.array_equal(x, y) for x, y in zip(a.blocks, b.blocks))
+        assert a.rounds == b.rounds
+
+    def test_metrics_consistent(self):
+        values = np.random.default_rng(7).random(1000)
+        res = repro.distributed_sort(values, k=8, seed=11)
+        res.metrics.check_conservation()
+        assert res.metrics.phases == 3  # sample, splitters, redistribute

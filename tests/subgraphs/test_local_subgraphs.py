@@ -1,0 +1,123 @@
+"""Unit tests for sequential K4 / C4 enumeration."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.subgraphs.local import (
+    count_c4,
+    count_k4,
+    enumerate_c4_edges,
+    enumerate_k4_edges,
+)
+from repro.errors import GraphError
+
+
+def brute_k4(graph):
+    a = graph.adjacency_matrix()
+    return [
+        t
+        for t in itertools.combinations(range(graph.n), 4)
+        if all(a[x, y] for x, y in itertools.combinations(t, 2))
+    ]
+
+
+def brute_c4(graph):
+    a = graph.adjacency_matrix()
+    out = set()
+    for quad in itertools.combinations(range(graph.n), 4):
+        for perm in itertools.permutations(quad):
+            v0, v1, v2, v3 = perm
+            if v0 != min(quad) or v1 > v3:
+                continue
+            if a[v0, v1] and a[v1, v2] and a[v2, v3] and a[v3, v0]:
+                out.add((v0, v1, v2, v3))
+    return sorted(out)
+
+
+class TestK4:
+    def test_complete_graph_count(self):
+        g = repro.complete_graph(7)
+        assert count_k4(g) == 35  # C(7, 4)
+
+    def test_single_k4(self):
+        g = repro.complete_graph(4)
+        assert enumerate_k4_edges(g.n, g.edges).tolist() == [[0, 1, 2, 3]]
+
+    def test_k4_free(self):
+        g = repro.cycle_graph(10)
+        assert count_k4(g) == 0
+
+    def test_triangle_is_not_k4(self):
+        g = repro.complete_graph(3)
+        assert count_k4(g) == 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_bruteforce_gnp(self, seed):
+        g = repro.gnp_random_graph(18, 0.45, seed=seed)
+        ours = enumerate_k4_edges(g.n, g.edges)
+        brute = np.array(brute_k4(g), dtype=np.int64).reshape(-1, 4)
+        assert np.array_equal(ours, brute)
+
+    def test_rows_sorted_unique(self):
+        g = repro.gnp_random_graph(20, 0.5, seed=3)
+        rows = enumerate_k4_edges(g.n, g.edges)
+        assert np.all(rows[:, 0] < rows[:, 1])
+        assert np.all(rows[:, 1] < rows[:, 2])
+        assert np.all(rows[:, 2] < rows[:, 3])
+        assert np.unique(rows, axis=0).shape[0] == rows.shape[0]
+
+    def test_empty_edges(self):
+        assert enumerate_k4_edges(5, np.zeros((0, 2), dtype=np.int64)).shape == (0, 4)
+
+    def test_rejects_directed_count(self):
+        g = repro.path_graph(5, directed=True)
+        with pytest.raises(GraphError):
+            count_k4(g)
+
+
+class TestC4:
+    def test_plain_cycle(self):
+        g = repro.cycle_graph(4)
+        assert enumerate_c4_edges(g.n, g.edges).tolist() == [[0, 1, 2, 3]]
+
+    def test_k4_contains_three_c4(self):
+        g = repro.complete_graph(4)
+        assert count_c4(g) == 3
+
+    def test_complete_graph_count(self):
+        # K_n has 3 * C(n, 4) four-cycles.
+        g = repro.complete_graph(6)
+        assert count_c4(g) == 3 * 15
+
+    def test_c4_free(self):
+        g = repro.star_graph(10)
+        assert count_c4(g) == 0
+
+    def test_path_has_no_c4(self):
+        g = repro.path_graph(8)
+        assert count_c4(g) == 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_bruteforce_gnp(self, seed):
+        g = repro.gnp_random_graph(14, 0.4, seed=seed)
+        ours = enumerate_c4_edges(g.n, g.edges)
+        brute = np.array(brute_c4(g), dtype=np.int64).reshape(-1, 4)
+        assert np.array_equal(ours, brute)
+
+    def test_canonical_rows(self):
+        g = repro.gnp_random_graph(16, 0.4, seed=4)
+        rows = enumerate_c4_edges(g.n, g.edges)
+        for v0, v1, v2, v3 in rows:
+            assert v0 == min(v0, v1, v2, v3)
+            assert v1 < v3
+            assert g.has_edge(v0, v1) and g.has_edge(v1, v2)
+            assert g.has_edge(v2, v3) and g.has_edge(v3, v0)
+
+    def test_bipartite_complete(self):
+        # K_{2,3}: C(2,2)*C(3,2) = 3 four-cycles.
+        edges = [(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]
+        g = repro.Graph(n=5, edges=edges)
+        assert count_c4(g) == 3

@@ -1,0 +1,105 @@
+"""Unit tests for color-triplet bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.core.triangles import colors as col
+from repro.errors import AlgorithmError
+
+
+class TestNumColors:
+    def test_perfect_cubes(self):
+        assert col.num_colors_for_machines(8) == 2
+        assert col.num_colors_for_machines(27) == 3
+        assert col.num_colors_for_machines(64) == 4
+
+    def test_non_cubes_floor(self):
+        assert col.num_colors_for_machines(9) == 2
+        assert col.num_colors_for_machines(26) == 2
+        assert col.num_colors_for_machines(63) == 3
+
+    def test_minimum_one(self):
+        assert col.num_colors_for_machines(2) == 1
+
+
+class TestTripletIndexing:
+    def test_round_trip(self):
+        q = 4
+        for a in range(q):
+            for b in range(q):
+                for c in range(q):
+                    mid = col.machine_for_triplet(a, b, c, q)
+                    assert col.triplet_for_machine(mid, q) == (a, b, c)
+
+    def test_all_ids_distinct_and_in_range(self):
+        q = 3
+        ids = {
+            col.machine_for_triplet(a, b, c, q)
+            for a in range(q)
+            for b in range(q)
+            for c in range(q)
+        }
+        assert ids == set(range(q**3))
+
+    def test_rejects_out_of_range_color(self):
+        with pytest.raises(AlgorithmError):
+            col.machine_for_triplet(0, 3, 0, 3)
+
+    def test_rejects_bad_machine(self):
+        with pytest.raises(AlgorithmError):
+            col.triplet_for_machine(27, 3)
+
+    def test_sorted_triplets_count(self):
+        # Multisets of size 3 from q colors: C(q+2, 3).
+        for q in (1, 2, 3, 4, 5):
+            expected = q * (q + 1) * (q + 2) // 6
+            assert len(col.sorted_triplets(q)) == expected
+
+    def test_sorted_triplets_are_sorted(self):
+        for a, b, c in col.sorted_triplets(4):
+            assert a <= b <= c
+
+
+class TestMachinesNeedingEdge:
+    def test_exactly_q_machines(self):
+        q = 4
+        for cu in range(q):
+            for cv in range(q):
+                machines = col.machines_needing_edge(cu, cv, q)
+                assert machines.size == q
+                assert np.unique(machines).size == q
+
+    def test_machines_contain_the_colors(self):
+        q = 4
+        for cu in range(q):
+            for cv in range(q):
+                for mid in col.machines_needing_edge(cu, cv, q):
+                    trip = sorted(col.triplet_for_machine(int(mid), q))
+                    multiset = list(trip)
+                    for needed in sorted((cu, cv)):
+                        assert needed in multiset
+                        multiset.remove(needed)
+
+    def test_every_sorted_triplet_covered_by_its_pairs(self):
+        # The machine of triplet (a, b, c) is in machines_needing_edge for
+        # each of its three corner pairs — otherwise triangles would miss
+        # edges.
+        q = 3
+        for a, b, c in col.sorted_triplets(q):
+            mid = col.machine_for_triplet(a, b, c, q)
+            for pair in ((a, b), (a, c), (b, c)):
+                assert mid in col.machines_needing_edge(pair[0], pair[1], q)
+
+    def test_vectorized_matches_scalar(self):
+        q = 5
+        rng = np.random.default_rng(0)
+        cu = rng.integers(0, q, size=100)
+        cv = rng.integers(0, q, size=100)
+        vec = col.machines_needing_edge_array(cu, cv, q)
+        for e in range(100):
+            scalar = col.machines_needing_edge(int(cu[e]), int(cv[e]), q)
+            assert np.array_equal(np.sort(vec[e]), np.sort(scalar))
+
+    def test_vectorized_shape(self):
+        out = col.machines_needing_edge_array(np.array([0, 1]), np.array([1, 1]), 3)
+        assert out.shape == (2, 3)
