@@ -7,14 +7,42 @@ ASCII table, written both to stdout (visible with ``pytest -s``) and to
 callable passed to pytest-benchmark is the sweep itself, run exactly once
 (``pedantic(rounds=1)``): wall time measures the simulator, while the
 *reproduction target* is the printed round/message counts.
+
+Execution backend
+-----------------
+Benches that run simulator drivers select the execution engine through
+:func:`engine_choice`, which reads the ``REPRO_ENGINE`` environment
+variable (``message`` or ``vector``; default ``vector``, the fast
+backend — counts are engine-independent, see the CLI's ``--engine``
+flag).  Example::
+
+    REPRO_ENGINE=message pytest benchmarks/bench_pagerank_rounds.py
+
+Every bench module also exposes a ``smoke()`` function running its
+smallest configuration; ``tests/test_benchmarks_smoke.py`` imports and
+runs all of them so bench scripts cannot rot silently.
 """
 
 from __future__ import annotations
 
 import math
+import os
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Environment variable selecting the execution backend for benches.
+ENGINE_ENV = "REPRO_ENGINE"
+
+
+def engine_choice(default: str = "vector") -> str:
+    """The execution engine benches should pass to simulator drivers."""
+    choice = os.environ.get(ENGINE_ENV, default)
+    if choice not in ("message", "vector"):
+        raise ValueError(
+            f"{ENGINE_ENV} must be 'message' or 'vector', got {choice!r}"
+        )
+    return choice
 
 
 def emit(name: str, text: str) -> None:

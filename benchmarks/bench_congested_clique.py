@@ -60,3 +60,9 @@ def bench_c1_congested_clique(benchmark):
         assert row.values["measured_rounds"] >= row.values["lb_envelope_rounds"]
     # Rounds grow far slower than the m = Θ(n²) data volume: sublinear in n.
     assert fit.exponent < 0.9
+
+def smoke():
+    """Smallest configuration: one tiny congested-clique run."""
+    g = repro.gnp_random_graph(27, 0.5, seed=1)
+    res = repro.enumerate_triangles_congested_clique(g, seed=1, bandwidth=log2ceil(27))
+    assert res.rounds >= 0

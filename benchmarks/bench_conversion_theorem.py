@@ -21,7 +21,7 @@ from repro.congest import congest_pagerank, convert_execution
 from repro.experiments.harness import Sweep
 from repro.kmachine.partition import random_vertex_partition
 
-from _common import emit, log2ceil
+from _common import emit, engine_choice, log2ceil
 
 N_STAR = 4000
 N_GNP = 3000
@@ -36,7 +36,9 @@ def run_star():
     for k in KS:
         p = random_vertex_partition(g.n, k, seed=k)
         converted = convert_execution(execution, p, k=k, bandwidth=B)
-        direct = repro.distributed_pagerank(g, k=k, seed=0, c=1, bandwidth=B, partition=p)
+        direct = repro.distributed_pagerank(
+            g, k=k, seed=0, c=1, bandwidth=B, partition=p, engine=engine_choice()
+        )
         sweep.add(
             {"k": k},
             {
@@ -56,7 +58,9 @@ def run_gnp():
     for k in KS:
         p = random_vertex_partition(g.n, k, seed=100 + k)
         converted = convert_execution(execution, p, k=k, bandwidth=B)
-        direct = repro.distributed_pagerank(g, k=k, seed=2, c=1, bandwidth=B, partition=p)
+        direct = repro.distributed_pagerank(
+            g, k=k, seed=2, c=1, bandwidth=B, partition=p, engine=engine_choice()
+        )
         sweep.add(
             {"k": k},
             {
@@ -80,3 +84,14 @@ def bench_x3_conversion_theorem(benchmark):
     # paper's gains are about congestion, not volume): direct never loses.
     for row in gnp.rows:
         assert row.values["direct_rounds"] <= 1.5 * row.values["converted_rounds"]
+
+def smoke():
+    """Smallest configuration: conversion vs direct on a tiny star."""
+    g = repro.star_graph(40)
+    _, execution = congest_pagerank(g, seed=0, c=1, bandwidth=8)
+    p = random_vertex_partition(g.n, 4, seed=4)
+    converted = convert_execution(execution, p, k=4, bandwidth=8)
+    direct = repro.distributed_pagerank(
+        g, k=4, seed=0, c=1, bandwidth=8, partition=p, engine=engine_choice()
+    )
+    assert converted.rounds > 0 and direct.rounds > 0

@@ -25,7 +25,7 @@ import repro
 from repro.core.pagerank import lemma4
 from repro.experiments.harness import Sweep
 
-from _common import emit
+from _common import emit, engine_choice
 
 Q = 150
 EPS_GRID = (0.1, 0.15, 0.25, 0.5)
@@ -38,7 +38,7 @@ def run_sweep():
     for eps in EPS_GRID:
         exact = inst.analytic_pagerank(eps)
         reference = repro.pagerank_walk_series(inst.graph, eps=eps)
-        res = repro.distributed_pagerank(inst.graph, k=8, eps=eps, seed=1, c=120)
+        res = repro.distributed_pagerank(inst.graph, k=8, eps=eps, seed=1, c=120, engine=engine_choice())
         recovered = inst.infer_b(res.estimates, eps)
         sweep.add(
             {"eps": eps},
@@ -63,3 +63,12 @@ def bench_f1_lemma4_separation(benchmark):
         assert row.values["ratio"] > 1.05
         # The Monte-Carlo approximation reveals (almost) all bits.
         assert row.values["b_recovery_rate"] > 0.95
+
+def smoke():
+    """Smallest configuration: one eps on a small Figure-1 instance."""
+    inst = repro.pagerank_lowerbound_graph(q=10, seed=0)
+    exact = inst.analytic_pagerank(0.25)
+    reference = repro.pagerank_walk_series(inst.graph, eps=0.25)
+    assert float(np.abs(exact - reference).max()) < 1e-12
+    res = repro.distributed_pagerank(inst.graph, k=4, eps=0.25, seed=1, c=20, engine=engine_choice())
+    assert res.rounds > 0

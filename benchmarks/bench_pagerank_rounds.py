@@ -12,11 +12,18 @@ measured round counts versus ``k``:
 
 The paper proves asymptotics, not absolute numbers; the reproduction
 target is the *shape* — who wins and the fitted exponents.
+
+The module also regenerates the execution-engine comparison: the same
+Algorithm-1 run at ``n = 50_000`` on the per-object ``MessageEngine``
+versus the vectorized ``VectorEngine``, asserting identical
+round/message/bit counts and a ``>= 3x`` wall-clock speedup for the
+vector backend.
 """
 
 from __future__ import annotations
 
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
@@ -25,21 +32,23 @@ import repro
 from repro.experiments.fits import fit_power_law
 from repro.experiments.harness import Sweep
 
-from _common import emit, log2ceil
+from _common import emit, engine_choice, log2ceil
 
 KS = (4, 8, 16, 32)
 KS_LARGE = (8, 16, 32, 64)
 N_GNP = 3000
 N_STAR = 2000
+N_ENGINE = 50_000
 
 
 def run_gnp_sweep():
     g = repro.gnp_random_graph(N_GNP, 6.0 / N_GNP, seed=1)
     B = log2ceil(N_GNP)
+    engine = engine_choice()
     sweep = Sweep("T4: PageRank rounds vs k on G(n, 6/n), n=%d" % N_GNP)
     for k in KS:
-        algo = repro.distributed_pagerank(g, k=k, seed=2, c=0.5, bandwidth=B)
-        base = repro.baseline_pagerank(g, k=k, seed=2, c=0.5, bandwidth=B)
+        algo = repro.distributed_pagerank(g, k=k, seed=2, c=0.5, bandwidth=B, engine=engine)
+        base = repro.baseline_pagerank(g, k=k, seed=2, c=0.5, bandwidth=B, engine=engine)
         sweep.add(
             {"k": k},
             {
@@ -63,25 +72,44 @@ def run_asymptotic_sweep():
     n = 1_000_000
     g = repro.random_regularish_graph(n, 8, seed=4)
     B = log2ceil(n)
+    engine = engine_choice()
     sweep = Sweep("T4 asymptotic regime: first-iteration rounds, n=%d, T0=1" % n)
     for k in KS_LARGE:
         r = repro.distributed_pagerank(
-            g, k=k, seed=5, c=0.01, bandwidth=B, max_iterations=2
+            g, k=k, seed=5, c=0.01, bandwidth=B, max_iterations=2, engine=engine
         )
         sweep.add({"k": k}, {"first_iter_rounds": r.iteration_stats[0].rounds})
     return sweep
 
 
+def run_engine_comparison(n=N_ENGINE, k=16, max_iterations=2):
+    """Identical counts, >= 3x wall-clock: VectorEngine vs MessageEngine."""
+    g = repro.random_regularish_graph(n, 8, seed=6)
+    B = log2ceil(n)
+    timings: dict[str, float] = {}
+    counts: dict[str, tuple] = {}
+    for eng in ("vector", "message"):
+        start = time.perf_counter()
+        r = repro.distributed_pagerank(
+            g, k=k, seed=7, c=0.5, bandwidth=B, max_iterations=max_iterations, engine=eng
+        )
+        timings[eng] = time.perf_counter() - start
+        counts[eng] = (r.rounds, r.metrics.messages, r.metrics.bits)
+    assert counts["vector"] == counts["message"], counts
+    return timings, counts
+
+
 def run_star_sweep():
     g = repro.star_graph(N_STAR)
     B = log2ceil(N_STAR)
+    engine = engine_choice()
     sweep = Sweep("T4 ablation: star graph n=%d (heavy-vertex path)" % N_STAR)
     for k in KS:
-        algo = repro.distributed_pagerank(g, k=k, seed=3, c=2, bandwidth=B)
+        algo = repro.distributed_pagerank(g, k=k, seed=3, c=2, bandwidth=B, engine=engine)
         no_heavy = repro.distributed_pagerank(
-            g, k=k, seed=3, c=2, bandwidth=B, enable_heavy_path=False
+            g, k=k, seed=3, c=2, bandwidth=B, enable_heavy_path=False, engine=engine
         )
-        base = repro.baseline_pagerank(g, k=k, seed=3, c=2, bandwidth=B)
+        base = repro.baseline_pagerank(g, k=k, seed=3, c=2, bandwidth=B, engine=engine)
         sweep.add(
             {"k": k},
             {
@@ -99,6 +127,8 @@ def bench_t4_pagerank_round_scaling(benchmark):
         rounds=1,
         iterations=1,
     )
+    timings, eng_counts = run_engine_comparison()
+    speedup = timings["message"] / timings["vector"]
 
     ks = gnp.column("k")
     fit_algo = fit_power_law(ks, gnp.column("algo1_first_iter"))
@@ -117,12 +147,17 @@ def bench_t4_pagerank_round_scaling(benchmark):
         "",
         f"fit (asymptotic regime): rounds ~ k^{fit_asym.exponent:.2f}"
         f"  (paper: k^-2; r2={fit_asym.r_squared:.3f})",
+        "",
+        f"engine comparison (n={N_ENGINE}, identical counts {eng_counts['vector']}):",
+        f"  message: {timings['message']:.3f}s   vector: {timings['vector']:.3f}s"
+        f"   speedup: {speedup:.1f}x (target: >= 3x)",
     ]
     emit("T4_pagerank_rounds", "\n".join(lines))
 
     benchmark.extra_info["algo1_exponent"] = fit_algo.exponent
     benchmark.extra_info["baseline_exponent"] = fit_base.exponent
     benchmark.extra_info["asymptotic_exponent"] = fit_asym.exponent
+    benchmark.extra_info["engine_speedup"] = speedup
 
     # Shape assertions: Algorithm 1 scales clearly superlinearly, and the
     # large-n fit approaches the paper's -2; the baseline loses on the
@@ -132,3 +167,16 @@ def bench_t4_pagerank_round_scaling(benchmark):
     for row in star.rows:
         assert row.values["algo1_rounds"] < row.values["baseline_rounds"]
         assert row.values["algo1_rounds"] <= row.values["no_heavy_rounds"]
+    assert speedup >= 3.0, f"vector engine only {speedup:.1f}x faster than message"
+
+
+def smoke():
+    """Smallest configuration: the gnp sweep shape plus a tiny engine check."""
+    g = repro.gnp_random_graph(200, 6.0 / 200, seed=1)
+    B = log2ceil(200)
+    r = repro.distributed_pagerank(
+        g, k=4, seed=2, c=0.5, bandwidth=B, max_iterations=3, engine=engine_choice()
+    )
+    assert r.rounds > 0
+    timings, counts = run_engine_comparison(n=500, k=4, max_iterations=2)
+    assert counts["vector"] == counts["message"]

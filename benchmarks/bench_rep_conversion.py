@@ -61,3 +61,11 @@ def bench_fn3_rep_conversion(benchmark):
     # Rounds track the m/k² envelope within a small constant.
     for r in sweep.rows:
         assert r.values["measured_rounds"] <= 4 * max(1.0, r.values["m_over_Bk2"])
+
+def smoke():
+    """Smallest configuration: one REP->RVP conversion."""
+    g = repro.gnp_random_graph(60, 0.1, seed=5)
+    net = LinkNetwork(4, bandwidth=log2ceil(60))
+    ep = random_edge_partition(g.m, 4, seed=1)
+    _, metrics = rep_to_rvp(g.edges, g.n, ep, net, seed=2)
+    assert metrics.rounds > 0

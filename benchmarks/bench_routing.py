@@ -83,3 +83,15 @@ def bench_l13_random_routing(benchmark):
         assert row.values["measured_rounds"] <= 4 * max(1.0, row.values["lemma13_envelope"])
     row = adv.rows[0]
     assert row.values["valiant_rounds"] < row.values["direct_rounds"]
+
+def smoke():
+    """Smallest configuration: direct and Valiant routing on a tiny load."""
+    rng = np.random.default_rng(0)
+    net = LinkNetwork(4, bandwidth=B)
+    direct_exchange(net, random_workload(4, 20, rng))
+    assert net.rounds > 0
+    net2 = LinkNetwork(4, bandwidth=B)
+    out = [[] for _ in range(4)]
+    out[1] = [Message(src=1, dst=0, kind="w", bits=BITS) for _ in range(40)]
+    valiant_exchange(net2, out, rng=rng)
+    assert net2.rounds > 0

@@ -20,7 +20,7 @@ from repro.core.lowerbounds.extensions import sorting_round_lower_bound
 from repro.experiments.fits import fit_power_law
 from repro.experiments.harness import Sweep
 
-from _common import emit, log2ceil
+from _common import emit, engine_choice, log2ceil
 
 N = 100_000
 KS = (4, 8, 16, 32)
@@ -31,7 +31,7 @@ def run_sweep():
     B = 64  # one element per round per link
     sweep = Sweep(f"S: distributed sorting, n={N}, B={B}")
     for k in KS:
-        res = repro.distributed_sort(values, k=k, seed=1, bandwidth=B)
+        res = repro.distributed_sort(values, k=k, seed=1, bandwidth=B, engine=engine_choice())
         assert np.all(np.diff(res.concatenated()) >= 0)
         envelope = sorting_round_lower_bound(N, k, B)
         sweep.add(
@@ -69,3 +69,9 @@ def bench_s_distributed_sorting(benchmark):
         assert row.values["block_imbalance"] < 2.0
     assert fit_loaded.exponent < -1.6
     assert fit.exponent < -1.4
+
+def smoke():
+    """Smallest configuration: one tiny sort on both engine paths."""
+    values = np.random.default_rng(0).random(500)
+    res = repro.distributed_sort(values, k=4, seed=1, bandwidth=64, engine=engine_choice())
+    assert np.all(np.diff(res.concatenated()) >= 0)

@@ -45,7 +45,9 @@ def _graph_from_args(args) -> "repro.Graph":
 
 def cmd_pagerank(args) -> int:
     g = _graph_from_args(args)
-    res = repro.distributed_pagerank(g, k=args.k, seed=args.seed, c=args.tokens)
+    res = repro.distributed_pagerank(
+        g, k=args.k, seed=args.seed, c=args.tokens, engine=args.engine
+    )
     ref = repro.pagerank_walk_series(g, eps=res.eps)
     lb = repro.pagerank_round_lower_bound(g.n, args.k, res.metrics.bandwidth)
     rows = [
@@ -62,7 +64,9 @@ def cmd_pagerank(args) -> int:
 
 def cmd_triangles(args) -> int:
     g = _graph_from_args(args)
-    res = repro.enumerate_triangles_distributed(g, k=args.k, seed=args.seed)
+    res = repro.enumerate_triangles_distributed(
+        g, k=args.k, seed=args.seed, engine=args.engine
+    )
     lb = repro.triangle_round_lower_bound(
         g.n, args.k, res.metrics.bandwidth, t=max(1, res.count)
     )
@@ -80,7 +84,7 @@ def cmd_triangles(args) -> int:
 
 def cmd_sort(args) -> int:
     values = np.random.default_rng(args.seed).random(args.n)
-    res = repro.distributed_sort(values, k=args.k, seed=args.seed)
+    res = repro.distributed_sort(values, k=args.k, seed=args.seed, engine=args.engine)
     ok = bool(np.all(np.diff(res.concatenated()) >= 0))
     lb = repro.sorting_round_lower_bound(args.n, args.k, res.metrics.bandwidth)
     rows = [
@@ -97,7 +101,7 @@ def cmd_sort(args) -> int:
 def cmd_mst(args) -> int:
     g = _graph_from_args(args)
     w = np.random.default_rng(args.seed).random(g.m)
-    res = repro.distributed_mst(g, w, k=args.k, seed=args.seed)
+    res = repro.distributed_mst(g, w, k=args.k, seed=args.seed, engine=args.engine)
     _, ref_total = repro.kruskal_mst(g, w)
     rows = [
         ["n / m / k", f"{g.n} / {g.m} / {args.k}"],
@@ -133,10 +137,14 @@ def cmd_sweep(args) -> int:
     rounds = []
     for k in ks:
         if args.problem == "pagerank":
-            r = repro.distributed_pagerank(g, k=k, seed=args.seed, c=args.tokens)
+            r = repro.distributed_pagerank(
+                g, k=k, seed=args.seed, c=args.tokens, engine=args.engine
+            )
             val = r.token_rounds()
         else:
-            r = repro.enumerate_triangles_distributed(g, k=k, seed=args.seed)
+            r = repro.enumerate_triangles_distributed(
+                g, k=k, seed=args.seed, engine=args.engine
+            )
             val = r.rounds
         rounds.append(val)
         rows.append([k, val])
@@ -168,6 +176,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="input graph family",
         )
         p.add_argument("--avg-degree", type=float, default=8.0)
+        add_engine(p)
+
+    def add_engine(p):
+        p.add_argument(
+            "--engine",
+            choices=("message", "vector"),
+            default="message",
+            help="execution backend: per-object messages or vectorized batches "
+            "(identical results and round accounting)",
+        )
 
     p = sub.add_parser("pagerank", help="run Algorithm 1")
     common(p)
@@ -182,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=50_000)
     p.add_argument("--k", type=int, default=8)
     p.add_argument("--seed", type=int, default=1)
+    add_engine(p)
     p.set_defaults(func=cmd_sort)
 
     p = sub.add_parser("mst", help="run proxy-Borůvka MST")

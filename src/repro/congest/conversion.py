@@ -30,6 +30,7 @@ def convert_execution(
     bandwidth: int | None = None,
     seed: int | None = None,
     addressing_bits: int | None = None,
+    engine: str = "message",
 ) -> Metrics:
     """Replay a recorded CONGEST execution in the k-machine model.
 
@@ -49,6 +50,10 @@ def convert_execution(
         the ``O(log n)``-factor overhead inherent to the Conversion
         Theorem.  Defaults to ``2 * ceil(log2 n)`` (source and
         destination vertex ids).
+    engine:
+        Execution backend for the replay cluster (``"message"`` or
+        ``"vector"``); replay is aggregate-only, so both backends charge
+        identical rounds.
 
     Returns
     -------
@@ -66,7 +71,7 @@ def convert_execution(
         from repro.kmachine import encoding
 
         addressing_bits = 2 * encoding.vertex_id_bits(max(2, execution.n))
-    cluster = Cluster(k=k, n=max(2, execution.n), bandwidth=bandwidth, seed=seed)
+    cluster = Cluster(k=k, n=max(2, execution.n), bandwidth=bandwidth, seed=seed, engine=engine)
     home = partition.home
     for rnd, traffic in enumerate(execution.rounds):
         src_m = home[traffic.src] if traffic.src.size else np.zeros(0, dtype=np.int64)

@@ -64,6 +64,13 @@ class CongestNetwork:
         if self.bandwidth <= 0:
             raise ModelError(f"bandwidth must be positive, got {self.bandwidth}")
         self.execution = CongestExecution(n=graph.n, bandwidth=self.bandwidth)
+        # Sorted (src, dst) keys of every directed edge: CSR rows are
+        # ascending and sorted within a row, so the flat key array is
+        # globally sorted and one vectorized searchsorted validates a
+        # whole round's batched traffic at once.
+        n = graph.n
+        row_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+        self._edge_keys = row_of * n + graph.indices
 
     def round(
         self, src: np.ndarray, dst: np.ndarray, bits: np.ndarray
@@ -92,15 +99,21 @@ class CongestNetwork:
             key = src * self.graph.n + dst
             if np.unique(key).size != key.size:
                 raise ModelError("at most one message per edge direction per round")
-            # Edge membership: binary search each dst in src's adjacency.
-            indptr, indices = self.graph.indptr, self.graph.indices
-            lo = indptr[src]
-            hi = indptr[src + 1]
-            for s, d, l, h in zip(src, dst, lo, hi):
-                row = indices[l:h]
-                i = np.searchsorted(row, d)
-                if i >= row.size or row[i] != d:
-                    raise ModelError(f"({s}, {d}) is not an edge of the graph")
+            # Edge membership: one batched binary search over the sorted
+            # (src, dst) key array of the whole graph.
+            if self._edge_keys.size == 0:
+                raise ModelError(
+                    f"({int(src[0])}, {int(dst[0])}) is not an edge of the graph"
+                )
+            pos = np.searchsorted(self._edge_keys, key)
+            valid = (pos < self._edge_keys.size) & (
+                self._edge_keys[np.minimum(pos, self._edge_keys.size - 1)] == key
+            )
+            if not np.all(valid):
+                bad = int(np.flatnonzero(~valid)[0])
+                raise ModelError(
+                    f"({int(src[bad])}, {int(dst[bad])}) is not an edge of the graph"
+                )
         self.execution.rounds.append(RoundTraffic(src=src, dst=dst, bits=bits))
 
     @property

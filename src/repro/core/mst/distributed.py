@@ -79,7 +79,11 @@ class MSTResult:
 
 
 def _account(cluster: Cluster, src: np.ndarray, dst: np.ndarray, bits_per: int, label: str) -> None:
-    """Account one flow of unit messages given per-message (src, dst)."""
+    """Account one flow of unit messages given per-message (src, dst).
+
+    Routed through the cluster's execution engine, so the accounting
+    backend matches whatever the rest of the run uses.
+    """
     k = cluster.k
     bits = np.zeros((k, k), dtype=np.int64)
     msgs = np.zeros((k, k), dtype=np.int64)
@@ -98,11 +102,14 @@ def distributed_mst(
     bandwidth: int | None = None,
     partition: VertexPartition | None = None,
     max_phases: int | None = None,
+    engine: str = "message",
 ) -> MSTResult:
     """Compute the minimum spanning forest of ``graph`` with ``k`` machines.
 
     Ties in edge weights are broken by edge index, so the result is the
     unique MSF of the perturbed weights and matches Kruskal exactly.
+    All four flows are accounted at aggregate level through the chosen
+    execution ``engine`` backend.
     """
     if graph.directed:
         raise AlgorithmError("MST is defined on undirected graphs")
@@ -111,7 +118,7 @@ def distributed_mst(
     weights = np.asarray(weights, dtype=np.float64)
     if weights.shape != (m,):
         raise AlgorithmError(f"weights must have shape ({m},), got {weights.shape}")
-    cluster = Cluster(k=k, n=max(2, n), bandwidth=bandwidth, seed=seed)
+    cluster = Cluster(k=k, n=max(2, n), bandwidth=bandwidth, seed=seed, engine=engine)
     if partition is None:
         partition = random_vertex_partition(n, k, seed=cluster.shared_rng)
     elif partition.n != n or partition.k != k:

@@ -25,6 +25,7 @@ from repro.errors import AlgorithmError
 from repro.graphs.graph import Graph
 from repro.kmachine import encoding
 from repro.kmachine.cluster import Cluster
+from repro.kmachine.engine import MessageBatch
 from repro.kmachine.message import Message
 from repro.kmachine.partition import VertexPartition, random_vertex_partition
 from repro.core.pagerank.result import IterationStats, PageRankResult
@@ -43,6 +44,7 @@ def baseline_pagerank(
     partition: VertexPartition | None = None,
     cluster: Cluster | None = None,
     max_iterations: int | None = None,
+    engine: str = "message",
 ) -> PageRankResult:
     """Run the per-edge-forwarding baseline (see module docstring)."""
     check_positive_int(k, "k")
@@ -52,7 +54,7 @@ def baseline_pagerank(
     if n == 0:
         raise AlgorithmError("cannot compute PageRank of the empty graph")
     if cluster is None:
-        cluster = Cluster(k=k, n=n, bandwidth=bandwidth, seed=seed)
+        cluster = Cluster(k=k, n=n, bandwidth=bandwidth, seed=seed, engine=engine)
     elif cluster.k != k:
         raise AlgorithmError(f"cluster has k={cluster.k}, expected {k}")
     if partition is None:
@@ -74,7 +76,8 @@ def baseline_pagerank(
 
     for it in range(max_iterations):
         incoming = np.zeros(n, dtype=np.int64)
-        outboxes = cluster.empty_outboxes()
+        edge_src: list[np.ndarray] = []
+        edge_rows: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
 
         for i in range(cluster.k):
             rng = cluster.machine_rngs[i]
@@ -109,33 +112,29 @@ def baseline_pagerank(
                 np.add.at(incoming, pv[local_mask], pair_counts[local_mask])
             ru, rv, rc = pu[~local_mask], pv[~local_mask], pair_counts[~local_mask]
             if ru.size:
-                dest_machines = home[rv]
-                order = np.argsort(dest_machines, kind="stable")
-                ru, rv, rc, dm = ru[order], rv[order], rc[order], dest_machines[order]
-                boundaries = np.flatnonzero(np.diff(dm)) + 1
-                for cu, cv, cc in zip(
-                    np.split(ru, boundaries), np.split(rv, boundaries), np.split(rc, boundaries)
-                ):
-                    if cu.size == 0:
-                        continue
-                    j = int(home[cv[0]])
-                    bits = int(cu.size * ebits + encoding.count_bits_array(cc).sum())
-                    outboxes[i].append(
-                        Message(
-                            src=i,
-                            dst=j,
-                            kind="pr-edge",
-                            payload=(cv, cc),
-                            bits=bits,
-                            multiplicity=int(cu.size),
-                        )
-                    )
+                edge_src.append(np.full(ru.size, i, dtype=np.int64))
+                edge_rows.append((ru, rv, rc))
 
-        inboxes = cluster.exchange(outboxes, label=f"pagerank-baseline/tokens/{it}")
-        for inbox in inboxes:
-            for msg in inbox:
-                cv, cc = msg.payload
-                np.add.at(incoming, cv, cc)
+        if edge_rows:
+            bu = np.concatenate([u for u, _, _ in edge_rows])
+            bv = np.concatenate([v for _, v, _ in edge_rows])
+            bc = np.concatenate([c_ for _, _, c_ in edge_rows])
+            bsrc = np.concatenate(edge_src)
+        else:
+            bu = bv = bc = bsrc = np.zeros(0, dtype=np.int64)
+        (edges_in,) = cluster.exchange_batches(
+            [
+                MessageBatch(
+                    kind="pr-edge",
+                    src=bsrc,
+                    dst=home[bv],
+                    bits=ebits + encoding.count_bits_array(bc),
+                    columns={"u": bu, "v": bv, "count": bc},
+                )
+            ],
+            label=f"pagerank-baseline/tokens/{it}",
+        )
+        np.add.at(incoming, edges_in.columns["v"], edges_in.columns["count"])
 
         tokens += incoming
         psi += incoming

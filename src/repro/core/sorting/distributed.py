@@ -34,7 +34,7 @@ from repro._util import as_rng, check_positive_int
 from repro.errors import AlgorithmError
 from repro.kmachine import encoding
 from repro.kmachine.cluster import Cluster
-from repro.kmachine.message import Message
+from repro.kmachine.engine import MessageBatch
 from repro.kmachine.metrics import Metrics
 
 __all__ = ["distributed_sort", "SortResult"]
@@ -83,6 +83,7 @@ def distributed_sort(
     bandwidth: int | None = None,
     assignment: np.ndarray | None = None,
     oversample: float = 8.0,
+    engine: str = "message",
 ) -> SortResult:
     """Sort ``values`` with ``k`` machines in ``Õ(n/k²)`` rounds.
 
@@ -96,13 +97,16 @@ def distributed_sort(
     oversample:
         Sampling-rate constant: each element is sampled with probability
         ``min(1, oversample * k * ln n / n)``.
+    engine:
+        Execution backend (``"message"`` or ``"vector"``).  The sample
+        and redistribution streams are columnar ``(value, index)`` rows.
     """
     values = np.asarray(values)
     n = int(values.size)
     check_positive_int(k, "k")
     if n == 0:
         raise AlgorithmError("cannot sort an empty input")
-    cluster = Cluster(k=k, n=max(2, n), bandwidth=bandwidth, seed=seed)
+    cluster = Cluster(k=k, n=max(2, n), bandwidth=bandwidth, seed=seed, engine=engine)
     if assignment is None:
         assignment = cluster.shared_rng.integers(0, k, size=n)
     else:
@@ -113,10 +117,11 @@ def distributed_sort(
     val_bits = encoding.FLOAT_BITS
 
     # ------------------------------------------------------------------
-    # Phase 1 — sampling to machine 0.
+    # Phase 1 — sampling to machine 0, as one columnar value stream.
     p = min(1.0, oversample * k * math.log(max(2, n)) / n)
     sample_parts: list[np.ndarray] = []
-    outboxes = cluster.empty_outboxes()
+    remote_samples: list[np.ndarray] = []
+    remote_src: list[np.ndarray] = []
     for i in range(k):
         mine = values[assignment == i]
         take = cluster.machine_rngs[i].random(mine.size) < p
@@ -124,19 +129,23 @@ def distributed_sort(
         if i == 0:
             sample_parts.append(sample)
         elif sample.size:
-            outboxes[i].append(
-                Message(
-                    src=i,
-                    dst=0,
-                    kind="sort-sample",
-                    payload=sample,
-                    bits=int(sample.size) * val_bits,
-                    multiplicity=int(sample.size),
-                )
+            remote_samples.append(sample)
+            remote_src.append(np.full(sample.size, i, dtype=np.int64))
+    sv = np.concatenate(remote_samples) if remote_samples else np.zeros(0, dtype=values.dtype)
+    ss = np.concatenate(remote_src) if remote_src else np.zeros(0, dtype=np.int64)
+    (sample_in,) = cluster.exchange_batches(
+        [
+            MessageBatch(
+                kind="sort-sample",
+                src=ss,
+                dst=np.zeros(sv.size, dtype=np.int64),
+                bits=np.full(sv.size, val_bits, dtype=np.int64),
+                columns={"value": sv},
             )
-    inboxes = cluster.exchange(outboxes, label="sort/sample")
-    for msg in inboxes[0]:
-        sample_parts.append(msg.payload)
+        ],
+        label="sort/sample",
+    )
+    sample_parts.append(sample_in.columns["value"])
     samples = np.sort(np.concatenate(sample_parts)) if sample_parts else np.zeros(0)
 
     # ------------------------------------------------------------------
@@ -161,41 +170,31 @@ def distributed_sort(
     # keeps values equal to a splitter in the lower bucket, and ties
     # within a bucket are later broken by original index.
     bucket = np.searchsorted(splitters, values, side="right")
-    outboxes = cluster.empty_outboxes()
     received: list[list[np.ndarray]] = [[] for _ in range(k)]
     idx_all = np.arange(n)
+    local_mask = bucket == assignment
     for i in range(k):
-        mask = assignment == i
-        vals_i, buck_i = values[mask], bucket[mask]
-        idx_i = idx_all[mask]
-        order = np.argsort(buck_i, kind="stable")
-        vals_i, buck_i, idx_i = vals_i[order], buck_i[order], idx_i[order]
-        boundaries = np.flatnonzero(np.diff(buck_i)) + 1
-        starts = np.concatenate([[0], boundaries]) if vals_i.size else np.zeros(0, dtype=np.int64)
-        for s, chunk_v, chunk_idx in zip(
-            starts, np.split(vals_i, boundaries), np.split(idx_i, boundaries)
-        ):
-            if chunk_v.size == 0:
-                continue
-            j = int(buck_i[s])
-            payload = np.column_stack([chunk_v, chunk_idx])
-            if j == i:
-                received[i].append(payload)
-                continue
-            outboxes[i].append(
-                Message(
-                    src=i,
-                    dst=j,
-                    kind="sort-elems",
-                    payload=payload,
-                    bits=int(chunk_v.size) * (val_bits + encoding.vertex_id_bits(n)),
-                    multiplicity=int(chunk_v.size),
-                )
+        mine = local_mask & (assignment == i)
+        if np.any(mine):
+            received[i].append(np.column_stack([values[mine], idx_all[mine]]))
+    remote = ~local_mask
+    elem_bits = val_bits + encoding.vertex_id_bits(n)
+    (elems_in,) = cluster.exchange_batches(
+        [
+            MessageBatch(
+                kind="sort-elems",
+                src=assignment[remote],
+                dst=bucket[remote],
+                bits=np.full(int(remote.sum()), elem_bits, dtype=np.int64),
+                columns={"value": values[remote], "index": idx_all[remote]},
             )
-    inboxes = cluster.exchange(outboxes, label="sort/redistribute")
-    for j, inbox in enumerate(inboxes):
-        for msg in inbox:
-            received[j].append(msg.payload)
+        ],
+        label="sort/redistribute",
+    )
+    for j in range(k):
+        rows = elems_in.for_machine(j)
+        if rows["value"].size:
+            received[j].append(np.column_stack([rows["value"], rows["index"]]))
 
     # ------------------------------------------------------------------
     # Phase 4 — local sort (free), ties broken by original index.

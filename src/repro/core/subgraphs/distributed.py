@@ -22,11 +22,9 @@ from repro.errors import AlgorithmError
 from repro.graphs.graph import Graph
 from repro.kmachine.cluster import Cluster
 from repro.kmachine.partition import VertexPartition, random_vertex_partition
-from repro.kmachine.message import Message
-from repro.kmachine import encoding
 from repro.core.subgraphs.colors4 import num_colors_for_machines_r4, quads_needing_edge_array
 from repro.core.subgraphs.local import enumerate_c4_edges, enumerate_k4_edges
-from repro.core.triangles.distributed import _scatter_edges
+from repro.core.triangles.distributed import _edge_batch
 from repro.core.triangles.result import TriangleResult
 
 __all__ = ["enumerate_subgraphs_distributed"]
@@ -43,6 +41,7 @@ def enumerate_subgraphs_distributed(
     partition: VertexPartition | None = None,
     cluster: Cluster | None = None,
     use_proxies: bool = True,
+    engine: str = "message",
 ) -> TriangleResult:
     """Enumerate all (non-induced) K4s or C4s of ``graph`` with ``k`` machines.
 
@@ -70,7 +69,7 @@ def enumerate_subgraphs_distributed(
     if n == 0:
         raise AlgorithmError("empty graph")
     if cluster is None:
-        cluster = Cluster(k=k, n=n, bandwidth=bandwidth, seed=seed)
+        cluster = Cluster(k=k, n=n, bandwidth=bandwidth, seed=seed, engine=engine)
     elif cluster.k != k:
         raise AlgorithmError(f"cluster has k={cluster.k}, expected {k}")
     if partition is None:
@@ -107,12 +106,11 @@ def enumerate_subgraphs_distributed(
             cnt = int(mask.sum())
             if cnt:
                 proxy[mask] = cluster.machine_rngs[i].integers(0, k, size=cnt)
-        outboxes = cluster.empty_outboxes()
         remote = shipper != proxy
-        _scatter_edges(
-            outboxes, edges[remote], shipper[remote], proxy[remote], "sub-edge-proxy", n
+        cluster.exchange_batches(
+            [_edge_batch(edges[remote], shipper[remote], proxy[remote], "sub-edge-proxy", n)],
+            label=f"subgraphs-{pattern}/to-proxies",
         )
-        cluster.exchange(outboxes, label=f"subgraphs-{pattern}/to-proxies")
         holder = proxy
     else:
         holder = shipper
@@ -123,7 +121,6 @@ def enumerate_subgraphs_distributed(
     flat_src = np.repeat(holder, p)
     flat_dst = targets.ravel()
     flat_edges = np.repeat(edges, p, axis=0)
-    outboxes = cluster.empty_outboxes()
     received: list[list[np.ndarray]] = [[] for _ in range(k)]
     local = flat_src == flat_dst
     if np.any(local):
@@ -136,13 +133,14 @@ def enumerate_subgraphs_distributed(
             if chunk.shape[0]:
                 received[int(ld[s])].append(chunk)
     rem = ~local
-    _scatter_edges(
-        outboxes, flat_edges[rem], flat_src[rem], flat_dst[rem], "sub-edge-final", n
+    (final_in,) = cluster.exchange_batches(
+        [_edge_batch(flat_edges[rem], flat_src[rem], flat_dst[rem], "sub-edge-final", n)],
+        label=f"subgraphs-{pattern}/to-quads",
     )
-    inboxes = cluster.exchange(outboxes, label=f"subgraphs-{pattern}/to-quads")
-    for j, inbox in enumerate(inboxes):
-        for msg in inbox:
-            received[j].append(msg.payload)
+    for j in range(k):
+        rows = final_in.for_machine(j)
+        if rows["u"].size:
+            received[j].append(np.column_stack([rows["u"], rows["v"]]))
 
     # Phase 3 — local enumeration + color-multiset filtering.
     all_rows: list[np.ndarray] = []

@@ -39,7 +39,7 @@ from repro.graphs.graph import Graph
 from repro.graphs.triangles_ref import enumerate_triangles_edges
 from repro.kmachine import encoding
 from repro.kmachine.cluster import Cluster
-from repro.kmachine.message import Message
+from repro.kmachine.engine import MessageBatch
 from repro.kmachine.partition import VertexPartition, random_vertex_partition
 from repro.core.triangles.colors import (
     machines_needing_edge_array,
@@ -50,42 +50,24 @@ from repro.core.triangles.result import TriangleResult
 __all__ = ["enumerate_triangles_distributed"]
 
 
-def _scatter_edges(
-    outboxes: list[list[Message]],
+def _edge_batch(
     edges: np.ndarray,
     src_machines: np.ndarray,
     dest_machines: np.ndarray,
     kind: str,
     n: int,
-) -> None:
-    """Batch per-edge messages into one envelope per (src, dst) machine pair.
-
-    A single lexsort + split groups all edges at once, so the cost is
-    ``O((m q) log(m q))`` independent of ``k``.
-    """
-    if edges.shape[0] == 0:
-        return
+) -> MessageBatch:
+    """One columnar edge stream: a ``(u, v)`` row per shipped edge copy."""
     ebits = encoding.edge_message_bits(n)
-    order = np.lexsort((dest_machines, src_machines))
-    edges = edges[order]
-    src_machines = src_machines[order]
-    dest_machines = dest_machines[order]
-    change = (np.diff(src_machines) != 0) | (np.diff(dest_machines) != 0)
-    boundaries = np.flatnonzero(change) + 1
-    starts = np.concatenate([[0], boundaries])
-    for s, chunk in zip(starts, np.split(edges, boundaries)):
-        if chunk.shape[0] == 0:
-            continue
-        outboxes[int(src_machines[s])].append(
-            Message(
-                src=int(src_machines[s]),
-                dst=int(dest_machines[s]),
-                kind=kind,
-                payload=chunk,
-                bits=int(chunk.shape[0]) * ebits,
-                multiplicity=int(chunk.shape[0]),
-            )
-        )
+    edges = edges.reshape(-1, 2)
+    return MessageBatch(
+        kind=kind,
+        src=src_machines,
+        dst=dest_machines,
+        bits=np.full(edges.shape[0], ebits, dtype=np.int64),
+        columns={"u": np.ascontiguousarray(edges[:, 0]),
+                 "v": np.ascontiguousarray(edges[:, 1])},
+    )
 
 
 def enumerate_triangles_distributed(
@@ -99,6 +81,7 @@ def enumerate_triangles_distributed(
     degree_threshold: int | None = None,
     enumerate_triads: bool = False,
     skip_local_enumeration: bool = False,
+    engine: str = "message",
 ) -> TriangleResult:
     """Enumerate all triangles of ``graph`` with ``k`` machines (Theorem 5).
 
@@ -123,6 +106,11 @@ def enumerate_triangles_distributed(
         enumeration (which is free in the k-machine model anyway).  Used
         by large-scale *round-scaling* benches; the returned triangle
         array is empty.
+    engine:
+        Execution backend (``"message"`` or ``"vector"``); ignored when
+        an explicit ``cluster`` is supplied.  The edge streams of all
+        three phases are columnar, so the vector backend runs them
+        without materializing message objects.
 
     Returns
     -------
@@ -136,7 +124,7 @@ def enumerate_triangles_distributed(
     if n == 0:
         raise AlgorithmError("empty graph")
     if cluster is None:
-        cluster = Cluster(k=k, n=n, bandwidth=bandwidth, seed=seed)
+        cluster = Cluster(k=k, n=n, bandwidth=bandwidth, seed=seed, engine=engine)
     elif cluster.k != k:
         raise AlgorithmError(f"cluster has k={cluster.k}, expected {k}")
     if partition is None:
@@ -162,15 +150,23 @@ def enumerate_triangles_distributed(
     high = deg >= degree_threshold
     vid_bits = encoding.vertex_id_bits(n)
     if np.any(high):
-        outboxes = cluster.empty_outboxes()
-        for v in np.flatnonzero(high):
-            i = int(home[v])
-            for j in range(k):
-                if j != i:
-                    outboxes[i].append(
-                        Message(src=i, dst=j, kind="tri-request", payload=int(v), bits=vid_bits)
-                    )
-        cluster.exchange(outboxes, label="triangles/requests")
+        hv = np.flatnonzero(high)
+        req_src = np.repeat(home[hv], k)
+        req_dst = np.tile(np.arange(k, dtype=np.int64), hv.size)
+        req_v = np.repeat(hv, k)
+        keep = req_dst != req_src
+        cluster.exchange_batches(
+            [
+                MessageBatch(
+                    kind="tri-request",
+                    src=req_src[keep],
+                    dst=req_dst[keep],
+                    bits=np.full(int(keep.sum()), vid_bits, dtype=np.int64),
+                    columns={"v": req_v[keep]},
+                )
+            ],
+            label="triangles/requests",
+        )
 
     # ------------------------------------------------------------------
     # Shipping responsibility per edge (the proxy assignment rule):
@@ -195,10 +191,11 @@ def enumerate_triangles_distributed(
             cnt = int(mask.sum())
             if cnt:
                 proxy[mask] = cluster.machine_rngs[i].integers(0, k, size=cnt)
-        outboxes = cluster.empty_outboxes()
         remote = shipper != proxy
-        _scatter_edges(outboxes, edges[remote], shipper[remote], proxy[remote], "tri-edge-proxy", n)
-        cluster.exchange(outboxes, label="triangles/to-proxies")
+        cluster.exchange_batches(
+            [_edge_batch(edges[remote], shipper[remote], proxy[remote], "tri-edge-proxy", n)],
+            label="triangles/to-proxies",
+        )
         holder = proxy
     else:
         holder = shipper
@@ -207,7 +204,6 @@ def enumerate_triangles_distributed(
     # Phase 2 — proxies forward every edge to the q sorted-triplet owners
     # that need it (owners are computable from the shared hash alone).
     targets = machines_needing_edge_array(colors[edges[:, 0]], colors[edges[:, 1]], q) if m else np.zeros((0, 0), dtype=np.int64)
-    outboxes = cluster.empty_outboxes()
     received: list[list[np.ndarray]] = [[] for _ in range(k)]
     if m:
         flat_src = np.repeat(holder, q)
@@ -224,13 +220,22 @@ def enumerate_triangles_distributed(
                 if chunk.shape[0]:
                     received[int(ld[s])].append(chunk)
         remote = ~local
-        _scatter_edges(
-            outboxes, flat_edges[remote], flat_src[remote], flat_dst[remote], "tri-edge-final", n
+        batch = _edge_batch(
+            flat_edges[remote], flat_src[remote], flat_dst[remote], "tri-edge-final", n
         )
-    inboxes = cluster.exchange(outboxes, label="triangles/to-triplets")
-    for j, inbox in enumerate(inboxes):
-        for msg in inbox:
-            received[j].append(msg.payload)
+    else:
+        batch = _edge_batch(
+            np.zeros((0, 2), dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            "tri-edge-final",
+            n,
+        )
+    (final_in,) = cluster.exchange_batches([batch], label="triangles/to-triplets")
+    for j in range(k):
+        rows = final_in.for_machine(j)
+        if rows["u"].size:
+            received[j].append(np.column_stack([rows["u"], rows["v"]]))
 
     # ------------------------------------------------------------------
     # Phase 3 — local enumeration on each triplet machine; a machine

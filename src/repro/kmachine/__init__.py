@@ -14,13 +14,52 @@ The simulator is *phase-accurate*: an algorithm runs as a sequence of
 communication phases (supersteps).  A phase in which link ``(i, j)``
 carries ``L_ij`` bits costs ``max_ij ceil(L_ij / B)`` rounds, which is the
 exact cost of the oblivious delivery schedule all of the paper's
-upper-bound arguments use (cf. Lemma 13).  A strict round-by-round engine
+upper-bound arguments use (cf. Lemma 13).  A strict round-by-round mode
 is also provided and is tested to agree with the phase formula.
+
+Engine architecture
+-------------------
+Algorithm drivers are decoupled from *how* a phase executes by a
+pluggable execution-engine layer (:mod:`repro.kmachine.engine`):
+
+* Drivers describe a superstep's traffic either as per-object
+  :class:`Message` outboxes (:meth:`Cluster.exchange`, the fallback for
+  heterogeneous control traffic) or — on the hot paths — as columnar
+  :class:`~repro.kmachine.engine.MessageBatch` streams of per-message
+  ``(src, dst, bits)`` plus payload arrays
+  (:meth:`Cluster.exchange_batches`).
+* ``Cluster(..., engine="message")`` executes batches by materializing
+  one :class:`Message` per logical row through
+  :class:`~repro.kmachine.engine.MessageEngine` — the original
+  per-object semantics.
+* ``Cluster(..., engine="vector")`` executes them through
+  :class:`~repro.kmachine.engine.VectorEngine`: per-link loads are
+  scattered into dense ``(k, k)`` bits/messages matrices, round
+  accounting (phase and strict modes) is computed from those matrices,
+  and delivery is one stable sort per batch — no Python loop over
+  messages.
+
+Both backends share :meth:`LinkNetwork.record` for accounting and
+deliver rows in the same canonical ``(dst, src, emission)`` order, so
+results, round counts, and per-link bit totals are engine-independent
+(property-tested per algorithm family in
+``tests/property/test_property_engines.py``).  :meth:`Cluster.run_driver`
+runs a BSP driver loop against whichever backend the cluster was built
+with, which is what makes sharded or multiprocessing backends drop-in
+later.
 """
 
 from repro.kmachine.message import Message
 from repro.kmachine.metrics import Metrics, PhaseStats
 from repro.kmachine.network import LinkNetwork
+from repro.kmachine.engine import (
+    DeliveredBatch,
+    Engine,
+    MessageBatch,
+    MessageEngine,
+    VectorEngine,
+    make_engine,
+)
 from repro.kmachine.cluster import Cluster
 from repro.kmachine.partition import (
     VertexPartition,
@@ -42,6 +81,12 @@ __all__ = [
     "PhaseStats",
     "LinkNetwork",
     "Cluster",
+    "Engine",
+    "MessageEngine",
+    "VectorEngine",
+    "MessageBatch",
+    "DeliveredBatch",
+    "make_engine",
     "VertexPartition",
     "EdgePartition",
     "random_vertex_partition",

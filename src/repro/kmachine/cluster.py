@@ -10,18 +10,27 @@ A :class:`Cluster` bundles everything an algorithm driver needs:
 
 Algorithms are written as *drivers*: per superstep they compute each
 machine's outbox from that machine's local state only, then call
-:meth:`Cluster.exchange`.  This is the BSP-style structure the paper
-itself notes the k-machine model simplifies.
+:meth:`Cluster.exchange` (heterogeneous per-object traffic) or
+:meth:`Cluster.exchange_batches` (homogeneous columnar traffic).  This is
+the BSP-style structure the paper itself notes the k-machine model
+simplifies; :meth:`Cluster.run_driver` runs that loop for driver objects
+exposing a ``step(cluster, state)`` method.
+
+*How* a phase executes is delegated to a pluggable execution engine
+(``engine="message"`` or ``engine="vector"``, see
+:mod:`repro.kmachine.engine`); both backends produce identical results
+and identical round/message/bit accounting.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro._util import check_positive_int, polylog, spawn_rngs
 from repro.errors import ModelError
+from repro.kmachine.engine import DeliveredBatch, Engine, MessageBatch, make_engine
 from repro.kmachine.message import Message
 from repro.kmachine.metrics import Metrics
 from repro.kmachine.network import LinkNetwork
@@ -47,6 +56,10 @@ class Cluster:
         generator, all reproducible.
     mode:
         Network accounting mode (``"phase"`` or ``"strict"``).
+    engine:
+        Execution backend: ``"message"`` (per-object semantics, the
+        default), ``"vector"`` (columnar/vectorized), or an
+        :class:`~repro.kmachine.engine.Engine` subclass.
     """
 
     def __init__(
@@ -56,6 +69,7 @@ class Cluster:
         bandwidth: int | None = None,
         seed: int | None = None,
         mode: str = "phase",
+        engine: "str | type[Engine]" = "message",
     ) -> None:
         check_positive_int(k, "k")
         if k < 2:
@@ -67,6 +81,7 @@ class Cluster:
         self.k = int(k)
         self.n = None if n is None else int(n)
         self.network = LinkNetwork(k=self.k, bandwidth=int(bandwidth), mode=mode)
+        self.engine: Engine = make_engine(engine, self.network)
         rngs = spawn_rngs(seed, self.k + 1)
         #: Per-machine private random generators.
         self.machine_rngs: list[np.random.Generator] = rngs[: self.k]
@@ -93,8 +108,18 @@ class Cluster:
     def exchange(
         self, outboxes: Sequence[Iterable[Message]], label: str = ""
     ) -> list[list[Message]]:
-        """Run one communication phase (see :meth:`LinkNetwork.exchange`)."""
-        return self.network.exchange(outboxes, label=label)
+        """Run one per-object communication phase via the engine."""
+        return self.engine.exchange(outboxes, label=label)
+
+    def exchange_batches(
+        self, batches: Sequence[MessageBatch], label: str = ""
+    ) -> list[DeliveredBatch]:
+        """Run one columnar communication phase via the engine.
+
+        All batches share the phase: rounds are charged once as
+        ``max_ij ceil(L_ij / B)`` over their combined link loads.
+        """
+        return self.engine.exchange_batches(batches, label=label)
 
     def account_phase(
         self,
@@ -104,7 +129,7 @@ class Cluster:
         local_messages: int = 0,
     ) -> int:
         """Account an aggregate-only phase (see :meth:`LinkNetwork.account_phase`)."""
-        return self.network.account_phase(
+        return self.engine.account_phase(
             bits_matrix, messages_matrix, label=label, local_messages=local_messages
         )
 
@@ -115,16 +140,41 @@ class Cluster:
     def broadcast(
         self, src: int, kind: str, payload, bits: int, label: str = "broadcast"
     ) -> list[list[Message]]:
-        """Machine ``src`` sends the same message to every other machine."""
+        """Machine ``src`` sends the same message to every other machine.
+
+        The sender is excluded (``k - 1`` copies, one per other machine);
+        ``bits`` is the per-copy wire size and must be positive.
+        """
         if not (0 <= src < self.k):
             raise ModelError(f"machine index {src} out of range [0, {self.k})")
+        if int(bits) <= 0:
+            raise ModelError(f"broadcast message size must be positive, got {bits}")
         outboxes = self.empty_outboxes()
         outboxes[src] = [
-            Message(src=src, dst=j, kind=kind, payload=payload, bits=bits)
+            Message(src=src, dst=j, kind=kind, payload=payload, bits=int(bits))
             for j in range(self.k)
             if j != src
         ]
         return self.exchange(outboxes, label=label)
+
+    # ------------------------------------------------------------------
+    def run_driver(self, driver, state=None, max_steps: int | None = None):
+        """Run a BSP driver loop until the driver signals completion.
+
+        ``driver`` is either an object with a ``step(cluster, state)``
+        method or a bare callable with the same signature; it performs
+        one superstep (local computation plus exchanges) and returns a
+        truthy value while more supersteps remain.  Returns ``state``.
+        """
+        step: Callable = driver.step if hasattr(driver, "step") else driver
+        if not callable(step):
+            raise ModelError("driver must be callable or expose a step() method")
+        steps = 0
+        while max_steps is None or steps < max_steps:
+            steps += 1
+            if not step(self, state):
+                break
+        return state
 
     def reset_metrics(self) -> None:
         """Discard accumulated metrics."""

@@ -118,22 +118,41 @@ class LinkNetwork:
                 msgs[msg.src, msg.dst] += msg.multiplicity
                 per_link.setdefault((msg.src, msg.dst), []).append(msg)
 
-        if self.mode == "strict":
-            rounds = self._strict_rounds(per_link)
-            # Record with the strict round count: replicate record_phase but
-            # override the round formula with the simulated value.
-            stats = self.metrics.record_phase(bits, msgs, label=label, local_messages=local)
-            delta = rounds - stats.rounds
-            if delta:
-                stats_rounds = stats.rounds + delta
-                self.metrics.rounds += delta
-                self.metrics.phase_log[-1].rounds = stats_rounds
-        else:
-            self.metrics.record_phase(bits, msgs, label=label, local_messages=local)
+        strict_rounds = self._strict_rounds(per_link) if self.mode == "strict" else None
+        self.record(
+            bits, msgs, label=label, local_messages=local, strict_rounds=strict_rounds
+        )
 
         for (_, dst), batch in sorted(per_link.items()):
             inboxes[dst].extend(batch)
         return inboxes
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        bits_matrix: np.ndarray,
+        messages_matrix: np.ndarray,
+        label: str = "",
+        local_messages: int = 0,
+        strict_rounds: int | None = None,
+    ):
+        """Record one phase's aggregate loads; the engines' accounting primitive.
+
+        ``strict_rounds``, when given in strict mode, overrides the
+        phase-formula round count with the simulated FIFO-drain value
+        (callers compute it per backend: :meth:`exchange` simulates the
+        queues, the vector engine derives it from the load matrices).
+        Returns the recorded :class:`~repro.kmachine.metrics.PhaseStats`.
+        """
+        stats = self.metrics.record_phase(
+            bits_matrix, messages_matrix, label=label, local_messages=local_messages
+        )
+        if strict_rounds is not None and self.mode == "strict":
+            delta = strict_rounds - stats.rounds
+            if delta:
+                stats.rounds += delta
+                self.metrics.rounds += delta
+        return stats
 
     # ------------------------------------------------------------------
     def account_phase(

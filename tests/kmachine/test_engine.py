@@ -1,0 +1,228 @@
+"""Unit tests for the pluggable execution-engine layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.kmachine import encoding
+from repro.kmachine.cluster import Cluster
+from repro.kmachine.engine import (
+    ENGINES,
+    MessageBatch,
+    MessageEngine,
+    VectorEngine,
+    make_engine,
+)
+from repro.kmachine.message import Message
+from repro.kmachine.network import LinkNetwork
+
+ENGINE_NAMES = sorted(ENGINES)
+
+
+def _batch(src, dst, bits, **columns):
+    return MessageBatch(
+        kind="t",
+        src=np.asarray(src, dtype=np.int64),
+        dst=np.asarray(dst, dtype=np.int64),
+        bits=np.asarray(bits, dtype=np.int64),
+        columns={k: np.asarray(v) for k, v in columns.items()},
+    )
+
+
+class TestMessageBatch:
+    def test_validates_lengths(self):
+        with pytest.raises(ModelError):
+            _batch([0, 1], [1], [4, 4])
+
+    def test_validates_column_lengths(self):
+        with pytest.raises(ModelError):
+            _batch([0, 1], [1, 0], [4, 4], u=[7])
+
+    def test_rejects_nonpositive_bits(self):
+        with pytest.raises(ModelError):
+            _batch([0], [1], [0])
+
+    def test_record_roundtrip(self):
+        b = _batch([0, 1], [1, 0], [4, 8], u=[10, 20], w=[0.5, 1.5])
+        rec = b.to_records()
+        assert rec.dtype == encoding.payload_dtype(
+            src=np.int64, dst=np.int64, bits=np.int64, u=np.int64, w=np.float64
+        )
+        back = MessageBatch.from_records("t", rec)
+        assert np.array_equal(back.src, b.src)
+        assert np.array_equal(back.columns["u"], b.columns["u"])
+        assert np.array_equal(back.columns["w"], b.columns["w"])
+
+
+class TestEngineRegistry:
+    def test_registry_contents(self):
+        assert ENGINES["message"] is MessageEngine
+        assert ENGINES["vector"] is VectorEngine
+
+    def test_make_engine_from_name_and_class(self):
+        net = LinkNetwork(3, bandwidth=8)
+        assert isinstance(make_engine("vector", net), VectorEngine)
+        assert isinstance(make_engine(MessageEngine, net), MessageEngine)
+        inst = VectorEngine(net)
+        assert make_engine(inst, net) is inst
+
+    def test_make_engine_rejects_unknown(self):
+        net = LinkNetwork(3, bandwidth=8)
+        with pytest.raises(ModelError):
+            make_engine("tachyon", net)
+        with pytest.raises(ModelError):
+            make_engine(42, net)
+
+    def test_instance_must_match_network(self):
+        a = LinkNetwork(3, bandwidth=8)
+        b = LinkNetwork(3, bandwidth=8)
+        with pytest.raises(ModelError):
+            make_engine(VectorEngine(a), b)
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+class TestExchangeBatches:
+    def test_accounting_matches_message_objects(self, engine):
+        c = Cluster(k=3, bandwidth=8, seed=0, engine=engine)
+        ref = Cluster(k=3, bandwidth=8, seed=0)
+        out = ref.empty_outboxes()
+        rows = [(0, 1, 6), (0, 2, 6), (2, 1, 10), (1, 1, 3)]
+        for s, d, b in rows:
+            out[s].append(Message(src=s, dst=d, kind="t", bits=b))
+        ref.exchange(out)
+        c.exchange_batches(
+            [_batch([r[0] for r in rows], [r[1] for r in rows], [r[2] for r in rows])]
+        )
+        assert c.rounds == ref.rounds
+        assert c.metrics.bits == ref.metrics.bits
+        assert c.metrics.messages == ref.metrics.messages
+        assert c.metrics.local_messages == ref.metrics.local_messages == 1
+
+    def test_delivery_is_canonical_order(self, engine):
+        c = Cluster(k=4, bandwidth=64, seed=0, engine=engine)
+        # Emission order deliberately scrambled in src.
+        b = _batch([2, 0, 2, 1, 0], [3, 3, 3, 3, 0], [4] * 5, u=[0, 1, 2, 3, 4])
+        (d,) = c.exchange_batches([b])
+        sl = d.machine_slice(3)
+        assert d.src[sl].tolist() == [0, 1, 2, 2]
+        # Same src keeps emission order (stable).
+        assert d.columns["u"][sl].tolist() == [1, 3, 0, 2]
+        assert d.for_machine(0)["u"].tolist() == [4]
+        assert len(d) == 5
+
+    def test_multiple_batches_share_one_phase(self, engine):
+        c = Cluster(k=3, bandwidth=8, seed=0, engine=engine)
+        a = _batch([0], [1], [6])
+        b = _batch([0], [1], [6])
+        c.exchange_batches([a, b])
+        # One phase: 12 bits on link (0,1) -> ceil(12/8) = 2 rounds,
+        # not 1 + 1 from two separate phases.
+        assert c.metrics.phases == 1
+        assert c.rounds == 2
+
+    def test_empty_batches(self, engine):
+        c = Cluster(k=3, bandwidth=8, seed=0, engine=engine)
+        (d,) = c.exchange_batches([_batch([], [], [])])
+        assert len(d) == 0
+        assert d.offsets.tolist() == [0, 0, 0, 0]
+        assert c.rounds == 0 and c.metrics.phases == 1
+
+    def test_rejects_out_of_range_machines(self, engine):
+        c = Cluster(k=3, bandwidth=8, seed=0, engine=engine)
+        with pytest.raises(ModelError):
+            c.exchange_batches([_batch([0], [3], [4])])
+        with pytest.raises(ModelError):
+            c.exchange_batches([_batch([-1], [0], [4])])
+
+    def test_strict_mode_matches_phase_mode_with_packing(self, engine):
+        rng = np.random.default_rng(3)
+        src = rng.integers(0, 4, 30)
+        dst = rng.integers(0, 4, 30)
+        bits = rng.integers(1, 20, 30)
+        strict = Cluster(k=4, bandwidth=7, seed=0, mode="strict", engine=engine)
+        phase = Cluster(k=4, bandwidth=7, seed=0, mode="phase", engine=engine)
+        strict.exchange_batches([_batch(src, dst, bits)])
+        phase.exchange_batches([_batch(src, dst, bits)])
+        assert strict.rounds == phase.rounds
+
+
+class TestEngineEquivalence:
+    def test_randomized_batches_identical_across_backends(self):
+        rng = np.random.default_rng(7)
+        for mode in ("phase", "strict"):
+            for _ in range(20):
+                k = int(rng.integers(2, 6))
+                t = int(rng.integers(0, 50))
+                src = rng.integers(0, k, t)
+                dst = rng.integers(0, k, t)
+                bits = rng.integers(1, 25, t)
+                payload = rng.integers(0, 1000, t)
+                results = {}
+                for engine in ENGINE_NAMES:
+                    c = Cluster(k=k, bandwidth=5, seed=0, mode=mode, engine=engine)
+                    (d,) = c.exchange_batches([_batch(src, dst, bits, u=payload)])
+                    results[engine] = (
+                        c.rounds,
+                        c.metrics.bits,
+                        c.metrics.messages,
+                        c.metrics.local_messages,
+                        d.src.tolist(),
+                        d.dst.tolist(),
+                        d.columns["u"].tolist(),
+                        d.offsets.tolist(),
+                    )
+                first = results[ENGINE_NAMES[0]]
+                for engine in ENGINE_NAMES[1:]:
+                    assert results[engine] == first
+
+
+class TestBroadcast:
+    def test_excludes_source_machine(self):
+        # The src == dst exclusion edge case: no self-delivery, k - 1
+        # copies, and no local message accounted.
+        for engine in ENGINE_NAMES:
+            c = Cluster(k=5, bandwidth=64, seed=0, engine=engine)
+            inboxes = c.broadcast(2, kind="hello", payload=7, bits=4)
+            assert inboxes[2] == []
+            assert sum(len(b) for b in inboxes) == 4
+            assert c.metrics.messages == 4
+            assert c.metrics.local_messages == 0
+
+    def test_rejects_nonpositive_bits(self):
+        c = Cluster(k=3, bandwidth=8, seed=0)
+        with pytest.raises(ModelError):
+            c.broadcast(0, kind="b", payload=None, bits=0)
+        with pytest.raises(ModelError):
+            c.broadcast(0, kind="b", payload=None, bits=-3)
+
+
+class TestRunDriver:
+    def test_runs_object_driver_until_done(self):
+        c = Cluster(k=3, bandwidth=8, seed=0)
+
+        class Driver:
+            def __init__(self):
+                self.steps = 0
+
+            def step(self, cluster, state):
+                self.steps += 1
+                cluster.broadcast(0, kind="tick", payload=None, bits=1)
+                state.append(self.steps)
+                return self.steps < 4
+
+        driver = Driver()
+        state = c.run_driver(driver, state=[])
+        assert driver.steps == 4
+        assert state == [1, 2, 3, 4]
+        assert c.metrics.phases == 4
+
+    def test_max_steps_caps_the_loop(self):
+        c = Cluster(k=2, bandwidth=8, seed=0)
+        calls = []
+        c.run_driver(lambda cluster, state: calls.append(1) or True, max_steps=3)
+        assert len(calls) == 3
+
+    def test_rejects_non_callable(self):
+        c = Cluster(k=2, bandwidth=8, seed=0)
+        with pytest.raises(ModelError):
+            c.run_driver(object())

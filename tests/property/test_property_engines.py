@@ -1,0 +1,126 @@
+"""Cross-backend equivalence property tests.
+
+For every algorithm family, randomized (Hypothesis) instances must
+produce *identical* outputs, round counts, and per-link bit totals on
+``MessageEngine`` and ``VectorEngine`` given the same seed — the
+contract that makes the execution backend a pure performance choice.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.graphs.graph import Graph
+
+ENGINES = ("message", "vector")
+
+
+@st.composite
+def small_graphs(draw, max_n=16, max_edges=40):
+    n = draw(st.integers(4, max_n))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), max_size=max_edges, unique=True))
+    return Graph(n=n, edges=np.array(edges, dtype=np.int64).reshape(-1, 2))
+
+
+def _metrics_signature(metrics):
+    """Everything the equivalence contract promises about accounting."""
+    return (
+        metrics.rounds,
+        metrics.phases,
+        metrics.messages,
+        metrics.bits,
+        metrics.local_messages,
+        metrics.sent_bits.tolist(),
+        metrics.received_bits.tolist(),
+        metrics.sent_messages.tolist(),
+        metrics.received_messages.tolist(),
+        [(p.rounds, p.bits, p.max_link_bits, p.label) for p in metrics.phase_log],
+    )
+
+
+class TestPageRankEngineEquivalence:
+    @given(small_graphs(), st.integers(2, 8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_identical_estimates_and_accounting(self, g, k, seed):
+        runs = [
+            repro.distributed_pagerank(g, k=k, seed=seed, c=2, engine=e)
+            for e in ENGINES
+        ]
+        assert np.array_equal(runs[0].estimates, runs[1].estimates)
+        assert runs[0].iterations == runs[1].iterations
+        assert _metrics_signature(runs[0].metrics) == _metrics_signature(runs[1].metrics)
+
+    @given(st.integers(2, 6), st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_heavy_path_identical_on_star(self, k, seed):
+        g = repro.star_graph(40)
+        runs = [
+            repro.distributed_pagerank(g, k=k, seed=seed, c=4, engine=e)
+            for e in ENGINES
+        ]
+        assert np.array_equal(runs[0].estimates, runs[1].estimates)
+        assert _metrics_signature(runs[0].metrics) == _metrics_signature(runs[1].metrics)
+
+    @given(small_graphs(), st.integers(2, 6), st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_baseline_identical(self, g, k, seed):
+        runs = [
+            repro.baseline_pagerank(g, k=k, seed=seed, c=1, engine=e) for e in ENGINES
+        ]
+        assert np.array_equal(runs[0].estimates, runs[1].estimates)
+        assert _metrics_signature(runs[0].metrics) == _metrics_signature(runs[1].metrics)
+
+
+class TestTriangleEngineEquivalence:
+    @given(small_graphs(), st.integers(2, 30), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_identical_triangles_and_accounting(self, g, k, seed):
+        runs = [
+            repro.enumerate_triangles_distributed(g, k=k, seed=seed, engine=e)
+            for e in ENGINES
+        ]
+        assert np.array_equal(runs[0].triangles, runs[1].triangles)
+        assert np.array_equal(runs[0].per_machine_output, runs[1].per_machine_output)
+        assert _metrics_signature(runs[0].metrics) == _metrics_signature(runs[1].metrics)
+
+    @given(small_graphs(), st.integers(16, 40), st.integers(0, 2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_subgraph_enumeration_identical(self, g, k, seed):
+        runs = [
+            repro.enumerate_subgraphs_distributed(g, k=k, pattern="k4", seed=seed, engine=e)
+            for e in ENGINES
+        ]
+        assert np.array_equal(runs[0].triangles, runs[1].triangles)
+        assert _metrics_signature(runs[0].metrics) == _metrics_signature(runs[1].metrics)
+
+
+class TestSortingEngineEquivalence:
+    @given(
+        st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=200),
+        st.integers(2, 8),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_identical_blocks_and_accounting(self, values, k, seed):
+        values = np.asarray(values, dtype=np.float64)
+        runs = [
+            repro.distributed_sort(values, k=k, seed=seed, engine=e) for e in ENGINES
+        ]
+        assert np.array_equal(runs[0].concatenated(), runs[1].concatenated())
+        for a, b in zip(runs[0].blocks, runs[1].blocks):
+            assert np.array_equal(a, b)
+        assert _metrics_signature(runs[0].metrics) == _metrics_signature(runs[1].metrics)
+
+
+class TestMSTEngineEquivalence:
+    @given(small_graphs(max_n=12), st.integers(2, 8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_identical_forest_and_accounting(self, g, k, seed):
+        w = np.random.default_rng(seed).random(g.m)
+        runs = [
+            repro.distributed_mst(g, w, k=k, seed=seed, engine=e) for e in ENGINES
+        ]
+        assert np.array_equal(runs[0].edges, runs[1].edges)
+        assert runs[0].total_weight == runs[1].total_weight
+        assert _metrics_signature(runs[0].metrics) == _metrics_signature(runs[1].metrics)
