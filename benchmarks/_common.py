@@ -18,6 +18,14 @@ flag).  Example::
 
     REPRO_ENGINE=message pytest benchmarks/bench_pagerank_rounds.py
 
+Registry runs
+-------------
+Benches invoke algorithm families through :func:`run_algorithm`, a thin
+wrapper over :func:`repro.runtime.run` that applies the bench engine
+default — so adding a workload to the bench suite means registering a
+spec, not writing new plumbing.  Seeded registry runs are bit-identical
+to calling the family entry points directly.
+
 Every bench module also exposes a ``smoke()`` function running its
 smallest configuration; ``tests/test_benchmarks_smoke.py`` imports and
 runs all of them so bench scripts cannot rot silently.
@@ -43,6 +51,18 @@ def engine_choice(default: str = "vector") -> str:
             f"{ENGINE_ENV} must be 'message' or 'vector', got {choice!r}"
         )
     return choice
+
+
+def run_algorithm(name, data, k, **kwargs):
+    """Run a registered algorithm via the runtime registry.
+
+    Returns the :class:`repro.runtime.RunReport`; the engine defaults to
+    :func:`engine_choice` unless passed explicitly.
+    """
+    from repro.runtime import run
+
+    kwargs.setdefault("engine", engine_choice())
+    return run(name, data, k, **kwargs)
 
 
 def emit(name: str, text: str) -> None:

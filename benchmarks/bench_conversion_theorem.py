@@ -21,7 +21,7 @@ from repro.congest import congest_pagerank, convert_execution
 from repro.experiments.harness import Sweep
 from repro.kmachine.partition import random_vertex_partition
 
-from _common import emit, engine_choice, log2ceil
+from _common import emit, log2ceil, run_algorithm
 
 N_STAR = 4000
 N_GNP = 3000
@@ -36,9 +36,9 @@ def run_star():
     for k in KS:
         p = random_vertex_partition(g.n, k, seed=k)
         converted = convert_execution(execution, p, k=k, bandwidth=B)
-        direct = repro.distributed_pagerank(
-            g, k=k, seed=0, c=1, bandwidth=B, partition=p, engine=engine_choice()
-        )
+        direct = run_algorithm(
+            "pagerank", g, k, seed=0, c=1, bandwidth=B, placement=p
+        ).result
         sweep.add(
             {"k": k},
             {
@@ -58,9 +58,9 @@ def run_gnp():
     for k in KS:
         p = random_vertex_partition(g.n, k, seed=100 + k)
         converted = convert_execution(execution, p, k=k, bandwidth=B)
-        direct = repro.distributed_pagerank(
-            g, k=k, seed=2, c=1, bandwidth=B, partition=p, engine=engine_choice()
-        )
+        direct = run_algorithm(
+            "pagerank", g, k, seed=2, c=1, bandwidth=B, placement=p
+        ).result
         sweep.add(
             {"k": k},
             {
@@ -91,7 +91,7 @@ def smoke():
     _, execution = congest_pagerank(g, seed=0, c=1, bandwidth=8)
     p = random_vertex_partition(g.n, 4, seed=4)
     converted = convert_execution(execution, p, k=4, bandwidth=8)
-    direct = repro.distributed_pagerank(
-        g, k=4, seed=0, c=1, bandwidth=8, partition=p, engine=engine_choice()
-    )
+    direct = run_algorithm(
+        "pagerank", g, 4, seed=0, c=1, bandwidth=8, placement=p
+    ).result
     assert converted.rounds > 0 and direct.rounds > 0

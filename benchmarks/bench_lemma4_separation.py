@@ -25,7 +25,7 @@ import repro
 from repro.core.pagerank import lemma4
 from repro.experiments.harness import Sweep
 
-from _common import emit, engine_choice
+from _common import emit, run_algorithm
 
 Q = 150
 EPS_GRID = (0.1, 0.15, 0.25, 0.5)
@@ -38,7 +38,7 @@ def run_sweep():
     for eps in EPS_GRID:
         exact = inst.analytic_pagerank(eps)
         reference = repro.pagerank_walk_series(inst.graph, eps=eps)
-        res = repro.distributed_pagerank(inst.graph, k=8, eps=eps, seed=1, c=120, engine=engine_choice())
+        res = run_algorithm("pagerank", inst.graph, 8, eps=eps, seed=1, c=120).result
         recovered = inst.infer_b(res.estimates, eps)
         sweep.add(
             {"eps": eps},
@@ -70,5 +70,5 @@ def smoke():
     exact = inst.analytic_pagerank(0.25)
     reference = repro.pagerank_walk_series(inst.graph, eps=0.25)
     assert float(np.abs(exact - reference).max()) < 1e-12
-    res = repro.distributed_pagerank(inst.graph, k=4, eps=0.25, seed=1, c=20, engine=engine_choice())
+    res = run_algorithm("pagerank", inst.graph, 4, eps=0.25, seed=1, c=20).result
     assert res.rounds > 0

@@ -18,7 +18,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 import repro
 from repro.experiments.harness import Sweep
 
-from _common import emit, engine_choice, log2ceil
+from _common import emit, log2ceil, run_algorithm
 
 N = 4000
 KS = (8, 16, 32)
@@ -29,7 +29,7 @@ def run_sweep():
     B = log2ceil(N)
     sweep = Sweep(f"L12/L14: Algorithm-1 per-iteration load, G({N}, 5/n), B={B}")
     for k in KS:
-        res = repro.distributed_pagerank(g, k=k, seed=1, c=1, bandwidth=B, engine=engine_choice())
+        res = run_algorithm("pagerank", g, k, seed=1, c=1, bandwidth=B).result
         worst_sent = max(s.max_machine_sent for s in res.iteration_stats)
         worst_recv = max(s.max_machine_received for s in res.iteration_stats)
         worst_rounds = max(s.rounds for s in res.iteration_stats)
@@ -60,5 +60,5 @@ def bench_l12_l14_load_balance(benchmark):
 def smoke():
     """Smallest configuration: per-iteration stats on a tiny graph."""
     g = repro.gnp_random_graph(120, 5.0 / 120, seed=0)
-    res = repro.distributed_pagerank(g, k=4, seed=1, c=1, bandwidth=log2ceil(120), engine=engine_choice())
+    res = run_algorithm("pagerank", g, 4, seed=1, c=1, bandwidth=log2ceil(120)).result
     assert res.iteration_stats and res.iteration_stats[0].max_machine_sent >= 0

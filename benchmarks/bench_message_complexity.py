@@ -21,7 +21,7 @@ import repro
 from repro.experiments.fits import fit_power_law
 from repro.experiments.harness import Sweep
 
-from _common import emit, engine_choice, log2ceil
+from _common import emit, log2ceil, run_algorithm
 
 N = 200
 KS = (8, 27, 64, 125)
@@ -32,7 +32,7 @@ def run_sweep():
     B = log2ceil(N)
     sweep = Sweep(f"C2: message complexity of round-optimal triangles, G({N},1/2), m={g.m}")
     for k in KS:
-        res = repro.enumerate_triangles_distributed(g, k=k, seed=1, bandwidth=B, engine=engine_choice())
+        res = run_algorithm("triangles", g, k, seed=1, bandwidth=B).result
         total = res.metrics.messages + res.metrics.local_messages
         sweep.add(
             {"k": k},
@@ -68,5 +68,5 @@ def bench_c2_message_complexity(benchmark):
 def smoke():
     """Smallest configuration: one dense triangle run's message totals."""
     g = repro.gnp_random_graph(40, 0.5, seed=0)
-    res = repro.enumerate_triangles_distributed(g, k=8, seed=1, bandwidth=log2ceil(40), engine=engine_choice())
+    res = run_algorithm("triangles", g, 8, seed=1, bandwidth=log2ceil(40)).result
     assert res.metrics.messages + res.metrics.local_messages > 0

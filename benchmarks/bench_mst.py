@@ -19,11 +19,11 @@ import numpy as np
 
 import repro
 from repro.core.lowerbounds.extensions import mst_round_lower_bound
-from repro.core.mst import distributed_mst, kruskal_mst
+from repro.core.mst import kruskal_mst
 from repro.experiments.fits import fit_power_law
 from repro.experiments.harness import Sweep
 
-from _common import emit, engine_choice, log2ceil
+from _common import emit, log2ceil, run_algorithm
 
 N = 300
 KS = (4, 8, 16, 32)
@@ -36,7 +36,7 @@ def run_sweep():
     B = log2ceil(N)
     sweep = Sweep(f"X2: MST on K_{N} with random weights, B={B}")
     for k in KS:
-        res = distributed_mst(g, w, k=k, seed=1, bandwidth=B, engine=engine_choice())
+        res = run_algorithm("mst", g, k, seed=1, bandwidth=B, weights=w).result
         assert res.total_weight == ref_total
         envelope = mst_round_lower_bound(N, k, B)
         sweep.add(
@@ -71,5 +71,5 @@ def smoke():
     g = repro.complete_graph(24)
     w = np.random.default_rng(0).random(g.m)
     _, ref_total = kruskal_mst(g, w)
-    res = distributed_mst(g, w, k=4, seed=1, bandwidth=log2ceil(24), engine=engine_choice())
+    res = run_algorithm("mst", g, 4, seed=1, bandwidth=log2ceil(24), weights=w).result
     assert res.total_weight == ref_total

@@ -17,8 +17,6 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-import numpy as np
-
 import repro
 from repro.core.lowerbounds.pagerank import (
     lemma5_measured_paths,
@@ -28,7 +26,7 @@ from repro.core.lowerbounds.pagerank import (
 from repro.experiments.harness import Sweep
 from repro.kmachine.partition import random_vertex_partition
 
-from _common import emit, engine_choice, log2ceil
+from _common import emit, log2ceil, run_algorithm
 
 Q = 1000  # n = 4001
 KS = (4, 8, 16, 32)
@@ -42,7 +40,7 @@ def run_sweep():
     sweep = Sweep(f"T2: PageRank LB on Figure-1 graph H, n={n}, B={B}")
     for k in KS:
         envelope = pagerank_round_lower_bound(n, k, B)
-        res = repro.distributed_pagerank(inst.graph, k=k, seed=1, c=2, bandwidth=B, engine=engine_choice())
+        res = run_algorithm("pagerank", inst.graph, k, seed=1, c=2, bandwidth=B).result
         max_paths = 0
         for t in range(TRIALS):
             p = random_vertex_partition(n, k, seed=100 + t)
@@ -73,5 +71,5 @@ def smoke():
     """Smallest configuration: the T2 sandwich on a tiny instance."""
     inst = repro.pagerank_lowerbound_graph(q=20, seed=0)
     B = log2ceil(inst.n)
-    res = repro.distributed_pagerank(inst.graph, k=4, seed=1, c=2, bandwidth=B, engine=engine_choice())
+    res = run_algorithm("pagerank", inst.graph, 4, seed=1, c=2, bandwidth=B).result
     assert res.rounds >= pagerank_round_lower_bound(inst.n, 4, B)

@@ -32,7 +32,7 @@ import repro
 from repro.experiments.fits import fit_power_law
 from repro.experiments.harness import Sweep
 
-from _common import emit, engine_choice, log2ceil
+from _common import emit, log2ceil, run_algorithm
 
 KS = (4, 8, 16, 32)
 KS_LARGE = (8, 16, 32, 64)
@@ -44,11 +44,10 @@ N_ENGINE = 50_000
 def run_gnp_sweep():
     g = repro.gnp_random_graph(N_GNP, 6.0 / N_GNP, seed=1)
     B = log2ceil(N_GNP)
-    engine = engine_choice()
     sweep = Sweep("T4: PageRank rounds vs k on G(n, 6/n), n=%d" % N_GNP)
     for k in KS:
-        algo = repro.distributed_pagerank(g, k=k, seed=2, c=0.5, bandwidth=B, engine=engine)
-        base = repro.baseline_pagerank(g, k=k, seed=2, c=0.5, bandwidth=B, engine=engine)
+        algo = run_algorithm("pagerank", g, k, seed=2, c=0.5, bandwidth=B).result
+        base = run_algorithm("pagerank-baseline", g, k, seed=2, c=0.5, bandwidth=B).result
         sweep.add(
             {"k": k},
             {
@@ -72,12 +71,11 @@ def run_asymptotic_sweep():
     n = 1_000_000
     g = repro.random_regularish_graph(n, 8, seed=4)
     B = log2ceil(n)
-    engine = engine_choice()
     sweep = Sweep("T4 asymptotic regime: first-iteration rounds, n=%d, T0=1" % n)
     for k in KS_LARGE:
-        r = repro.distributed_pagerank(
-            g, k=k, seed=5, c=0.01, bandwidth=B, max_iterations=2, engine=engine
-        )
+        r = run_algorithm(
+            "pagerank", g, k, seed=5, c=0.01, bandwidth=B, max_iterations=2
+        ).result
         sweep.add({"k": k}, {"first_iter_rounds": r.iteration_stats[0].rounds})
     return sweep
 
@@ -90,11 +88,12 @@ def run_engine_comparison(n=N_ENGINE, k=16, max_iterations=2):
     counts: dict[str, tuple] = {}
     for eng in ("vector", "message"):
         start = time.perf_counter()
-        r = repro.distributed_pagerank(
-            g, k=k, seed=7, c=0.5, bandwidth=B, max_iterations=max_iterations, engine=eng
+        rep = run_algorithm(
+            "pagerank", g, k, seed=7, c=0.5, bandwidth=B,
+            max_iterations=max_iterations, engine=eng,
         )
         timings[eng] = time.perf_counter() - start
-        counts[eng] = (r.rounds, r.metrics.messages, r.metrics.bits)
+        counts[eng] = (rep.rounds, rep.metrics.messages, rep.metrics.bits)
     assert counts["vector"] == counts["message"], counts
     return timings, counts
 
@@ -102,14 +101,13 @@ def run_engine_comparison(n=N_ENGINE, k=16, max_iterations=2):
 def run_star_sweep():
     g = repro.star_graph(N_STAR)
     B = log2ceil(N_STAR)
-    engine = engine_choice()
     sweep = Sweep("T4 ablation: star graph n=%d (heavy-vertex path)" % N_STAR)
     for k in KS:
-        algo = repro.distributed_pagerank(g, k=k, seed=3, c=2, bandwidth=B, engine=engine)
-        no_heavy = repro.distributed_pagerank(
-            g, k=k, seed=3, c=2, bandwidth=B, enable_heavy_path=False, engine=engine
-        )
-        base = repro.baseline_pagerank(g, k=k, seed=3, c=2, bandwidth=B, engine=engine)
+        algo = run_algorithm("pagerank", g, k, seed=3, c=2, bandwidth=B).result
+        no_heavy = run_algorithm(
+            "pagerank", g, k, seed=3, c=2, bandwidth=B, enable_heavy_path=False
+        ).result
+        base = run_algorithm("pagerank-baseline", g, k, seed=3, c=2, bandwidth=B).result
         sweep.add(
             {"k": k},
             {
@@ -174,9 +172,9 @@ def smoke():
     """Smallest configuration: the gnp sweep shape plus a tiny engine check."""
     g = repro.gnp_random_graph(200, 6.0 / 200, seed=1)
     B = log2ceil(200)
-    r = repro.distributed_pagerank(
-        g, k=4, seed=2, c=0.5, bandwidth=B, max_iterations=3, engine=engine_choice()
-    )
+    r = run_algorithm(
+        "pagerank", g, 4, seed=2, c=0.5, bandwidth=B, max_iterations=3
+    ).result
     assert r.rounds > 0
     timings, counts = run_engine_comparison(n=500, k=4, max_iterations=2)
     assert counts["vector"] == counts["message"]

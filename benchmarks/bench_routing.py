@@ -16,7 +16,6 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import numpy as np
 
-import repro
 from repro.experiments.harness import Sweep
 from repro.kmachine.message import Message
 from repro.kmachine.network import LinkNetwork

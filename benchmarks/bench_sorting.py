@@ -15,12 +15,11 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import numpy as np
 
-import repro
 from repro.core.lowerbounds.extensions import sorting_round_lower_bound
 from repro.experiments.fits import fit_power_law
 from repro.experiments.harness import Sweep
 
-from _common import emit, engine_choice, log2ceil
+from _common import emit, run_algorithm
 
 N = 100_000
 KS = (4, 8, 16, 32)
@@ -31,7 +30,7 @@ def run_sweep():
     B = 64  # one element per round per link
     sweep = Sweep(f"S: distributed sorting, n={N}, B={B}")
     for k in KS:
-        res = repro.distributed_sort(values, k=k, seed=1, bandwidth=B, engine=engine_choice())
+        res = run_algorithm("sorting", values, k, seed=1, bandwidth=B).result
         assert np.all(np.diff(res.concatenated()) >= 0)
         envelope = sorting_round_lower_bound(N, k, B)
         sweep.add(
@@ -73,5 +72,5 @@ def bench_s_distributed_sorting(benchmark):
 def smoke():
     """Smallest configuration: one tiny sort on both engine paths."""
     values = np.random.default_rng(0).random(500)
-    res = repro.distributed_sort(values, k=4, seed=1, bandwidth=64, engine=engine_choice())
+    res = run_algorithm("sorting", values, 4, seed=1, bandwidth=64).result
     assert np.all(np.diff(res.concatenated()) >= 0)

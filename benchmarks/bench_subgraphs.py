@@ -19,7 +19,7 @@ from repro.core.subgraphs.local import enumerate_c4_edges, enumerate_k4_edges
 from repro.experiments.fits import fit_power_law
 from repro.experiments.harness import Sweep
 
-from _common import emit, engine_choice, log2ceil
+from _common import emit, log2ceil, run_algorithm
 
 N = 90
 KS = (16, 81, 256)
@@ -32,9 +32,9 @@ def run_sweep(pattern):
     expected = local(g.n, g.edges).shape[0]
     sweep = Sweep(f"X1: {pattern.upper()} enumeration on G({N}, 0.3), m={g.m}")
     for k in KS:
-        res = repro.enumerate_subgraphs_distributed(
-            g, k=k, pattern=pattern, seed=1, bandwidth=B, engine=engine_choice()
-        )
+        res = run_algorithm(
+            "subgraphs", g, k, pattern=pattern, seed=1, bandwidth=B
+        ).result
         assert res.count == expected
         q = res.num_colors
         sweep.add(
@@ -75,7 +75,7 @@ def smoke():
     """Smallest configuration: K4 enumeration on a tiny graph."""
     g = repro.gnp_random_graph(24, 0.3, seed=0)
     expected = enumerate_k4_edges(g.n, g.edges).shape[0]
-    res = repro.enumerate_subgraphs_distributed(
-        g, k=16, pattern="k4", seed=1, bandwidth=log2ceil(24), engine=engine_choice()
-    )
+    res = run_algorithm(
+        "subgraphs", g, 16, pattern="k4", seed=1, bandwidth=log2ceil(24)
+    ).result
     assert res.count == expected

@@ -32,7 +32,7 @@ from repro.core.lowerbounds.triangles import (
 from repro.experiments.harness import Sweep
 from repro.kmachine.partition import random_vertex_partition
 
-from _common import emit, engine_choice, log2ceil
+from _common import emit, log2ceil, run_algorithm
 
 N = 180
 KS = (8, 27, 64)
@@ -43,7 +43,7 @@ def run_lb_sweep():
     B = log2ceil(N)
     sweep = Sweep(f"T3: triangle LB on G({N}, 1/2), B={B}")
     for k in KS:
-        res = repro.enumerate_triangles_distributed(g, k=k, seed=1, bandwidth=B, engine=engine_choice())
+        res = run_algorithm("triangles", g, k, seed=1, bandwidth=B).result
         t = res.count
         envelope = triangle_round_lower_bound(N, k, B, t=t)
         p = random_vertex_partition(N, k, seed=2)
@@ -97,7 +97,7 @@ def smoke():
     """Smallest configuration: the T3 sandwich + one Prop-2 sample."""
     g = repro.gnp_random_graph(40, 0.5, seed=0)
     B = log2ceil(40)
-    res = repro.enumerate_triangles_distributed(g, k=8, seed=1, bandwidth=B, engine=engine_choice())
+    res = run_algorithm("triangles", g, 8, seed=1, bandwidth=B).result
     assert res.rounds >= triangle_round_lower_bound(40, 8, B, t=max(1, res.count))
     rng = np.random.default_rng(4)
     sub = rng.choice(g.n, size=10, replace=False)

@@ -23,7 +23,7 @@ import repro
 from repro.experiments.fits import fit_power_law
 from repro.experiments.harness import Sweep
 
-from _common import emit, engine_choice, log2ceil
+from _common import emit, log2ceil, run_algorithm
 
 N = 220
 KS = (8, 27, 64, 125)
@@ -34,9 +34,7 @@ def run_dense_sweep():
     B = log2ceil(N)
     sweep = Sweep(f"T5: triangle rounds vs k on G({N}, 1/2), m={g.m}, B={B}")
     for k in KS:
-        ours = repro.enumerate_triangles_distributed(
-            g, k=k, seed=1, bandwidth=B, engine=engine_choice()
-        )
+        ours = run_algorithm("triangles", g, k, seed=1, bandwidth=B).result
         conv = repro.enumerate_triangles_conversion(g, k=k, seed=1, bandwidth=B)
         bcast = repro.enumerate_triangles_broadcast(g, k=k, seed=1, bandwidth=B)
         assert ours.count == conv.count == bcast.count
@@ -64,9 +62,9 @@ def run_asymptotic_sweep():
     B = log2ceil(n)
     sweep = Sweep(f"T5 asymptotic regime: comm-only rounds, G({n},1/2), m={g.m}")
     for k in (27, 64, 125, 216):
-        r = repro.enumerate_triangles_distributed(
-            g, k=k, seed=10, bandwidth=B, skip_local_enumeration=True, engine=engine_choice()
-        )
+        r = run_algorithm(
+            "triangles", g, k, seed=10, bandwidth=B, skip_local_enumeration=True
+        ).result
         sweep.add({"k": k}, {"rounds": r.rounds})
     return sweep
 
@@ -78,9 +76,7 @@ def run_sparse_sweep():
     B = log2ceil(n)
     sweep = Sweep(f"T5 sparse: G({n}, 4/n), m={g.m}, B={B}")
     for k in KS:
-        ours = repro.enumerate_triangles_distributed(
-            g, k=k, seed=3, bandwidth=B, engine=engine_choice()
-        )
+        ours = run_algorithm("triangles", g, k, seed=3, bandwidth=B).result
         sweep.add({"k": k}, {"theorem5_rounds": ours.rounds, "triangles": ours.count})
     return sweep
 
@@ -91,15 +87,16 @@ def run_proxy_ablation():
     B = log2ceil(g.n)
     sweep = Sweep("T5 ablation: proxy load balancing on a Chung-Lu graph")
     for k in (27, 64):
-        with_p = repro.enumerate_triangles_distributed(
-            g, k=k, seed=5, bandwidth=B, use_proxies=True, engine=engine_choice()
-        )
-        without = repro.enumerate_triangles_distributed(
-            g, k=k, seed=5, bandwidth=B, use_proxies=False, engine=engine_choice()
-        )
-        send = lambda res: max(
-            p.max_machine_sent for p in res.metrics.phase_log if "to-" in p.label
-        )
+        with_p = run_algorithm(
+            "triangles", g, k, seed=5, bandwidth=B, use_proxies=True
+        ).result
+        without = run_algorithm(
+            "triangles", g, k, seed=5, bandwidth=B, use_proxies=False
+        ).result
+        def send(res):
+            return max(
+                p.max_machine_sent for p in res.metrics.phase_log if "to-" in p.label
+            )
         sweep.add(
             {"k": k},
             {
@@ -165,6 +162,6 @@ def smoke():
     """Smallest configuration: dense sweep shape at one tiny (n, k)."""
     g = repro.gnp_random_graph(40, 0.5, seed=0)
     B = log2ceil(40)
-    ours = repro.enumerate_triangles_distributed(g, k=8, seed=1, bandwidth=B, engine=engine_choice())
+    ours = run_algorithm("triangles", g, 8, seed=1, bandwidth=B).result
     conv = repro.enumerate_triangles_conversion(g, k=8, seed=1, bandwidth=B)
     assert ours.count == conv.count

@@ -21,10 +21,7 @@ from repro.core.lowerbounds import (
     mst_round_lower_bound,
     sorting_round_lower_bound,
 )
-from repro.core.lowerbounds.pagerank import (
-    lemma5_path_bound,
-    verify_lower_bound_premises,
-)
+from repro.core.lowerbounds.pagerank import verify_lower_bound_premises
 from repro.core.lowerbounds.triangles import triangle_information_cost
 from repro.core.lowerbounds.extensions import sorting_information_cost, mst_information_cost
 from repro.experiments.tables import format_table

@@ -19,13 +19,40 @@ The package provides:
 * :mod:`repro.info` / :mod:`repro.experiments` — information-theoretic
   helpers and the sweep/fit harness used by the benches.
 
+Architecture
+------------
+Execution is layered so that scale, speed, and scenario-diversity are
+independent axes:
+
+1. **Engine layer** (:mod:`repro.kmachine.engine`) — *how* a
+   communication phase executes.  ``Cluster(engine="message")`` keeps
+   per-object :class:`~repro.kmachine.Message` semantics;
+   ``engine="vector"`` runs the same phases as columnar NumPy batches.
+   Results and round/message/bit accounting are backend-identical.
+2. **Runtime layer** (:mod:`repro.kmachine.distgraph`,
+   :mod:`repro.runtime`) — *what state a run shares*.
+   :class:`~repro.kmachine.DistributedGraph` materializes each machine's
+   RVP-local view (hosted vertices, CSR shards, cached home-of-neighbor
+   arrays) once per ``(graph, partition)``; ``runtime.run()`` owns
+   cluster construction, placement sampling, and metrics collection.
+3. **Algorithm registry** (:mod:`repro.runtime.registry`) — *which
+   algorithms exist*.  Every family (PageRank, triangles, subgraphs,
+   sorting, MST, connectivity) registers an
+   :class:`~repro.runtime.AlgorithmSpec`; the CLI (``python -m repro run
+   <algo>``), the k-sweep harness, and the benches are generic over the
+   registry, so a new workload is one spec away from all three.
+
 Quickstart::
 
-    from repro import gnp_random_graph, distributed_pagerank
+    from repro import gnp_random_graph, distributed_pagerank, runtime
 
     g = gnp_random_graph(1000, 0.01, seed=1)
     result = distributed_pagerank(g, k=8, seed=1)
     print(result.rounds, result.estimates[:5])
+
+    # Equivalent, through the registry (bit-identical given the seed):
+    report = runtime.run("pagerank", g, k=8, seed=1, engine="vector")
+    print(report.rounds, report.result.estimates[:5])
 """
 
 from repro._version import __version__
@@ -49,6 +76,7 @@ from repro.graphs import (
 )
 from repro.kmachine import (
     Cluster,
+    DistributedGraph,
     LinkNetwork,
     Message,
     Metrics,
@@ -81,6 +109,10 @@ from repro.core.subgraphs import (
 )
 from repro.core.mst import distributed_mst, kruskal_mst, MSTResult, DisjointSetUnion
 from repro.core.sorting import distributed_sort, SortResult
+from repro.core.connectivity import (
+    connected_components_distributed,
+    ConnectivityResult,
+)
 from repro.core.lowerbounds import (
     GeneralLowerBound,
     general_lower_bound_rounds,
@@ -92,8 +124,17 @@ from repro.core.lowerbounds import (
     mst_round_lower_bound,
 )
 
+# The runtime layer (algorithm registry + unified run()); importing it
+# registers the built-in specs.  Use it as repro.runtime.run(...) — no
+# top-level alias, so it cannot be confused with the benchmark helper
+# of the same purpose (which defaults to the REPRO_ENGINE backend).
+from repro import runtime
+
 __all__ = [
     "__version__",
+    # runtime layer
+    "runtime",
+    "DistributedGraph",
     # graphs
     "Graph",
     "gnp_random_graph",
@@ -139,6 +180,8 @@ __all__ = [
     "distributed_mst",
     "kruskal_mst",
     "MSTResult",
+    "connected_components_distributed",
+    "ConnectivityResult",
     "DisjointSetUnion",
     "distributed_sort",
     "SortResult",

@@ -7,7 +7,6 @@ by every other subpackage.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
 
 import numpy as np
 

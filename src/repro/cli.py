@@ -1,7 +1,16 @@
 """Command-line interface: ``python -m repro <command>``.
 
+All commands execute through the runtime registry
+(:mod:`repro.runtime`): the registry owns cluster construction,
+placement sampling, engine selection, and metrics collection, and the
+CLI is generic over registered algorithm families.
+
 Commands
 --------
+``run``          run any registered algorithm (``python -m repro run
+                 triangles --n 200 --k 27``) and print a generic report:
+                 theorem bound, rounds, messages/bits, lower bound, and
+                 the family's result summary.
 ``pagerank``     run Algorithm 1 on a generated graph and report
                  rounds/messages/error vs the exact reference and the
                  Theorem-2 lower bound.
@@ -10,7 +19,8 @@ Commands
 ``sort``         run the §1.3 sample sort.
 ``mst``          run proxy-Borůvka MST on a weighted random graph.
 ``lowerbounds``  print the Theorem-1 cookbook table for given (n, k, B).
-``sweep``        sweep k for pagerank or triangles and fit the exponent.
+``sweep``        sweep k for any registered algorithm and fit the
+                 exponent of its round scaling.
 """
 
 from __future__ import annotations
@@ -21,7 +31,9 @@ import sys
 import numpy as np
 
 import repro
+from repro import runtime
 from repro._util import polylog
+from repro.errors import ReproError
 from repro.experiments.fits import fit_power_law
 from repro.experiments.tables import format_table
 
@@ -43,20 +55,88 @@ def _graph_from_args(args) -> "repro.Graph":
     raise SystemExit(f"unknown graph family {args.graph!r}")
 
 
+def _input_from_args(spec: "runtime.AlgorithmSpec", args):
+    """Build the spec's input from CLI arguments (graph family or values)."""
+    if spec.input_kind == "values":
+        return np.random.default_rng(args.seed).random(args.n)
+    return _graph_from_args(args)
+
+
+#: run() keyword arguments that collide with --set; rejecting them avoids a
+#: confusing duplicate-keyword TypeError from runtime.run().  The first group
+#: has dedicated CLI flags; the second is reachable only from the Python API.
+_FLAGGED_PARAMS = frozenset({"k", "engine", "seed"})
+_API_ONLY_PARAMS = frozenset({"bandwidth", "cluster", "placement"})
+
+
+def _parse_set_params(pairs) -> dict:
+    """Parse repeated ``--set key=value`` options with literal-ish coercion."""
+    params: dict = {}
+    for pair in pairs or ():
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        if key in _FLAGGED_PARAMS:
+            raise SystemExit(f"--set {key}=... conflicts with the --{key} flag; use that instead")
+        if key in _API_ONLY_PARAMS:
+            raise SystemExit(
+                f"{key} is not settable via --set; use the Python API "
+                f"(repro.runtime.run(..., {key}=...))"
+            )
+        if raw.lower() in ("true", "false"):
+            value: object = raw.lower() == "true"
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = raw
+        params[key] = value
+    return params
+
+
+def cmd_run(args) -> int:
+    spec = runtime.get_spec(args.algo)
+    data = _input_from_args(spec, args)
+    params = _parse_set_params(args.set)
+    rep = runtime.run(
+        args.algo, data, args.k, engine=args.engine, seed=args.seed, **params
+    )
+    size = f"{data.n} / {data.m}" if hasattr(data, "m") else str(rep.n)
+    rows = [
+        ["bound", spec.bounds],
+        ["n (/ m) / k / B", f"{size} / {args.k} / {rep.bandwidth}"],
+        ["engine", rep.engine],
+        ["rounds", rep.rounds],
+        ["messages / bits", f"{rep.metrics.messages} / {rep.metrics.bits}"],
+    ]
+    lb = rep.lower_bound()
+    if lb is not None:
+        rows.append(["matching lower bound", f"{lb:.3f} rounds"])
+    if spec.summarize is not None:
+        rows.extend([label, value] for label, value in spec.summarize(rep.result))
+    print(format_table([spec.title, "value"], rows))
+    if spec.check is not None and not spec.check(rep.result):
+        return 1
+    return 0
+
+
 def cmd_pagerank(args) -> int:
     g = _graph_from_args(args)
-    res = repro.distributed_pagerank(
-        g, k=args.k, seed=args.seed, c=args.tokens, engine=args.engine
+    rep = runtime.run(
+        "pagerank", g, args.k, engine=args.engine, seed=args.seed, c=args.tokens
     )
+    res = rep.result
     ref = repro.pagerank_walk_series(g, eps=res.eps)
-    lb = repro.pagerank_round_lower_bound(g.n, args.k, res.metrics.bandwidth)
     rows = [
-        ["n / m / k / B", f"{g.n} / {g.m} / {args.k} / {res.metrics.bandwidth}"],
-        ["rounds (total / token)", f"{res.rounds} / {res.token_rounds()}"],
-        ["messages / bits", f"{res.metrics.messages} / {res.metrics.bits}"],
+        ["n / m / k / B", f"{g.n} / {g.m} / {args.k} / {rep.bandwidth}"],
+        ["rounds (total / token)", f"{rep.rounds} / {res.token_rounds()}"],
+        ["messages / bits", f"{rep.metrics.messages} / {rep.metrics.bits}"],
         ["iterations", res.iterations],
         ["L1 error vs reference", f"{res.l1_error(ref):.5f}"],
-        ["Theorem-2 lower bound", f"{lb:.3f} rounds"],
+        ["Theorem-2 lower bound", f"{rep.lower_bound():.3f} rounds"],
     ]
     print(format_table(["PageRank (Algorithm 1)", "value"], rows))
     return 0
@@ -64,17 +144,14 @@ def cmd_pagerank(args) -> int:
 
 def cmd_triangles(args) -> int:
     g = _graph_from_args(args)
-    res = repro.enumerate_triangles_distributed(
-        g, k=args.k, seed=args.seed, engine=args.engine
-    )
-    lb = repro.triangle_round_lower_bound(
-        g.n, args.k, res.metrics.bandwidth, t=max(1, res.count)
-    )
+    rep = runtime.run("triangles", g, args.k, engine=args.engine, seed=args.seed)
+    res = rep.result
+    lb = rep.lower_bound()  # Theorem 3 at the measured t (spec threads it through)
     rows = [
-        ["n / m / k / B", f"{g.n} / {g.m} / {args.k} / {res.metrics.bandwidth}"],
+        ["n / m / k / B", f"{g.n} / {g.m} / {args.k} / {rep.bandwidth}"],
         ["triangles", res.count],
-        ["rounds", res.rounds],
-        ["messages / bits", f"{res.metrics.messages} / {res.metrics.bits}"],
+        ["rounds", rep.rounds],
+        ["messages / bits", f"{rep.metrics.messages} / {rep.metrics.bits}"],
         ["colors q", res.num_colors],
         ["Theorem-3 lower bound", f"{lb:.3f} rounds"],
     ]
@@ -84,15 +161,15 @@ def cmd_triangles(args) -> int:
 
 def cmd_sort(args) -> int:
     values = np.random.default_rng(args.seed).random(args.n)
-    res = repro.distributed_sort(values, k=args.k, seed=args.seed, engine=args.engine)
+    rep = runtime.run("sorting", values, args.k, engine=args.engine, seed=args.seed)
+    res = rep.result
     ok = bool(np.all(np.diff(res.concatenated()) >= 0))
-    lb = repro.sorting_round_lower_bound(args.n, args.k, res.metrics.bandwidth)
     rows = [
-        ["n / k / B", f"{args.n} / {args.k} / {res.metrics.bandwidth}"],
-        ["rounds", res.rounds],
+        ["n / k / B", f"{args.n} / {args.k} / {rep.bandwidth}"],
+        ["rounds", rep.rounds],
         ["globally sorted", ok],
         ["block imbalance", f"{res.max_block_imbalance():.3f}"],
-        ["§1.3 lower bound", f"{lb:.3f} rounds"],
+        ["§1.3 lower bound", f"{rep.lower_bound():.3f} rounds"],
     ]
     print(format_table(["Sorting (sample sort)", "value"], rows))
     return 0 if ok else 1
@@ -101,13 +178,16 @@ def cmd_sort(args) -> int:
 def cmd_mst(args) -> int:
     g = _graph_from_args(args)
     w = np.random.default_rng(args.seed).random(g.m)
-    res = repro.distributed_mst(g, w, k=args.k, seed=args.seed, engine=args.engine)
+    rep = runtime.run(
+        "mst", g, args.k, engine=args.engine, seed=args.seed, weights=w
+    )
+    res = rep.result
     _, ref_total = repro.kruskal_mst(g, w)
     rows = [
         ["n / m / k", f"{g.n} / {g.m} / {args.k}"],
         ["forest edges", res.edges.shape[0]],
         ["weight (vs Kruskal)", f"{res.total_weight:.4f} ({ref_total:.4f})"],
-        ["phases / rounds", f"{res.phases} / {res.rounds}"],
+        ["phases / rounds", f"{res.phases} / {rep.rounds}"],
         ["components", res.num_components],
     ]
     print(format_table(["MST (proxy-Borůvka)", "value"], rows))
@@ -131,28 +211,25 @@ def cmd_lowerbounds(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    g = _graph_from_args(args)
+    spec = runtime.get_spec(args.problem)
+    data = _input_from_args(spec, args)
+    params = {"c": args.tokens} if "c" in spec.default_params else {}
+    params.update(_parse_set_params(args.set))
     ks = [int(x) for x in args.ks.split(",")]
     rows = []
     rounds = []
     for k in ks:
-        if args.problem == "pagerank":
-            r = repro.distributed_pagerank(
-                g, k=k, seed=args.seed, c=args.tokens, engine=args.engine
-            )
-            val = r.token_rounds()
-        else:
-            r = repro.enumerate_triangles_distributed(
-                g, k=k, seed=args.seed, engine=args.engine
-            )
-            val = r.rounds
+        rep = runtime.run(
+            args.problem, data, k, engine=args.engine, seed=args.seed, **params
+        )
+        val = rep.round_value()
         rounds.append(val)
         rows.append([k, val])
     print(format_table(["k", "rounds"], rows))
     if len(ks) >= 2 and all(v > 0 for v in rounds):
         fit = fit_power_law(ks, rounds)
-        target = "-2 (Thm 4)" if args.problem == "pagerank" else "-5/3 (Thm 5)"
-        print(f"\nfit: rounds ~ k^{fit.exponent:.2f}   (paper: {target})")
+        target = f"   (paper: {spec.fit_target})" if spec.fit_target else ""
+        print(f"\nfit: rounds ~ k^{fit.exponent:.2f}{target}")
     return 0
 
 
@@ -187,6 +264,17 @@ def build_parser() -> argparse.ArgumentParser:
             "(identical results and round accounting)",
         )
 
+    p = sub.add_parser("run", help="run any registered algorithm")
+    p.add_argument("algo", choices=runtime.available(), help="registered algorithm")
+    common(p, default_n=500)
+    p.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="family parameter override (repeatable), e.g. --set pattern=c4",
+    )
+    p.set_defaults(func=cmd_run)
+
     p = sub.add_parser("pagerank", help="run Algorithm 1")
     common(p)
     p.add_argument("--tokens", type=float, default=16.0, help="token constant c")
@@ -215,9 +303,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="sweep k and fit the scaling exponent")
     common(p, default_n=1000)
-    p.add_argument("--problem", choices=("pagerank", "triangles"), default="pagerank")
+    p.add_argument(
+        "--problem",
+        choices=runtime.available(),
+        default="pagerank",
+        help="registered algorithm to sweep",
+    )
     p.add_argument("--ks", default="4,8,16,32", help="comma-separated k values")
     p.add_argument("--tokens", type=float, default=1.0)
+    p.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="family parameter override (repeatable), e.g. --set pattern=c4",
+    )
     p.set_defaults(func=cmd_sweep)
     return parser
 
@@ -225,7 +324,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

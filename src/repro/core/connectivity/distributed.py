@@ -57,6 +57,9 @@ def connected_components_distributed(
     seed: int | None = None,
     bandwidth: int | None = None,
     partition: VertexPartition | None = None,
+    engine: str = "message",
+    cluster=None,
+    distgraph=None,
 ) -> ConnectivityResult:
     """Compute connected components of ``graph`` with ``k`` machines.
 
@@ -75,6 +78,9 @@ def connected_components_distributed(
         seed=seed,
         bandwidth=bandwidth,
         partition=partition,
+        engine=engine,
+        cluster=cluster,
+        distgraph=distgraph,
     )
     # Canonical labels from the forest (local computation).
     from repro.core.mst.dsu import DisjointSetUnion

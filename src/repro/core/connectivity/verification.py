@@ -19,7 +19,7 @@ from repro.graphs.graph import Graph
 from repro.kmachine import encoding
 from repro.kmachine.cluster import Cluster
 from repro.kmachine.metrics import Metrics
-from repro.kmachine.partition import VertexPartition, random_vertex_partition
+from repro.kmachine.partition import VertexPartition
 from repro.core.connectivity.distributed import connected_components_distributed
 
 __all__ = ["bipartiteness_check", "spanning_tree_verification", "BipartitenessResult"]

@@ -21,7 +21,6 @@ applications (and any new problem) can instantiate the theorem in the
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.info.surprisal import SurprisalAccount, min_rounds_for_entropy

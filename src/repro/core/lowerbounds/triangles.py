@@ -27,11 +27,9 @@ checkable here via :func:`induced_edge_count` /
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 import numpy as np
 
-from repro._util import as_rng
 from repro.core.lowerbounds.general import GeneralLowerBound
 from repro.graphs.graph import Graph
 from repro.info.surprisal import SurprisalAccount

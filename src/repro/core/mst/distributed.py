@@ -40,8 +40,9 @@ from repro.errors import AlgorithmError
 from repro.graphs.graph import Graph
 from repro.kmachine import encoding
 from repro.kmachine.cluster import Cluster
+from repro.kmachine.distgraph import DistributedGraph, resolve_distgraph
 from repro.kmachine.metrics import Metrics
-from repro.kmachine.partition import VertexPartition, random_vertex_partition
+from repro.kmachine.partition import VertexPartition
 
 __all__ = ["distributed_mst", "MSTResult"]
 
@@ -103,6 +104,8 @@ def distributed_mst(
     partition: VertexPartition | None = None,
     max_phases: int | None = None,
     engine: str = "message",
+    cluster: Cluster | None = None,
+    distgraph: DistributedGraph | None = None,
 ) -> MSTResult:
     """Compute the minimum spanning forest of ``graph`` with ``k`` machines.
 
@@ -118,12 +121,12 @@ def distributed_mst(
     weights = np.asarray(weights, dtype=np.float64)
     if weights.shape != (m,):
         raise AlgorithmError(f"weights must have shape ({m},), got {weights.shape}")
-    cluster = Cluster(k=k, n=max(2, n), bandwidth=bandwidth, seed=seed, engine=engine)
-    if partition is None:
-        partition = random_vertex_partition(n, k, seed=cluster.shared_rng)
-    elif partition.n != n or partition.k != k:
-        raise AlgorithmError("partition does not match the graph/cluster")
-    home = partition.home
+    if cluster is None:
+        cluster = Cluster(k=k, n=max(2, n), bandwidth=bandwidth, seed=seed, engine=engine)
+    elif cluster.k != k:
+        raise AlgorithmError(f"cluster has k={cluster.k}, expected {k}")
+    dg = resolve_distgraph(graph, k, cluster.shared_rng, partition, distgraph)
+    home = dg.home
     if max_phases is None:
         max_phases = max(1, int(np.ceil(np.log2(max(2, n)))) + 1)
 
@@ -148,8 +151,9 @@ def distributed_mst(
         phases += 1
 
         # ---- Flow 1: neighbor labels (both directions of every edge). ----
-        src = np.concatenate([home[edges[:, 1]], home[edges[:, 0]]])
-        dst = np.concatenate([home[edges[:, 0]], home[edges[:, 1]]])
+        eh0, eh1 = dg.edge_homes  # cached once; constant across phases
+        src = np.concatenate([eh1, eh0])
+        dst = np.concatenate([eh0, eh1])
         _account(cluster, src, dst, 2 * vid, f"mst/labels/{phases}")
 
         # ---- Flow 2: candidate MWOE per (machine, component) -> proxy. ----
@@ -157,7 +161,7 @@ def distributed_mst(
         # Each endpoint's machine proposes the edge for its own component.
         cand_edge = np.concatenate([ce, ce])
         cand_comp = np.concatenate([lu[ce], lv[ce]])
-        cand_machine = np.concatenate([home[edges[ce, 0]], home[edges[ce, 1]]])
+        cand_machine = np.concatenate([eh0[ce], eh1[ce]])
         order = np.lexsort((edge_order[cand_edge], cand_comp, cand_machine))
         cand_edge, cand_comp, cand_machine = (
             cand_edge[order],
@@ -239,7 +243,7 @@ def distributed_mst(
         _account(cluster, q_proxy, q_machine, 2 * vid, f"mst/label-reply/{phases}")
 
         labels = np.fromiter(
-            (root_of.get(int(l), int(l)) for l in labels), dtype=np.int64, count=n
+            (root_of.get(int(lab), int(lab)) for lab in labels), dtype=np.int64, count=n
         )
 
     forest_idx = np.flatnonzero(chosen)

@@ -25,9 +25,10 @@ from repro.errors import AlgorithmError
 from repro.graphs.graph import Graph
 from repro.kmachine import encoding
 from repro.kmachine.cluster import Cluster
+from repro.kmachine.distgraph import DistributedGraph, resolve_distgraph
 from repro.kmachine.engine import MessageBatch
 from repro.kmachine.message import Message
-from repro.kmachine.partition import VertexPartition, random_vertex_partition
+from repro.kmachine.partition import VertexPartition
 from repro.core.pagerank.result import IterationStats, PageRankResult
 from repro.core.pagerank.tokens import terminate_tokens
 
@@ -45,6 +46,7 @@ def baseline_pagerank(
     cluster: Cluster | None = None,
     max_iterations: int | None = None,
     engine: str = "message",
+    distgraph: DistributedGraph | None = None,
 ) -> PageRankResult:
     """Run the per-edge-forwarding baseline (see module docstring)."""
     check_positive_int(k, "k")
@@ -57,13 +59,9 @@ def baseline_pagerank(
         cluster = Cluster(k=k, n=n, bandwidth=bandwidth, seed=seed, engine=engine)
     elif cluster.k != k:
         raise AlgorithmError(f"cluster has k={cluster.k}, expected {k}")
-    if partition is None:
-        partition = random_vertex_partition(n, k, seed=cluster.shared_rng)
-    elif partition.n != n or partition.k != k:
-        raise AlgorithmError("partition does not match the graph/cluster")
-
-    home = partition.home
-    parts = partition.vertices_by_machine()
+    dg = resolve_distgraph(graph, k, cluster.shared_rng, partition, distgraph)
+    home = dg.home
+    parts = dg.parts
     indptr, indices = graph.indptr, graph.indices
     t0 = max(1, math.ceil(c * math.log2(max(2, n))))
     if max_iterations is None:

@@ -36,9 +36,10 @@ from repro.errors import AlgorithmError
 from repro.graphs.graph import Graph
 from repro.kmachine import encoding
 from repro.kmachine.cluster import Cluster
+from repro.kmachine.distgraph import DistributedGraph, resolve_distgraph
 from repro.kmachine.engine import MessageBatch
 from repro.kmachine.message import Message
-from repro.kmachine.partition import VertexPartition, random_vertex_partition
+from repro.kmachine.partition import VertexPartition
 from repro.core.pagerank.result import IterationStats, PageRankResult
 from repro.core.pagerank.tokens import (
     heavy_machine_counts,
@@ -83,6 +84,7 @@ def distributed_pagerank(
     enable_heavy_path: bool = True,
     sources: np.ndarray | None = None,
     engine: str = "message",
+    distgraph: DistributedGraph | None = None,
 ) -> PageRankResult:
     """Run Algorithm 1 on ``graph`` with ``k`` machines.
 
@@ -121,6 +123,10 @@ def distributed_pagerank(
         Execution backend (``"message"`` or ``"vector"``); ignored when
         an explicit ``cluster`` is supplied.  Results and accounting are
         backend-independent.
+    distgraph:
+        A prebuilt :class:`~repro.kmachine.distgraph.DistributedGraph`
+        whose shards are reused (e.g. across runs sharing a partition);
+        built internally when omitted.
 
     Returns
     -------
@@ -136,14 +142,7 @@ def distributed_pagerank(
         cluster = Cluster(k=k, n=n, bandwidth=bandwidth, seed=seed, engine=engine)
     elif cluster.k != k:
         raise AlgorithmError(f"cluster has k={cluster.k}, expected {k}")
-    if partition is None:
-        partition = random_vertex_partition(n, k, seed=cluster.shared_rng)
-    elif partition.n != n or partition.k != k:
-        raise AlgorithmError("partition does not match the graph/cluster")
-
-    home = partition.home
-    parts = partition.vertices_by_machine()
-    indptr, indices = graph.indptr, graph.indices
+    dg = resolve_distgraph(graph, k, cluster.shared_rng, partition, distgraph)
     t0 = max(1, math.ceil(c * math.log2(max(2, n))))
     thr = int(heavy_threshold) if heavy_threshold is not None else k
     if thr < 2:
@@ -167,10 +166,7 @@ def distributed_pagerank(
     psi = tokens.copy()  # every token visits its birth vertex
     driver = _PageRankDriver(
         cluster=cluster,
-        parts=parts,
-        home=home,
-        indptr=indptr,
-        indices=indices,
+        distgraph=dg,
         tokens=tokens,
         psi=psi,
         eps=eps,
@@ -178,7 +174,9 @@ def distributed_pagerank(
         enable_heavy_path=enable_heavy_path,
         vid_bits=vid_bits,
     )
-    cluster.run_driver(driver, max_steps=max_iterations)
+    # max_iterations is a user-facing iteration budget (whp all tokens have
+    # terminated by the default), so exhausting it returns partial state.
+    cluster.run_driver(driver, max_steps=max_iterations, on_exhaust="return")
 
     estimates = eps * driver.psi.astype(np.float64) / (num_sources * t0)
     return PageRankResult(
@@ -206,10 +204,7 @@ class _PageRankDriver:
     def __init__(
         self,
         cluster: Cluster,
-        parts: list[np.ndarray],
-        home: np.ndarray,
-        indptr: np.ndarray,
-        indices: np.ndarray,
+        distgraph: DistributedGraph,
         tokens: np.ndarray,
         psi: np.ndarray,
         eps: float,
@@ -218,10 +213,11 @@ class _PageRankDriver:
         vid_bits: int,
     ) -> None:
         self.cluster = cluster
-        self.parts = parts
-        self.home = home
-        self.indptr = indptr
-        self.indices = indices
+        self.dg = distgraph
+        self.parts = distgraph.parts
+        self.home = distgraph.home
+        self.indptr = distgraph.graph.indptr
+        self.indices = distgraph.graph.indices
         self.tokens = tokens
         self.psi = psi
         self.eps = eps
@@ -275,11 +271,10 @@ class _PageRankDriver:
             dv, dc = move_light_tokens(light_v, tokens[light_v], indptr, indices, rng)
             tokens[light_v] = 0
             if dv.size:
-                local_mask = home[dv] == i
                 # Local deliveries are free; remote ones form the α rows.
-                if np.any(local_mask):
-                    np.add.at(incoming, dv[local_mask], dc[local_mask])
-                remote_v, remote_c = dv[~local_mask], dc[~local_mask]
+                loc_v, loc_c, remote_v, remote_c, _ = self.dg.split_local_remote(i, dv, dc)
+                if loc_v.size:
+                    np.add.at(incoming, loc_v, loc_c)
                 if remote_v.size:
                     light_src.append(np.full(remote_v.size, i, dtype=np.int64))
                     light_rows.append((remote_v, remote_c))
@@ -288,7 +283,8 @@ class _PageRankDriver:
                 cnt = int(tokens[u])
                 tokens[u] = 0
                 beta = heavy_machine_counts(
-                    int(u), cnt, indptr, indices, home, cluster.k, rng
+                    int(u), cnt, indptr, indices, home, cluster.k, rng,
+                    nbr_home=self.dg.nbr_home,
                 )
                 for j in np.flatnonzero(beta):
                     j = int(j)
@@ -325,14 +321,12 @@ class _PageRankDriver:
                 continue
             rng = cluster.machine_rngs[j]
             for u, cnt in zip(rows["vertex"], rows["count"]):
-                nbrs = indices[indptr[u] : indptr[u + 1]]
-                local = nbrs[home[nbrs] == j]
+                local = self.dg.local_neighbors(int(u), j)
                 dv, dc = split_tokens_among_local_neighbors(int(u), int(cnt), local, rng)
                 np.add.at(incoming, dv, dc)
         for (i, u, cnt) in local_heavy:
             rng = cluster.machine_rngs[i]
-            nbrs = indices[indptr[u] : indptr[u + 1]]
-            local = nbrs[home[nbrs] == i]
+            local = self.dg.local_neighbors(u, i)
             dv, dc = split_tokens_among_local_neighbors(u, cnt, local, rng)
             np.add.at(incoming, dv, dc)
 

@@ -61,7 +61,6 @@ def move_light_tokens(
         return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
     # One row per token: repeat each vertex by its token count, then pick a
     # uniform neighbor index within its adjacency slice.
-    src_rep = np.repeat(vertices, counts)
     deg_rep = np.repeat(deg, counts)
     offsets = rng.integers(0, deg_rep)
     dests = indices[np.repeat(indptr[vertices], counts) + offsets]
@@ -78,17 +77,23 @@ def heavy_machine_counts(
     home: np.ndarray,
     k: int,
     rng: np.random.Generator,
+    nbr_home: np.ndarray | None = None,
 ) -> np.ndarray:
     """Sample destination machines for a heavy vertex's tokens.
 
     Implements Algorithm 1's line 23: each token picks machine ``j`` with
     probability ``n_{j,u} / d_u`` (the fraction of ``u``'s neighbors hosted
     at ``j``).  Returns a ``(k,)`` array ``β`` of token counts per machine.
+
+    ``nbr_home`` is the cached home-of-neighbor column aligned with
+    ``indices`` (see :class:`~repro.kmachine.distgraph.DistributedGraph`);
+    when given, the per-call ``home[nbrs]`` gather is skipped.
     """
-    nbrs = indices[indptr[vertex] : indptr[vertex + 1]]
-    if nbrs.size == 0 or tokens == 0:
+    lo, hi = indptr[vertex], indptr[vertex + 1]
+    if hi == lo or tokens == 0:
         return np.zeros(k, dtype=np.int64)
-    per_machine = np.bincount(home[nbrs], minlength=k).astype(np.float64)
+    homes = nbr_home[lo:hi] if nbr_home is not None else home[indices[lo:hi]]
+    per_machine = np.bincount(homes, minlength=k).astype(np.float64)
     return rng.multinomial(tokens, per_machine / per_machine.sum()).astype(np.int64)
 
 

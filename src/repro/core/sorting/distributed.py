@@ -30,7 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro._util import as_rng, check_positive_int
+from repro._util import check_positive_int
 from repro.errors import AlgorithmError
 from repro.kmachine import encoding
 from repro.kmachine.cluster import Cluster
@@ -84,6 +84,7 @@ def distributed_sort(
     assignment: np.ndarray | None = None,
     oversample: float = 8.0,
     engine: str = "message",
+    cluster: Cluster | None = None,
 ) -> SortResult:
     """Sort ``values`` with ``k`` machines in ``Õ(n/k²)`` rounds.
 
@@ -106,7 +107,10 @@ def distributed_sort(
     check_positive_int(k, "k")
     if n == 0:
         raise AlgorithmError("cannot sort an empty input")
-    cluster = Cluster(k=k, n=max(2, n), bandwidth=bandwidth, seed=seed, engine=engine)
+    if cluster is None:
+        cluster = Cluster(k=k, n=max(2, n), bandwidth=bandwidth, seed=seed, engine=engine)
+    elif cluster.k != k:
+        raise AlgorithmError(f"cluster has k={cluster.k}, expected {k}")
     if assignment is None:
         assignment = cluster.shared_rng.integers(0, k, size=n)
     else:

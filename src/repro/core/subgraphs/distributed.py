@@ -21,7 +21,8 @@ from repro._util import check_positive_int
 from repro.errors import AlgorithmError
 from repro.graphs.graph import Graph
 from repro.kmachine.cluster import Cluster
-from repro.kmachine.partition import VertexPartition, random_vertex_partition
+from repro.kmachine.distgraph import DistributedGraph, resolve_distgraph
+from repro.kmachine.partition import VertexPartition
 from repro.core.subgraphs.colors4 import num_colors_for_machines_r4, quads_needing_edge_array
 from repro.core.subgraphs.local import enumerate_c4_edges, enumerate_k4_edges
 from repro.core.triangles.distributed import _edge_batch
@@ -42,6 +43,7 @@ def enumerate_subgraphs_distributed(
     cluster: Cluster | None = None,
     use_proxies: bool = True,
     engine: str = "message",
+    distgraph: DistributedGraph | None = None,
 ) -> TriangleResult:
     """Enumerate all (non-induced) K4s or C4s of ``graph`` with ``k`` machines.
 
@@ -72,12 +74,7 @@ def enumerate_subgraphs_distributed(
         cluster = Cluster(k=k, n=n, bandwidth=bandwidth, seed=seed, engine=engine)
     elif cluster.k != k:
         raise AlgorithmError(f"cluster has k={cluster.k}, expected {k}")
-    if partition is None:
-        partition = random_vertex_partition(n, k, seed=cluster.shared_rng)
-    elif partition.n != n or partition.k != k:
-        raise AlgorithmError("partition does not match the graph/cluster")
-
-    home = partition.home
+    dg = resolve_distgraph(graph, k, cluster.shared_rng, partition, distgraph)
     q = num_colors_for_machines_r4(k)
     colors = cluster.shared_rng.integers(0, q, size=n)
     edges = graph.edges
@@ -96,16 +93,14 @@ def enumerate_subgraphs_distributed(
     # Shipping responsibility: the home of the lower-id endpoint (the
     # degree-threshold refinement of the triangle algorithm matters only
     # for the constant; subgraph runs reuse the simple rule).
-    shipper = home[edges[:, 0]]
+    shipper = dg.edge_homes[0]
 
     # Phase 1 — edges to random proxies.
     if use_proxies:
         proxy = np.empty(m, dtype=np.int64)
-        for i in range(k):
-            mask = shipper == i
-            cnt = int(mask.sum())
-            if cnt:
-                proxy[mask] = cluster.machine_rngs[i].integers(0, k, size=cnt)
+        for i, idx in enumerate(dg.edges_by_shipper(shipper)):
+            if idx.size:
+                proxy[idx] = cluster.machine_rngs[i].integers(0, k, size=idx.size)
         remote = shipper != proxy
         cluster.exchange_batches(
             [_edge_batch(edges[remote], shipper[remote], proxy[remote], "sub-edge-proxy", n)],

@@ -39,8 +39,9 @@ from repro.graphs.graph import Graph
 from repro.graphs.triangles_ref import enumerate_triangles_edges
 from repro.kmachine import encoding
 from repro.kmachine.cluster import Cluster
+from repro.kmachine.distgraph import DistributedGraph, resolve_distgraph
 from repro.kmachine.engine import MessageBatch
-from repro.kmachine.partition import VertexPartition, random_vertex_partition
+from repro.kmachine.partition import VertexPartition
 from repro.core.triangles.colors import (
     machines_needing_edge_array,
     num_colors_for_machines,
@@ -82,6 +83,7 @@ def enumerate_triangles_distributed(
     enumerate_triads: bool = False,
     skip_local_enumeration: bool = False,
     engine: str = "message",
+    distgraph: DistributedGraph | None = None,
 ) -> TriangleResult:
     """Enumerate all triangles of ``graph`` with ``k`` machines (Theorem 5).
 
@@ -127,12 +129,8 @@ def enumerate_triangles_distributed(
         cluster = Cluster(k=k, n=n, bandwidth=bandwidth, seed=seed, engine=engine)
     elif cluster.k != k:
         raise AlgorithmError(f"cluster has k={cluster.k}, expected {k}")
-    if partition is None:
-        partition = random_vertex_partition(n, k, seed=cluster.shared_rng)
-    elif partition.n != n or partition.k != k:
-        raise AlgorithmError("partition does not match the graph/cluster")
-
-    home = partition.home
+    dg = resolve_distgraph(graph, k, cluster.shared_rng, partition, distgraph)
+    home = dg.home
     q = num_colors_for_machines(k)
     # Shared hash h: V -> C (public randomness, known to every machine).
     colors = cluster.shared_rng.integers(0, q, size=n)
@@ -141,7 +139,7 @@ def enumerate_triangles_distributed(
 
     edges = graph.edges
     m = edges.shape[0]
-    deg = graph.degrees()
+    deg = dg.degrees
 
     # ------------------------------------------------------------------
     # Phase 0 — designation requests: machines hosting vertices of degree
@@ -186,11 +184,9 @@ def enumerate_triangles_distributed(
     # with its private randomness).
     if use_proxies:
         proxy = np.empty(m, dtype=np.int64)
-        for i in range(k):
-            mask = shipper == i
-            cnt = int(mask.sum())
-            if cnt:
-                proxy[mask] = cluster.machine_rngs[i].integers(0, k, size=cnt)
+        for i, idx in enumerate(dg.edges_by_shipper(shipper)):
+            if idx.size:
+                proxy[idx] = cluster.machine_rngs[i].integers(0, k, size=idx.size)
         remote = shipper != proxy
         cluster.exchange_batches(
             [_edge_batch(edges[remote], shipper[remote], proxy[remote], "tri-edge-proxy", n)],

@@ -184,7 +184,12 @@ class Graph:
 
     @classmethod
     def from_networkx(cls, g) -> "Graph":
-        """Build from a networkx (Di)Graph with integer nodes ``0..n-1``."""
+        """Build from a networkx (Di)Graph with integer nodes ``0..n-1``.
+
+        Self-loops are rejected with :class:`GraphError`, matching the
+        constructor (they used to be silently dropped here, which made the
+        two construction paths disagree about the edge set).
+        """
         import networkx as nx
 
         directed = isinstance(g, nx.DiGraph)
@@ -192,7 +197,13 @@ class Graph:
         nodes = sorted(g.nodes())
         if nodes != list(range(n)):
             raise GraphError("from_networkx requires nodes labelled 0..n-1")
-        edges = np.array([(u, v) for u, v in g.edges() if u != v], dtype=np.int64).reshape(-1, 2)
+        loops = [u for u, v in g.edges() if u == v]
+        if loops:
+            raise GraphError(
+                f"self-loops are not allowed (networkx graph has a self-loop "
+                f"at node {loops[0]})"
+            )
+        edges = np.array(list(g.edges()), dtype=np.int64).reshape(-1, 2)
         return cls(n=n, edges=edges, directed=directed)
 
     # ------------------------------------------------------------------

@@ -61,6 +61,7 @@ from repro.kmachine.engine import (
     make_engine,
 )
 from repro.kmachine.cluster import Cluster
+from repro.kmachine.distgraph import DistributedGraph, MachineShard, resolve_distgraph
 from repro.kmachine.partition import (
     VertexPartition,
     EdgePartition,
@@ -87,6 +88,9 @@ __all__ = [
     "MessageBatch",
     "DeliveredBatch",
     "make_engine",
+    "DistributedGraph",
+    "MachineShard",
+    "resolve_distgraph",
     "VertexPartition",
     "EdgePartition",
     "random_vertex_partition",

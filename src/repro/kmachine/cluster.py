@@ -88,6 +88,8 @@ class Cluster:
         #: The shared ("public") random string generator.
         self.shared_rng: np.random.Generator = rngs[self.k]
         self.seed = seed
+        #: Supersteps executed by the most recent :meth:`run_driver` call.
+        self.last_driver_supersteps: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -158,22 +160,48 @@ class Cluster:
         return self.exchange(outboxes, label=label)
 
     # ------------------------------------------------------------------
-    def run_driver(self, driver, state=None, max_steps: int | None = None):
+    def run_driver(
+        self,
+        driver,
+        state=None,
+        max_steps: int | None = None,
+        on_exhaust: str = "raise",
+    ):
         """Run a BSP driver loop until the driver signals completion.
 
         ``driver`` is either an object with a ``step(cluster, state)``
         method or a bare callable with the same signature; it performs
         one superstep (local computation plus exchanges) and returns a
-        truthy value while more supersteps remain.  Returns ``state``.
+        truthy value while more supersteps remain.  Returns ``state``;
+        the number of supersteps executed is recorded in
+        :attr:`last_driver_supersteps`.
+
+        If ``max_steps`` is exhausted before the driver signals
+        completion, a :class:`~repro.errors.ModelError` is raised —
+        unless ``on_exhaust="return"``, which returns the partial state
+        instead (for drivers where the cap is a legitimate user-facing
+        iteration budget, e.g. PageRank's ``max_iterations``).
         """
+        if on_exhaust not in ("raise", "return"):
+            raise ModelError(
+                f"on_exhaust must be 'raise' or 'return', got {on_exhaust!r}"
+            )
         step: Callable = driver.step if hasattr(driver, "step") else driver
         if not callable(step):
             raise ModelError("driver must be callable or expose a step() method")
         steps = 0
+        done = False
         while max_steps is None or steps < max_steps:
             steps += 1
             if not step(self, state):
+                done = True
                 break
+        self.last_driver_supersteps = steps
+        if not done and max_steps is not None and on_exhaust == "raise":
+            raise ModelError(
+                f"driver did not signal completion within max_steps={max_steps} "
+                f"supersteps; pass on_exhaust='return' to accept partial state"
+            )
         return state
 
     def reset_metrics(self) -> None:

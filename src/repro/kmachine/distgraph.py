@@ -1,0 +1,302 @@
+"""Sharded view of a partitioned graph: the RVP local state, materialized once.
+
+Every algorithm in the paper starts from the same premise (§1.1): under
+the random vertex partition each machine holds its assigned vertices plus
+all incident edges, and — because homes are computable from vertex ids —
+it also knows the home machine of every neighbor.  The drivers in
+:mod:`repro.core` used to re-derive pieces of that local view ad hoc
+(``partition.vertices_by_machine()``, ``home[nbrs]`` fancy-indexing inside
+superstep loops, per-machine boolean masks over the edge list).
+
+:class:`DistributedGraph` materializes the view once per
+``(graph, partition)`` pair and caches every derived array lazily:
+
+* :attr:`parts` — per-machine hosted-vertex arrays,
+* :attr:`nbr_home` — the home machine of each CSR adjacency entry
+  (aligned with ``graph.indices``), so ``home[nbrs]`` scatters in hot
+  loops become cached slices,
+* :attr:`edge_homes` — both endpoints' home machines for every edge row,
+* :meth:`shard` — a per-machine CSR slice (hosted vertices, local
+  ``indptr``/``indices``, neighbor homes, degrees), built lazily on
+  first access; the current drivers consume the cached global views
+  above, and shards are the extension point for per-machine parallel
+  execution (see ROADMAP open items),
+* batch-building helpers (:meth:`split_local_remote`,
+  :meth:`group_by_machine`, :meth:`edges_by_shipper`) for the common
+  "scatter rows to home machines" and "group work by owning machine"
+  patterns.
+
+All helpers return exactly the values the ad-hoc derivations produced, in
+the same order, so migrating a driver onto ``DistributedGraph`` never
+changes results, RNG draw order, or round accounting — only the amount of
+recomputation per superstep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graphs.graph import Graph
+from repro.kmachine.partition import VertexPartition, random_vertex_partition
+
+__all__ = ["DistributedGraph", "MachineShard", "resolve_distgraph"]
+
+
+class MachineShard:
+    """One machine's materialized slice of a :class:`DistributedGraph`.
+
+    Attributes
+    ----------
+    machine:
+        The machine index.
+    vertices:
+        Hosted vertex ids (sorted).
+    indptr:
+        ``(len(vertices) + 1,)`` local CSR offsets into :attr:`indices`;
+        row ``r`` is the adjacency of ``vertices[r]``.
+    indices:
+        Global neighbor ids, concatenated in hosted-vertex order.
+    nbr_home:
+        Home machine of each entry of :attr:`indices`.
+    degrees:
+        Out-degree of each hosted vertex (``indptr`` row lengths).
+    """
+
+    __slots__ = ("machine", "vertices", "indptr", "indices", "nbr_home", "degrees")
+
+    def __init__(
+        self,
+        machine: int,
+        vertices: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        nbr_home: np.ndarray,
+    ) -> None:
+        self.machine = machine
+        self.vertices = vertices
+        self.indptr = indptr
+        self.indices = indices
+        self.nbr_home = nbr_home
+        self.degrees = np.diff(indptr)
+
+    def neighbors(self, row: int) -> np.ndarray:
+        """Global neighbor ids of hosted vertex ``vertices[row]``."""
+        return self.indices[self.indptr[row] : self.indptr[row + 1]]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<MachineShard machine={self.machine} vertices={self.vertices.size}"
+            f" edges={self.indices.size}>"
+        )
+
+
+class DistributedGraph:
+    """A graph plus a vertex partition, with cached per-machine shards.
+
+    Parameters
+    ----------
+    graph:
+        The input :class:`~repro.graphs.graph.Graph`.
+    partition:
+        A :class:`~repro.kmachine.partition.VertexPartition` over the
+        graph's vertices.
+    """
+
+    __slots__ = (
+        "graph",
+        "partition",
+        "home",
+        "k",
+        "n",
+        "_parts",
+        "_nbr_home",
+        "_degrees",
+        "_edge_homes",
+        "_shards",
+    )
+
+    def __init__(self, graph: Graph, partition: VertexPartition) -> None:
+        if partition.n != graph.n:
+            raise PartitionError(
+                f"partition covers {partition.n} vertices but the graph has {graph.n}"
+            )
+        self.graph = graph
+        self.partition = partition
+        self.home = partition.home
+        self.k = partition.k
+        self.n = graph.n
+        self._parts: list[np.ndarray] | None = None
+        self._nbr_home: np.ndarray | None = None
+        self._degrees: np.ndarray | None = None
+        self._edge_homes: tuple[np.ndarray, np.ndarray] | None = None
+        self._shards: list[MachineShard | None] = [None] * self.k
+
+    # -- cached global views -------------------------------------------
+    @property
+    def parts(self) -> list[np.ndarray]:
+        """Per-machine hosted-vertex arrays (index = machine, each sorted)."""
+        if self._parts is None:
+            self._parts = self.partition.vertices_by_machine()
+        return self._parts
+
+    @property
+    def nbr_home(self) -> np.ndarray:
+        """Home machine of each CSR adjacency entry (aligned with ``graph.indices``)."""
+        if self._nbr_home is None:
+            self._nbr_home = self.home[self.graph.indices]
+        return self._nbr_home
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """``(n,)`` out-degree array (cached)."""
+        if self._degrees is None:
+            self._degrees = self.graph.out_degrees()
+        return self._degrees
+
+    @property
+    def edge_homes(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(home[edges[:, 0]], home[edges[:, 1]])``, each ``(m,)`` (cached)."""
+        if self._edge_homes is None:
+            e = self.graph.edges
+            if e.size:
+                self._edge_homes = (self.home[e[:, 0]], self.home[e[:, 1]])
+            else:
+                z = np.zeros(0, dtype=np.int64)
+                self._edge_homes = (z, z)
+        return self._edge_homes
+
+    # -- per-vertex views ----------------------------------------------
+    def neighbors(self, v: int) -> np.ndarray:
+        """Global neighbor ids of ``v`` (a CSR slice; no copy)."""
+        g = self.graph
+        return g.indices[g.indptr[v] : g.indptr[v + 1]]
+
+    def neighbor_homes(self, v: int) -> np.ndarray:
+        """Home machines of ``v``'s neighbors (cached slice; no fancy-indexing)."""
+        g = self.graph
+        return self.nbr_home[g.indptr[v] : g.indptr[v + 1]]
+
+    def local_neighbors(self, v: int, machine: int) -> np.ndarray:
+        """Neighbors of ``v`` hosted on ``machine``.
+
+        Equivalent to ``nbrs[home[nbrs] == machine]`` but reads the cached
+        :attr:`nbr_home` column instead of re-gathering ``home``.
+        """
+        g = self.graph
+        lo, hi = g.indptr[v], g.indptr[v + 1]
+        return g.indices[lo:hi][self.nbr_home[lo:hi] == machine]
+
+    # -- per-machine shards --------------------------------------------
+    def shard(self, machine: int) -> MachineShard:
+        """The materialized CSR slice for one machine (built lazily, cached)."""
+        if not (0 <= machine < self.k):
+            raise PartitionError(f"machine index {machine} out of range [0, {self.k})")
+        cached = self._shards[machine]
+        if cached is not None:
+            return cached
+        g = self.graph
+        verts = self.parts[machine]
+        counts = g.indptr[verts + 1] - g.indptr[verts] if verts.size else np.zeros(0, dtype=np.int64)
+        indptr = np.zeros(verts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        total = int(indptr[-1])
+        if verts.size and total:
+            # Gather each hosted vertex's adjacency slice in one shot: a
+            # grouped arange (position within row) added to repeated row
+            # starts — no Python loop over vertices.
+            within_row = np.arange(total) - np.repeat(indptr[:-1], counts)
+            take = np.repeat(g.indptr[verts], counts) + within_row
+            indices = g.indices[take]
+            nbr_home = self.nbr_home[take]
+        else:
+            indices = np.zeros(0, dtype=np.int64)
+            nbr_home = np.zeros(0, dtype=np.int64)
+        shard = MachineShard(machine, verts, indptr, indices, nbr_home)
+        self._shards[machine] = shard
+        return shard
+
+    def shards(self) -> list[MachineShard]:
+        """All ``k`` shards (materializing any not yet built)."""
+        return [self.shard(i) for i in range(self.k)]
+
+    # -- batch-building helpers ----------------------------------------
+    def split_local_remote(
+        self, machine: int, dest_vertices: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Split per-destination-vertex rows into local and remote deliveries.
+
+        Rows whose destination vertex lives on ``machine`` are local (free);
+        the rest form a remote stream addressed to each vertex's home.
+
+        Returns
+        -------
+        (local_vertices, local_values, remote_vertices, remote_values, remote_dst)
+            ``remote_dst[r]`` is the home machine of ``remote_vertices[r]``.
+        """
+        dest_vertices = np.asarray(dest_vertices, dtype=np.int64)
+        homes = self.home[dest_vertices]
+        local = homes == machine
+        return (
+            dest_vertices[local],
+            values[local],
+            dest_vertices[~local],
+            values[~local],
+            homes[~local],
+        )
+
+    def group_by_machine(self, assignment: np.ndarray) -> list[np.ndarray]:
+        """Group row indices by owning machine in one stable pass.
+
+        ``assignment[r]`` is the machine owning row ``r``; the return value
+        is a ``k``-list of index arrays, each sorted ascending — exactly
+        ``[np.flatnonzero(assignment == i) for i in range(k)]`` without the
+        ``k`` full passes over the array.
+        """
+        assignment = np.asarray(assignment, dtype=np.int64)
+        order = np.argsort(assignment, kind="stable")
+        counts = np.bincount(assignment, minlength=self.k)
+        splits = np.cumsum(counts)[:-1]
+        return np.split(order, splits)
+
+    def edges_by_shipper(self, shipper: np.ndarray | None = None) -> list[np.ndarray]:
+        """Edge indices grouped by shipping machine.
+
+        ``shipper`` defaults to the home of each edge's first endpoint
+        (the simple shipping rule); pass an explicit per-edge machine
+        array for refined rules (e.g. the triangle algorithm's
+        degree-threshold proxy assignment).
+        """
+        if shipper is None:
+            shipper = self.edge_homes[0]
+        return self.group_by_machine(shipper)
+
+
+def resolve_distgraph(
+    graph: Graph,
+    k: int,
+    shared_rng,
+    partition: VertexPartition | None = None,
+    distgraph: DistributedGraph | None = None,
+) -> DistributedGraph:
+    """Resolve an algorithm entry point's ``(partition, distgraph)`` arguments.
+
+    An explicit ``distgraph`` wins (so shards built by a caller — e.g. the
+    runtime registry — are reused); otherwise an explicit ``partition`` is
+    wrapped; otherwise a fresh RVP is sampled from ``shared_rng``, which is
+    the exact draw the entry points made before this layer existed (keeping
+    seeded runs bit-identical).
+    """
+    if distgraph is not None:
+        if distgraph.graph is not graph:
+            raise PartitionError("distgraph was built for a different graph")
+        if partition is not None and partition is not distgraph.partition:
+            raise PartitionError(
+                "conflicting partition and distgraph arguments; pass one of them"
+            )
+        partition = distgraph.partition
+    if partition is None:
+        partition = random_vertex_partition(graph.n, k, seed=shared_rng)
+    if partition.n != graph.n or partition.k != k:
+        raise PartitionError("partition does not match the graph/cluster")
+    return distgraph if distgraph is not None else DistributedGraph(graph, partition)

@@ -8,7 +8,7 @@ vertex ids, counts, machine ids), computed by :mod:`repro.kmachine.encoding`
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 __all__ = ["Message"]

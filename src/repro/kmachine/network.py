@@ -22,7 +22,6 @@ Two equivalent execution modes:
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Iterable, Sequence
 
 import numpy as np

@@ -1,0 +1,49 @@
+"""The runtime layer: algorithm registry + unified execution entry point.
+
+Architecture (bottom-up):
+
+* **engine layer** (:mod:`repro.kmachine.engine`) — *how* a communication
+  phase executes (per-object messages vs columnar batches), behind
+  ``Cluster(engine=...)``;
+* **runtime layer** (:mod:`repro.kmachine.distgraph` + this package) —
+  *what state a run shares*: :class:`~repro.kmachine.distgraph.DistributedGraph`
+  materializes the per-machine RVP shards once, and :func:`run` owns
+  cluster construction, placement sampling, and metrics collection;
+* **registry** (:mod:`repro.runtime.registry`) — *which algorithms
+  exist*: each family registers an :class:`AlgorithmSpec` (driver
+  adapter, defaults, result type, theorem bounds), making the CLI,
+  k-sweeps, and benches generic over families.
+
+Usage::
+
+    from repro import runtime
+
+    g = repro.gnp_random_graph(1000, 0.01, seed=1)
+    report = runtime.run("pagerank", g, k=8, seed=1, engine="vector")
+    print(report.rounds, report.result.estimates[:5])
+    print(runtime.available())
+"""
+
+from repro.runtime.registry import (
+    AlgorithmSpec,
+    RunReport,
+    available,
+    get_spec,
+    register,
+    run,
+    specs,
+)
+from repro.runtime.families import register_builtin_specs
+
+register_builtin_specs()
+
+__all__ = [
+    "AlgorithmSpec",
+    "RunReport",
+    "available",
+    "get_spec",
+    "register",
+    "register_builtin_specs",
+    "run",
+    "specs",
+]

@@ -1,0 +1,228 @@
+"""Registered algorithm specs for every family in :mod:`repro.core`.
+
+Each spec's ``runner`` is a thin adapter from the registry's uniform
+``(data, cluster, placement, params)`` calling convention onto the
+family entry point.  The adapters pass the cluster and prebuilt
+:class:`~repro.kmachine.distgraph.DistributedGraph` (or element
+assignment) down, so a registry run performs exactly the same RNG draws
+as a direct ``distributed_*`` call — seeded results are bit-identical on
+both execution engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.connectivity import ConnectivityResult, connected_components_distributed
+from repro.core.lowerbounds import (
+    mst_round_lower_bound,
+    pagerank_round_lower_bound,
+    sorting_round_lower_bound,
+    triangle_round_lower_bound,
+)
+from repro.core.mst import MSTResult, distributed_mst
+from repro.core.pagerank import PageRankResult, baseline_pagerank, distributed_pagerank
+from repro.core.sorting import SortResult, distributed_sort
+from repro.core.subgraphs import enumerate_subgraphs_distributed
+from repro.core.triangles import TriangleResult, enumerate_triangles_distributed
+from repro.runtime.registry import (
+    GRAPH,
+    VALUES,
+    AlgorithmSpec,
+    _sample_element_assignment,
+    register,
+)
+
+__all__ = ["register_builtin_specs"]
+
+
+def _run_pagerank(graph, cluster, dg, params):
+    return distributed_pagerank(
+        graph, cluster.k, cluster=cluster, distgraph=dg, **params
+    )
+
+
+def _run_pagerank_baseline(graph, cluster, dg, params):
+    return baseline_pagerank(graph, cluster.k, cluster=cluster, distgraph=dg, **params)
+
+
+def _run_triangles(graph, cluster, dg, params):
+    return enumerate_triangles_distributed(
+        graph, cluster.k, cluster=cluster, distgraph=dg, **params
+    )
+
+
+def _run_subgraphs(graph, cluster, dg, params):
+    return enumerate_subgraphs_distributed(
+        graph, cluster.k, cluster=cluster, distgraph=dg, **params
+    )
+
+
+def _run_mst(graph, cluster, dg, params):
+    params = dict(params)
+    weights = params.pop("weights")
+    wseed = params.pop("seed")
+    if weights is None:
+        # Deterministic random weights from the run seed (the CLI's historic
+        # convention), so seeded registry runs agree across engines.
+        weights = np.random.default_rng(wseed).random(graph.m)
+    return distributed_mst(
+        graph, weights, cluster.k, cluster=cluster, distgraph=dg, **params
+    )
+
+
+def _run_connectivity(graph, cluster, dg, params):
+    return connected_components_distributed(
+        graph, cluster.k, cluster=cluster, distgraph=dg, **params
+    )
+
+
+def _run_sorting(values, cluster, assignment, params):
+    return distributed_sort(
+        values, cluster.k, cluster=cluster, assignment=assignment, **params
+    )
+
+
+def _summarize_pagerank(r: PageRankResult) -> list:
+    return [
+        ("iterations", r.iterations),
+        ("token rounds", r.token_rounds()),
+        ("tokens/vertex", r.tokens_per_vertex),
+    ]
+
+
+def _summarize_triangles(r: TriangleResult) -> list:
+    return [("occurrences", r.count), ("colors q", r.num_colors)]
+
+
+def _summarize_mst(r: MSTResult) -> list:
+    return [
+        ("forest edges", r.edges.shape[0]),
+        ("total weight", f"{r.total_weight:.4f}"),
+        ("phases", r.phases),
+        ("components", r.num_components),
+    ]
+
+
+def _summarize_connectivity(r: ConnectivityResult) -> list:
+    return [("components", r.num_components), ("connected", r.is_connected())]
+
+
+def _sorting_ok(r: SortResult) -> bool:
+    return bool(np.all(np.diff(r.concatenated()) >= 0))
+
+
+def _summarize_sorting(r: SortResult) -> list:
+    return [
+        ("globally sorted", _sorting_ok(r)),
+        ("block imbalance", f"{r.max_block_imbalance():.3f}"),
+    ]
+
+
+def register_builtin_specs() -> None:
+    """Register every :mod:`repro.core` family (idempotent via import)."""
+    register(
+        AlgorithmSpec(
+            name="pagerank",
+            title="PageRank (Algorithm 1)",
+            runner=_run_pagerank,
+            input_kind=GRAPH,
+            result_type=PageRankResult,
+            bounds="Õ(n/k²) rounds (Theorem 4)",
+            default_params={"c": 16.0},
+            lower_bound=pagerank_round_lower_bound,
+            round_value=lambda r: r.token_rounds(),
+            fit_target="-2 (Thm 4)",
+            summarize=_summarize_pagerank,
+            build_distgraph=True,
+        )
+    )
+    register(
+        AlgorithmSpec(
+            name="pagerank-baseline",
+            title="PageRank (per-edge baseline, SODA'15)",
+            runner=_run_pagerank_baseline,
+            input_kind=GRAPH,
+            result_type=PageRankResult,
+            bounds="Õ(n/k) rounds (Klauck et al., SODA 2015)",
+            default_params={"c": 16.0},
+            lower_bound=pagerank_round_lower_bound,
+            round_value=lambda r: r.token_rounds(),
+            fit_target="-1 (SODA'15)",
+            summarize=_summarize_pagerank,
+            build_distgraph=True,
+        )
+    )
+    register(
+        AlgorithmSpec(
+            name="triangles",
+            title="Triangle enumeration (Theorem 5)",
+            runner=_run_triangles,
+            input_kind=GRAPH,
+            result_type=TriangleResult,
+            bounds="Õ(m/k^{5/3} + n/k^{4/3}) rounds (Theorem 5)",
+            lower_bound=triangle_round_lower_bound,
+            # Theorem 3's bound depends on the output count t; without it the
+            # dense-graph default can exceed the measured rounds on sparse inputs.
+            lower_bound_extra=lambda r: {"t": max(1, r.count)},
+            fit_target="-5/3 (Thm 5)",
+            summarize=_summarize_triangles,
+            build_distgraph=True,
+        )
+    )
+    register(
+        AlgorithmSpec(
+            name="subgraphs",
+            title="K4/C4 enumeration (§1.2 generalization)",
+            runner=_run_subgraphs,
+            input_kind=GRAPH,
+            result_type=TriangleResult,
+            bounds="Õ(m/k^{3/2} + n/k^{5/4}) rounds (§1.2 remark)",
+            default_params={"pattern": "k4"},
+            summarize=_summarize_triangles,
+            build_distgraph=True,
+        )
+    )
+    register(
+        AlgorithmSpec(
+            name="mst",
+            title="MST (proxy-Borůvka)",
+            runner=_run_mst,
+            input_kind=GRAPH,
+            result_type=MSTResult,
+            bounds="Õ(m/k² + polylog) rounds (§1.3, cf. SPAA'16)",
+            default_params={"weights": None, "seed": None},
+            lower_bound=mst_round_lower_bound,
+            summarize=_summarize_mst,
+            build_distgraph=True,
+        )
+    )
+    register(
+        AlgorithmSpec(
+            name="connectivity",
+            title="Connected components (unit-weight Borůvka)",
+            runner=_run_connectivity,
+            input_kind=GRAPH,
+            result_type=ConnectivityResult,
+            bounds="Õ(m/k² + polylog) rounds (§1.3)",
+            lower_bound=mst_round_lower_bound,
+            summarize=_summarize_connectivity,
+            build_distgraph=True,
+        )
+    )
+    register(
+        AlgorithmSpec(
+            name="sorting",
+            title="Distributed sorting (sample sort)",
+            runner=_run_sorting,
+            input_kind=VALUES,
+            result_type=SortResult,
+            bounds="Θ̃(n/k²) rounds (§1.3)",
+            default_params={"oversample": 8.0},
+            lower_bound=sorting_round_lower_bound,
+            summarize=_summarize_sorting,
+            check=_sorting_ok,
+            sample_placement=_sample_element_assignment,
+            build_distgraph=False,
+        )
+    )

@@ -1,0 +1,285 @@
+"""The algorithm registry and the unified :func:`run` entry point.
+
+Every algorithm family declares an :class:`AlgorithmSpec` — name, driver
+adapter, input kind, default parameters, result type, and the matching
+theorem bound — and :func:`run` owns everything the ``distributed_*``
+entry points used to duplicate: cluster construction, input-placement
+sampling, :class:`~repro.kmachine.distgraph.DistributedGraph` shard
+materialization, engine selection, and metrics collection.  New workloads
+are one registered spec away from the CLI, the k-sweep harness, and the
+benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.kmachine.cluster import Cluster
+from repro.kmachine.distgraph import DistributedGraph
+from repro.kmachine.metrics import Metrics
+from repro.kmachine.partition import VertexPartition, random_vertex_partition
+
+__all__ = [
+    "AlgorithmSpec",
+    "RunReport",
+    "register",
+    "get_spec",
+    "available",
+    "specs",
+    "run",
+]
+
+#: Input kinds a spec can declare.
+GRAPH, VALUES = "graph", "values"
+
+
+def _default_cluster_n(data) -> int:
+    """Problem-size parameter for the cluster's polylog-bandwidth default."""
+    n = data.n if hasattr(data, "n") else int(np.asarray(data).size)
+    return max(2, n)
+
+
+def _sample_rvp(cluster: Cluster, data) -> VertexPartition:
+    """The RVP draw every graph entry point makes (paper §1.1)."""
+    return random_vertex_partition(data.n, cluster.k, seed=cluster.shared_rng)
+
+
+def _sample_element_assignment(cluster: Cluster, data) -> np.ndarray:
+    """The i.u.r. element placement of the sorting input model."""
+    return cluster.shared_rng.integers(0, cluster.k, size=int(np.asarray(data).size))
+
+
+def _total_rounds(result) -> int:
+    """Default sweep metric: all rounds the run charged."""
+    return result.metrics.rounds
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A registered algorithm family.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"pagerank"``, ``"triangles"``, ...).
+    title:
+        Human-readable title for CLI tables.
+    runner:
+        Adapter ``(data, cluster, placement, params) -> result`` calling
+        the family entry point with the cluster/placement :func:`run`
+        built.  ``placement`` is a :class:`VertexPartition` (graph
+        inputs) or an element→machine assignment array (value inputs).
+    input_kind:
+        ``"graph"`` or ``"values"``.
+    result_type:
+        The result class the runner returns (CLI/introspection).
+    bounds:
+        The paper's matching upper-bound statement for the family.
+    default_params:
+        Family parameters merged under explicit ``run(..., **params)``.
+    lower_bound:
+        Optional ``(n, k, B, **extra) -> float`` round lower bound from
+        the General Lower Bound Theorem cookbook.
+    lower_bound_extra:
+        Optional result → dict of extra keyword arguments for
+        :attr:`lower_bound` (e.g. the triangle bound needs the measured
+        output count ``t``).
+    round_value:
+        Result → the round count a k-sweep should fit (e.g. PageRank
+        fits token-phase rounds only).
+    fit_target:
+        Exponent the paper predicts for ``round_value ~ k^x`` sweeps,
+        as a display string (``"-2 (Thm 4)"``), or ``None``.
+    summarize:
+        Optional result → list of ``(label, value)`` rows for CLI output.
+    check:
+        Optional result → bool self-check (e.g. "output is globally
+        sorted"); the generic CLI ``run`` command exits non-zero when it
+        fails.
+    cluster_n:
+        Input → the ``n`` passed to :class:`Cluster` (bandwidth default).
+    sample_placement:
+        ``(cluster, data) -> placement`` drawn from the cluster's shared
+        randomness; must reproduce the draw the direct entry point makes
+        so registry runs stay bit-identical to direct calls.
+    build_distgraph:
+        Whether :func:`run` materializes a :class:`DistributedGraph` and
+        passes it to the runner (graph families that consume shards).
+    """
+
+    name: str
+    title: str
+    runner: Callable[[Any, Cluster, Any, dict], Any]
+    input_kind: str
+    result_type: type
+    bounds: str
+    default_params: Mapping[str, Any] = field(default_factory=dict)
+    lower_bound: Callable[..., float] | None = None
+    lower_bound_extra: Callable[[Any], dict] | None = None
+    round_value: Callable[[Any], int] = _total_rounds
+    fit_target: str | None = None
+    summarize: Callable[[Any], list] | None = None
+    check: Callable[[Any], bool] | None = None
+    cluster_n: Callable[[Any], int] = _default_cluster_n
+    sample_placement: Callable[[Cluster, Any], Any] = _sample_rvp
+    build_distgraph: bool = False
+
+    def __post_init__(self) -> None:
+        if self.input_kind not in (GRAPH, VALUES):
+            raise AlgorithmError(
+                f"input_kind must be {GRAPH!r} or {VALUES!r}, got {self.input_kind!r}"
+            )
+
+
+_REGISTRY: dict[str, AlgorithmSpec] = {}
+
+
+def register(spec: AlgorithmSpec) -> AlgorithmSpec:
+    """Register an algorithm family; names are unique."""
+    if spec.name in _REGISTRY:
+        raise AlgorithmError(f"algorithm {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_spec(name: str) -> AlgorithmSpec:
+    """Look up a registered family by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise AlgorithmError(
+            f"unknown algorithm {name!r}; registered: {', '.join(available())}"
+        ) from None
+
+
+def available() -> tuple[str, ...]:
+    """Registered family names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def specs() -> tuple[AlgorithmSpec, ...]:
+    """All registered specs, sorted by name."""
+    return tuple(_REGISTRY[name] for name in available())
+
+
+@dataclass
+class RunReport:
+    """Outcome of a registry run: the family result plus execution context."""
+
+    name: str
+    result: Any
+    metrics: Metrics
+    engine: str
+    k: int
+    n: int
+    params: dict
+    spec: AlgorithmSpec
+    distgraph: DistributedGraph | None = None
+
+    @property
+    def rounds(self) -> int:
+        """Total rounds charged."""
+        return self.metrics.rounds
+
+    @property
+    def bandwidth(self) -> int:
+        """Link bandwidth ``B`` used by the run."""
+        return self.metrics.bandwidth
+
+    def round_value(self) -> int:
+        """The family's sweep metric (see :attr:`AlgorithmSpec.round_value`)."""
+        return self.spec.round_value(self.result)
+
+    def lower_bound(self) -> float | None:
+        """The matching round lower bound at this run's ``(n, k, B)``."""
+        if self.spec.lower_bound is None:
+            return None
+        extra = (
+            self.spec.lower_bound_extra(self.result)
+            if self.spec.lower_bound_extra is not None
+            else {}
+        )
+        return self.spec.lower_bound(self.n, self.k, self.bandwidth, **extra)
+
+
+def run(
+    name: str,
+    data,
+    k: int,
+    *,
+    engine: str = "message",
+    seed: int | None = None,
+    bandwidth: int | None = None,
+    cluster: Cluster | None = None,
+    placement=None,
+    **params,
+) -> RunReport:
+    """Run a registered algorithm family end to end.
+
+    Owns the plumbing every entry point needs: builds the
+    :class:`Cluster` (``engine`` and ``bandwidth`` selection), samples
+    the input placement from the cluster's shared randomness, wraps the
+    graph once in a :class:`DistributedGraph` (whose cached views and
+    lazy per-machine shard slices the family drivers consume), invokes
+    the family runner, and wraps the result with its metrics in a
+    :class:`RunReport`.
+
+    Seeded runs are bit-identical to calling the family's
+    ``distributed_*`` function directly with the same arguments, on
+    either engine.
+
+    Parameters
+    ----------
+    name:
+        A registered family name (see :func:`available`).
+    data:
+        The family input — a :class:`~repro.graphs.graph.Graph` or, for
+        ``input_kind="values"``, an array of elements.
+    k:
+        Number of machines.
+    engine / seed / bandwidth:
+        Cluster construction knobs; ignored when ``cluster`` is given.
+    placement:
+        Explicit input placement (partition or assignment array);
+        sampled from shared randomness when omitted.
+    **params:
+        Family parameters, overriding the spec defaults.
+    """
+    spec = get_spec(name)
+    if cluster is None:
+        cluster = Cluster(
+            k=k, n=spec.cluster_n(data), bandwidth=bandwidth, seed=seed, engine=engine
+        )
+    elif cluster.k != k:
+        raise AlgorithmError(f"cluster has k={cluster.k}, expected {k}")
+    if placement is None:
+        placement = spec.sample_placement(cluster, data)
+    distgraph = None
+    if spec.build_distgraph:
+        if isinstance(placement, DistributedGraph):
+            distgraph, placement = placement, placement.partition
+        else:
+            distgraph = DistributedGraph(data, placement)
+    merged = dict(spec.default_params)
+    merged.update(params)
+    if "seed" in merged and merged["seed"] is None:
+        merged["seed"] = seed
+    result = spec.runner(
+        data, cluster, distgraph if distgraph is not None else placement, merged
+    )
+    n = data.n if hasattr(data, "n") else int(np.asarray(data).size)
+    return RunReport(
+        name=spec.name,
+        result=result,
+        metrics=cluster.metrics,
+        engine=cluster.engine.name,
+        k=k,
+        n=n,
+        params=merged,
+        spec=spec,
+        distgraph=distgraph,
+    )

@@ -22,6 +22,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["pagerank", "--graph", "nope"])
 
+    def test_run_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nope"])
+
+    def test_run_accepts_every_registered_algorithm(self):
+        from repro import runtime
+
+        for name in runtime.available():
+            args = build_parser().parse_args(["run", name])
+            assert args.algo == name
+
 
 class TestCommands:
     def test_pagerank_runs(self, capsys):
@@ -78,3 +89,51 @@ class TestCommands:
     def test_powerlaw_family(self, capsys):
         rc = main(["triangles", "--n", "100", "--k", "8", "--graph", "powerlaw"])
         assert rc == 0
+
+
+class TestGenericRun:
+    def test_run_every_registered_family(self, capsys):
+        from repro import runtime
+
+        for name in runtime.available():
+            rc = main(["run", name, "--n", "60", "--k", "8", "--graph", "dense"])
+            assert rc == 0, name
+            out = capsys.readouterr().out
+            assert runtime.get_spec(name).bounds.split()[0] in out
+            assert "rounds" in out
+
+    def test_run_with_engine_and_set_param(self, capsys):
+        rc = main(
+            ["run", "subgraphs", "--n", "40", "--k", "16", "--graph", "dense",
+             "--engine", "vector", "--set", "pattern=c4"]
+        )
+        assert rc == 0
+        assert "vector" in capsys.readouterr().out
+
+    def test_run_bad_set_pair(self):
+        with pytest.raises(SystemExit):
+            main(["run", "pagerank", "--n", "40", "--k", "4", "--set", "oops"])
+
+    def test_run_rejects_reserved_set_keys(self):
+        # A --set collision with run()'s own kwargs would otherwise raise
+        # a raw TypeError from runtime.run().
+        for key in ("k", "seed", "engine"):
+            with pytest.raises(SystemExit, match=f"--{key} flag"):
+                main(["run", "pagerank", "--n", "40", "--k", "4", "--set", f"{key}=3"])
+        for key in ("bandwidth", "cluster", "placement"):
+            with pytest.raises(SystemExit, match="not settable"):
+                main(["run", "pagerank", "--n", "40", "--k", "4", "--set", f"{key}=3"])
+
+    def test_sweep_accepts_set_params(self, capsys):
+        rc = main(
+            ["sweep", "--problem", "subgraphs", "--n", "40", "--graph", "dense",
+             "--ks", "16,81", "--set", "pattern=c4"]
+        )
+        assert rc == 0
+        assert "fit: rounds ~ k^" in capsys.readouterr().out
+
+    def test_run_bad_param_reports_repro_error(self, capsys):
+        # An invalid family parameter surfaces as exit code 2, not a traceback.
+        rc = main(["run", "pagerank", "--n", "40", "--k", "4", "--set", "eps=2.0"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err

@@ -102,7 +102,7 @@ class TestBipartiteness:
         res = bipartiteness_check(g, k=4, seed=10)
         assert res.rounds > 0
         labels = {p.label for p in res.metrics.phase_log}
-        assert any("bipartite/" in l for l in labels)
+        assert any("bipartite/" in lbl for lbl in labels)
 
 
 class TestSpanningTreeVerification:

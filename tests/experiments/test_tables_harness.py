@@ -14,7 +14,7 @@ class TestFormatTable:
         assert "k" in lines[0] and "rounds" in lines[0]
         assert set(lines[1]) <= {"-", " "}
         # Columns right-aligned: the widths of all lines match.
-        assert len({len(l) for l in lines}) == 1
+        assert len({len(line) for line in lines}) == 1
 
     def test_float_formatting(self):
         out = format_table(["x"], [[0.00012345], [123456.0], [1.5]])

@@ -130,3 +130,23 @@ class TestNetworkxRoundTrip:
         g.add_edge("a", "b")
         with pytest.raises(GraphError):
             Graph.from_networkx(g)
+
+    def test_from_networkx_rejects_self_loops(self):
+        # Consistent with the constructor: no silent dropping.
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(3))
+        g.add_edge(0, 1)
+        g.add_edge(2, 2)
+        with pytest.raises(GraphError, match="self-loop"):
+            Graph.from_networkx(g)
+
+    def test_from_networkx_rejects_directed_self_loops(self):
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(range(2))
+        g.add_edge(1, 1)
+        with pytest.raises(GraphError, match="self-loop"):
+            Graph.from_networkx(g)

@@ -1,7 +1,6 @@
 """Integration tests: whole-pipeline flows crossing module boundaries."""
 
 import numpy as np
-import pytest
 
 import repro
 from repro.core.lowerbounds import (
@@ -93,7 +92,7 @@ class TestCrossAlgorithmMetrics:
         from repro.kmachine.cluster import Cluster
 
         cluster = Cluster(k=8, n=g.n, seed=15)
-        r1 = repro.distributed_pagerank(g, k=8, cluster=cluster, c=5)
+        repro.distributed_pagerank(g, k=8, cluster=cluster, c=5)
         rounds_after_pr = cluster.rounds
         r2 = repro.enumerate_triangles_distributed(g, k=8, cluster=cluster)
         assert cluster.rounds > rounds_after_pr

@@ -8,7 +8,6 @@ far smaller than B.
 """
 
 import numpy as np
-import pytest
 
 import repro
 from repro.kmachine.cluster import Cluster

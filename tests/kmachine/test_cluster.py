@@ -86,3 +86,66 @@ class TestClusterOperations:
         c.broadcast(0, kind="b", payload=None, bits=4)
         c.reset_metrics()
         assert c.rounds == 0
+
+
+class TestRunDriver:
+    @staticmethod
+    def finite_driver(steps_needed):
+        calls = {"n": 0}
+
+        def step(cluster, state):
+            calls["n"] += 1
+            return calls["n"] < steps_needed
+
+        return step, calls
+
+    def test_runs_until_driver_completes(self):
+        c = Cluster(k=2, bandwidth=8, seed=0)
+        step, calls = self.finite_driver(3)
+        c.run_driver(step)
+        assert calls["n"] == 3
+        assert c.last_driver_supersteps == 3
+
+    def test_raises_when_max_steps_exhausted(self):
+        c = Cluster(k=2, bandwidth=8, seed=0)
+        step, _ = self.finite_driver(10)
+        with pytest.raises(ModelError, match="max_steps=4"):
+            c.run_driver(step, max_steps=4)
+        assert c.last_driver_supersteps == 4
+
+    def test_on_exhaust_return_gives_partial_state(self):
+        c = Cluster(k=2, bandwidth=8, seed=0)
+        step, calls = self.finite_driver(10)
+        state = {"tag": 1}
+        assert c.run_driver(step, state=state, max_steps=4, on_exhaust="return") is state
+        assert calls["n"] == 4
+        assert c.last_driver_supersteps == 4
+
+    def test_completion_on_last_allowed_step_does_not_raise(self):
+        c = Cluster(k=2, bandwidth=8, seed=0)
+        step, _ = self.finite_driver(4)
+        c.run_driver(step, max_steps=4)
+        assert c.last_driver_supersteps == 4
+
+    def test_rejects_bad_on_exhaust(self):
+        c = Cluster(k=2, bandwidth=8, seed=0)
+        with pytest.raises(ModelError):
+            c.run_driver(lambda cl, s: False, on_exhaust="ignore")
+
+    def test_rejects_non_callable_driver(self):
+        c = Cluster(k=2, bandwidth=8, seed=0)
+        with pytest.raises(ModelError):
+            c.run_driver(object())
+
+    def test_step_method_driver(self):
+        c = Cluster(k=2, bandwidth=8, seed=0)
+
+        class Driver:
+            remaining = 2
+
+            def step(self, cluster, state):
+                self.remaining -= 1
+                return self.remaining > 0
+
+        c.run_driver(Driver())
+        assert c.last_driver_supersteps == 2

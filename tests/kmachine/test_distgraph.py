@@ -1,0 +1,156 @@
+"""Unit tests for the DistributedGraph shard layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graphs.graph import Graph
+from repro.kmachine.distgraph import DistributedGraph
+from repro.kmachine.partition import VertexPartition, random_vertex_partition
+
+
+def make_dg(n=12, k=3, seed=7, p=0.4):
+    rng = np.random.default_rng(seed)
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n) if rng.random() < p]
+    g = Graph(n=n, edges=np.array(pairs, dtype=np.int64).reshape(-1, 2))
+    part = random_vertex_partition(n, k, seed=seed)
+    return g, part, DistributedGraph(g, part)
+
+
+class TestConstruction:
+    def test_rejects_mismatched_partition(self):
+        g = Graph(n=4, edges=[(0, 1)])
+        part = random_vertex_partition(5, 2, seed=0)
+        with pytest.raises(PartitionError):
+            DistributedGraph(g, part)
+
+    def test_basic_attributes(self):
+        g, part, dg = make_dg()
+        assert dg.n == g.n and dg.k == part.k
+        assert dg.home is part.home
+
+
+class TestCachedViews:
+    def test_parts_match_partition(self):
+        _, part, dg = make_dg()
+        expected = part.vertices_by_machine()
+        for a, b in zip(dg.parts, expected):
+            assert np.array_equal(a, b)
+        assert dg.parts is dg.parts  # cached object identity
+
+    def test_nbr_home_matches_fancy_index(self):
+        g, part, dg = make_dg()
+        assert np.array_equal(dg.nbr_home, part.home[g.indices])
+
+    def test_degrees_cached(self):
+        g, _, dg = make_dg()
+        assert np.array_equal(dg.degrees, g.out_degrees())
+        assert dg.degrees is dg.degrees
+
+    def test_edge_homes(self):
+        g, part, dg = make_dg()
+        eh0, eh1 = dg.edge_homes
+        assert np.array_equal(eh0, part.home[g.edges[:, 0]])
+        assert np.array_equal(eh1, part.home[g.edges[:, 1]])
+
+    def test_edge_homes_empty_graph(self):
+        g = Graph(n=5)
+        dg = DistributedGraph(g, random_vertex_partition(5, 2, seed=1))
+        eh0, eh1 = dg.edge_homes
+        assert eh0.size == 0 and eh1.size == 0
+
+
+class TestPerVertexViews:
+    def test_neighbors_and_homes(self):
+        g, part, dg = make_dg()
+        for v in range(g.n):
+            nbrs = g.out_neighbors(v)
+            assert np.array_equal(dg.neighbors(v), nbrs)
+            assert np.array_equal(dg.neighbor_homes(v), part.home[nbrs])
+
+    def test_local_neighbors_matches_mask(self):
+        g, part, dg = make_dg()
+        for v in range(g.n):
+            nbrs = g.out_neighbors(v)
+            for i in range(dg.k):
+                expected = nbrs[part.home[nbrs] == i]
+                assert np.array_equal(dg.local_neighbors(v, i), expected)
+
+
+class TestShards:
+    def test_shard_covers_hosted_vertices(self):
+        g, part, dg = make_dg()
+        seen = []
+        for i in range(dg.k):
+            sh = dg.shard(i)
+            assert sh.machine == i
+            assert np.array_equal(sh.vertices, part.machine_vertices(i))
+            seen.extend(sh.vertices.tolist())
+            for row, v in enumerate(sh.vertices):
+                assert np.array_equal(sh.neighbors(row), g.out_neighbors(v))
+            assert np.array_equal(sh.degrees, g.out_degrees()[sh.vertices])
+            assert np.array_equal(sh.nbr_home, part.home[sh.indices])
+        assert sorted(seen) == list(range(g.n))
+
+    def test_shard_cached(self):
+        _, _, dg = make_dg()
+        assert dg.shard(0) is dg.shard(0)
+
+    def test_shard_rejects_bad_machine(self):
+        _, _, dg = make_dg()
+        with pytest.raises(PartitionError):
+            dg.shard(dg.k)
+
+    def test_shards_builds_all(self):
+        _, _, dg = make_dg()
+        assert len(dg.shards()) == dg.k
+
+    def test_empty_machine_shard(self):
+        g = Graph(n=3, edges=[(0, 1)])
+        part = VertexPartition(home=np.array([0, 0, 0]), k=2)
+        dg = DistributedGraph(g, part)
+        sh = dg.shard(1)
+        assert sh.vertices.size == 0 and sh.indices.size == 0
+
+
+class TestBatchHelpers:
+    def test_split_local_remote(self):
+        g, part, dg = make_dg()
+        dv = np.arange(g.n)
+        vals = np.arange(g.n) * 10
+        for i in range(dg.k):
+            lv, lc, rv, rc, rdst = dg.split_local_remote(i, dv, vals)
+            mask = part.home[dv] == i
+            assert np.array_equal(lv, dv[mask])
+            assert np.array_equal(lc, vals[mask])
+            assert np.array_equal(rv, dv[~mask])
+            assert np.array_equal(rc, vals[~mask])
+            assert np.array_equal(rdst, part.home[dv[~mask]])
+
+    def test_group_by_machine_matches_flatnonzero(self):
+        _, _, dg = make_dg()
+        rng = np.random.default_rng(3)
+        assignment = rng.integers(0, dg.k, size=50)
+        groups = dg.group_by_machine(assignment)
+        assert len(groups) == dg.k
+        for i, idx in enumerate(groups):
+            assert np.array_equal(idx, np.flatnonzero(assignment == i))
+
+    def test_group_by_machine_empty(self):
+        _, _, dg = make_dg()
+        groups = dg.group_by_machine(np.zeros(0, dtype=np.int64))
+        assert all(idx.size == 0 for idx in groups)
+
+    def test_edges_by_shipper_default_rule(self):
+        g, part, dg = make_dg()
+        groups = dg.edges_by_shipper()
+        shipper = part.home[g.edges[:, 0]]
+        for i, idx in enumerate(groups):
+            assert np.array_equal(idx, np.flatnonzero(shipper == i))
+
+    def test_edges_by_shipper_explicit(self):
+        g, _, dg = make_dg()
+        shipper = np.zeros(g.m, dtype=np.int64)
+        groups = dg.edges_by_shipper(shipper)
+        assert groups[0].size == g.m
+        assert all(groups[i].size == 0 for i in range(1, dg.k))

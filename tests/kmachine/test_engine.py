@@ -219,7 +219,19 @@ class TestRunDriver:
     def test_max_steps_caps_the_loop(self):
         c = Cluster(k=2, bandwidth=8, seed=0)
         calls = []
-        c.run_driver(lambda cluster, state: calls.append(1) or True, max_steps=3)
+        with pytest.raises(ModelError):
+            c.run_driver(lambda cluster, state: calls.append(1) or True, max_steps=3)
+        assert len(calls) == 3
+        assert c.last_driver_supersteps == 3
+
+    def test_max_steps_partial_state_on_request(self):
+        c = Cluster(k=2, bandwidth=8, seed=0)
+        calls = []
+        c.run_driver(
+            lambda cluster, state: calls.append(1) or True,
+            max_steps=3,
+            on_exhaust="return",
+        )
         assert len(calls) == 3
 
     def test_rejects_non_callable(self):

@@ -1,7 +1,6 @@
 """Unit tests for routing strategies and the Lemma-13 envelope."""
 
 import numpy as np
-import pytest
 
 from repro.kmachine.message import Message
 from repro.kmachine.network import LinkNetwork

@@ -1,6 +1,5 @@
 """Unit tests for the Theorem-2 PageRank lower bound."""
 
-import math
 
 import numpy as np
 import pytest
@@ -72,7 +71,6 @@ class TestEmpiricalPremises:
         p = random_vertex_partition(inst.n, 8, seed=3)
         outputs = inst.q // 8  # the Lemma-6 guarantee
         acc = lb.surprisal_account(inst, p, machine=0, outputs=outputs)
-        theorem = lb.pagerank_lower_bound(inst.n, 8, 32)
         # IC from the account should reach the theorem's IC up to the
         # Lemma-5 initial-knowledge correction.
         assert acc.information_cost >= lb.pagerank_information_cost(inst.n, 8) * 0.5

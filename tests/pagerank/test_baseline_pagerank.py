@@ -1,7 +1,6 @@
 """Tests for the Õ(n/k) per-edge-forwarding PageRank baseline."""
 
 import numpy as np
-import pytest
 
 import repro
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 import repro
-from repro.errors import AlgorithmError
+from repro.errors import AlgorithmError, PartitionError
 from repro.kmachine.partition import random_vertex_partition
 
 
@@ -83,7 +83,7 @@ class TestDeterminismAndValidation:
     def test_rejects_mismatched_partition(self):
         g = repro.cycle_graph(10)
         p = random_vertex_partition(11, 4, seed=0)
-        with pytest.raises(AlgorithmError):
+        with pytest.raises(PartitionError):
             repro.distributed_pagerank(g, k=4, partition=p)
 
     def test_accepts_explicit_partition(self):
@@ -148,8 +148,8 @@ class TestCommunicationBehaviour:
         g = repro.cycle_graph(30)
         res = repro.distributed_pagerank(g, k=4, seed=23, c=4)
         labels = {p.label for p in res.metrics.phase_log}
-        assert any(l.startswith("pagerank/control") for l in labels)
-        assert any(l.startswith("pagerank/tokens") for l in labels)
+        assert any(lbl.startswith("pagerank/control") for lbl in labels)
+        assert any(lbl.startswith("pagerank/tokens") for lbl in labels)
         assert res.token_rounds() <= res.rounds
 
     def test_estimator_normalization_uses_t0(self):

@@ -8,7 +8,6 @@ from repro.graphs.lowerbound import pagerank_lowerbound_graph
 from repro.graphs.triangles_ref import (
     count_open_triads,
     count_triangles,
-    enumerate_triangles,
     enumerate_triangles_edges,
 )
 

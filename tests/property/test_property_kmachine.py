@@ -1,11 +1,9 @@
 """Property-based tests for the k-machine substrate (hypothesis)."""
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro._util import bits_for, bits_for_count, ceil_div, icbrt, is_perfect_cube
 from repro.kmachine.message import Message
-from repro.kmachine.metrics import Metrics
 from repro.kmachine.network import LinkNetwork
 from repro.kmachine.partition import random_vertex_partition
 

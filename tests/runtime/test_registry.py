@@ -1,0 +1,222 @@
+"""Tests for the runtime registry and the unified run() entry point.
+
+Extends the PR-1 cross-engine equivalence suite to the registry: every
+registered family, run through ``runtime.run()`` on a small fixed input,
+must produce bit-identical results and accounting on both execution
+backends — and must match a direct call to the family entry point.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import runtime
+from repro.errors import AlgorithmError
+from repro.kmachine.distgraph import DistributedGraph
+from repro.kmachine.partition import random_vertex_partition
+from repro.runtime.registry import AlgorithmSpec
+
+ENGINES = ("message", "vector")
+SEED = 17
+K = 4
+
+#: The small fixed graph every family runs on.
+FIXED_GRAPH = repro.gnp_random_graph(48, 0.25, seed=5)
+#: The fixed value array for "values" families.
+FIXED_VALUES = np.random.default_rng(5).random(300)
+
+
+def _input_for(name):
+    return FIXED_VALUES if runtime.get_spec(name).input_kind == "values" else FIXED_GRAPH
+
+
+def _metrics_signature(metrics):
+    """Everything the equivalence contract promises about accounting."""
+    return (
+        metrics.rounds,
+        metrics.phases,
+        metrics.messages,
+        metrics.bits,
+        metrics.local_messages,
+        metrics.sent_bits.tolist(),
+        metrics.received_bits.tolist(),
+        [(p.rounds, p.bits, p.max_link_bits, p.label) for p in metrics.phase_log],
+    )
+
+
+def _result_signature(name, result):
+    """A bit-exact fingerprint of the family result."""
+    if name in ("pagerank", "pagerank-baseline"):
+        return (result.estimates.tobytes(), result.iterations)
+    if name in ("triangles", "subgraphs"):
+        return (result.triangles.tobytes(), result.per_machine_output.tobytes())
+    if name == "mst":
+        return (result.edges.tobytes(), result.total_weight, result.phases)
+    if name == "connectivity":
+        return (result.labels.tobytes(), result.num_components)
+    if name == "sorting":
+        return tuple(b.tobytes() for b in result.blocks)
+    raise AssertionError(f"no signature rule for {name!r}")
+
+
+class TestCrossEngineEquivalence:
+    @pytest.mark.parametrize("name", runtime.available())
+    def test_bit_identical_results_and_metrics_across_engines(self, name):
+        reports = [
+            runtime.run(name, _input_for(name), K, seed=SEED, engine=e)
+            for e in ENGINES
+        ]
+        a, b = reports
+        assert _result_signature(name, a.result) == _result_signature(name, b.result)
+        assert _metrics_signature(a.metrics) == _metrics_signature(b.metrics)
+        assert a.engine == "message" and b.engine == "vector"
+
+    @pytest.mark.parametrize("name", runtime.available())
+    def test_registry_run_matches_direct_call(self, name):
+        rep = runtime.run(name, _input_for(name), K, seed=SEED)
+        direct = {
+            "pagerank": lambda: repro.distributed_pagerank(
+                FIXED_GRAPH, k=K, seed=SEED, c=16.0
+            ),
+            "pagerank-baseline": lambda: repro.baseline_pagerank(
+                FIXED_GRAPH, k=K, seed=SEED, c=16.0
+            ),
+            "triangles": lambda: repro.enumerate_triangles_distributed(
+                FIXED_GRAPH, k=K, seed=SEED
+            ),
+            "subgraphs": lambda: repro.enumerate_subgraphs_distributed(
+                FIXED_GRAPH, k=K, seed=SEED
+            ),
+            "mst": lambda: repro.distributed_mst(
+                FIXED_GRAPH,
+                np.random.default_rng(SEED).random(FIXED_GRAPH.m),
+                k=K,
+                seed=SEED,
+            ),
+            "connectivity": lambda: repro.connected_components_distributed(
+                FIXED_GRAPH, k=K, seed=SEED
+            ),
+            "sorting": lambda: repro.distributed_sort(FIXED_VALUES, k=K, seed=SEED),
+        }[name]()
+        assert _result_signature(name, rep.result) == _result_signature(name, direct)
+        assert _metrics_signature(rep.metrics) == _metrics_signature(direct.metrics)
+
+
+class TestRunReport:
+    def test_report_fields(self):
+        rep = runtime.run("triangles", FIXED_GRAPH, K, seed=SEED)
+        assert rep.name == "triangles"
+        assert rep.k == K and rep.n == FIXED_GRAPH.n
+        assert rep.rounds == rep.metrics.rounds
+        assert rep.bandwidth == rep.metrics.bandwidth
+        assert isinstance(rep.result, rep.spec.result_type)
+        assert rep.distgraph is not None
+        assert rep.distgraph.graph is FIXED_GRAPH
+
+    def test_round_value_uses_spec_metric(self):
+        rep = runtime.run("pagerank", FIXED_GRAPH, K, seed=SEED, c=2)
+        assert rep.round_value() == rep.result.token_rounds()
+
+    def test_lower_bound_evaluates_cookbook(self):
+        rep = runtime.run("sorting", FIXED_VALUES, K, seed=SEED)
+        lb = rep.lower_bound()
+        assert lb is not None and lb > 0
+        expected = repro.sorting_round_lower_bound(
+            FIXED_VALUES.size, K, rep.bandwidth
+        )
+        assert lb == expected
+
+    def test_lower_bound_none_when_spec_has_none(self):
+        rep = runtime.run("subgraphs", FIXED_GRAPH, 16, seed=SEED)
+        assert rep.lower_bound() is None
+
+    def test_triangle_lower_bound_uses_measured_t(self):
+        # Theorem 3's bound needs the output count; the spec threads it
+        # through so sparse inputs don't report a bound above the rounds.
+        g = repro.gnp_random_graph(300, 4 / 300, seed=2)
+        rep = runtime.run("triangles", g, K, seed=SEED)
+        expected = repro.triangle_round_lower_bound(
+            g.n, K, rep.bandwidth, t=max(1, rep.result.count)
+        )
+        assert rep.lower_bound() == expected
+        assert rep.lower_bound() <= rep.rounds
+
+    def test_params_merge_defaults_and_overrides(self):
+        rep = runtime.run("subgraphs", FIXED_GRAPH, 16, seed=SEED, pattern="c4")
+        assert rep.params["pattern"] == "c4"
+        rep2 = runtime.run("subgraphs", FIXED_GRAPH, 16, seed=SEED)
+        assert rep2.params["pattern"] == "k4"
+
+
+class TestRegistryAPI:
+    def test_available_lists_all_families(self):
+        names = runtime.available()
+        assert names == tuple(sorted(names))
+        for expected in (
+            "connectivity",
+            "mst",
+            "pagerank",
+            "pagerank-baseline",
+            "sorting",
+            "subgraphs",
+            "triangles",
+        ):
+            assert expected in names
+
+    def test_unknown_name_raises_with_listing(self):
+        with pytest.raises(AlgorithmError, match="registered:"):
+            runtime.get_spec("nope")
+        with pytest.raises(AlgorithmError):
+            runtime.run("nope", FIXED_GRAPH, K)
+
+    def test_duplicate_register_rejected(self):
+        spec = runtime.get_spec("pagerank")
+        with pytest.raises(AlgorithmError, match="already registered"):
+            runtime.register(spec)
+
+    def test_spec_validates_input_kind(self):
+        with pytest.raises(AlgorithmError):
+            AlgorithmSpec(
+                name="x",
+                title="x",
+                runner=lambda *a: None,
+                input_kind="tensor",
+                result_type=object,
+                bounds="",
+            )
+
+    def test_specs_metadata_complete(self):
+        for spec in runtime.specs():
+            assert spec.title and spec.bounds
+            assert spec.input_kind in ("graph", "values")
+            assert isinstance(spec.result_type, type)
+
+
+class TestPlacementAndCluster:
+    def test_explicit_placement_is_used(self):
+        part = random_vertex_partition(FIXED_GRAPH.n, K, seed=3)
+        rep = runtime.run("triangles", FIXED_GRAPH, K, seed=SEED, placement=part)
+        assert rep.distgraph.partition is part
+
+    def test_prebuilt_distgraph_reused(self):
+        part = random_vertex_partition(FIXED_GRAPH.n, K, seed=3)
+        dg = DistributedGraph(FIXED_GRAPH, part)
+        rep = runtime.run("pagerank", FIXED_GRAPH, K, seed=SEED, placement=dg, c=2)
+        assert rep.distgraph is dg
+
+    def test_mismatched_cluster_k_rejected(self):
+        cluster = repro.Cluster(k=3, n=FIXED_GRAPH.n, seed=0)
+        with pytest.raises(AlgorithmError):
+            runtime.run("triangles", FIXED_GRAPH, K, cluster=cluster)
+
+    def test_same_partition_same_results_across_engines(self):
+        # With a pinned placement, everything downstream is a pure function
+        # of the machine RNG streams — identical on both backends.
+        part = random_vertex_partition(FIXED_GRAPH.n, K, seed=8)
+        sigs = []
+        for e in ENGINES:
+            rep = runtime.run(
+                "pagerank", FIXED_GRAPH, K, seed=SEED, engine=e, placement=part, c=2
+            )
+            sigs.append(_result_signature("pagerank", rep.result))
+        assert sigs[0] == sigs[1]

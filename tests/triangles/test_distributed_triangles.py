@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 import repro
-from repro.errors import AlgorithmError
+from repro.errors import AlgorithmError, PartitionError
 from repro.graphs.triangles_ref import enumerate_open_triads, enumerate_triangles
 from repro.kmachine.partition import random_vertex_partition
 
@@ -111,7 +111,7 @@ class TestOutputStructure:
     def test_rejects_mismatched_partition(self):
         g = repro.cycle_graph(10)
         p = random_vertex_partition(9, 8, seed=0)
-        with pytest.raises(AlgorithmError):
+        with pytest.raises(PartitionError):
             repro.enumerate_triangles_distributed(g, k=8, partition=p)
 
 
@@ -170,7 +170,8 @@ class TestOpenTriads:
         expected = enumerate_open_triads(g)
         got = res.open_triads
         # Compare as sets of (center, sorted pair).
-        canon = lambda arr: {(int(c), *sorted((int(a), int(b)))) for c, a, b in arr}
+        def canon(arr):
+            return {(int(c), *sorted((int(a), int(b)))) for c, a, b in arr}
         assert canon(got) == canon(expected)
 
     def test_triads_none_when_not_requested(self):
