@@ -12,11 +12,13 @@ Execution backend
 -----------------
 Benches that run simulator drivers select the execution engine through
 :func:`engine_choice`, which reads the ``REPRO_ENGINE`` environment
-variable (``message`` or ``vector``; default ``vector``, the fast
-backend — counts are engine-independent, see the CLI's ``--engine``
-flag).  Example::
+variable (``message``, ``vector``, or ``process``; default ``vector``,
+the fast in-process backend — counts are engine-independent, see the
+CLI's ``--engine`` flag).  With ``process``, ``REPRO_WORKERS`` sizes
+the shard-worker pool (default: CPU count).  Example::
 
     REPRO_ENGINE=message pytest benchmarks/bench_pagerank_rounds.py
+    REPRO_ENGINE=process REPRO_WORKERS=4 pytest benchmarks/bench_pagerank_rounds.py
 
 Registry runs
 -------------
@@ -41,27 +43,38 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 #: Environment variable selecting the execution backend for benches.
 ENGINE_ENV = "REPRO_ENGINE"
+#: Environment variable sizing the process backend's worker pool.
+WORKERS_ENV = "REPRO_WORKERS"
 
 
 def engine_choice(default: str = "vector") -> str:
     """The execution engine benches should pass to simulator drivers."""
     choice = os.environ.get(ENGINE_ENV, default)
-    if choice not in ("message", "vector"):
+    if choice not in ("message", "vector", "process"):
         raise ValueError(
-            f"{ENGINE_ENV} must be 'message' or 'vector', got {choice!r}"
+            f"{ENGINE_ENV} must be 'message', 'vector', or 'process', got {choice!r}"
         )
     return choice
+
+
+def workers_choice() -> int | None:
+    """Shard-worker pool size for ``REPRO_ENGINE=process`` (None = default)."""
+    raw = os.environ.get(WORKERS_ENV)
+    return int(raw) if raw else None
 
 
 def run_algorithm(name, data, k, **kwargs):
     """Run a registered algorithm via the runtime registry.
 
     Returns the :class:`repro.runtime.RunReport`; the engine defaults to
-    :func:`engine_choice` unless passed explicitly.
+    :func:`engine_choice` unless passed explicitly (with the worker-pool
+    size from ``REPRO_WORKERS`` when the process backend is selected).
     """
     from repro.runtime import run
 
     kwargs.setdefault("engine", engine_choice())
+    if kwargs["engine"] == "process":
+        kwargs.setdefault("workers", workers_choice())
     return run(name, data, k, **kwargs)
 
 

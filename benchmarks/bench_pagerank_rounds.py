@@ -13,15 +13,18 @@ measured round counts versus ``k``:
 The paper proves asymptotics, not absolute numbers; the reproduction
 target is the *shape* — who wins and the fitted exponents.
 
-The module also regenerates the execution-engine comparison: the same
+The module also regenerates the execution-engine comparisons: the same
 Algorithm-1 run at ``n = 50_000`` on the per-object ``MessageEngine``
-versus the vectorized ``VectorEngine``, asserting identical
-round/message/bit counts and a ``>= 3x`` wall-clock speedup for the
-vector backend.
+versus the vectorized ``VectorEngine`` (identical round/message/bit
+counts, ``>= 3x`` wall-clock for the vector backend), and at
+``n = 100_000`` the vectorized backend versus the multiprocessing
+``ProcessEngine`` with 4 shard workers (identical counts; ``>= 1.5x``
+wall-clock asserted when the host has at least 4 CPUs).
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from pathlib import Path
@@ -39,6 +42,8 @@ KS_LARGE = (8, 16, 32, 64)
 N_GNP = 3000
 N_STAR = 2000
 N_ENGINE = 50_000
+N_PROCESS = 100_000
+PROCESS_WORKERS = 4
 
 
 def run_gnp_sweep():
@@ -98,6 +103,38 @@ def run_engine_comparison(n=N_ENGINE, k=16, max_iterations=2):
     return timings, counts
 
 
+def run_process_comparison(
+    n=N_PROCESS, k=16, workers=PROCESS_WORKERS, max_iterations=2, c=4.0
+):
+    """Identical counts, parallel speedup: ProcessEngine vs VectorEngine.
+
+    ``c = 4`` puts every vertex in the heavy-token regime (``T0 >= k``),
+    where Algorithm 1's wall-clock is dominated by the per-machine
+    heavy-vertex sampling loops — per-shard *compute*, which the process
+    backend fans out to ``workers`` shard workers over a shared-memory
+    graph store while the exchange and accounting layers stay
+    byte-identical.  Per-superstep IPC (token payloads and outbox
+    fragments over pipes) measures ~2% of the kernel time at this scale.
+    """
+    g = repro.random_regularish_graph(n, 8, seed=6)
+    B = log2ceil(n)
+    timings: dict[str, float] = {}
+    counts: dict[str, tuple] = {}
+    for eng in ("vector", "process"):
+        kwargs = {"engine": eng}
+        if eng == "process":
+            kwargs["workers"] = workers
+        start = time.perf_counter()
+        rep = run_algorithm(
+            "pagerank", g, k, seed=7, c=c, bandwidth=B,
+            max_iterations=max_iterations, **kwargs,
+        )
+        timings[eng] = time.perf_counter() - start
+        counts[eng] = (rep.rounds, rep.metrics.messages, rep.metrics.bits)
+    assert counts["vector"] == counts["process"], counts
+    return timings, counts
+
+
 def run_star_sweep():
     g = repro.star_graph(N_STAR)
     B = log2ceil(N_STAR)
@@ -127,6 +164,8 @@ def bench_t4_pagerank_round_scaling(benchmark):
     )
     timings, eng_counts = run_engine_comparison()
     speedup = timings["message"] / timings["vector"]
+    ptimings, pcounts = run_process_comparison()
+    pspeedup = ptimings["vector"] / ptimings["process"]
 
     ks = gnp.column("k")
     fit_algo = fit_power_law(ks, gnp.column("algo1_first_iter"))
@@ -149,6 +188,12 @@ def bench_t4_pagerank_round_scaling(benchmark):
         f"engine comparison (n={N_ENGINE}, identical counts {eng_counts['vector']}):",
         f"  message: {timings['message']:.3f}s   vector: {timings['vector']:.3f}s"
         f"   speedup: {speedup:.1f}x (target: >= 3x)",
+        "",
+        f"process engine (n={N_PROCESS}, {PROCESS_WORKERS} workers, "
+        f"identical counts {pcounts['vector']}):",
+        f"  vector: {ptimings['vector']:.3f}s   process: {ptimings['process']:.3f}s"
+        f"   speedup: {pspeedup:.2f}x (target: >= 1.5x on >= 4 CPUs; "
+        f"host has {os.cpu_count()})",
     ]
     emit("T4_pagerank_rounds", "\n".join(lines))
 
@@ -156,6 +201,7 @@ def bench_t4_pagerank_round_scaling(benchmark):
     benchmark.extra_info["baseline_exponent"] = fit_base.exponent
     benchmark.extra_info["asymptotic_exponent"] = fit_asym.exponent
     benchmark.extra_info["engine_speedup"] = speedup
+    benchmark.extra_info["process_speedup"] = pspeedup
 
     # Shape assertions: Algorithm 1 scales clearly superlinearly, and the
     # large-n fit approaches the paper's -2; the baseline loses on the
@@ -166,10 +212,16 @@ def bench_t4_pagerank_round_scaling(benchmark):
         assert row.values["algo1_rounds"] < row.values["baseline_rounds"]
         assert row.values["algo1_rounds"] <= row.values["no_heavy_rounds"]
     assert speedup >= 3.0, f"vector engine only {speedup:.1f}x faster than message"
+    # Parallel speedup needs parallel hardware; counts are asserted always.
+    if (os.cpu_count() or 1) >= PROCESS_WORKERS:
+        assert pspeedup >= 1.5, (
+            f"process engine only {pspeedup:.2f}x faster than vector "
+            f"with {PROCESS_WORKERS} workers on {os.cpu_count()} CPUs"
+        )
 
 
 def smoke():
-    """Smallest configuration: the gnp sweep shape plus a tiny engine check."""
+    """Smallest configuration: the gnp sweep shape plus tiny engine checks."""
     g = repro.gnp_random_graph(200, 6.0 / 200, seed=1)
     B = log2ceil(200)
     r = run_algorithm(
@@ -178,3 +230,7 @@ def smoke():
     assert r.rounds > 0
     timings, counts = run_engine_comparison(n=500, k=4, max_iterations=2)
     assert counts["vector"] == counts["message"]
+    _, pcounts = run_process_comparison(
+        n=500, k=4, workers=2, max_iterations=2, c=0.5
+    )
+    assert pcounts["vector"] == pcounts["process"]

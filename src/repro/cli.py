@@ -65,7 +65,7 @@ def _input_from_args(spec: "runtime.AlgorithmSpec", args):
 #: run() keyword arguments that collide with --set; rejecting them avoids a
 #: confusing duplicate-keyword TypeError from runtime.run().  The first group
 #: has dedicated CLI flags; the second is reachable only from the Python API.
-_FLAGGED_PARAMS = frozenset({"k", "engine", "seed"})
+_FLAGGED_PARAMS = frozenset({"k", "engine", "workers", "seed"})
 _API_ONLY_PARAMS = frozenset({"bandwidth", "cluster", "placement"})
 
 
@@ -102,13 +102,18 @@ def cmd_run(args) -> int:
     data = _input_from_args(spec, args)
     params = _parse_set_params(args.set)
     rep = runtime.run(
-        args.algo, data, args.k, engine=args.engine, seed=args.seed, **params
+        args.algo, data, args.k, engine=args.engine, workers=args.workers,
+        seed=args.seed, **params
     )
     size = f"{data.n} / {data.m}" if hasattr(data, "m") else str(rep.n)
+    engine_label = (
+        f"{rep.engine} ({rep.workers} workers)" if rep.workers else rep.engine
+    )
     rows = [
         ["bound", spec.bounds],
-        ["n (/ m) / k / B", f"{size} / {args.k} / {rep.bandwidth}"],
-        ["engine", rep.engine],
+        # rep.k, not args.k: fixed-k families (congested clique) override it.
+        ["n (/ m) / k / B", f"{size} / {rep.k} / {rep.bandwidth}"],
+        ["engine", engine_label],
         ["rounds", rep.rounds],
         ["messages / bits", f"{rep.metrics.messages} / {rep.metrics.bits}"],
     ]
@@ -126,7 +131,8 @@ def cmd_run(args) -> int:
 def cmd_pagerank(args) -> int:
     g = _graph_from_args(args)
     rep = runtime.run(
-        "pagerank", g, args.k, engine=args.engine, seed=args.seed, c=args.tokens
+        "pagerank", g, args.k, engine=args.engine, workers=args.workers,
+        seed=args.seed, c=args.tokens
     )
     res = rep.result
     ref = repro.pagerank_walk_series(g, eps=res.eps)
@@ -144,7 +150,9 @@ def cmd_pagerank(args) -> int:
 
 def cmd_triangles(args) -> int:
     g = _graph_from_args(args)
-    rep = runtime.run("triangles", g, args.k, engine=args.engine, seed=args.seed)
+    rep = runtime.run(
+        "triangles", g, args.k, engine=args.engine, workers=args.workers, seed=args.seed
+    )
     res = rep.result
     lb = rep.lower_bound()  # Theorem 3 at the measured t (spec threads it through)
     rows = [
@@ -161,7 +169,9 @@ def cmd_triangles(args) -> int:
 
 def cmd_sort(args) -> int:
     values = np.random.default_rng(args.seed).random(args.n)
-    rep = runtime.run("sorting", values, args.k, engine=args.engine, seed=args.seed)
+    rep = runtime.run(
+        "sorting", values, args.k, engine=args.engine, workers=args.workers, seed=args.seed
+    )
     res = rep.result
     ok = bool(np.all(np.diff(res.concatenated()) >= 0))
     rows = [
@@ -179,7 +189,8 @@ def cmd_mst(args) -> int:
     g = _graph_from_args(args)
     w = np.random.default_rng(args.seed).random(g.m)
     rep = runtime.run(
-        "mst", g, args.k, engine=args.engine, seed=args.seed, weights=w
+        "mst", g, args.k, engine=args.engine, workers=args.workers,
+        seed=args.seed, weights=w
     )
     res = rep.result
     _, ref_total = repro.kruskal_mst(g, w)
@@ -220,7 +231,8 @@ def cmd_sweep(args) -> int:
     rounds = []
     for k in ks:
         rep = runtime.run(
-            args.problem, data, k, engine=args.engine, seed=args.seed, **params
+            args.problem, data, k, engine=args.engine, workers=args.workers,
+            seed=args.seed, **params
         )
         val = rep.round_value()
         rounds.append(val)
@@ -258,10 +270,19 @@ def build_parser() -> argparse.ArgumentParser:
     def add_engine(p):
         p.add_argument(
             "--engine",
-            choices=("message", "vector"),
+            choices=("message", "vector", "process"),
             default="message",
-            help="execution backend: per-object messages or vectorized batches "
-            "(identical results and round accounting)",
+            help="execution backend: per-object messages, vectorized batches, "
+            "or multiprocessing shard workers (identical results and round "
+            "accounting on all three)",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            metavar="W",
+            help="worker-pool size for --engine process "
+            "(default: CPU count, capped at k)",
         )
 
     p = sub.add_parser("run", help="run any registered algorithm")

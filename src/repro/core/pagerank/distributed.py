@@ -138,6 +138,7 @@ def distributed_pagerank(
     n = graph.n
     if n == 0:
         raise AlgorithmError("cannot compute PageRank of the empty graph")
+    own_cluster = cluster is None
     if cluster is None:
         cluster = Cluster(k=k, n=n, bandwidth=bandwidth, seed=seed, engine=engine)
     elif cluster.k != k:
@@ -176,7 +177,14 @@ def distributed_pagerank(
     )
     # max_iterations is a user-facing iteration budget (whp all tokens have
     # terminated by the default), so exhausting it returns partial state.
-    cluster.run_driver(driver, max_steps=max_iterations, on_exhaust="return")
+    try:
+        cluster.run_driver(driver, max_steps=max_iterations, on_exhaust="return")
+    finally:
+        # A cluster this call built is this call's to clean up: with the
+        # process backend that shuts the worker pool down deterministically
+        # instead of waiting for garbage collection.
+        if own_cluster:
+            cluster.close()
 
     estimates = eps * driver.psi.astype(np.float64) / (num_sources * t0)
     return PageRankResult(
@@ -189,13 +197,139 @@ def distributed_pagerank(
     )
 
 
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+def _move_tokens_task(
+    ctx, machine: int, rng, tokens_local, eps: float,
+    heavy_threshold: int, enable_heavy_path: bool,
+) -> dict:
+    """Superstep kernel: one machine's token moves (Algorithm 1, lines 5-23).
+
+    ``ctx`` is the machine's graph context — the
+    :class:`~repro.kmachine.distgraph.DistributedGraph` on the inline
+    engines, a shared-memory
+    :class:`~repro.kmachine.parallel.store.SharedGraphView` in a process
+    worker.  ``tokens_local`` holds the token counts of
+    ``ctx.parts[machine]``; every count is consumed (terminated,
+    absorbed, or emitted), so the caller resets the hosted range.
+
+    Returns columnar outbox fragments: free local deliveries
+    (``incoming_*``), remote light α rows (``light_*``), remote heavy β
+    rows (``heavy_*``), and same-machine heavy counts (``local_heavy_*``,
+    re-sampled after the exchange with this same machine's stream).  The
+    RNG draw sequence is exactly the historical inline loop's, on either
+    backend.
+    """
+    out = {
+        "incoming_v": _EMPTY, "incoming_c": _EMPTY,
+        "light_v": _EMPTY, "light_c": _EMPTY,
+        "heavy_dst": _EMPTY, "heavy_v": _EMPTY, "heavy_c": _EMPTY,
+        "local_heavy_v": _EMPTY, "local_heavy_c": _EMPTY,
+    }
+    verts = ctx.parts[machine]
+    indptr, indices = ctx.graph.indptr, ctx.graph.indices
+    tok = np.asarray(tokens_local, dtype=np.int64)
+    act = np.flatnonzero(tok > 0)
+    if act.size == 0:
+        return out
+    # Lines 5-6: terminate each token with probability eps.
+    tok[act] = terminate_tokens(tok[act], eps, rng)
+    act = act[tok[act] > 0]
+    if act.size == 0:
+        return out
+    av = verts[act]
+    deg = indptr[av + 1] - indptr[av]
+    # Out-degree-0 vertices absorb their tokens.
+    keep = deg > 0
+    act, av = act[keep], av[keep]
+    if act.size == 0:
+        return out
+
+    counts = tok[act]
+    if enable_heavy_path:
+        is_heavy = counts >= heavy_threshold
+    else:
+        is_heavy = np.zeros(act.size, dtype=bool)
+
+    light_v = av[~is_heavy]
+    dv, dc = move_light_tokens(light_v, tok[act[~is_heavy]], indptr, indices, rng)
+    if dv.size:
+        # Local deliveries are free; remote ones form the α rows.
+        homes = ctx.home[dv]
+        local = homes == machine
+        out["incoming_v"], out["incoming_c"] = dv[local], dc[local]
+        out["light_v"], out["light_c"] = dv[~local], dc[~local]
+
+    heavy_act, heavy_av = act[is_heavy], av[is_heavy]
+    if heavy_av.size:
+        hd: list[int] = []
+        hv: list[int] = []
+        hc: list[int] = []
+        lhv: list[int] = []
+        lhc: list[int] = []
+        for p, u in zip(heavy_act, heavy_av):
+            cnt = int(tok[p])
+            beta = heavy_machine_counts(
+                int(u), cnt, indptr, indices, ctx.home, ctx.k, rng,
+                nbr_home=ctx.nbr_home,
+            )
+            for j in np.flatnonzero(beta):
+                j = int(j)
+                if j == machine:
+                    lhv.append(int(u))
+                    lhc.append(int(beta[j]))
+                    continue
+                hd.append(j)
+                hv.append(int(u))
+                hc.append(int(beta[j]))
+        out["heavy_dst"] = np.array(hd, dtype=np.int64)
+        out["heavy_v"] = np.array(hv, dtype=np.int64)
+        out["heavy_c"] = np.array(hc, dtype=np.int64)
+        out["local_heavy_v"] = np.array(lhv, dtype=np.int64)
+        out["local_heavy_c"] = np.array(lhc, dtype=np.int64)
+    return out
+
+
+def _receive_heavy_task(ctx, machine: int, rng, payload) -> tuple:
+    """Superstep kernel: re-sample delivered heavy counts (lines 31-36).
+
+    ``payload["vertex"]/["count"]`` are the machine's delivered β rows in
+    canonical order; ``payload["local_vertex"]/["local_count"]`` the
+    same-machine heavy counts in emission order — together exactly the
+    sequence the inline loop re-sampled with this machine's stream.
+    Returns aggregated ``(dest_vertices, dest_counts)`` contributions.
+    """
+    dvs: list[np.ndarray] = []
+    dcs: list[np.ndarray] = []
+    for u, cnt in zip(payload["vertex"], payload["count"]):
+        local = ctx.local_neighbors(int(u), machine)
+        dv, dc = split_tokens_among_local_neighbors(int(u), int(cnt), local, rng)
+        dvs.append(dv)
+        dcs.append(dc)
+    for u, cnt in zip(payload["local_vertex"], payload["local_count"]):
+        local = ctx.local_neighbors(int(u), machine)
+        dv, dc = split_tokens_among_local_neighbors(int(u), int(cnt), local, rng)
+        dvs.append(dv)
+        dcs.append(dc)
+    if not dvs:
+        return _EMPTY, _EMPTY
+    return np.concatenate(dvs), np.concatenate(dcs)
+
+
 class _PageRankDriver:
     """BSP driver: one Algorithm-1 walk iteration per superstep.
 
-    The per-iteration token traffic is emitted as two columnar streams —
+    Per-machine compute is expressed as two superstep kernels —
+    :func:`_move_tokens_task` (token kinematics, emitting columnar
+    outbox fragments) and :func:`_receive_heavy_task` (heavy-row
+    re-sampling) — dispatched through :meth:`Cluster.map_machines`, so
+    the inline engines run them serially while the process backend fans
+    them out to shard workers, with identical per-machine draw order
+    either way.  The merged traffic forms two columnar streams —
     ``pr-light`` (``<α[v], dest: v>``) and ``pr-heavy``
     (``<β[j], src: u>``) count messages — exchanged in a single
-    communication phase, so either execution backend charges the same
+    communication phase, so every execution backend charges the same
     ``max_ij ceil(L_ij / B)`` rounds the per-object simulator did.
     Control traffic (liveness flags, verdict broadcast) stays on the
     message-level fallback path.
@@ -216,8 +350,6 @@ class _PageRankDriver:
         self.dg = distgraph
         self.parts = distgraph.parts
         self.home = distgraph.home
-        self.indptr = distgraph.graph.indptr
-        self.indices = distgraph.graph.indices
         self.tokens = tokens
         self.psi = psi
         self.eps = eps
@@ -231,81 +363,57 @@ class _PageRankDriver:
         it = self.iteration
         self.iteration += 1
         tokens, home = self.tokens, self.home
-        indptr, indices = self.indptr, self.indices
         n = home.size
         incoming = np.zeros(n, dtype=np.int64)
-        # Columnar outboxes: per-machine row fragments, concatenated into
-        # one light and one heavy stream for the whole superstep.
+
+        moved = cluster.map_machines(
+            _move_tokens_task,
+            self.dg,
+            [tokens[verts] for verts in self.parts],
+            common={
+                "eps": self.eps,
+                "heavy_threshold": self.heavy_threshold,
+                "enable_heavy_path": self.enable_heavy_path,
+            },
+        )
+        # Every hosted token was consumed by the kernel (terminated,
+        # absorbed, or emitted as an α/β row), so the global array resets
+        # to the incoming counts alone — the inline loop's net effect.
+        tokens[:] = 0
+
+        # Columnar outboxes: per-machine row fragments, concatenated in
+        # machine (emission) order into one light and one heavy stream.
         light_src: list[np.ndarray] = []
         light_rows: list[tuple[np.ndarray, np.ndarray]] = []
-        heavy_src: list[int] = []
-        heavy_dst: list[int] = []
-        heavy_rows: list[tuple[int, int]] = []  # (vertex, count)
-        local_heavy: list[tuple[int, int, int]] = []  # (machine, vertex, count)
-
-        for i in range(cluster.k):
-            rng = cluster.machine_rngs[i]
-            verts = self.parts[i]
-            active = verts[tokens[verts] > 0]
-            if active.size == 0:
-                continue
-            # Lines 5-6: terminate each token with probability eps.
-            tokens[active] = terminate_tokens(tokens[active], self.eps, rng)
-            active = active[tokens[active] > 0]
-            if active.size == 0:
-                continue
-            deg = indptr[active + 1] - indptr[active]
-            # Out-degree-0 vertices absorb their tokens.
-            tokens[active[deg == 0]] = 0
-            active, deg = active[deg > 0], deg[deg > 0]
-            if active.size == 0:
-                continue
-
-            counts = tokens[active]
-            if self.enable_heavy_path:
-                is_heavy = counts >= self.heavy_threshold
-            else:
-                is_heavy = np.zeros(active.size, dtype=bool)
-
-            light_v = active[~is_heavy]
-            dv, dc = move_light_tokens(light_v, tokens[light_v], indptr, indices, rng)
-            tokens[light_v] = 0
-            if dv.size:
-                # Local deliveries are free; remote ones form the α rows.
-                loc_v, loc_c, remote_v, remote_c, _ = self.dg.split_local_remote(i, dv, dc)
-                if loc_v.size:
-                    np.add.at(incoming, loc_v, loc_c)
-                if remote_v.size:
-                    light_src.append(np.full(remote_v.size, i, dtype=np.int64))
-                    light_rows.append((remote_v, remote_c))
-
-            for u in active[is_heavy]:
-                cnt = int(tokens[u])
-                tokens[u] = 0
-                beta = heavy_machine_counts(
-                    int(u), cnt, indptr, indices, home, cluster.k, rng,
-                    nbr_home=self.dg.nbr_home,
-                )
-                for j in np.flatnonzero(beta):
-                    j = int(j)
-                    if j == i:
-                        local_heavy.append((i, int(u), int(beta[j])))
-                        continue
-                    heavy_src.append(i)
-                    heavy_dst.append(j)
-                    heavy_rows.append((int(u), int(beta[j])))
+        heavy_src: list[np.ndarray] = []
+        heavy_parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        local_heavy: list[tuple[np.ndarray, np.ndarray]] = []
+        for i, res in enumerate(moved):
+            if res["incoming_v"].size:
+                np.add.at(incoming, res["incoming_v"], res["incoming_c"])
+            if res["light_v"].size:
+                light_src.append(np.full(res["light_v"].size, i, dtype=np.int64))
+                light_rows.append((res["light_v"], res["light_c"]))
+            if res["heavy_v"].size:
+                heavy_src.append(np.full(res["heavy_v"].size, i, dtype=np.int64))
+                heavy_parts.append((res["heavy_dst"], res["heavy_v"], res["heavy_c"]))
+            local_heavy.append((res["local_heavy_v"], res["local_heavy_c"]))
 
         if light_rows:
             lv = np.concatenate([v for v, _ in light_rows])
             lc = np.concatenate([c for _, c in light_rows])
             lsrc = np.concatenate(light_src)
         else:
-            lv = lc = lsrc = np.zeros(0, dtype=np.int64)
-        hrows = np.array(heavy_rows, dtype=np.int64).reshape(-1, 2)
+            lv = lc = lsrc = _EMPTY
+        if heavy_parts:
+            hdst = np.concatenate([d for d, _, _ in heavy_parts])
+            hv = np.concatenate([v for _, v, _ in heavy_parts])
+            hc = np.concatenate([c for _, _, c in heavy_parts])
+            hsrc = np.concatenate(heavy_src)
+        else:
+            hdst = hv = hc = hsrc = _EMPTY
         light = _count_batch("pr-light", lsrc, home[lv], lv, lc, self.vid_bits)
-        heavy = _count_batch(
-            "pr-heavy", heavy_src, heavy_dst, hrows[:, 0], hrows[:, 1], self.vid_bits
-        )
+        heavy = _count_batch("pr-heavy", hsrc, hdst, hv, hc, self.vid_bits)
         light_in, heavy_in = cluster.exchange_batches(
             [light, heavy], label=f"pagerank/tokens/{it}"
         )
@@ -315,20 +423,23 @@ class _PageRankDriver:
         np.add.at(incoming, light_in.columns["vertex"], light_in.columns["count"])
         # Heavy rows re-sample concrete neighbors with the *receiving*
         # machine's RNG, in canonical delivery order (backend-independent).
-        for j in range(cluster.k):
-            rows = heavy_in.for_machine(j)
-            if rows["vertex"].size == 0:
-                continue
-            rng = cluster.machine_rngs[j]
-            for u, cnt in zip(rows["vertex"], rows["count"]):
-                local = self.dg.local_neighbors(int(u), j)
-                dv, dc = split_tokens_among_local_neighbors(int(u), int(cnt), local, rng)
-                np.add.at(incoming, dv, dc)
-        for (i, u, cnt) in local_heavy:
-            rng = cluster.machine_rngs[i]
-            local = self.dg.local_neighbors(u, i)
-            dv, dc = split_tokens_among_local_neighbors(u, cnt, local, rng)
-            np.add.at(incoming, dv, dc)
+        # Skipping the dispatch when no machine has rows is draw-neutral:
+        # the kernel makes no draws on an empty payload.
+        if len(heavy_in) or any(v.size for v, _ in local_heavy):
+            payloads = []
+            for j in range(cluster.k):
+                rows = heavy_in.for_machine(j)
+                lhv, lhc = local_heavy[j]
+                payloads.append({
+                    "vertex": rows["vertex"],
+                    "count": rows["count"],
+                    "local_vertex": lhv,
+                    "local_count": lhc,
+                })
+            received = cluster.map_machines(_receive_heavy_task, self.dg, payloads)
+            for dv, dc in received:
+                if dv.size:
+                    np.add.at(incoming, dv, dc)
 
         tokens += incoming
         self.psi += incoming

@@ -41,6 +41,8 @@ def enumerate_triangles_conversion(
     seed: int | None = None,
     bandwidth: int | None = None,
     partition: VertexPartition | None = None,
+    cluster: Cluster | None = None,
+    engine: str = "message",
 ) -> TriangleResult:
     """Simulate clique TriPartition at vertex granularity (see module doc).
 
@@ -49,6 +51,8 @@ def enumerate_triangles_conversion(
     source and target nodes share a machine are free; all others cross the
     corresponding machine link.  Loads are accounted exactly; the edge
     copies are grouped per simulated target node for local enumeration.
+    ``cluster`` / ``engine`` are registry plumbing (replay is aggregate-
+    only, so every backend charges identical rounds).
     """
     if graph.directed:
         raise AlgorithmError("triangle enumeration expects an undirected graph")
@@ -56,7 +60,10 @@ def enumerate_triangles_conversion(
     n = graph.n
     if n < 2:
         raise AlgorithmError(f"need n >= 2, got n={n}")
-    cluster = Cluster(k=k, n=n, bandwidth=bandwidth, seed=seed)
+    if cluster is None:
+        cluster = Cluster(k=k, n=n, bandwidth=bandwidth, seed=seed, engine=engine)
+    elif cluster.k != k:
+        raise AlgorithmError(f"cluster has k={cluster.k}, expected {k}")
     if partition is None:
         partition = random_vertex_partition(n, k, seed=cluster.shared_rng)
     elif partition.n != n or partition.k != k:

@@ -39,14 +39,32 @@ pluggable execution-engine layer (:mod:`repro.kmachine.engine`):
   and delivery is one stable sort per batch — no Python loop over
   messages.
 
-Both backends share :meth:`LinkNetwork.record` for accounting and
+* ``Cluster(..., engine="process", workers=W)`` executes them through
+  :class:`~repro.kmachine.parallel.engine.ProcessEngine`: the vectorized
+  exchange layer is inherited unchanged, and per-machine *compute* —
+  superstep kernels dispatched via :meth:`Cluster.map_machines` — runs
+  in a pool of ``W`` worker processes.  A
+  :class:`~repro.kmachine.parallel.store.SharedGraphStore` publishes the
+  :class:`DistributedGraph` CSR shards and partition arrays into one
+  :mod:`multiprocessing.shared_memory` segment per ``(graph,
+  partition)``, so workers attach the full local state zero-copy and
+  only per-superstep payloads (token counts, delivered rows) cross the
+  pipes.  Machine ``i`` is pinned to worker ``i % W``, which holds and
+  advances that machine's private RNG stream — per-machine draw order
+  is therefore exactly the serial loop's, and merged results are exact
+  integer scatter-adds, so runs are bit-identical to the inline
+  backends.
+
+All backends share :meth:`LinkNetwork.record` for accounting and
 deliver rows in the same canonical ``(dst, src, emission)`` order, so
 results, round counts, and per-link bit totals are engine-independent
 (property-tested per algorithm family in
-``tests/property/test_property_engines.py``).  :meth:`Cluster.run_driver`
-runs a BSP driver loop against whichever backend the cluster was built
-with, which is what makes sharded or multiprocessing backends drop-in
-later.
+``tests/property/test_property_engines.py``; cross-checked for the
+process backend in ``tests/kmachine/test_parallel.py`` and the registry
+suite).  :meth:`Cluster.run_driver` runs a BSP driver loop against
+whichever backend the cluster was built with; drivers express hot
+per-machine compute as kernels (see the PageRank driver) and everything
+else stays engine-agnostic.
 """
 
 from repro.kmachine.message import Message
@@ -61,7 +79,14 @@ from repro.kmachine.engine import (
     make_engine,
 )
 from repro.kmachine.cluster import Cluster
-from repro.kmachine.distgraph import DistributedGraph, MachineShard, resolve_distgraph
+from repro.kmachine.distgraph import (
+    DistributedGraph,
+    MachineShard,
+    cached_distgraph,
+    clear_distgraph_cache,
+    resolve_distgraph,
+)
+from repro.kmachine.parallel import ProcessEngine, SharedGraphStore, SharedGraphView
 from repro.kmachine.partition import (
     VertexPartition,
     EdgePartition,
@@ -85,11 +110,16 @@ __all__ = [
     "Engine",
     "MessageEngine",
     "VectorEngine",
+    "ProcessEngine",
+    "SharedGraphStore",
+    "SharedGraphView",
     "MessageBatch",
     "DeliveredBatch",
     "make_engine",
     "DistributedGraph",
     "MachineShard",
+    "cached_distgraph",
+    "clear_distgraph_cache",
     "resolve_distgraph",
     "VertexPartition",
     "EdgePartition",

@@ -17,9 +17,12 @@ simplifies; :meth:`Cluster.run_driver` runs that loop for driver objects
 exposing a ``step(cluster, state)`` method.
 
 *How* a phase executes is delegated to a pluggable execution engine
-(``engine="message"`` or ``engine="vector"``, see
-:mod:`repro.kmachine.engine`); both backends produce identical results
-and identical round/message/bit accounting.
+(``engine="message"``, ``engine="vector"``, or ``engine="process"`` for
+multiprocessing shard workers — see :mod:`repro.kmachine.engine` and
+:mod:`repro.kmachine.parallel`); all backends produce identical results
+and identical round/message/bit accounting.  Drivers whose per-machine
+compute is hot can express it as a superstep kernel and dispatch it via
+:meth:`Cluster.map_machines`, which the process backend parallelizes.
 """
 
 from __future__ import annotations
@@ -58,8 +61,12 @@ class Cluster:
         Network accounting mode (``"phase"`` or ``"strict"``).
     engine:
         Execution backend: ``"message"`` (per-object semantics, the
-        default), ``"vector"`` (columnar/vectorized), or an
-        :class:`~repro.kmachine.engine.Engine` subclass.
+        default), ``"vector"`` (columnar/vectorized), ``"process"``
+        (multiprocessing shard workers over a shared-memory graph
+        store), or an :class:`~repro.kmachine.engine.Engine` subclass.
+    workers:
+        Worker-pool size for the process backend (defaults to the CPU
+        count, capped at ``k``); invalid with the in-process backends.
     """
 
     def __init__(
@@ -70,6 +77,7 @@ class Cluster:
         seed: int | None = None,
         mode: str = "phase",
         engine: "str | type[Engine]" = "message",
+        workers: int | None = None,
     ) -> None:
         check_positive_int(k, "k")
         if k < 2:
@@ -81,7 +89,7 @@ class Cluster:
         self.k = int(k)
         self.n = None if n is None else int(n)
         self.network = LinkNetwork(k=self.k, bandwidth=int(bandwidth), mode=mode)
-        self.engine: Engine = make_engine(engine, self.network)
+        self.engine: Engine = make_engine(engine, self.network, workers=workers)
         rngs = spawn_rngs(seed, self.k + 1)
         #: Per-machine private random generators.
         self.machine_rngs: list[np.random.Generator] = rngs[: self.k]
@@ -122,6 +130,21 @@ class Cluster:
         ``max_ij ceil(L_ij / B)`` over their combined link loads.
         """
         return self.engine.exchange_batches(batches, label=label)
+
+    def map_machines(self, task, distgraph, payloads, common: dict | None = None) -> list:
+        """Run a per-machine superstep kernel via the engine.
+
+        ``task(ctx, machine, rng, payload, **common)`` runs once per
+        machine against this cluster's per-machine RNG streams (see
+        :meth:`Engine.map_machines`).  Inline backends execute the
+        kernels serially; the process backend fans them out to shard
+        workers, which then hold and advance the machine streams — so a
+        cluster whose driver uses ``map_machines`` must route *all*
+        machine-RNG draws through it.
+        """
+        return self.engine.map_machines(
+            task, distgraph, payloads, self.machine_rngs, common=common
+        )
 
     def account_phase(
         self,
@@ -207,3 +230,17 @@ class Cluster:
     def reset_metrics(self) -> None:
         """Discard accumulated metrics."""
         self.network.reset_metrics()
+
+    def close(self) -> None:
+        """Release engine resources (the process backend's worker pool).
+
+        A no-op for the in-process backends; idempotent.  Clusters are
+        also usable as context managers (``with Cluster(...) as c:``).
+        """
+        self.engine.close()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

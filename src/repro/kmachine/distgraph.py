@@ -34,13 +34,22 @@ recomputation per superstep.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.errors import PartitionError
 from repro.graphs.graph import Graph
 from repro.kmachine.partition import VertexPartition, random_vertex_partition
 
-__all__ = ["DistributedGraph", "MachineShard", "resolve_distgraph"]
+__all__ = [
+    "DistributedGraph",
+    "MachineShard",
+    "resolve_distgraph",
+    "cached_distgraph",
+    "clear_distgraph_cache",
+]
 
 
 class MachineShard:
@@ -272,6 +281,53 @@ class DistributedGraph:
         return self.group_by_machine(shipper)
 
 
+#: LRU of recently materialized distgraphs, keyed by graph identity plus
+#: partition contents.  Entries hold their graph alive, which is what makes
+#: ``id(graph)`` collision-free while an entry lives.
+_DISTGRAPH_CACHE: "OrderedDict[tuple, DistributedGraph]" = OrderedDict()
+_DISTGRAPH_CACHE_SIZE = 8
+
+
+def clear_distgraph_cache() -> None:
+    """Drop all cached :class:`DistributedGraph` instances."""
+    _DISTGRAPH_CACHE.clear()
+
+
+def cached_distgraph(graph: Graph, partition: VertexPartition) -> DistributedGraph:
+    """A :class:`DistributedGraph` for ``(graph, partition)``, shared via LRU.
+
+    Repeated runs over the same graph with the same placement — a pinned
+    partition across a k-sweep's repetitions, registry runs at a fixed
+    ``(seed, k)``, benchmark engine comparisons — used to re-materialize
+    identical per-machine shards every time.  The cache keys on graph
+    *identity* plus the partition's ``(k, home-contents digest)``; a hit
+    is verified with an exact ``home`` comparison before reuse, so a
+    digest collision can never alias two placements.  Distgraphs are
+    immutable after construction (the lazy views are pure functions of
+    graph + partition), which makes sharing semantics-free.
+    """
+    digest = hashlib.blake2b(
+        np.ascontiguousarray(partition.home).tobytes(), digest_size=16
+    ).digest()
+    key = (id(graph), partition.k, digest)
+    dg = _DISTGRAPH_CACHE.get(key)
+    if (
+        dg is not None
+        and dg.graph is graph
+        and (
+            dg.partition is partition
+            or np.array_equal(dg.partition.home, partition.home)
+        )
+    ):
+        _DISTGRAPH_CACHE.move_to_end(key)
+        return dg
+    dg = DistributedGraph(graph, partition)
+    _DISTGRAPH_CACHE[key] = dg
+    while len(_DISTGRAPH_CACHE) > _DISTGRAPH_CACHE_SIZE:
+        _DISTGRAPH_CACHE.popitem(last=False)
+    return dg
+
+
 def resolve_distgraph(
     graph: Graph,
     k: int,
@@ -285,7 +341,9 @@ def resolve_distgraph(
     runtime registry — are reused); otherwise an explicit ``partition`` is
     wrapped; otherwise a fresh RVP is sampled from ``shared_rng``, which is
     the exact draw the entry points made before this layer existed (keeping
-    seeded runs bit-identical).
+    seeded runs bit-identical).  The wrap goes through
+    :func:`cached_distgraph`, so repeated calls resolving to the same
+    placement share one set of materialized shards.
     """
     if distgraph is not None:
         if distgraph.graph is not graph:
@@ -299,4 +357,4 @@ def resolve_distgraph(
         partition = random_vertex_partition(graph.n, k, seed=shared_rng)
     if partition.n != graph.n or partition.k != k:
         raise PartitionError("partition does not match the graph/cluster")
-    return distgraph if distgraph is not None else DistributedGraph(graph, partition)
+    return distgraph if distgraph is not None else cached_distgraph(graph, partition)

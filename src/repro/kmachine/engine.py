@@ -19,6 +19,13 @@ implement identical semantics:
     ``(k, k)`` matrices and ``np.add.at`` / ``lexsort``, never touching
     a Python loop over messages.
 
+A third backend, :class:`~repro.kmachine.parallel.engine.ProcessEngine`
+(``engine="process"``), inherits the vectorized exchange layer and runs
+per-machine superstep kernels (:meth:`Engine.map_machines`) in a pool of
+worker processes attached zero-copy to a shared-memory graph store; the
+:mod:`repro.kmachine` package registers it by importing
+:mod:`repro.kmachine.parallel`.
+
 Both engines charge rounds through the same
 :meth:`LinkNetwork.record` primitive and deliver batch rows in the same
 *canonical order* (destination machine, then source machine, then
@@ -201,6 +208,8 @@ class Engine:
     """
 
     name: str = "abstract"
+    #: Whether the constructor accepts a ``workers`` pool-size setting.
+    supports_workers: bool = False
 
     def __init__(self, network: LinkNetwork) -> None:
         self.network = network
@@ -240,6 +249,39 @@ class Engine:
         return self.network.account_phase(
             bits_matrix, messages_matrix, label=label, local_messages=local_messages
         )
+
+    # -- superstep compute scheduling -----------------------------------
+    def map_machines(
+        self, task, distgraph, payloads: Sequence, rngs, common: dict | None = None
+    ) -> list:
+        """Run one per-machine compute kernel for every machine.
+
+        ``task`` is a module-level callable
+        ``task(ctx, machine, rng, payload, **common) -> result`` where
+        ``ctx`` exposes the read surface of a
+        :class:`~repro.kmachine.distgraph.DistributedGraph` (``parts``,
+        ``home``, ``nbr_home``, ``graph.indptr`` / ``graph.indices``,
+        ``local_neighbors``).  ``payloads[i]`` is machine ``i``'s
+        per-superstep input; ``rngs[i]`` its private Generator.  Returns
+        the ``k`` results in machine order.
+
+        The inline backends run the kernels serially against the
+        distgraph itself — exactly the per-machine loop drivers used to
+        inline — while the process backend dispatches them to shard
+        workers holding the RNG streams; because each machine's draws
+        stay in per-machine order on an independent stream, both
+        executions are draw-for-draw identical.
+        """
+        k = self.k
+        if len(payloads) != k:
+            raise ModelError(
+                f"expected one payload per machine ({k}), got {len(payloads)}"
+            )
+        common = common or {}
+        return [task(distgraph, i, rngs[i], payloads[i], **common) for i in range(k)]
+
+    def close(self) -> None:
+        """Release engine-held resources (worker pools, shared segments)."""
 
     def _validate_batches(self, batches: Sequence[MessageBatch]) -> None:
         k = self.k
@@ -392,26 +434,51 @@ class VectorEngine(Engine):
         return int(rounds_mat.max(initial=0))
 
 
-#: Registry of engine backends by name.
+#: Registry of engine backends by name.  ``"process"`` is added when
+#: :mod:`repro.kmachine.parallel` is imported, which the
+#: :mod:`repro.kmachine` package ``__init__`` does eagerly.
 ENGINES: dict[str, type[Engine]] = {
     MessageEngine.name: MessageEngine,
     VectorEngine.name: VectorEngine,
 }
 
 
-def make_engine(spec: "str | Engine | type[Engine]", network: LinkNetwork) -> Engine:
-    """Resolve an engine spec (name, class, or instance) against a network."""
+def _build_engine(cls: type[Engine], network: LinkNetwork, workers: int | None) -> Engine:
+    if workers is None:
+        return cls(network)
+    if not cls.supports_workers:
+        raise ModelError(
+            f"engine {cls.name!r} does not take a workers setting "
+            f"(only the process backend runs a worker pool)"
+        )
+    return cls(network, workers=workers)
+
+
+def make_engine(
+    spec: "str | Engine | type[Engine]",
+    network: LinkNetwork,
+    workers: int | None = None,
+) -> Engine:
+    """Resolve an engine spec (name, class, or instance) against a network.
+
+    ``workers`` sizes the process backend's worker pool; passing it with
+    a backend that has no pool is an error, as is combining it with an
+    already-constructed engine instance.
+    """
     if isinstance(spec, Engine):
         if spec.network is not network:
             raise ModelError("engine instance is bound to a different network")
+        if workers is not None:
+            raise ModelError("pass workers when the engine is created, not with an instance")
         return spec
     if isinstance(spec, type) and issubclass(spec, Engine):
-        return spec(network)
+        return _build_engine(spec, network, workers)
     if isinstance(spec, str):
         try:
-            return ENGINES[spec](network)
+            cls = ENGINES[spec]
         except KeyError:
             raise ModelError(
                 f"unknown engine {spec!r}; available: {sorted(ENGINES)}"
             ) from None
+        return _build_engine(cls, network, workers)
     raise ModelError(f"cannot interpret engine spec {spec!r}")

@@ -1,0 +1,27 @@
+"""Per-shard parallel execution: multiprocessing workers over shared memory.
+
+This subpackage implements the third execution backend of the k-machine
+simulator (``Cluster(engine="process", workers=...)``):
+
+* :class:`~repro.kmachine.parallel.store.SharedGraphStore` publishes a
+  :class:`~repro.kmachine.distgraph.DistributedGraph`'s CSR shards and
+  partition arrays into one :mod:`multiprocessing.shared_memory` segment
+  per ``(graph, partition)``, attached zero-copy by every worker;
+* :mod:`~repro.kmachine.parallel.worker` is the worker main loop holding
+  the per-machine RNG streams and executing superstep kernels;
+* :class:`~repro.kmachine.parallel.engine.ProcessEngine` is the
+  scheduler: it pins machine ``i`` to worker ``i % W``, ships columnar
+  outbox fragments back over pipes, merges them in emission order, and
+  reuses :class:`~repro.kmachine.engine.VectorEngine`'s exchange and
+  accounting — so results, rounds, and bits stay bit-identical to the
+  inline backends.
+
+Importing this package registers ``"process"`` in
+:data:`repro.kmachine.engine.ENGINES`; :mod:`repro.kmachine` imports it
+eagerly, so the name is always resolvable through ``make_engine``.
+"""
+
+from repro.kmachine.parallel.engine import ProcessEngine
+from repro.kmachine.parallel.store import SharedGraphStore, SharedGraphView
+
+__all__ = ["ProcessEngine", "SharedGraphStore", "SharedGraphView"]

@@ -1,0 +1,314 @@
+"""``ProcessEngine``: per-shard parallel execution in worker processes.
+
+The third execution backend (``Cluster(engine="process")``).  Exchange
+semantics are inherited wholesale from
+:class:`~repro.kmachine.engine.VectorEngine` — per-link loads scattered
+into dense ``(k, k)`` matrices, canonical ``(dst, src, emission)``
+delivery order, identical phase/strict round accounting — so anything a
+driver routes through :meth:`exchange` / :meth:`exchange_batches` is
+bit-identical by construction.  What this engine adds is a parallel
+implementation of the *superstep scheduler*
+(:meth:`~repro.kmachine.engine.Engine.map_machines`): per-machine
+compute kernels run in a pool of worker processes instead of a serial
+loop.
+
+Design notes
+------------
+* **Machine affinity.**  Machine ``i`` is pinned to worker ``i % W`` for
+  the pool's lifetime.  Each machine's private RNG stream lives in (and
+  is advanced only by) its owning worker, so the per-machine draw order
+  is exactly the inline engines' — which is all bit-identity requires,
+  because the streams are independent (results are merged with exact
+  integer scatter-adds, which commute).
+* **Zero-copy graph state.**  The first ``map_machines`` call for a
+  given :class:`~repro.kmachine.distgraph.DistributedGraph` publishes
+  its CSR shards and partition arrays into one
+  :class:`~repro.kmachine.parallel.store.SharedGraphStore`; workers
+  attach views once and reuse them every superstep.  Only the small
+  per-superstep payloads (token counts, delivered rows) cross the pipes.
+* **Outbox shipping.**  Kernels return columnar outbox fragments over
+  their worker's pipe; the scheduler concatenates them in machine order
+  — the exact emission order of the serial loop — so the resulting
+  :class:`~repro.kmachine.engine.MessageBatch` streams, and therefore
+  the merged ``(k, k)`` load matrices and round counts, are byte-equal
+  to the inline engines'.
+* **Failure containment.**  A kernel exception is caught in the worker
+  and re-raised here as :class:`~repro.errors.ModelError` with the
+  worker traceback.  A hard worker crash severs the pipe; the scheduler
+  then shuts the pool down and unlinks every shared segment before
+  raising, so crashed runs do not leak memory.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import weakref
+from collections import OrderedDict
+from typing import Sequence
+
+from repro.errors import ModelError
+from repro.kmachine.engine import ENGINES, VectorEngine
+from repro.kmachine.network import LinkNetwork
+from repro.kmachine.parallel.store import SharedGraphStore
+from repro.kmachine.parallel.worker import worker_main
+
+__all__ = ["ProcessEngine"]
+
+#: Published stores kept per engine before LRU eviction (one segment is
+#: O(n + m) ints; mirrors the distgraph cache's own bound).
+MAX_STORES = 8
+
+
+def _default_workers() -> int:
+    count = getattr(os, "process_cpu_count", os.cpu_count)()
+    return max(1, int(count or 1))
+
+
+class _DelegatedRNG:
+    """Placeholder left in ``cluster.machine_rngs`` once a stream ships.
+
+    After the first :meth:`ProcessEngine.map_machines` call the
+    authoritative Generator state lives in the owning worker; any
+    parent-side draw from the stale parent copy would silently diverge
+    from the inline engines.  This sentinel turns that misuse into an
+    immediate error instead.
+    """
+
+    __slots__ = ("machine",)
+
+    def __init__(self, machine: int) -> None:
+        self.machine = machine
+
+    def __getattr__(self, name: str):
+        raise ModelError(
+            f"machine {self.machine}'s RNG stream is held by a process-engine "
+            f"worker; route per-machine draws through map_machines (or use "
+            f"a separate cluster for algorithms that draw machine RNGs "
+            f"in-process)"
+        )
+
+
+def _shutdown_pool(procs: list, conns: list, stores: dict) -> None:
+    """Tear down a worker pool and its shared segments (finalizer-safe)."""
+    for conn in conns:
+        try:
+            conn.send(("close",))
+        except Exception:
+            pass
+    for proc in procs:
+        proc.join(timeout=2.0)
+        if proc.is_alive():  # pragma: no cover - stuck worker
+            proc.terminate()
+            proc.join(timeout=1.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover
+            pass
+    for store in stores.values():
+        store.close()
+    procs.clear()
+    conns.clear()
+    stores.clear()
+
+
+class ProcessEngine(VectorEngine):
+    """Multiprocessing shard workers behind the vectorized exchange layer.
+
+    Parameters
+    ----------
+    network:
+        The bound :class:`~repro.kmachine.network.LinkNetwork`.
+    workers:
+        Worker-process count; defaults to the available CPU count,
+        capped at ``k`` (one worker per machine is the maximum useful
+        parallelism).  The pool is started lazily on the first
+        :meth:`map_machines` call, so clusters that never run a
+        parallel superstep spawn no processes.
+    """
+
+    name = "process"
+    supports_workers = True
+
+    def __init__(self, network: LinkNetwork, workers: int | None = None) -> None:
+        super().__init__(network)
+        if workers is not None and int(workers) < 1:
+            raise ModelError(f"workers must be >= 1, got {workers}")
+        self.workers = max(1, min(int(workers) if workers is not None else _default_workers(),
+                                  network.k))
+        # Fork keeps startup cheap and lets tasks defined in any loaded
+        # module pickle by reference; spawn is the portable fallback.
+        methods = mp.get_all_start_methods()
+        self._ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        self._procs: list = []
+        self._conns: list = []
+        self._stores: "OrderedDict[int, SharedGraphStore]" = OrderedDict()
+        self._store_owners: dict[int, object] = {}  # keep distgraphs alive (stable ids)
+        self._sent_stores: list[set[str]] = []
+        self._rngs_shipped = False
+        self._finalizer = weakref.finalize(
+            self, _shutdown_pool, self._procs, self._conns, self._stores
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the worker pool has been started (and not closed)."""
+        return bool(self._procs)
+
+    def _owner(self, machine: int) -> int:
+        """The worker index owning ``machine``."""
+        return machine % self.workers
+
+    def _machines_of(self, worker: int) -> range:
+        return range(worker, self.k, self.workers)
+
+    def _ensure_pool(self) -> None:
+        if self._procs:
+            return
+        if not self._finalizer.alive:
+            raise ModelError("process engine is closed")
+        for w in range(self.workers):
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=worker_main,
+                args=(child_conn,),
+                name=f"repro-shard-worker-{w}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+            self._sent_stores.append(set())
+
+    def _ensure_store(self, distgraph) -> SharedGraphStore:
+        store = self._stores.get(id(distgraph))
+        if store is not None:
+            self._stores.move_to_end(id(distgraph))
+            return store
+        store = SharedGraphStore(distgraph)
+        self._stores[id(distgraph)] = store
+        self._store_owners[id(distgraph)] = distgraph
+        # LRU bound: a long-lived cluster driven over many (graph,
+        # partition) pairs must not accumulate segments without limit.
+        while len(self._stores) > MAX_STORES:
+            old_id, old_store = self._stores.popitem(last=False)
+            self._store_owners.pop(old_id, None)
+            for w, conn in enumerate(self._conns):
+                if old_store.key in self._sent_stores[w]:
+                    self._sent_stores[w].discard(old_store.key)
+                    try:
+                        conn.send(("drop-store", old_store.key))
+                    except (BrokenPipeError, OSError):  # pragma: no cover
+                        pass
+            old_store.close()
+        return store
+
+    def _crash(self, worker: int, exc: Exception | None = None):
+        """A worker pipe broke: tear everything down, surface the failure."""
+        proc = self._procs[worker] if worker < len(self._procs) else None
+        self.close()  # joins workers, so the exit code is populated below
+        code = proc.exitcode if proc is not None else None
+        raise ModelError(
+            f"process engine worker {worker} died (exit code {code}); the pool "
+            f"was shut down and its shared-memory segments were released"
+        ) from exc
+
+    # ------------------------------------------------------------------
+    def map_machines(self, task, distgraph, payloads: Sequence, rngs,
+                     common: dict | None = None) -> list:
+        """Run a per-machine superstep task across the worker pool.
+
+        See :meth:`Engine.map_machines` for the contract.  On the first
+        call the current per-machine Generators are shipped to their
+        owning workers, which hold and advance them from then on; the
+        shipped slots of ``rngs`` are replaced with sentinels that raise
+        on any draw, so code that would silently diverge from the inline
+        engines (e.g. another algorithm drawing machine RNGs in the
+        parent on the same cluster) fails loudly instead.
+        """
+        k = self.k
+        if len(payloads) != k:
+            raise ModelError(f"expected one payload per machine ({k}), got {len(payloads)}")
+        self._ensure_pool()
+        if not self._rngs_shipped:
+            for w, conn in enumerate(self._conns):
+                try:
+                    conn.send(("rngs", {i: rngs[i] for i in self._machines_of(w)}))
+                except (BrokenPipeError, OSError) as exc:  # pragma: no cover
+                    self._crash(w, exc)
+            try:
+                for i in range(k):
+                    rngs[i] = _DelegatedRNG(i)
+            except TypeError:  # immutable sequence: best-effort enforcement only
+                pass
+            self._rngs_shipped = True
+        store = self._ensure_store(distgraph)
+        common = dict(common) if common else {}
+        for w, conn in enumerate(self._conns):
+            machines = list(self._machines_of(w))
+            meta = None
+            if store.key not in self._sent_stores[w]:
+                meta = store.meta()
+            try:
+                conn.send((
+                    "map", task, store.key, meta, machines,
+                    [payloads[i] for i in machines], common,
+                ))
+            except (BrokenPipeError, OSError) as exc:
+                self._crash(w, exc)
+            self._sent_stores[w].add(store.key)
+        results: list = [None] * k
+        failure: str | None = None
+        for w, conn in enumerate(self._conns):
+            try:
+                status, value = conn.recv()
+            except (EOFError, OSError) as exc:
+                self._crash(w, exc)
+            if status == "ok":
+                for machine, result in value.items():
+                    results[machine] = result
+            elif failure is None:
+                failure = f"worker {w}: {value}"
+        if failure is not None:
+            # The other workers (and the failing worker's other machines)
+            # already advanced their RNG streams past where the inline
+            # serial loop would have stopped, so the pool can no longer
+            # reproduce an inline run — shut it down rather than let a
+            # caller retry into silent divergence.
+            self.close()
+            raise ModelError(
+                f"superstep task failed in a worker; the pool was shut down "
+                f"(worker RNG streams diverged from the inline draw order)\n{failure}"
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    def pull_machine_rngs(self) -> dict:
+        """Fetch the workers' current per-machine Generators (testing aid)."""
+        if not self._procs:
+            return {}
+        out: dict = {}
+        for w, conn in enumerate(self._conns):
+            machines = list(self._machines_of(w))
+            try:
+                conn.send(("pull-rngs", machines))
+                status, value = conn.recv()
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                self._crash(w, exc)
+            if status != "ok":
+                raise ModelError(f"pull-rngs failed: {value}")
+            out.update(value)
+        return out
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every shared segment.  Idempotent."""
+        self._finalizer()
+        self._sent_stores.clear()
+        self._store_owners.clear()
+        self._rngs_shipped = False
+
+
+ENGINES[ProcessEngine.name] = ProcessEngine

@@ -1,0 +1,90 @@
+"""The worker-process main loop of the :class:`ProcessEngine`.
+
+One worker owns a fixed subset of the ``k`` simulated machines for the
+lifetime of the pool: it holds those machines' private
+:class:`numpy.random.Generator` streams (shipped once, then advanced
+*only* here so per-machine draw order matches the inline engines draw
+for draw), keeps zero-copy :class:`SharedGraphView` attachments per
+published store, and executes superstep tasks sent over its pipe.
+
+Protocol (parent -> worker over one duplex pipe, processed in order):
+
+``("rngs", {machine: Generator})``
+    Install / replace the worker's machine RNG streams.
+``("map", task, store_key, meta_or_None, machines, payloads, common)``
+    Run ``task(view, machine, rng, payload, **common)`` for each owned
+    machine; reply ``("ok", {machine: result})`` or ``("err", traceback)``.
+    ``meta`` is included the first time the parent references a store.
+``("pull-rngs", machines)``
+    Reply with the current Generator objects (tests / state inspection).
+``("drop-store", store_key)``
+    Detach the cached view of an evicted store (no reply; ordering with
+    later ``map`` commands is guaranteed by the pipe).
+``("close",)``
+    Detach all views and exit cleanly.
+
+Tasks must be module-level callables (they are pickled by reference).
+Any exception inside a task is caught and shipped back as a formatted
+traceback; only a hard crash (signal, ``os._exit``) severs the pipe,
+which the parent detects and turns into cleanup plus a
+:class:`~repro.errors.ModelError`.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+from repro.kmachine.parallel.store import SharedGraphView
+
+__all__ = ["worker_main"]
+
+
+def worker_main(conn) -> None:
+    """Run the worker loop until ``close`` or pipe EOF (parent died)."""
+    rngs: dict = {}
+    views: dict[str, SharedGraphView] = {}
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            cmd = msg[0]
+            if cmd == "close":
+                break
+            if cmd == "rngs":
+                rngs.update(msg[1])
+                continue
+            if cmd == "pull-rngs":
+                conn.send(("ok", {i: rngs[i] for i in msg[1]}))
+                continue
+            if cmd == "drop-store":
+                view = views.pop(msg[1], None)
+                if view is not None:
+                    view.detach()
+                continue
+            if cmd == "map":
+                _, task, key, meta, machines, payloads, common = msg
+                try:
+                    if key not in views:
+                        views[key] = SharedGraphView.attach(meta)
+                    view = views[key]
+                    results = {
+                        machine: task(view, machine, rngs[machine], payload, **common)
+                        for machine, payload in zip(machines, payloads)
+                    }
+                    conn.send(("ok", results))
+                except BaseException:
+                    conn.send(("err", traceback.format_exc()))
+                continue
+            conn.send(("err", f"unknown command {cmd!r}"))
+    finally:
+        for view in views.values():
+            try:
+                view.detach()
+            except Exception:  # pragma: no cover - shutdown best-effort
+                pass
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover
+            pass

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.connectivity import ConnectivityResult, connected_components_distributed
 from repro.core.lowerbounds import (
+    congested_clique_lower_bound,
     mst_round_lower_bound,
     pagerank_round_lower_bound,
     sorting_round_lower_bound,
@@ -24,7 +25,13 @@ from repro.core.mst import MSTResult, distributed_mst
 from repro.core.pagerank import PageRankResult, baseline_pagerank, distributed_pagerank
 from repro.core.sorting import SortResult, distributed_sort
 from repro.core.subgraphs import enumerate_subgraphs_distributed
-from repro.core.triangles import TriangleResult, enumerate_triangles_distributed
+from repro.core.triangles import (
+    TriangleResult,
+    enumerate_triangles_congested_clique,
+    enumerate_triangles_conversion,
+    enumerate_triangles_distributed,
+)
+from repro.core.triangles.congested_clique import identity_partition
 from repro.runtime.registry import (
     GRAPH,
     VALUES,
@@ -55,6 +62,18 @@ def _run_triangles(graph, cluster, dg, params):
 def _run_subgraphs(graph, cluster, dg, params):
     return enumerate_subgraphs_distributed(
         graph, cluster.k, cluster=cluster, distgraph=dg, **params
+    )
+
+
+def _run_congested_clique_triangles(graph, cluster, dg, params):
+    return enumerate_triangles_congested_clique(
+        graph, cluster=cluster, distgraph=dg, **params
+    )
+
+
+def _run_triangles_conversion(graph, cluster, partition, params):
+    return enumerate_triangles_conversion(
+        graph, cluster.k, cluster=cluster, partition=partition, **params
     )
 
 
@@ -168,6 +187,39 @@ def register_builtin_specs() -> None:
             fit_target="-5/3 (Thm 5)",
             summarize=_summarize_triangles,
             build_distgraph=True,
+        )
+    )
+    register(
+        AlgorithmSpec(
+            name="congested-clique-triangles",
+            title="Triangle enumeration, congested clique (Corollary 1)",
+            runner=_run_congested_clique_triangles,
+            input_kind=GRAPH,
+            result_type=TriangleResult,
+            bounds="O(n^{1/3}/B) rounds at k=n (Dolev et al.; Corollary 1 matching)",
+            # One machine per vertex: the caller's k is overridden and the
+            # placement is the deterministic identity partition (no RVP draw).
+            fix_k=lambda g: g.n,
+            sample_placement=lambda cluster, g: identity_partition(g.n),
+            lower_bound=lambda n, k, B: congested_clique_lower_bound(n, B),
+            fit_target=None,
+            summarize=_summarize_triangles,
+            build_distgraph=True,
+        )
+    )
+    register(
+        AlgorithmSpec(
+            name="triangles-conversion",
+            title="Triangle enumeration via the Conversion Theorem (SODA'15)",
+            runner=_run_triangles_conversion,
+            input_kind=GRAPH,
+            result_type=TriangleResult,
+            bounds="Õ(n^{7/3}/k²) rounds (Klauck et al., SODA 2015 baseline)",
+            lower_bound=triangle_round_lower_bound,
+            lower_bound_extra=lambda r: {"t": max(1, r.count)},
+            fit_target="-2 (conversion)",
+            summarize=_summarize_triangles,
+            build_distgraph=False,
         )
     )
     register(

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.errors import AlgorithmError
 from repro.kmachine.cluster import Cluster
-from repro.kmachine.distgraph import DistributedGraph
+from repro.kmachine.distgraph import DistributedGraph, cached_distgraph
 from repro.kmachine.metrics import Metrics
 from repro.kmachine.partition import VertexPartition, random_vertex_partition
 
@@ -109,6 +109,10 @@ class AlgorithmSpec:
     build_distgraph:
         Whether :func:`run` materializes a :class:`DistributedGraph` and
         passes it to the runner (graph families that consume shards).
+    fix_k:
+        Optional ``data -> k`` override for families whose machine count
+        is determined by the input (the congested clique uses one
+        machine per vertex); :func:`run` replaces the caller's ``k``.
     """
 
     name: str
@@ -127,6 +131,7 @@ class AlgorithmSpec:
     cluster_n: Callable[[Any], int] = _default_cluster_n
     sample_placement: Callable[[Cluster, Any], Any] = _sample_rvp
     build_distgraph: bool = False
+    fix_k: Callable[[Any], int] | None = None
 
     def __post_init__(self) -> None:
         if self.input_kind not in (GRAPH, VALUES):
@@ -179,6 +184,8 @@ class RunReport:
     params: dict
     spec: AlgorithmSpec
     distgraph: DistributedGraph | None = None
+    #: Worker-pool size of the process backend (None for inline backends).
+    workers: int | None = None
 
     @property
     def rounds(self) -> int:
@@ -212,6 +219,7 @@ def run(
     k: int,
     *,
     engine: str = "message",
+    workers: int | None = None,
     seed: int | None = None,
     bandwidth: int | None = None,
     cluster: Cluster | None = None,
@@ -240,9 +248,14 @@ def run(
         The family input — a :class:`~repro.graphs.graph.Graph` or, for
         ``input_kind="values"``, an array of elements.
     k:
-        Number of machines.
-    engine / seed / bandwidth:
-        Cluster construction knobs; ignored when ``cluster`` is given.
+        Number of machines (overridden by specs declaring
+        :attr:`AlgorithmSpec.fix_k`, e.g. the congested clique's
+        ``k = n``).
+    engine / workers / seed / bandwidth:
+        Cluster construction knobs; ignored when ``cluster`` is given
+        (``workers`` sizes the process backend's pool).  A cluster this
+        call builds is closed before returning, so process-backend runs
+        never leak worker pools.
     placement:
         Explicit input placement (partition or assignment array);
         sampled from shared randomness when omitted.
@@ -250,12 +263,21 @@ def run(
         Family parameters, overriding the spec defaults.
     """
     spec = get_spec(name)
+    if spec.fix_k is not None:
+        k = int(spec.fix_k(data))
+    own_cluster = cluster is None
     if cluster is None:
         cluster = Cluster(
-            k=k, n=spec.cluster_n(data), bandwidth=bandwidth, seed=seed, engine=engine
+            k=k, n=spec.cluster_n(data), bandwidth=bandwidth, seed=seed,
+            engine=engine, workers=workers,
         )
     elif cluster.k != k:
         raise AlgorithmError(f"cluster has k={cluster.k}, expected {k}")
+    elif workers is not None:
+        raise AlgorithmError(
+            "workers sizes the cluster run() builds; pass it via "
+            "Cluster(engine='process', workers=...) instead"
+        )
     if placement is None:
         placement = spec.sample_placement(cluster, data)
     distgraph = None
@@ -263,14 +285,21 @@ def run(
         if isinstance(placement, DistributedGraph):
             distgraph, placement = placement, placement.partition
         else:
-            distgraph = DistributedGraph(data, placement)
+            # Content-addressed LRU: repeated runs with a pinned placement
+            # (k-sweep repetitions, engine comparisons) share one set of
+            # materialized shards instead of rebuilding them per run.
+            distgraph = cached_distgraph(data, placement)
     merged = dict(spec.default_params)
     merged.update(params)
     if "seed" in merged and merged["seed"] is None:
         merged["seed"] = seed
-    result = spec.runner(
-        data, cluster, distgraph if distgraph is not None else placement, merged
-    )
+    try:
+        result = spec.runner(
+            data, cluster, distgraph if distgraph is not None else placement, merged
+        )
+    finally:
+        if own_cluster:
+            cluster.close()
     n = data.n if hasattr(data, "n") else int(np.asarray(data).size)
     return RunReport(
         name=spec.name,
@@ -282,4 +311,5 @@ def run(
         params=merged,
         spec=spec,
         distgraph=distgraph,
+        workers=getattr(cluster.engine, "workers", None),
     )

@@ -4,7 +4,8 @@ The simulator's accounting is deterministic given ``(n, k, seed)``, so
 any drift in recorded rounds, messages, or bits signals a semantic
 change to an algorithm or to the engine layer — exactly the kind of
 silent change these tests exist to catch.  Counts are engine-independent
-by contract, and each case is checked on both backends.
+by contract, and each case is checked on all three backends (per-object,
+vectorized, and multiprocessing shard workers).
 
 Regenerating
 ------------
@@ -83,7 +84,7 @@ def _golden() -> dict:
     return json.loads(GOLDEN_PATH.read_text())
 
 
-@pytest.mark.parametrize("engine", ["message", "vector"])
+@pytest.mark.parametrize("engine", ["message", "vector", "process"])
 @pytest.mark.parametrize("case", PAGERANK_CASES, ids=lambda c: f"n{c[0]}-k{c[1]}-s{c[2]}")
 def test_pagerank_counts_match_golden(case, engine):
     if os.environ.get(REGEN_ENV):
@@ -96,7 +97,7 @@ def test_pagerank_counts_match_golden(case, engine):
     )
 
 
-@pytest.mark.parametrize("engine", ["message", "vector"])
+@pytest.mark.parametrize("engine", ["message", "vector", "process"])
 @pytest.mark.parametrize("case", TRIANGLE_CASES, ids=lambda c: f"n{c[0]}-k{c[1]}-s{c[2]}")
 def test_triangle_counts_match_golden(case, engine):
     if os.environ.get(REGEN_ENV):

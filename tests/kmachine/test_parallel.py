@@ -1,0 +1,269 @@
+"""Tests for the multiprocessing shard-worker subsystem.
+
+Covers the three layers of :mod:`repro.kmachine.parallel`:
+
+* :class:`SharedGraphStore` / :class:`SharedGraphView` — publish,
+  zero-copy attach, detach, unlink, and idempotent close;
+* :class:`ProcessEngine` — pool lifecycle, machine→worker pinning,
+  kernel scheduling (results in machine order, RNG streams advanced
+  worker-side exactly as the inline engines advance them), error
+  propagation, and shared-segment cleanup when a worker hard-crashes;
+* engine selection — ``Cluster(engine="process", workers=...)``,
+  ``make_engine`` workers validation.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ModelError
+from repro.kmachine.cluster import Cluster
+from repro.kmachine.distgraph import DistributedGraph
+from repro.kmachine.engine import make_engine
+from repro.kmachine.network import LinkNetwork
+from repro.kmachine.parallel import ProcessEngine, SharedGraphStore
+from repro.kmachine.partition import random_vertex_partition
+
+K = 4
+
+
+@pytest.fixture
+def distgraph():
+    g = repro.gnp_random_graph(60, 0.15, seed=3)
+    return DistributedGraph(g, random_vertex_partition(60, K, seed=7))
+
+
+def _cluster(k=K, n=60, seed=11, workers=2) -> Cluster:
+    return Cluster(k=k, n=n, seed=seed, engine="process", workers=workers)
+
+
+# -- module-level kernels (workers resolve them by reference) -----------
+def _sum_local_degrees(ctx, machine, rng, payload):
+    shardverts = ctx.parts[machine]
+    deg = ctx.graph.indptr[shardverts + 1] - ctx.graph.indptr[shardverts]
+    return int(deg.sum()) + payload
+
+
+def _draw(ctx, machine, rng, payload):
+    return float(rng.random())
+
+
+def _crash_one(ctx, machine, rng, payload):
+    if machine == payload:
+        os._exit(9)
+    return machine
+
+
+def _raise_one(ctx, machine, rng, payload):
+    if machine == payload:
+        raise ValueError("kernel exploded")
+    return machine
+
+
+def _pid(ctx, machine, rng, payload):
+    return os.getpid()
+
+
+class TestSharedGraphStore:
+    def test_view_exposes_distgraph_surface(self, distgraph):
+        store = SharedGraphStore(distgraph)
+        try:
+            view = store.view()
+            g = distgraph.graph
+            assert view.k == distgraph.k and view.n == distgraph.n
+            assert np.array_equal(view.graph.indptr, g.indptr)
+            assert np.array_equal(view.graph.indices, g.indices)
+            assert np.array_equal(view.home, distgraph.home)
+            assert np.array_equal(view.nbr_home, distgraph.nbr_home)
+            assert len(view.parts) == K
+            for mine, theirs in zip(view.parts, distgraph.parts):
+                assert np.array_equal(mine, theirs)
+            for v in (0, 7, 30):
+                for j in range(K):
+                    assert np.array_equal(
+                        view.local_neighbors(v, j), distgraph.local_neighbors(v, j)
+                    )
+            view.detach()
+        finally:
+            store.close()
+
+    def test_views_are_zero_copy(self, distgraph):
+        store = SharedGraphStore(distgraph)
+        try:
+            view = store.view()
+            # the view's arrays live in the shared segment, not the heap
+            assert view.graph.indptr.base is not None
+            seg = shared_memory.SharedMemory(name=store.key)
+            seg.close()
+            view.detach()
+        finally:
+            store.close()
+
+    def test_close_unlinks_segment(self, distgraph):
+        store = SharedGraphStore(distgraph)
+        name = store.key
+        store.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_close_is_idempotent_and_invalidates_meta(self, distgraph):
+        store = SharedGraphStore(distgraph)
+        store.close()
+        store.close()
+        with pytest.raises(ModelError):
+            store.meta()
+
+
+class TestProcessEngineScheduling:
+    def test_lazy_pool_and_results_in_machine_order(self, distgraph):
+        with _cluster() as cluster:
+            engine = cluster.engine
+            assert isinstance(engine, ProcessEngine)
+            assert not engine.running  # no map yet -> no processes
+            results = cluster.map_machines(
+                _sum_local_degrees, distgraph, [100 * i for i in range(K)]
+            )
+            assert engine.running
+            expected = [
+                100 * i + int(np.diff(distgraph.graph.indptr)[distgraph.parts[i]].sum())
+                for i in range(K)
+            ]
+            assert results == expected
+
+    def test_kernels_run_in_distinct_worker_processes(self, distgraph):
+        if (os.cpu_count() or 1) < 1:  # pragma: no cover
+            pytest.skip("no cpu info")
+        with _cluster(workers=2) as cluster:
+            pids = cluster.map_machines(_pid, distgraph, [None] * K)
+            assert os.getpid() not in pids  # never inline
+            # machine i is pinned to worker i % 2
+            assert pids[0] == pids[2] and pids[1] == pids[3]
+            assert len(set(pids)) == 2
+
+    def test_rng_streams_match_inline_engines(self, distgraph):
+        with _cluster(seed=5) as proc:
+            inline = Cluster(k=K, n=60, seed=5, engine="vector")
+            a = [proc.map_machines(_draw, distgraph, [None] * K) for _ in range(3)]
+            b = [inline.map_machines(_draw, distgraph, [None] * K) for _ in range(3)]
+            assert a == b
+            # worker-held generators advanced exactly like the inline ones
+            pulled = proc.engine.pull_machine_rngs()
+            for i in range(K):
+                assert (
+                    pulled[i].random() == inline.machine_rngs[i].random()
+                )
+
+    def test_parent_rng_draws_rejected_after_shipping(self, distgraph):
+        # Once streams ship to the workers, the parent copies are stale;
+        # drawing from them would silently diverge from the inline
+        # engines, so the slots are replaced with raising sentinels.
+        with _cluster() as cluster:
+            cluster.machine_rngs[0].random()  # fine before the first map
+            cluster.map_machines(_draw, distgraph, [None] * K)
+            with pytest.raises(ModelError, match="worker"):
+                cluster.machine_rngs[0].random()
+            with pytest.raises(ModelError, match="map_machines"):
+                cluster.machine_rngs[K - 1].integers(0, 2)
+            # shared randomness is not delegated and keeps working
+            cluster.shared_rng.random()
+
+    def test_kernel_exception_propagates_and_poisons_pool(self, distgraph):
+        with _cluster() as cluster:
+            with pytest.raises(ModelError, match="kernel exploded"):
+                cluster.map_machines(_raise_one, distgraph, [2] * K)
+            # Other machines' streams already advanced past where the
+            # inline serial loop would have stopped, so the pool cannot
+            # reproduce inline draws anymore: it must not accept retries.
+            assert not cluster.engine.running
+            with pytest.raises(ModelError, match="closed"):
+                cluster.map_machines(_draw, distgraph, [None] * K)
+
+    def test_payload_count_validated(self, distgraph):
+        with _cluster() as cluster:
+            with pytest.raises(ModelError, match="payload"):
+                cluster.map_machines(_draw, distgraph, [None] * (K + 1))
+
+
+class TestStoreEviction:
+    def test_store_cache_is_bounded_lru(self):
+        from repro.kmachine.parallel import engine as pengine
+
+        g = repro.gnp_random_graph(40, 0.2, seed=1)
+        distgraphs = [
+            DistributedGraph(g, random_vertex_partition(g.n, K, seed=s))
+            for s in range(pengine.MAX_STORES + 2)
+        ]
+        with _cluster(n=g.n) as cluster:
+            keys = []
+            for dg in distgraphs:
+                cluster.map_machines(_sum_local_degrees, dg, [0] * K)
+                keys.append(list(cluster.engine._stores.values())[-1].key)
+            assert len(cluster.engine._stores) == pengine.MAX_STORES
+            # the two oldest segments were unlinked
+            for key in keys[:2]:
+                with pytest.raises(FileNotFoundError):
+                    shared_memory.SharedMemory(name=key)
+            # evicted distgraphs republish (and still compute correctly)
+            sums = cluster.map_machines(_sum_local_degrees, distgraphs[0], [0] * K)
+            assert sum(sums) == int(g.indices.size)
+
+
+class TestWorkerCrashCleanup:
+    def test_crash_shuts_pool_and_unlinks_segments(self, distgraph):
+        cluster = _cluster()
+        engine = cluster.engine
+        # healthy superstep first, so the store is published
+        cluster.map_machines(_sum_local_degrees, distgraph, [0] * K)
+        segment = list(engine._stores.values())[0].key
+        with pytest.raises(ModelError, match="died"):
+            cluster.map_machines(_crash_one, distgraph, [1] * K)
+        assert not engine.running
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=segment)
+        cluster.close()  # idempotent after crash
+
+    def test_closed_engine_rejects_new_work(self, distgraph):
+        cluster = _cluster()
+        cluster.map_machines(_sum_local_degrees, distgraph, [0] * K)
+        cluster.close()
+        with pytest.raises(ModelError, match="closed"):
+            cluster.map_machines(_sum_local_degrees, distgraph, [0] * K)
+
+
+class TestEngineSelection:
+    def test_cluster_process_engine_and_worker_cap(self):
+        c = Cluster(k=3, n=50, seed=1, engine="process", workers=16)
+        assert c.engine.name == "process"
+        assert c.engine.workers == 3  # capped at k
+        c.close()
+
+    def test_workers_rejected_for_inline_engines(self):
+        net = LinkNetwork(k=3, bandwidth=8)
+        with pytest.raises(ModelError, match="workers"):
+            make_engine("vector", net, workers=2)
+        with pytest.raises(ModelError, match="workers"):
+            Cluster(k=3, n=50, engine="message", workers=2)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ModelError, match="workers"):
+            Cluster(k=3, n=50, engine="process", workers=0)
+
+    def test_exchange_layer_is_vector_inherited(self):
+        # the process backend's exchange path is VectorEngine's, verbatim
+        from repro.kmachine.engine import VectorEngine
+
+        assert issubclass(ProcessEngine, VectorEngine)
+        assert ProcessEngine.exchange_batches is VectorEngine.exchange_batches
+
+
+class TestAttachCrossProcess:
+    def test_worker_attachment_reads_identical_arrays(self, distgraph):
+        """A view attached in a real worker sees the published arrays."""
+        with _cluster() as cluster:
+            sums = cluster.map_machines(_sum_local_degrees, distgraph, [0] * K)
+            assert sum(sums) == int(distgraph.graph.indices.size)

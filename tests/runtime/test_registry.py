@@ -2,8 +2,9 @@
 
 Extends the PR-1 cross-engine equivalence suite to the registry: every
 registered family, run through ``runtime.run()`` on a small fixed input,
-must produce bit-identical results and accounting on both execution
-backends — and must match a direct call to the family entry point.
+must produce bit-identical results and accounting on all three execution
+backends (per-object, vectorized, and multiprocessing shard workers) —
+and must match a direct call to the family entry point.
 """
 
 import numpy as np
@@ -11,12 +12,16 @@ import pytest
 
 import repro
 from repro import runtime
-from repro.errors import AlgorithmError
-from repro.kmachine.distgraph import DistributedGraph
+from repro.errors import AlgorithmError, ModelError
+from repro.kmachine.distgraph import (
+    DistributedGraph,
+    cached_distgraph,
+    clear_distgraph_cache,
+)
 from repro.kmachine.partition import random_vertex_partition
 from repro.runtime.registry import AlgorithmSpec
 
-ENGINES = ("message", "vector")
+ENGINES = ("message", "vector", "process")
 SEED = 17
 K = 4
 
@@ -48,7 +53,12 @@ def _result_signature(name, result):
     """A bit-exact fingerprint of the family result."""
     if name in ("pagerank", "pagerank-baseline"):
         return (result.estimates.tobytes(), result.iterations)
-    if name in ("triangles", "subgraphs"):
+    if name in (
+        "triangles",
+        "subgraphs",
+        "congested-clique-triangles",
+        "triangles-conversion",
+    ):
         return (result.triangles.tobytes(), result.per_machine_output.tobytes())
     if name == "mst":
         return (result.edges.tobytes(), result.total_weight, result.phases)
@@ -66,10 +76,15 @@ class TestCrossEngineEquivalence:
             runtime.run(name, _input_for(name), K, seed=SEED, engine=e)
             for e in ENGINES
         ]
-        a, b = reports
-        assert _result_signature(name, a.result) == _result_signature(name, b.result)
-        assert _metrics_signature(a.metrics) == _metrics_signature(b.metrics)
-        assert a.engine == "message" and b.engine == "vector"
+        base = reports[0]
+        for other in reports[1:]:
+            assert _result_signature(name, base.result) == _result_signature(
+                name, other.result
+            )
+            assert _metrics_signature(base.metrics) == _metrics_signature(
+                other.metrics
+            )
+        assert tuple(r.engine for r in reports) == ENGINES
 
     @pytest.mark.parametrize("name", runtime.available())
     def test_registry_run_matches_direct_call(self, name):
@@ -97,6 +112,12 @@ class TestCrossEngineEquivalence:
                 FIXED_GRAPH, k=K, seed=SEED
             ),
             "sorting": lambda: repro.distributed_sort(FIXED_VALUES, k=K, seed=SEED),
+            "congested-clique-triangles": lambda: (
+                repro.enumerate_triangles_congested_clique(FIXED_GRAPH, seed=SEED)
+            ),
+            "triangles-conversion": lambda: repro.enumerate_triangles_conversion(
+                FIXED_GRAPH, k=K, seed=SEED
+            ),
         }[name]()
         assert _result_signature(name, rep.result) == _result_signature(name, direct)
         assert _metrics_signature(rep.metrics) == _metrics_signature(direct.metrics)
@@ -211,7 +232,7 @@ class TestPlacementAndCluster:
 
     def test_same_partition_same_results_across_engines(self):
         # With a pinned placement, everything downstream is a pure function
-        # of the machine RNG streams — identical on both backends.
+        # of the machine RNG streams — identical on every backend.
         part = random_vertex_partition(FIXED_GRAPH.n, K, seed=8)
         sigs = []
         for e in ENGINES:
@@ -219,4 +240,104 @@ class TestPlacementAndCluster:
                 "pagerank", FIXED_GRAPH, K, seed=SEED, engine=e, placement=part, c=2
             )
             sigs.append(_result_signature("pagerank", rep.result))
-        assert sigs[0] == sigs[1]
+        assert all(s == sigs[0] for s in sigs[1:])
+
+
+class TestProcessEngineKnobs:
+    def test_workers_knob_reported(self):
+        rep = runtime.run(
+            "pagerank", FIXED_GRAPH, K, seed=SEED, engine="process", workers=2, c=2
+        )
+        assert rep.engine == "process"
+        assert rep.workers == 2
+
+    def test_workers_capped_at_k(self):
+        rep = runtime.run(
+            "pagerank", FIXED_GRAPH, K, seed=SEED, engine="process", workers=64, c=2
+        )
+        assert rep.workers == K
+
+    def test_inline_engines_report_no_workers(self):
+        rep = runtime.run("pagerank", FIXED_GRAPH, K, seed=SEED, engine="vector", c=2)
+        assert rep.workers is None
+
+    def test_workers_with_inline_engine_rejected(self):
+        with pytest.raises(ModelError, match="workers"):
+            runtime.run(
+                "pagerank", FIXED_GRAPH, K, seed=SEED, engine="vector", workers=2, c=2
+            )
+
+    def test_workers_with_explicit_cluster_rejected(self):
+        cluster = repro.Cluster(k=K, n=FIXED_GRAPH.n, seed=0)
+        with pytest.raises(AlgorithmError, match="workers"):
+            runtime.run(
+                "pagerank", FIXED_GRAPH, K, cluster=cluster, workers=2, c=2
+            )
+
+
+class TestFixedKFamilies:
+    def test_congested_clique_overrides_k(self):
+        rep = runtime.run("congested-clique-triangles", FIXED_GRAPH, 7, seed=SEED)
+        assert rep.k == FIXED_GRAPH.n
+        assert rep.result.count == repro.count_triangles(FIXED_GRAPH)
+        # one machine per vertex, identity placement
+        assert np.array_equal(
+            rep.distgraph.partition.home, np.arange(FIXED_GRAPH.n)
+        )
+
+    def test_congested_clique_rejects_non_identity_partition(self):
+        with pytest.raises(AlgorithmError, match="identity"):
+            repro.enumerate_triangles_congested_clique(
+                FIXED_GRAPH,
+                partition=random_vertex_partition(
+                    FIXED_GRAPH.n, FIXED_GRAPH.n, seed=1
+                ),
+            )
+
+    def test_conversion_counts_match_theorem5(self):
+        rep = runtime.run("triangles-conversion", FIXED_GRAPH, K, seed=SEED)
+        tri = runtime.run("triangles", FIXED_GRAPH, K, seed=SEED)
+        assert rep.result.count == tri.result.count
+        # the conversion baseline pays the k^{1/3} factor in traffic
+        assert rep.metrics.messages > tri.metrics.messages
+
+
+class TestDistgraphCache:
+    def test_repeated_runs_share_shards(self):
+        clear_distgraph_cache()
+        a = runtime.run("triangles", FIXED_GRAPH, K, seed=SEED)
+        b = runtime.run("triangles", FIXED_GRAPH, K, seed=SEED)
+        # same graph + same seed -> identical partition draw -> cached hit
+        assert a.distgraph is b.distgraph
+
+    def test_pinned_partition_reuses_distgraph_across_engines(self):
+        clear_distgraph_cache()
+        part = random_vertex_partition(FIXED_GRAPH.n, K, seed=8)
+        reps = [
+            runtime.run(
+                "pagerank", FIXED_GRAPH, K, seed=SEED, engine=e, placement=part, c=2
+            )
+            for e in ENGINES
+        ]
+        assert all(r.distgraph is reps[0].distgraph for r in reps[1:])
+
+    def test_different_seed_misses(self):
+        clear_distgraph_cache()
+        a = runtime.run("triangles", FIXED_GRAPH, K, seed=SEED)
+        b = runtime.run("triangles", FIXED_GRAPH, K, seed=SEED + 1)
+        assert a.distgraph is not b.distgraph
+
+    def test_equal_content_partitions_hit(self):
+        clear_distgraph_cache()
+        p1 = random_vertex_partition(FIXED_GRAPH.n, K, seed=8)
+        p2 = random_vertex_partition(FIXED_GRAPH.n, K, seed=8)
+        assert p1 is not p2
+        dg1 = cached_distgraph(FIXED_GRAPH, p1)
+        dg2 = cached_distgraph(FIXED_GRAPH, p2)
+        assert dg1 is dg2
+
+    def test_cache_never_aliases_different_graphs(self):
+        clear_distgraph_cache()
+        g2 = repro.gnp_random_graph(48, 0.25, seed=6)
+        part = random_vertex_partition(48, K, seed=8)
+        assert cached_distgraph(FIXED_GRAPH, part) is not cached_distgraph(g2, part)
