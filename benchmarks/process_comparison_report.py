@@ -1,0 +1,89 @@
+"""Emit the process-vs-vector engine comparison as one JSON artifact.
+
+Runs the PageRank and triangle ``run_process_comparison`` benches at a
+configurable (default: CI-sized) scale and writes a single JSON document
+with per-engine wall-clock timings, the byte-identical count tuples, and
+host context — the file CI uploads as a workflow artifact so engine
+performance is trackable across commits without rerunning anything.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/process_comparison_report.py \
+        [--out bench-process-comparison.json] [--n-pagerank 20000] \
+        [--n-triangles 20000] [--workers 2]
+
+Counts are asserted identical inside each comparison (always, on any
+host); speedups are reported, not asserted — the full benches own the
+``>= 1.5x`` assertions on >= 4-CPU hosts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import bench_pagerank_rounds
+import bench_triangle_rounds
+
+
+def build_report(n_pagerank: int, n_triangles: int, workers: int) -> dict:
+    """Run both comparisons and collect one JSON-ready document."""
+    report = {
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "workers": workers,
+        "comparisons": {},
+    }
+    timings, counts = bench_pagerank_rounds.run_process_comparison(
+        n=n_pagerank, k=8, workers=workers, max_iterations=2, c=2.0
+    )
+    report["comparisons"]["pagerank"] = {
+        "n": n_pagerank,
+        "timings_seconds": timings,
+        "counts": {eng: list(c) for eng, c in counts.items()},
+        "speedup": timings["vector"] / timings["process"],
+    }
+    timings, counts = bench_triangle_rounds.run_process_comparison(
+        n=n_triangles, k=27, workers=workers
+    )
+    report["comparisons"]["triangles"] = {
+        "n": n_triangles,
+        "timings_seconds": timings,
+        "counts": {eng: list(c) for eng, c in counts.items()},
+        "speedup": timings["vector"] / timings["process"],
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="bench-process-comparison.json")
+    parser.add_argument("--n-pagerank", type=int, default=20_000)
+    parser.add_argument("--n-triangles", type=int, default=20_000)
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args(argv)
+    report = build_report(args.n_pagerank, args.n_triangles, args.workers)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+def smoke():
+    """Smallest configuration: both comparisons at toy sizes."""
+    report = build_report(n_pagerank=500, n_triangles=400, workers=2)
+    assert set(report["comparisons"]) == {"pagerank", "triangles"}
+    for comp in report["comparisons"].values():
+        assert comp["counts"]["vector"] == comp["counts"]["process"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

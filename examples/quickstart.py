@@ -7,11 +7,12 @@ measured round counts next to the matching lower bounds.
 
 The architecture is layered: the *engine layer* picks how a superstep
 executes (``engine="message"``, ``"vector"``, or ``"process"`` for
-multiprocessing shard workers over a shared-memory graph store), the
-*runtime layer* shares per-machine graph shards
-(:class:`repro.DistributedGraph`) and owns run plumbing, and the
-*algorithm registry* (``repro.runtime``) makes every family reachable
-through one ``run(name, data, k, ...)`` call — demonstrated at the end.
+multiprocessing shard workers over a shared-memory graph store — with
+*warm worker pools* reused across runs), the *runtime layer* shares
+per-machine graph shards (:class:`repro.DistributedGraph`) and owns run
+plumbing, and the *algorithm registry* (``repro.runtime``) makes every
+family reachable through one ``run(name, data, k, ...)`` call —
+demonstrated at the end.
 
 Run:  python examples/quickstart.py
 """
@@ -111,6 +112,38 @@ def main() -> None:
         f"   speedup: {ptimings['vector'] / ptimings['process']:.2f}x"
         f" (needs multiple CPUs; this host has {os.cpu_count()})"
     )
+
+    # --- Warm worker pools ----------------------------------------------
+    # Worker pools outlive the run that spawned them: runtime.run()
+    # releases its pool *warm* on completion, and the next process-engine
+    # run with the same worker count reuses the same worker processes
+    # (and any still-published shared-memory graph stores) — no respawn,
+    # no re-publication.  Explicit teardown: repro.shutdown_worker_pools();
+    # REPRO_WARM_POOL=0 restores run-scoped pools (skipping this demo).
+    from repro.kmachine import active_pools
+    from repro.kmachine.parallel import warm_pools_enabled
+
+    if warm_pools_enabled():
+        repro.shutdown_worker_pools()
+        start = time.perf_counter()
+        repro.runtime.run(
+            "triangles", g, k, seed=seed, engine="process", workers=workers
+        )
+        cold = time.perf_counter() - start
+        (pool,) = active_pools()
+        pids = pool.pids
+        start = time.perf_counter()
+        repro.runtime.run(
+            "triangles", g, k, seed=seed, engine="process", workers=workers
+        )
+        warm = time.perf_counter() - start
+        assert active_pools() == (pool,) and pool.pids == pids  # same processes
+        print(f"\nWarm worker pools ({workers} workers, pids {list(pids)})")
+        print(
+            f"  first run (spawns pool): {cold:.3f}s   "
+            f"second run (reuses pool): {warm:.3f}s"
+        )
+        repro.shutdown_worker_pools()
 
     # --- The runtime registry -------------------------------------------
     # Every family is registered with a spec (driver, defaults, theorem

@@ -85,6 +85,7 @@ from repro.kmachine import (
     random_vertex_partition,
     random_edge_partition,
     rep_to_rvp,
+    shutdown_worker_pools,
 )
 from repro.core.pagerank import (
     distributed_pagerank,
@@ -153,6 +154,7 @@ __all__ = [
     "count_open_triads",
     # k-machine model
     "Cluster",
+    "shutdown_worker_pools",
     "LinkNetwork",
     "Message",
     "Metrics",

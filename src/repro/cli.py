@@ -282,7 +282,8 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             metavar="W",
             help="worker-pool size for --engine process "
-            "(default: CPU count, capped at k)",
+            "(default: CPU count, capped at k); pools stay warm across "
+            "the runs of one command (e.g. a sweep's repetitions)",
         )
 
     p = sub.add_parser("run", help="run any registered algorithm")
@@ -350,6 +351,13 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        # Warm pools let a single command's runs (a sweep's k-points and
+        # repetitions) share worker processes; the command boundary is
+        # where they are torn down deterministically.
+        from repro.kmachine.parallel import shutdown_worker_pools
+
+        shutdown_worker_pools()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,4 +1,10 @@
-"""Connected components via proxy-Borůvka with unit weights."""
+"""Connected components via proxy-Borůvka with unit weights.
+
+The family delegates entirely to :func:`distributed_mst`, so its
+per-machine superstep compute — the local Borůvka component scans —
+runs through the same :func:`~repro.core.mst.distributed._mwoe_scan_task`
+``map_machines`` kernel on every execution backend.
+"""
 
 from __future__ import annotations
 

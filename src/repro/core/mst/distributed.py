@@ -8,9 +8,13 @@ sources and/or hash-random destinations, so Lemma 13 prices them at
    the other endpoint's current component label (volume ``<= 2m``).
 2. **Candidate MWOEs** — every machine reduces its vertices' outgoing
    edges to one minimum-weight candidate per (machine, component) pair
-   and sends it to the component's *proxy* (``hash(label) % k``), which
-   takes the global minimum: the paper's randomized-proxy primitive
-   applied to the classic MWOE aggregation.
+   (the local Borůvka component scan, expressed as the
+   :func:`_mwoe_scan_task` superstep kernel and dispatched through
+   :meth:`Cluster.map_machines` — serial on the inline engines,
+   fanned out to shard workers on the process backend) and sends it to
+   the component's *proxy* (``hash(label) % k``), which takes the
+   global minimum: the paper's randomized-proxy primitive applied to
+   the classic MWOE aggregation.
 3. **Pointer jumping** — the merge forest ``c -> parent(c)`` (the other
    endpoint's component) is star-contracted by proxies exchanging
    ``parent(parent(c))`` queries/replies; 2-cycles break toward the
@@ -47,6 +51,31 @@ from repro.kmachine.partition import VertexPartition
 __all__ = ["distributed_mst", "MSTResult"]
 
 _WEIGHT_BITS = 32
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+def _mwoe_scan_task(ctx, machine: int, rng, payload) -> dict:
+    """Superstep kernel: one machine's local Borůvka component scan.
+
+    ``payload`` holds the machine's raw MWOE proposals — one row per
+    (incident crossing edge, endpoint hosted here): ``comp`` the
+    endpoint's component label, ``edge`` the edge index, ``rank`` the
+    edge's position in the global (weight, index) total order.  The scan
+    reduces them to the machine's minimum-weight outgoing edge per
+    component — rows sorted by component, exactly the per-(machine,
+    component) candidates the driver used to extract with one global
+    lexsort.  No RNG draws, so engines agree trivially; the process
+    backend fans the reductions out across shard workers.
+    """
+    comp, edge, rank = payload["comp"], payload["edge"], payload["rank"]
+    if comp.size == 0:
+        return {"comp": _EMPTY, "edge": _EMPTY}
+    order = np.lexsort((rank, comp))
+    comp, edge = comp[order], edge[order]
+    first = np.ones(comp.size, dtype=bool)
+    first[1:] = np.diff(comp) != 0
+    return {"comp": comp[first], "edge": edge[first]}
 
 
 @dataclass
@@ -158,22 +187,32 @@ def distributed_mst(
 
         # ---- Flow 2: candidate MWOE per (machine, component) -> proxy. ----
         ce = np.flatnonzero(crossing)
-        # Each endpoint's machine proposes the edge for its own component.
-        cand_edge = np.concatenate([ce, ce])
-        cand_comp = np.concatenate([lu[ce], lv[ce]])
-        cand_machine = np.concatenate([eh0[ce], eh1[ce]])
-        order = np.lexsort((edge_order[cand_edge], cand_comp, cand_machine))
-        cand_edge, cand_comp, cand_machine = (
-            cand_edge[order],
-            cand_comp[order],
-            cand_machine[order],
+        # Each endpoint's machine proposes the edge for its own component;
+        # the per-machine reduction to one candidate per component is the
+        # local Borůvka scan, dispatched as a superstep kernel (each
+        # machine scans only its own proposals, so the reduced rows come
+        # back machine-major / component-ascending — the exact order the
+        # driver's historical global lexsort produced).
+        prop_edge = np.concatenate([ce, ce])
+        prop_comp = np.concatenate([lu[ce], lv[ce]])
+        prop_machine = np.concatenate([eh0[ce], eh1[ce]])
+        groups = dg.group_by_machine(prop_machine)
+        scans = cluster.map_machines(
+            _mwoe_scan_task,
+            dg,
+            [
+                {
+                    "comp": prop_comp[idx],
+                    "edge": prop_edge[idx],
+                    "rank": edge_order[prop_edge[idx]],
+                }
+                for idx in groups
+            ],
         )
-        first = np.ones(cand_edge.size, dtype=bool)
-        first[1:] = (np.diff(cand_machine) != 0) | (np.diff(cand_comp) != 0)
-        cand_edge, cand_comp, cand_machine = (
-            cand_edge[first],
-            cand_comp[first],
-            cand_machine[first],
+        cand_comp = np.concatenate([scan["comp"] for scan in scans])
+        cand_edge = np.concatenate([scan["edge"] for scan in scans])
+        cand_machine = np.concatenate(
+            [np.full(scan["comp"].size, i, dtype=np.int64) for i, scan in enumerate(scans)]
         )
         proxy_of_comp = (
             stable_hash64_array(cand_comp, salt=9) % np.uint64(k)

@@ -40,6 +40,34 @@ from repro.kmachine.metrics import Metrics
 __all__ = ["distributed_sort", "SortResult"]
 
 
+def _sample_values_task(ctx, machine: int, rng, local_values: np.ndarray, p: float):
+    """Superstep kernel: one machine's Bernoulli(p) sample of its elements.
+
+    ``local_values`` are the elements placed on the machine; the single
+    ``rng.random`` draw (made even when the machine is empty, exactly
+    like the historical inline loop) keeps per-machine draw order
+    identical on every engine.  Runs with ``ctx=None`` — the sorting
+    family has no graph shards.
+    """
+    take = rng.random(local_values.size) < p
+    return local_values[take]
+
+
+def _sort_block_task(ctx, machine: int, rng, block):
+    """Superstep kernel: sort one machine's received bucket (Phase 4).
+
+    ``block`` is the machine's ``(rows, 2)`` array of ``(value, original
+    index)`` pairs in delivery order, or ``None`` when the bucket is
+    empty.  Ties in value break by original index, making the output
+    deterministic given seeds.  Pure local compute — the dominant
+    ``O((n/k) log(n/k))`` cost the process backend fans out.
+    """
+    if block is None:
+        return None
+    order = np.lexsort((block[:, 1], block[:, 0]))
+    return block[order, 0]
+
+
 @dataclass
 class SortResult:
     """Output of a distributed sort.
@@ -122,14 +150,19 @@ def distributed_sort(
 
     # ------------------------------------------------------------------
     # Phase 1 — sampling to machine 0, as one columnar value stream.
+    # Each machine's Bernoulli draws run in the sampling superstep
+    # kernel on that machine's private stream.
     p = min(1.0, oversample * k * math.log(max(2, n)) / n)
+    samples_per_machine = cluster.map_machines(
+        _sample_values_task,
+        None,
+        [values[assignment == i] for i in range(k)],
+        common={"p": p},
+    )
     sample_parts: list[np.ndarray] = []
     remote_samples: list[np.ndarray] = []
     remote_src: list[np.ndarray] = []
-    for i in range(k):
-        mine = values[assignment == i]
-        take = cluster.machine_rngs[i].random(mine.size) < p
-        sample = mine[take]
+    for i, sample in enumerate(samples_per_machine):
         if i == 0:
             sample_parts.append(sample)
         elif sample.size:
@@ -201,13 +234,18 @@ def distributed_sort(
             received[j].append(np.column_stack([rows["value"], rows["index"]]))
 
     # ------------------------------------------------------------------
-    # Phase 4 — local sort (free), ties broken by original index.
-    blocks: list[np.ndarray] = []
-    for j in range(k):
-        if received[j]:
-            block = np.concatenate(received[j], axis=0)
-            order = np.lexsort((block[:, 1], block[:, 0]))
-            blocks.append(block[order, 0])
-        else:
-            blocks.append(np.zeros(0, dtype=values.dtype))
+    # Phase 4 — local sort (free in the model; the wall-clock hot spot
+    # the process backend parallelizes), ties broken by original index.
+    sorted_blocks = cluster.map_machines(
+        _sort_block_task,
+        None,
+        [
+            np.concatenate(received[j], axis=0) if received[j] else None
+            for j in range(k)
+        ],
+    )
+    blocks = [
+        block if block is not None else np.zeros(0, dtype=values.dtype)
+        for block in sorted_blocks
+    ]
     return SortResult(blocks=blocks, metrics=cluster.metrics, splitters=np.asarray(splitters))

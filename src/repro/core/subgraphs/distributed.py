@@ -25,12 +25,34 @@ from repro.kmachine.distgraph import DistributedGraph, resolve_distgraph
 from repro.kmachine.partition import VertexPartition
 from repro.core.subgraphs.colors4 import num_colors_for_machines_r4, quads_needing_edge_array
 from repro.core.subgraphs.local import enumerate_c4_edges, enumerate_k4_edges
-from repro.core.triangles.distributed import _edge_batch
+from repro.core.triangles.distributed import _draw_edge_proxies_task, _edge_batch
 from repro.core.triangles.result import TriangleResult
 
 __all__ = ["enumerate_subgraphs_distributed"]
 
 _PATTERNS = {"k4": enumerate_k4_edges, "c4": enumerate_c4_edges}
+
+
+def _enumerate_subgraphs_task(
+    ctx, machine: int, rng, local_edges, colors: np.ndarray, q: int, pattern: str
+):
+    """Superstep kernel: Phase-3 local K4/C4 enumeration on one owner.
+
+    The 4-tuple analogue of the triangle enumeration kernel: pure local
+    compute over the machine's received edge set (``None`` when it
+    received nothing), filtered to occurrences whose sorted color
+    4-multiset ranks to ``machine``.  Returns the ``(t, 4)`` rows or
+    ``None``.
+    """
+    if local_edges is None or local_edges.shape[0] == 0:
+        return None
+    rows = _PATTERNS[pattern](ctx.n, local_edges)
+    if rows.size == 0:
+        return None
+    csort = np.sort(colors[rows], axis=1)
+    key = ((csort[:, 0] * q + csort[:, 1]) * q + csort[:, 2]) * q + csort[:, 3]
+    mine = rows[key == machine]
+    return mine if mine.size else None
 
 
 def enumerate_subgraphs_distributed(
@@ -80,7 +102,6 @@ def enumerate_subgraphs_distributed(
     edges = graph.edges
     m = edges.shape[0]
     per_machine = np.zeros(k, dtype=np.int64)
-    local_enumerate = _PATTERNS[pattern]
 
     if m == 0:
         return TriangleResult(
@@ -95,12 +116,18 @@ def enumerate_subgraphs_distributed(
     # for the constant; subgraph runs reuse the simple rule).
     shipper = dg.edge_homes[0]
 
-    # Phase 1 — edges to random proxies.
+    # Phase 1 — edges to random proxies (the triangle family's proxy
+    # draw kernel: one i.u.r. batch per shipping machine, on its own
+    # stream, in machine order).
     if use_proxies:
+        groups = dg.edges_by_shipper(shipper)
+        draws = cluster.map_machines(
+            _draw_edge_proxies_task, dg, [int(idx.size) for idx in groups]
+        )
         proxy = np.empty(m, dtype=np.int64)
-        for i, idx in enumerate(dg.edges_by_shipper(shipper)):
+        for idx, drawn in zip(groups, draws):
             if idx.size:
-                proxy[idx] = cluster.machine_rngs[i].integers(0, k, size=idx.size)
+                proxy[idx] = drawn
         remote = shipper != proxy
         cluster.exchange_batches(
             [_edge_batch(edges[remote], shipper[remote], proxy[remote], "sub-edge-proxy", n)],
@@ -137,19 +164,22 @@ def enumerate_subgraphs_distributed(
         if rows["u"].size:
             received[j].append(np.column_stack([rows["u"], rows["v"]]))
 
-    # Phase 3 — local enumeration + color-multiset filtering.
+    # Phase 3 — local enumeration + color-multiset filtering, as a
+    # superstep kernel (serial inline, parallel on the process backend).
     all_rows: list[np.ndarray] = []
-    for j in range(min(k, q**4)):
-        if not received[j]:
-            continue
-        local_edges = np.concatenate(received[j], axis=0)
-        rows = local_enumerate(n, local_edges)
-        if rows.size == 0:
-            continue
-        csort = np.sort(colors[rows], axis=1)
-        key = ((csort[:, 0] * q + csort[:, 1]) * q + csort[:, 2]) * q + csort[:, 3]
-        mine = rows[key == j]
-        if mine.size:
+    owners = min(k, q**4)
+    payloads = [
+        np.concatenate(received[j], axis=0) if j < owners and received[j] else None
+        for j in range(k)
+    ]
+    outs = cluster.map_machines(
+        _enumerate_subgraphs_task,
+        dg,
+        payloads,
+        common={"colors": colors, "q": q, "pattern": pattern},
+    )
+    for j, mine in enumerate(outs):
+        if mine is not None:
             all_rows.append(mine)
             per_machine[j] += mine.shape[0]
 

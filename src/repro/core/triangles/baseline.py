@@ -35,6 +35,35 @@ from repro.core.triangles.result import TriangleResult
 __all__ = ["enumerate_triangles_conversion", "enumerate_triangles_broadcast"]
 
 
+def _enumerate_clique_nodes_task(
+    ctx, machine: int, rng, node_chunks, n: int, colors: np.ndarray, q: int
+):
+    """Superstep kernel: enumerate the clique nodes one machine simulates.
+
+    ``node_chunks`` is the machine's ``[(clique_node, edge_rows), ...]``
+    in ascending node order — every node homed on the machine that
+    received edge copies.  Each node enumerates its received edge set
+    and keeps the triangles whose color multiset ranks to it, exactly
+    the per-node loop of the direct implementation.  Runs with
+    ``ctx=None`` (the conversion baseline has no distgraph), hence the
+    explicit ``n``.  Returns ``(triangles_or_None, count)``.
+    """
+    rows: list[np.ndarray] = []
+    count = 0
+    for node, chunk in node_chunks:
+        tris = enumerate_triangles_edges(n, chunk)
+        if tris.size:
+            csort = np.sort(colors[tris], axis=1)
+            key = csort[:, 0] * q * q + csort[:, 1] * q + csort[:, 2]
+            mine = tris[key == node]
+            if mine.size:
+                rows.append(mine)
+                count += mine.shape[0]
+    if not rows:
+        return None, 0
+    return np.concatenate(rows, axis=0), count
+
+
 def enumerate_triangles_conversion(
     graph: Graph,
     k: int,
@@ -104,25 +133,31 @@ def enumerate_triangles_conversion(
         bits, msgs, label="triangles-conversion/scatter", local_messages=int((~remote).sum())
     )
 
-    # Local enumeration per simulated clique node; output filtered to the
-    # node's color multiset so each triangle appears exactly once.
+    # Local enumeration per simulated clique node, grouped by the home
+    # machine that simulates it and dispatched as a superstep kernel
+    # (``distgraph=None``: the conversion baseline never materializes
+    # shards); output filtered to the node's color multiset so each
+    # triangle appears exactly once.
     order = np.argsort(flat_targets, kind="stable")
     ft, fe = flat_targets[order], flat_edges[order]
     boundaries = np.flatnonzero(np.diff(ft)) + 1
     starts = np.concatenate([[0], boundaries])
-    all_tris: list[np.ndarray] = []
+    payloads: list[list] = [[] for _ in range(k)]
     for s, chunk in zip(starts, np.split(fe, boundaries)):
-        if chunk.shape[0] == 0:
-            continue
-        node = int(ft[s])
-        tris = enumerate_triangles_edges(n, chunk)
-        if tris.size:
-            csort = np.sort(colors[tris], axis=1)
-            key = csort[:, 0] * q * q + csort[:, 1] * q + csort[:, 2]
-            mine = tris[key == node]
-            if mine.size:
-                all_tris.append(mine)
-                per_machine[home[node]] += mine.shape[0]
+        if chunk.shape[0]:
+            node = int(ft[s])
+            payloads[int(home[node])].append((node, chunk))
+    outs = cluster.map_machines(
+        _enumerate_clique_nodes_task,
+        None,
+        payloads,
+        common={"n": n, "colors": colors, "q": q},
+    )
+    all_tris: list[np.ndarray] = []
+    for j, (mine, count) in enumerate(outs):
+        if mine is not None:
+            all_tris.append(mine)
+        per_machine[j] += count
 
     if all_tris:
         triangles = np.concatenate(all_tris, axis=0)

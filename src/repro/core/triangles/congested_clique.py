@@ -8,6 +8,13 @@ generalization is exactly the Theorem-5 algorithm.  We therefore run the
 Theorem-5 machinery with ``k = n``, the identity partition, and the proxy
 stage playing the role of Lenzen's load-balancing routing (randomized
 instead of deterministic — the whp guarantees match the model's).
+
+Because the family delegates to
+:func:`~repro.core.triangles.distributed.enumerate_triangles_distributed`,
+its per-machine compute — the proxy draws and the Phase-3 local
+enumeration — runs through the same ``map_machines`` superstep kernels
+on every execution backend (one worker task per clique node's machine
+on the process engine).
 """
 
 from __future__ import annotations

@@ -21,6 +21,12 @@ TriPartition with two k-machine-specific ingredients:
 3. **Local enumeration.**  Each triplet machine enumerates triangles in
    its received edge set and outputs those whose corner-color multiset
    equals its triplet — every triangle is output by exactly one machine.
+   Both the proxy draws and this Phase-3 enumeration are per-machine
+   superstep kernels (:func:`_draw_edge_proxies_task`,
+   :func:`_enumerate_triangles_task`) dispatched through
+   :meth:`Cluster.map_machines`: serial on the inline engines, fanned
+   out across shard workers on the process backend, draw-for-draw and
+   bit-for-bit identical either way.
 
 With ``use_proxies=False`` the proxy stage is skipped (home machines send
 edges straight to triplet machines) — the ablation showing proxy load
@@ -49,6 +55,55 @@ from repro.core.triangles.colors import (
 from repro.core.triangles.result import TriangleResult
 
 __all__ = ["enumerate_triangles_distributed"]
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+def _draw_edge_proxies_task(ctx, machine: int, rng, count: int) -> np.ndarray:
+    """Superstep kernel: machine's i.u.r. proxy draws for its shipped edges.
+
+    ``count`` is the number of edges the machine is responsible for
+    shipping; the single ``integers`` call (skipped when idle, exactly
+    like the historical inline loop) keeps the per-machine draw order
+    identical on every engine.  Shared by the subgraph family, whose
+    proxy stage is the same primitive.
+    """
+    if not count:
+        return _EMPTY
+    return rng.integers(0, ctx.k, size=count)
+
+
+def _enumerate_triangles_task(
+    ctx, machine: int, rng, local_edges, colors: np.ndarray, q: int,
+    enumerate_triads: bool,
+):
+    """Superstep kernel: Phase-3 local enumeration on one triplet machine.
+
+    ``local_edges`` is the machine's received edge set (``None`` when it
+    received nothing or owns no triplet); ``colors`` is the shared hash.
+    Returns ``(triangles, open_triads)`` restricted to the machine's
+    color multiset, each ``None`` when empty — pure local compute, no
+    RNG draws, so engines agree bit for bit and the process backend can
+    fan the (dominant) enumeration cost out across shard workers.
+    """
+    if local_edges is None or local_edges.shape[0] == 0:
+        return None
+    mine = None
+    tris = enumerate_triangles_edges(ctx.n, local_edges)
+    if tris.size:
+        csort = np.sort(colors[tris], axis=1)
+        key = csort[:, 0] * q * q + csort[:, 1] * q + csort[:, 2]
+        mine = tris[key == machine]
+        if not mine.size:
+            mine = None
+    triads = None
+    if enumerate_triads:
+        triads = _local_open_triads(ctx.n, local_edges, colors, q, machine)
+        if not triads.size:
+            triads = None
+    if mine is None and triads is None:
+        return None
+    return mine, triads
 
 
 def _edge_batch(
@@ -181,12 +236,16 @@ def enumerate_triangles_distributed(
 
     # ------------------------------------------------------------------
     # Phase 1 — edges to random proxies (each shipper picks i.u.r. proxies
-    # with its private randomness).
+    # with its private randomness, drawn by the proxy superstep kernel).
     if use_proxies:
+        groups = dg.edges_by_shipper(shipper)
+        draws = cluster.map_machines(
+            _draw_edge_proxies_task, dg, [int(idx.size) for idx in groups]
+        )
         proxy = np.empty(m, dtype=np.int64)
-        for i, idx in enumerate(dg.edges_by_shipper(shipper)):
+        for idx, drawn in zip(groups, draws):
             if idx.size:
-                proxy[idx] = cluster.machine_rngs[i].integers(0, k, size=idx.size)
+                proxy[idx] = drawn
         remote = shipper != proxy
         cluster.exchange_batches(
             [_edge_batch(edges[remote], shipper[remote], proxy[remote], "tri-edge-proxy", n)],
@@ -234,9 +293,11 @@ def enumerate_triangles_distributed(
             received[j].append(np.column_stack([rows["u"], rows["v"]]))
 
     # ------------------------------------------------------------------
-    # Phase 3 — local enumeration on each triplet machine; a machine
-    # outputs exactly the triangles whose color multiset equals its
-    # (sorted) triplet, so the global output has no duplicates.
+    # Phase 3 — local enumeration on each triplet machine (a superstep
+    # kernel: serial on the inline engines, fanned out to shard workers
+    # on the process backend); a machine outputs exactly the triangles
+    # whose color multiset equals its (sorted) triplet, so the global
+    # output has no duplicates.
     all_tris: list[np.ndarray] = []
     all_triads: list[np.ndarray] = []
     per_machine = np.zeros(k, dtype=np.int64)
@@ -247,22 +308,26 @@ def enumerate_triangles_distributed(
             per_machine_output=per_machine,
             num_colors=q,
         )
-    for j in range(min(k, q**3)):
-        if not received[j]:
+    owners = min(k, q**3)
+    payloads = [
+        np.concatenate(received[j], axis=0) if j < owners and received[j] else None
+        for j in range(k)
+    ]
+    outs = cluster.map_machines(
+        _enumerate_triangles_task,
+        dg,
+        payloads,
+        common={"colors": colors, "q": q, "enumerate_triads": enumerate_triads},
+    )
+    for j, out in enumerate(outs):
+        if out is None:
             continue
-        local_edges = np.concatenate(received[j], axis=0)
-        tris = enumerate_triangles_edges(n, local_edges)
-        if tris.size:
-            csort = np.sort(colors[tris], axis=1)
-            key = csort[:, 0] * q * q + csort[:, 1] * q + csort[:, 2]
-            mine = tris[key == j]
-            if mine.size:
-                all_tris.append(mine)
-                per_machine[j] += mine.shape[0]
-        if enumerate_triads:
-            triads = _local_open_triads(n, local_edges, colors, q, j)
-            if triads.size:
-                all_triads.append(triads)
+        mine, triads = out
+        if mine is not None:
+            all_tris.append(mine)
+            per_machine[j] += mine.shape[0]
+        if triads is not None:
+            all_triads.append(triads)
 
     if all_tris:
         triangles = np.concatenate(all_tris, axis=0)

@@ -47,13 +47,21 @@ pluggable execution-engine layer (:mod:`repro.kmachine.engine`):
   :class:`~repro.kmachine.parallel.store.SharedGraphStore` publishes the
   :class:`DistributedGraph` CSR shards and partition arrays into one
   :mod:`multiprocessing.shared_memory` segment per ``(graph,
-  partition)``, so workers attach the full local state zero-copy and
-  only per-superstep payloads (token counts, delivered rows) cross the
-  pipes.  Machine ``i`` is pinned to worker ``i % W``, which holds and
-  advances that machine's private RNG stream — per-machine draw order
-  is therefore exactly the serial loop's, and merged results are exact
-  integer scatter-adds, so runs are bit-identical to the inline
-  backends.
+  partition)``, so workers attach the full local state zero-copy;
+  per-superstep payloads and kernel results travel through per-shipment
+  shared-memory segments once large
+  (:mod:`repro.kmachine.parallel.shipping`), with pipes as the
+  small-phase fallback.  Machine ``i`` is pinned to worker ``i % W``,
+  which holds and advances that machine's private RNG stream —
+  per-machine draw order is therefore exactly the serial loop's, and
+  merged results are exact integer scatter-adds, so runs are
+  bit-identical to the inline backends.  Worker pools are *warm*: they
+  outlive the engine that spawned them (see
+  :mod:`repro.kmachine.parallel.pool`), so consecutive clusters and
+  ``runtime.run`` calls with the same worker count reuse the same
+  processes and any still-published graph stores;
+  :func:`~repro.kmachine.parallel.shutdown_worker_pools` tears them
+  down explicitly and ``REPRO_WARM_POOL=0`` restores run-scoped pools.
 
 All backends share :meth:`LinkNetwork.record` for accounting and
 deliver rows in the same canonical ``(dst, src, emission)`` order, so
@@ -63,8 +71,51 @@ results, round counts, and per-link bit totals are engine-independent
 process backend in ``tests/kmachine/test_parallel.py`` and the registry
 suite).  :meth:`Cluster.run_driver` runs a BSP driver loop against
 whichever backend the cluster was built with; drivers express hot
-per-machine compute as kernels (see the PageRank driver) and everything
-else stays engine-agnostic.
+per-machine compute as kernels and everything else stays
+engine-agnostic.
+
+Authoring superstep kernels
+---------------------------
+Every registered algorithm family routes its per-machine compute
+through :meth:`Cluster.map_machines` kernels — PageRank's token moves
+and heavy re-sampling, the triangle/subgraph proxy draws and Phase-3
+local enumeration (including the congested-clique and
+conversion-theorem variants), MST's local Borůvka component scans
+(inherited by connectivity), and sorting's Bernoulli sampling and local
+block sort.  A kernel is a **module-level** callable (workers resolve
+it by reference)::
+
+    def my_kernel(ctx, machine, rng, payload, **common) -> result
+
+and must obey three contracts for the backends to stay bit-identical:
+
+1. **RNG order.**  All randomness comes from ``rng`` — machine
+   ``machine``'s private stream — and the kernel must make *exactly*
+   the draws the inline serial loop would make for that machine, in the
+   same order (including skipping a draw when idle if the inline code
+   skipped it).  Never draw machine randomness outside a kernel once a
+   cluster has dispatched one: on the process backend the streams then
+   live in the workers, and the parent-side slots are replaced with
+   sentinels that raise.  Shared randomness (``cluster.shared_rng``)
+   stays in the parent and is never delegated.
+2. **Payload contract.**  ``payloads[i]`` must be machine ``i``'s
+   complete per-superstep input: a picklable structure of plain NumPy
+   arrays / scalars / ``None`` (large arrays ship through shared
+   memory transparently).  ``ctx`` is the shared *read-only* graph
+   surface — a :class:`DistributedGraph` inline, a zero-copy
+   :class:`~repro.kmachine.parallel.store.SharedGraphView` in a worker,
+   or ``None`` when the caller passes ``distgraph=None`` (non-graph
+   families) — exposing ``parts``, ``home``, ``nbr_home``,
+   ``graph.indptr`` / ``graph.indices``, ``k``, ``n``, and
+   ``local_neighbors``.  Kernels must not mutate ``ctx`` or rely on any
+   other parent state.
+3. **Result contract.**  Results are returned per machine (the
+   scheduler yields them in machine order); parent-side merges must be
+   order-insensitive exact operations (concatenation in machine order,
+   integer scatter-adds) so that fan-out cannot change outcomes.
+   Returning columnar outbox fragments and assembling one
+   :class:`~repro.kmachine.engine.MessageBatch` per stream in the
+   parent keeps the exchange accounting byte-equal to the serial loop.
 """
 
 from repro.kmachine.message import Message
@@ -86,7 +137,13 @@ from repro.kmachine.distgraph import (
     clear_distgraph_cache,
     resolve_distgraph,
 )
-from repro.kmachine.parallel import ProcessEngine, SharedGraphStore, SharedGraphView
+from repro.kmachine.parallel import (
+    ProcessEngine,
+    SharedGraphStore,
+    SharedGraphView,
+    active_pools,
+    shutdown_worker_pools,
+)
 from repro.kmachine.partition import (
     VertexPartition,
     EdgePartition,
@@ -113,6 +170,8 @@ __all__ = [
     "ProcessEngine",
     "SharedGraphStore",
     "SharedGraphView",
+    "active_pools",
+    "shutdown_worker_pools",
     "MessageBatch",
     "DeliveredBatch",
     "make_engine",

@@ -27,6 +27,7 @@ compute is hot can express it as a superstep kernel and dispatch it via
 
 from __future__ import annotations
 
+import weakref
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -98,6 +99,13 @@ class Cluster:
         self.seed = seed
         #: Supersteps executed by the most recent :meth:`run_driver` call.
         self.last_driver_supersteps: int = 0
+        # A leaked cluster must not strand a held worker pool: the
+        # finalizer runs engine.close() at garbage collection (the bound
+        # method keeps the engine alive exactly as long as the cluster,
+        # never the cluster itself), releasing the pool back to the warm
+        # registry.  close() routes through it, making explicit close,
+        # context-manager exit, and GC a single idempotent path.
+        self._close_finalizer = weakref.finalize(self, self.engine.close)
 
     # ------------------------------------------------------------------
     @property
@@ -234,10 +242,15 @@ class Cluster:
     def close(self) -> None:
         """Release engine resources (the process backend's worker pool).
 
-        A no-op for the in-process backends; idempotent.  Clusters are
-        also usable as context managers (``with Cluster(...) as c:``).
+        A no-op for the in-process backends; idempotent (repeat calls —
+        and the garbage-collection finalizer of a leaked cluster — do
+        nothing after the first).  With the process backend the pool
+        goes back to the warm registry for the next cluster to reuse;
+        see :func:`repro.kmachine.parallel.shutdown_worker_pools` for
+        full teardown.  Clusters are also usable as context managers
+        (``with Cluster(...) as c:``).
         """
-        self.engine.close()
+        self._close_finalizer()
 
     def __enter__(self) -> "Cluster":
         return self

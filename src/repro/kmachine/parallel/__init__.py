@@ -9,10 +9,18 @@ simulator (``Cluster(engine="process", workers=...)``):
   per ``(graph, partition)``, attached zero-copy by every worker;
 * :mod:`~repro.kmachine.parallel.worker` is the worker main loop holding
   the per-machine RNG streams and executing superstep kernels;
+* :mod:`~repro.kmachine.parallel.pool` owns the *warm worker pools*: a
+  :class:`~repro.kmachine.parallel.pool.WorkerPool` (and the graph
+  stores it published) survives across engines and ``runtime.run``
+  calls, held by one engine at a time and released warm on close —
+  :func:`shutdown_worker_pools` is the explicit teardown;
+* :mod:`~repro.kmachine.parallel.shipping` moves large per-superstep
+  payloads and kernel outbox fragments through per-shipment
+  shared-memory segments (pipes remain the small-phase fallback);
 * :class:`~repro.kmachine.parallel.engine.ProcessEngine` is the
-  scheduler: it pins machine ``i`` to worker ``i % W``, ships columnar
-  outbox fragments back over pipes, merges them in emission order, and
-  reuses :class:`~repro.kmachine.engine.VectorEngine`'s exchange and
+  scheduler: it pins machine ``i`` to worker ``i % W``, merges shipped
+  outbox fragments in emission order, and reuses
+  :class:`~repro.kmachine.engine.VectorEngine`'s exchange and
   accounting — so results, rounds, and bits stay bit-identical to the
   inline backends.
 
@@ -22,6 +30,20 @@ eagerly, so the name is always resolvable through ``make_engine``.
 """
 
 from repro.kmachine.parallel.engine import ProcessEngine
+from repro.kmachine.parallel.pool import (
+    WorkerPool,
+    active_pools,
+    shutdown_worker_pools,
+    warm_pools_enabled,
+)
 from repro.kmachine.parallel.store import SharedGraphStore, SharedGraphView
 
-__all__ = ["ProcessEngine", "SharedGraphStore", "SharedGraphView"]
+__all__ = [
+    "ProcessEngine",
+    "SharedGraphStore",
+    "SharedGraphView",
+    "WorkerPool",
+    "active_pools",
+    "shutdown_worker_pools",
+    "warm_pools_enabled",
+]

@@ -14,50 +14,62 @@ loop.
 
 Design notes
 ------------
-* **Machine affinity.**  Machine ``i`` is pinned to worker ``i % W`` for
-  the pool's lifetime.  Each machine's private RNG stream lives in (and
-  is advanced only by) its owning worker, so the per-machine draw order
-  is exactly the inline engines' — which is all bit-identity requires,
-  because the streams are independent (results are merged with exact
-  integer scatter-adds, which commute).
+* **Warm pools.**  The engine does not own its worker processes; it
+  *holds* a :class:`~repro.kmachine.parallel.pool.WorkerPool` acquired
+  from the process-wide registry on the first ``map_machines`` call and
+  released warm on :meth:`close`.  Consecutive runs with the same
+  worker count reuse the same processes (and any still-published graph
+  stores) with no respawn; ``REPRO_WARM_POOL=0`` restores run-scoped
+  pools.
+* **Machine affinity.**  Machine ``i`` is pinned to worker ``i % W``
+  for the span of the hold.  Each machine's private RNG stream lives in
+  (and is advanced only by) its owning worker, so the per-machine draw
+  order is exactly the inline engines' — which is all bit-identity
+  requires, because the streams are independent (results are merged
+  with exact integer scatter-adds, which commute).
 * **Zero-copy graph state.**  The first ``map_machines`` call for a
   given :class:`~repro.kmachine.distgraph.DistributedGraph` publishes
-  its CSR shards and partition arrays into one
+  its CSR shards and partition arrays into the pool's
   :class:`~repro.kmachine.parallel.store.SharedGraphStore`; workers
-  attach views once and reuse them every superstep.  Only the small
-  per-superstep payloads (token counts, delivered rows) cross the pipes.
-* **Outbox shipping.**  Kernels return columnar outbox fragments over
-  their worker's pipe; the scheduler concatenates them in machine order
-  — the exact emission order of the serial loop — so the resulting
-  :class:`~repro.kmachine.engine.MessageBatch` streams, and therefore
-  the merged ``(k, k)`` load matrices and round counts, are byte-equal
-  to the inline engines'.
+  attach views once and reuse them every superstep (and across runs,
+  while the pool stays warm).  Kernels that need no graph state run
+  with ``distgraph=None`` and a ``None`` context.
+* **Shared-memory batch delivery.**  Per-superstep payloads and kernel
+  results — the columnar outbox fragments the scheduler assembles into
+  :class:`~repro.kmachine.engine.MessageBatch` streams — travel through
+  per-shipment shared-memory segments once they are large
+  (:mod:`repro.kmachine.parallel.shipping`); small phases stay on the
+  pipes.  Either way the scheduler concatenates fragments in machine
+  order — the exact emission order of the serial loop — so the merged
+  ``(k, k)`` load matrices and round counts are byte-equal to the
+  inline engines'.
 * **Failure containment.**  A kernel exception is caught in the worker
   and re-raised here as :class:`~repro.errors.ModelError` with the
-  worker traceback.  A hard worker crash severs the pipe; the scheduler
-  then shuts the pool down and unlinks every shared segment before
-  raising, so crashed runs do not leak memory.
+  worker traceback; the engine is poisoned (its cluster's RNG streams
+  have diverged from the inline draw order) but the pool is released
+  warm — the next holder ships fresh streams.  A hard worker crash
+  severs the pipe; the pool is then destroyed and every shared segment
+  unlinked before raising, so crashed runs do not leak memory.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import os
 import weakref
-from collections import OrderedDict
 from typing import Sequence
 
 from repro.errors import ModelError
 from repro.kmachine.engine import ENGINES, VectorEngine
 from repro.kmachine.network import LinkNetwork
-from repro.kmachine.parallel.store import SharedGraphStore
-from repro.kmachine.parallel.worker import worker_main
+from repro.kmachine.parallel import shipping
+from repro.kmachine.parallel.pool import (
+    MAX_STORES,
+    WorkerPool,
+    acquire_pool,
+    release_pool,
+)
 
-__all__ = ["ProcessEngine"]
-
-#: Published stores kept per engine before LRU eviction (one segment is
-#: O(n + m) ints; mirrors the distgraph cache's own bound).
-MAX_STORES = 8
+__all__ = ["ProcessEngine", "MAX_STORES"]
 
 
 def _default_workers() -> int:
@@ -89,28 +101,12 @@ class _DelegatedRNG:
         )
 
 
-def _shutdown_pool(procs: list, conns: list, stores: dict) -> None:
-    """Tear down a worker pool and its shared segments (finalizer-safe)."""
-    for conn in conns:
-        try:
-            conn.send(("close",))
-        except Exception:
-            pass
-    for proc in procs:
-        proc.join(timeout=2.0)
-        if proc.is_alive():  # pragma: no cover - stuck worker
-            proc.terminate()
-            proc.join(timeout=1.0)
-    for conn in conns:
-        try:
-            conn.close()
-        except Exception:  # pragma: no cover
-            pass
-    for store in stores.values():
-        store.close()
-    procs.clear()
-    conns.clear()
-    stores.clear()
+def _release_held_pool(cell: list) -> None:
+    """Finalizer target: release an engine's pool if it still holds one."""
+    pool = cell[0]
+    cell[0] = None
+    if pool is not None:
+        release_pool(pool)
 
 
 class ProcessEngine(VectorEngine):
@@ -123,9 +119,11 @@ class ProcessEngine(VectorEngine):
     workers:
         Worker-process count; defaults to the available CPU count,
         capped at ``k`` (one worker per machine is the maximum useful
-        parallelism).  The pool is started lazily on the first
-        :meth:`map_machines` call, so clusters that never run a
-        parallel superstep spawn no processes.
+        parallelism).  The pool is acquired lazily on the first
+        :meth:`map_machines` call — warm from the registry when one
+        with this count is idle, freshly spawned otherwise — so
+        clusters that never run a parallel superstep touch no
+        processes.
     """
 
     name = "process"
@@ -137,25 +135,24 @@ class ProcessEngine(VectorEngine):
             raise ModelError(f"workers must be >= 1, got {workers}")
         self.workers = max(1, min(int(workers) if workers is not None else _default_workers(),
                                   network.k))
-        # Fork keeps startup cheap and lets tasks defined in any loaded
-        # module pickle by reference; spawn is the portable fallback.
-        methods = mp.get_all_start_methods()
-        self._ctx = mp.get_context("fork" if "fork" in methods else "spawn")
-        self._procs: list = []
-        self._conns: list = []
-        self._stores: "OrderedDict[int, SharedGraphStore]" = OrderedDict()
-        self._store_owners: dict[int, object] = {}  # keep distgraphs alive (stable ids)
-        self._sent_stores: list[set[str]] = []
+        self._closed = False
         self._rngs_shipped = False
-        self._finalizer = weakref.finalize(
-            self, _shutdown_pool, self._procs, self._conns, self._stores
-        )
+        # The held pool lives in a one-slot cell so the GC finalizer can
+        # release it without keeping the engine alive.
+        self._pool_cell: list = [None]
+        self._finalizer = weakref.finalize(self, _release_held_pool, self._pool_cell)
 
     # ------------------------------------------------------------------
     @property
+    def pool(self) -> WorkerPool | None:
+        """The held worker pool (None before the first map / after close)."""
+        return self._pool_cell[0]
+
+    @property
     def running(self) -> bool:
-        """Whether the worker pool has been started (and not closed)."""
-        return bool(self._procs)
+        """Whether the engine currently holds a live worker pool."""
+        pool = self.pool
+        return pool is not None and pool.alive
 
     def _owner(self, machine: int) -> int:
         """The worker index owning ``machine``."""
@@ -164,56 +161,53 @@ class ProcessEngine(VectorEngine):
     def _machines_of(self, worker: int) -> range:
         return range(worker, self.k, self.workers)
 
-    def _ensure_pool(self) -> None:
-        if self._procs:
-            return
-        if not self._finalizer.alive:
+    def _ensure_pool(self) -> WorkerPool:
+        pool = self.pool
+        if pool is not None:
+            return pool
+        if self._closed:
             raise ModelError("process engine is closed")
-        for w in range(self.workers):
-            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-            proc = self._ctx.Process(
-                target=worker_main,
-                args=(child_conn,),
-                name=f"repro-shard-worker-{w}",
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            self._procs.append(proc)
-            self._conns.append(parent_conn)
-            self._sent_stores.append(set())
+        pool = acquire_pool(self.workers, holder=self)
+        self._pool_cell[0] = pool
+        return pool
 
-    def _ensure_store(self, distgraph) -> SharedGraphStore:
-        store = self._stores.get(id(distgraph))
-        if store is not None:
-            self._stores.move_to_end(id(distgraph))
-            return store
-        store = SharedGraphStore(distgraph)
-        self._stores[id(distgraph)] = store
-        self._store_owners[id(distgraph)] = distgraph
-        # LRU bound: a long-lived cluster driven over many (graph,
-        # partition) pairs must not accumulate segments without limit.
-        while len(self._stores) > MAX_STORES:
-            old_id, old_store = self._stores.popitem(last=False)
-            self._store_owners.pop(old_id, None)
-            for w, conn in enumerate(self._conns):
-                if old_store.key in self._sent_stores[w]:
-                    self._sent_stores[w].discard(old_store.key)
-                    try:
-                        conn.send(("drop-store", old_store.key))
-                    except (BrokenPipeError, OSError):  # pragma: no cover
-                        pass
-            old_store.close()
-        return store
+    def _crash(
+        self,
+        worker: int,
+        exc: Exception | None = None,
+        in_flight: "dict | None" = None,
+        pending: "set[int] | None" = None,
+    ):
+        """A worker pipe broke: destroy the pool, surface the failure.
 
-    def _crash(self, worker: int, exc: Exception | None = None):
-        """A worker pipe broke: tear everything down, surface the failure."""
-        proc = self._procs[worker] if worker < len(self._procs) else None
-        self.close()  # joins workers, so the exit code is populated below
+        ``in_flight`` maps worker index -> the payload wire shipped to it
+        this superstep; ``pending`` is the set of workers whose replies
+        were not yet consumed.  Surviving workers' queued replies are
+        drained (and their result segments discarded) and every
+        undelivered payload segment is released — ``discard`` is a no-op
+        for wires whose segment was already consumed — so a hard crash
+        leaks no per-shipment shared memory.
+        """
+        pool = self.pool
+        proc = pool._procs[worker] if pool is not None else None
+        if pool is not None and pending:
+            for w in pending:
+                if w == worker:
+                    continue
+                try:
+                    if pool.poll(w, timeout=2.0):
+                        status, value = pool.recv(w)
+                        if status == "ok":
+                            shipping.discard(value)
+                except Exception:  # pragma: no cover - best-effort drain
+                    pass
+        for wire in (in_flight or {}).values():
+            shipping.discard(wire)
+        self._release(discard=True)  # joins workers, populating the exit code
         code = proc.exitcode if proc is not None else None
         raise ModelError(
             f"process engine worker {worker} died (exit code {code}); the pool "
-            f"was shut down and its shared-memory segments were released"
+            f"was destroyed and its shared-memory segments were released"
         ) from exc
 
     # ------------------------------------------------------------------
@@ -227,16 +221,18 @@ class ProcessEngine(VectorEngine):
         shipped slots of ``rngs`` are replaced with sentinels that raise
         on any draw, so code that would silently diverge from the inline
         engines (e.g. another algorithm drawing machine RNGs in the
-        parent on the same cluster) fails loudly instead.
+        parent on the same cluster) fails loudly instead.  A ``None``
+        ``distgraph`` skips store publication and hands kernels a
+        ``None`` context.
         """
         k = self.k
         if len(payloads) != k:
             raise ModelError(f"expected one payload per machine ({k}), got {len(payloads)}")
-        self._ensure_pool()
+        pool = self._ensure_pool()
         if not self._rngs_shipped:
-            for w, conn in enumerate(self._conns):
+            for w in range(pool.workers):
                 try:
-                    conn.send(("rngs", {i: rngs[i] for i in self._machines_of(w)}))
+                    pool.send(w, ("rngs", {i: rngs[i] for i in self._machines_of(w)}))
                 except (BrokenPipeError, OSError) as exc:  # pragma: no cover
                     self._crash(w, exc)
             try:
@@ -245,57 +241,69 @@ class ProcessEngine(VectorEngine):
             except TypeError:  # immutable sequence: best-effort enforcement only
                 pass
             self._rngs_shipped = True
-        store = self._ensure_store(distgraph)
+        store = pool.ensure_store(distgraph) if distgraph is not None else None
         common = dict(common) if common else {}
-        for w, conn in enumerate(self._conns):
+        in_flight: dict[int, tuple] = {}  # payload wires, for crash cleanup
+        pending: set[int] = set()
+        for w in range(pool.workers):
             machines = list(self._machines_of(w))
-            meta = None
-            if store.key not in self._sent_stores[w]:
-                meta = store.meta()
+            key = meta = None
+            if store is not None:
+                key = store.key
+                meta = pool.meta_for_worker(w, store)
+            wire = shipping.ship(([payloads[i] for i in machines], common))
+            in_flight[w] = wire
             try:
-                conn.send((
-                    "map", task, store.key, meta, machines,
-                    [payloads[i] for i in machines], common,
-                ))
+                pool.send(w, ("map", task, key, meta, machines, wire))
             except (BrokenPipeError, OSError) as exc:
-                self._crash(w, exc)
-            self._sent_stores[w].add(store.key)
+                self._crash(w, exc, in_flight=in_flight, pending=pending)
+            pending.add(w)
         results: list = [None] * k
         failure: str | None = None
-        for w, conn in enumerate(self._conns):
+        for w in range(pool.workers):
             try:
-                status, value = conn.recv()
+                status, value = pool.recv(w)
             except (EOFError, OSError) as exc:
-                self._crash(w, exc)
+                self._crash(w, exc, in_flight=in_flight, pending=pending)
+            pending.discard(w)
             if status == "ok":
-                for machine, result in value.items():
+                # An ok reply proves the worker consumed (and unlinked)
+                # its payload segment before running the kernels.
+                in_flight.pop(w, None)
+                for machine, result in shipping.receive(value).items():
                     results[machine] = result
-            elif failure is None:
-                failure = f"worker {w}: {value}"
+            else:
+                # An err reply may predate payload consumption; discard
+                # is a no-op when the worker already unlinked it.
+                shipping.discard(in_flight.pop(w))
+                if failure is None:
+                    failure = f"worker {w}: {value}"
         if failure is not None:
             # The other workers (and the failing worker's other machines)
             # already advanced their RNG streams past where the inline
-            # serial loop would have stopped, so the pool can no longer
-            # reproduce an inline run — shut it down rather than let a
-            # caller retry into silent divergence.
+            # serial loop would have stopped, so this engine can no longer
+            # reproduce an inline run — poison it rather than let a caller
+            # retry into silent divergence.  The pool itself is fine (the
+            # next holder ships fresh streams), so it goes back warm.
             self.close()
             raise ModelError(
-                f"superstep task failed in a worker; the pool was shut down "
-                f"(worker RNG streams diverged from the inline draw order)\n{failure}"
+                f"superstep task failed in a worker; the engine was closed "
+                f"(its RNG streams diverged from the inline draw order)\n{failure}"
             )
         return results
 
     # ------------------------------------------------------------------
     def pull_machine_rngs(self) -> dict:
         """Fetch the workers' current per-machine Generators (testing aid)."""
-        if not self._procs:
+        pool = self.pool
+        if pool is None:
             return {}
         out: dict = {}
-        for w, conn in enumerate(self._conns):
+        for w in range(pool.workers):
             machines = list(self._machines_of(w))
             try:
-                conn.send(("pull-rngs", machines))
-                status, value = conn.recv()
+                pool.send(w, ("pull-rngs", machines))
+                status, value = pool.recv(w)
             except (EOFError, BrokenPipeError, OSError) as exc:
                 self._crash(w, exc)
             if status != "ok":
@@ -303,12 +311,23 @@ class ProcessEngine(VectorEngine):
             out.update(value)
         return out
 
-    def close(self) -> None:
-        """Shut the pool down and unlink every shared segment.  Idempotent."""
-        self._finalizer()
-        self._sent_stores.clear()
-        self._store_owners.clear()
+    def _release(self, discard: bool) -> None:
+        pool = self.pool
+        self._pool_cell[0] = None
+        self._closed = True
         self._rngs_shipped = False
+        if pool is not None:
+            release_pool(pool, discard=discard)
+
+    def close(self) -> None:
+        """Release the worker pool (warm) and poison the engine.  Idempotent.
+
+        The pool's processes and shared graph stores survive for the
+        next acquirer unless warm pools are disabled; use
+        :func:`repro.kmachine.parallel.pool.shutdown_worker_pools` to
+        tear everything down explicitly.
+        """
+        self._release(discard=False)
 
 
 ENGINES[ProcessEngine.name] = ProcessEngine

@@ -15,12 +15,15 @@ the inline engines hand to kernels.
 Lifecycle
 ---------
 The creating process owns the segment: :meth:`SharedGraphStore.close`
-unmaps and (by default) unlinks it, and the owning engine closes all of
-its stores on :meth:`ProcessEngine.close` — including on the error path
-when a worker dies mid-superstep, so a crashed run never leaks segments.
-Workers call :meth:`SharedGraphView.detach` on shutdown; attachments
-suppress resource-tracker registration so the creating process's unlink
-is the single authoritative cleanup (see :func:`_attach_untracked`).
+unmaps and (by default) unlinks it.  Stores are owned by the
+:class:`~repro.kmachine.parallel.pool.WorkerPool` that published them
+(so warm pools keep hot graphs mapped across runs) and are closed on
+pool destruction — including on the error path when a worker dies
+mid-superstep, so a crashed run never leaks segments.  Workers call
+:meth:`SharedGraphView.detach` on shutdown; attachments suppress
+resource-tracker registration so the creating process's unlink is the
+single authoritative cleanup (see
+:func:`~repro.kmachine.parallel.shipping.attach_untracked`).
 """
 
 from __future__ import annotations
@@ -32,33 +35,9 @@ import numpy as np
 
 from repro.errors import ModelError
 from repro.kmachine.distgraph import DistributedGraph
+from repro.kmachine.parallel.shipping import attach_untracked
 
 __all__ = ["SharedGraphStore", "SharedGraphView"]
-
-
-def _attach_untracked(name: str) -> shared_memory.SharedMemory:
-    """Attach to a segment without registering it with the resource tracker.
-
-    Before Python 3.13 (``track=False``), *attaching* registers the
-    segment just like creating it does — and because the tracker's cache
-    is a per-name set shared by the forked process tree, an attaching
-    worker's registration would be cancelled by the creator's unlink (or
-    vice versa), producing spurious "leaked shared_memory" noise and
-    KeyError tracebacks at shutdown.  Only the creating process should
-    own the registration, so attachments suppress it.
-    """
-    try:
-        return shared_memory.SharedMemory(name=name, track=False)
-    except TypeError:  # pragma: no cover - exercised on < 3.13
-        pass
-    from multiprocessing import resource_tracker
-
-    original = resource_tracker.register
-    resource_tracker.register = lambda *args, **kwargs: None
-    try:
-        return shared_memory.SharedMemory(name=name)
-    finally:
-        resource_tracker.register = original
 
 
 class _CsrView:
@@ -103,8 +82,16 @@ class SharedGraphView:
 
     @classmethod
     def attach(cls, meta: dict) -> "SharedGraphView":
-        """Attach to a published store by its metadata (worker side)."""
-        return cls(_attach_untracked(meta["key"]), meta)
+        """Attach to a published store by its metadata (worker side).
+
+        Attachments suppress resource-tracker registration (see
+        :func:`~repro.kmachine.parallel.shipping.attach_untracked`):
+        only the creating process owns the segment's cleanup, so an
+        attaching worker's registration would be cancelled by the
+        creator's unlink (or vice versa), producing spurious "leaked
+        shared_memory" noise at shutdown.
+        """
+        return cls(attach_untracked(meta["key"]), meta)
 
     def local_neighbors(self, v: int, machine: int) -> np.ndarray:
         """Neighbors of ``v`` hosted on ``machine`` (mirrors ``DistributedGraph``)."""

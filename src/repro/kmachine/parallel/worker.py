@@ -1,20 +1,31 @@
 """The worker-process main loop of the :class:`ProcessEngine`.
 
-One worker owns a fixed subset of the ``k`` simulated machines for the
-lifetime of the pool: it holds those machines' private
-:class:`numpy.random.Generator` streams (shipped once, then advanced
-*only* here so per-machine draw order matches the inline engines draw
-for draw), keeps zero-copy :class:`SharedGraphView` attachments per
-published store, and executes superstep tasks sent over its pipe.
+One worker owns a fixed subset of the ``k`` simulated machines for as
+long as the holding engine keeps its pool: it holds those machines'
+private :class:`numpy.random.Generator` streams (shipped once per
+holder, then advanced *only* here so per-machine draw order matches the
+inline engines draw for draw), keeps zero-copy :class:`SharedGraphView`
+attachments per published store, and executes superstep tasks sent over
+its pipe.  Because pools are warm (see
+:mod:`repro.kmachine.parallel.pool`), the same worker process may serve
+many engines in sequence; each new holder's ``rngs`` shipment replaces
+the previous one's streams.
 
 Protocol (parent -> worker over one duplex pipe, processed in order):
 
 ``("rngs", {machine: Generator})``
     Install / replace the worker's machine RNG streams.
-``("map", task, store_key, meta_or_None, machines, payloads, common)``
+``("map", task, store_key_or_None, meta_or_None, machines, wire)``
+    ``wire`` is a :func:`~repro.kmachine.parallel.shipping.ship` tuple
+    decoding to ``(payloads, common)``; large payloads arrive through a
+    per-superstep shared-memory segment, small ones inline on the pipe.
     Run ``task(view, machine, rng, payload, **common)`` for each owned
-    machine; reply ``("ok", {machine: result})`` or ``("err", traceback)``.
-    ``meta`` is included the first time the parent references a store.
+    machine and reply ``("ok", wire)`` — results shipped the same way,
+    so large outbox fragments go back through shared memory and the
+    parent assembles delivery batches without piping arrays — or
+    ``("err", traceback)``.  ``meta`` is included the first time the
+    parent references a store; a ``None`` store key runs the task with
+    ``view=None`` (kernels that need no graph state, e.g. sorting).
 ``("pull-rngs", machines)``
     Reply with the current Generator objects (tests / state inspection).
 ``("drop-store", store_key)``
@@ -26,7 +37,7 @@ Protocol (parent -> worker over one duplex pipe, processed in order):
 Tasks must be module-level callables (they are pickled by reference).
 Any exception inside a task is caught and shipped back as a formatted
 traceback; only a hard crash (signal, ``os._exit``) severs the pipe,
-which the parent detects and turns into cleanup plus a
+which the parent detects and turns into pool destruction plus a
 :class:`~repro.errors.ModelError`.
 """
 
@@ -34,6 +45,7 @@ from __future__ import annotations
 
 import traceback
 
+from repro.kmachine.parallel import shipping
 from repro.kmachine.parallel.store import SharedGraphView
 
 __all__ = ["worker_main"]
@@ -64,16 +76,20 @@ def worker_main(conn) -> None:
                     view.detach()
                 continue
             if cmd == "map":
-                _, task, key, meta, machines, payloads, common = msg
+                _, task, key, meta, machines, wire = msg
                 try:
-                    if key not in views:
-                        views[key] = SharedGraphView.attach(meta)
-                    view = views[key]
+                    payloads, common = shipping.receive(wire)
+                    if key is None:
+                        view = None
+                    else:
+                        if key not in views:
+                            views[key] = SharedGraphView.attach(meta)
+                        view = views[key]
                     results = {
                         machine: task(view, machine, rngs[machine], payload, **common)
                         for machine, payload in zip(machines, payloads)
                     }
-                    conn.send(("ok", results))
+                    conn.send(("ok", shipping.ship(results)))
                 except BaseException:
                     conn.send(("err", traceback.format_exc()))
                 continue

@@ -254,8 +254,12 @@ def run(
     engine / workers / seed / bandwidth:
         Cluster construction knobs; ignored when ``cluster`` is given
         (``workers`` sizes the process backend's pool).  A cluster this
-        call builds is closed before returning, so process-backend runs
-        never leak worker pools.
+        call builds is closed before returning; with the process
+        backend that releases the worker pool *warm*, so consecutive
+        ``run(engine="process")`` calls with the same worker count
+        reuse the same worker processes and published graph stores (see
+        :func:`repro.kmachine.parallel.shutdown_worker_pools` for
+        explicit teardown).
     placement:
         Explicit input placement (partition or assignment array);
         sampled from shared randomness when omitted.

@@ -4,12 +4,21 @@ For every algorithm family, randomized (Hypothesis) instances must
 produce *identical* outputs, round counts, and per-link bit totals on
 ``MessageEngine`` and ``VectorEngine`` given the same seed — the
 contract that makes the execution backend a pure performance choice.
+
+Every kernelized family (all per-machine superstep compute routed
+through ``map_machines``) is additionally checked against
+``ProcessEngine``: the worker pool advances each machine's RNG stream in
+exactly the inline draw order, so randomized instances must stay
+bit-identical there too.  The process runs go through ``runtime.run``
+(which sizes the pool and releases it warm, so the whole class reuses
+one set of worker processes).
 """
 
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
 import repro
+from repro import runtime
 from repro.graphs.graph import Graph
 
 ENGINES = ("message", "vector")
@@ -124,3 +133,76 @@ class TestMSTEngineEquivalence:
         assert np.array_equal(runs[0].edges, runs[1].edges)
         assert runs[0].total_weight == runs[1].total_weight
         assert _metrics_signature(runs[0].metrics) == _metrics_signature(runs[1].metrics)
+
+
+def _process_pair(name, data, k, seed, **params):
+    """The same registry run on the vector and process backends."""
+    inline = runtime.run(name, data, k, seed=seed, engine="vector", **params)
+    procs = runtime.run(
+        name, data, k, seed=seed, engine="process", workers=2, **params
+    )
+    assert _metrics_signature(inline.metrics) == _metrics_signature(procs.metrics)
+    return inline.result, procs.result
+
+
+class TestProcessEngineKernelEquivalence:
+    """Every kernelized family, vector vs multiprocessing shard workers."""
+
+    @given(small_graphs(), st.integers(2, 8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_pagerank(self, g, k, seed):
+        a, b = _process_pair("pagerank", g, k, seed, c=2)
+        assert np.array_equal(a.estimates, b.estimates)
+        assert a.iterations == b.iterations
+
+    @given(small_graphs(), st.integers(2, 30), st.integers(0, 2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_triangles(self, g, k, seed):
+        a, b = _process_pair("triangles", g, k, seed)
+        assert np.array_equal(a.triangles, b.triangles)
+        assert np.array_equal(a.per_machine_output, b.per_machine_output)
+
+    @given(small_graphs(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=6, deadline=None)
+    def test_congested_clique_triangles(self, g, seed):
+        a, b = _process_pair("congested-clique-triangles", g, g.n, seed)
+        assert np.array_equal(a.triangles, b.triangles)
+
+    @given(small_graphs(), st.integers(2, 8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=6, deadline=None)
+    def test_triangles_conversion(self, g, k, seed):
+        a, b = _process_pair("triangles-conversion", g, k, seed)
+        assert np.array_equal(a.triangles, b.triangles)
+        assert np.array_equal(a.per_machine_output, b.per_machine_output)
+
+    @given(small_graphs(), st.integers(16, 40), st.integers(0, 2**31 - 1))
+    @settings(max_examples=6, deadline=None)
+    def test_subgraphs(self, g, k, seed):
+        a, b = _process_pair("subgraphs", g, k, seed, pattern="k4")
+        assert np.array_equal(a.triangles, b.triangles)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=120),
+        st.integers(2, 8),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_sorting(self, values, k, seed):
+        values = np.asarray(values, dtype=np.float64)
+        a, b = _process_pair("sorting", values, k, seed)
+        for blk_a, blk_b in zip(a.blocks, b.blocks):
+            assert np.array_equal(blk_a, blk_b)
+
+    @given(small_graphs(max_n=12), st.integers(2, 8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_mst(self, g, k, seed):
+        a, b = _process_pair("mst", g, k, seed)
+        assert np.array_equal(a.edges, b.edges)
+        assert a.total_weight == b.total_weight
+
+    @given(small_graphs(max_n=12), st.integers(2, 8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=6, deadline=None)
+    def test_connectivity(self, g, k, seed):
+        a, b = _process_pair("connectivity", g, k, seed)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.num_components == b.num_components

@@ -275,6 +275,43 @@ class TestProcessEngineKnobs:
             )
 
 
+class TestWarmPoolReuse:
+    def test_consecutive_runs_reuse_the_same_worker_pool(self):
+        # The tentpole contract: two consecutive runtime.run calls on the
+        # process backend reuse the same worker pool — no respawn.  The
+        # run-owned cluster close releases the pool warm instead of
+        # destroying it.
+        from repro.kmachine.parallel import active_pools, shutdown_worker_pools
+
+        shutdown_worker_pools()
+        rep1 = runtime.run(
+            "triangles", FIXED_GRAPH, K, seed=SEED, engine="process", workers=2
+        )
+        pools = active_pools()
+        assert len(pools) == 1
+        pool = pools[0]
+        assert pool.holder is None and pool.alive  # released warm, not destroyed
+        pids = pool.pids
+        rep2 = runtime.run(
+            "triangles", FIXED_GRAPH, K, seed=SEED, engine="process", workers=2
+        )
+        assert active_pools() == (pool,)
+        assert pool.pids == pids and pool.alive
+        assert _result_signature("triangles", rep1.result) == _result_signature(
+            "triangles", rep2.result
+        )
+        assert _metrics_signature(rep1.metrics) == _metrics_signature(rep2.metrics)
+
+    def test_warm_reuse_spans_families(self):
+        from repro.kmachine.parallel import active_pools, shutdown_worker_pools
+
+        shutdown_worker_pools()
+        runtime.run("sorting", FIXED_VALUES, K, seed=SEED, engine="process", workers=2)
+        (pool,) = active_pools()
+        runtime.run("mst", FIXED_GRAPH, K, seed=SEED, engine="process", workers=2)
+        assert active_pools() == (pool,) and pool.alive
+
+
 class TestFixedKFamilies:
     def test_congested_clique_overrides_k(self):
         rep = runtime.run("congested-clique-triangles", FIXED_GRAPH, 7, seed=SEED)
