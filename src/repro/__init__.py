@@ -41,6 +41,12 @@ independent axes:
    :class:`~repro.runtime.AlgorithmSpec`; the CLI (``python -m repro run
    <algo>``), the k-sweep harness, and the benches are generic over the
    registry, so a new workload is one spec away from all three.
+4. **Workload subsystem** (:mod:`repro.workloads`) — *which inputs
+   exist*.  Named dataset specs (``"rmat:n=1e6,avg_deg=16,seed=7"``)
+   build million-node graphs through vectorized samplers or file
+   loaders, persisted as CSR snapshots in a content-addressed on-disk
+   cache; ``runtime.run(name, dataset=...)`` and ``python -m repro data``
+   consume them, and reloaded datasets reuse materialized shards.
 
 Quickstart::
 
@@ -131,10 +137,16 @@ from repro.core.lowerbounds import (
 # of the same purpose (which defaults to the REPRO_ENGINE backend).
 from repro import runtime
 
+# The workload subsystem (dataset specs, scalable generators, loaders,
+# content-addressed on-disk graph cache); importing it registers the
+# built-in workload families.  See repro.workloads for the spec grammar.
+from repro import workloads
+
 __all__ = [
     "__version__",
     # runtime layer
     "runtime",
+    "workloads",
     "DistributedGraph",
     # graphs
     "Graph",

@@ -21,6 +21,13 @@ Commands
 ``lowerbounds``  print the Theorem-1 cookbook table for given (n, k, B).
 ``sweep``        sweep k for any registered algorithm and fit the
                  exponent of its round scaling.
+``data``         manage the workload subsystem's content-addressed graph
+                 cache: ``data build <spec>``, ``data ls``, ``data info
+                 <spec|hash>``, ``data rm <spec|hash|--all>``.
+
+``run`` and ``sweep`` also accept ``--dataset <spec>`` (e.g. ``--dataset
+rmat:n=1e6,avg_deg=16,seed=7``), replacing the built-in ``--graph/--n``
+input with a named workload resolved through the on-disk cache.
 """
 
 from __future__ import annotations
@@ -57,6 +64,14 @@ def _graph_from_args(args) -> "repro.Graph":
 
 def _input_from_args(spec: "runtime.AlgorithmSpec", args):
     """Build the spec's input from CLI arguments (graph family or values)."""
+    if getattr(args, "dataset", None):
+        if spec.input_kind == "values":
+            raise SystemExit(
+                f"--dataset describes a graph; {spec.name!r} takes values input"
+            )
+        from repro import workloads
+
+        return workloads.materialize(args.dataset)
     if spec.input_kind == "values":
         return np.random.default_rng(args.seed).random(args.n)
     return _graph_from_args(args)
@@ -70,7 +85,15 @@ _API_ONLY_PARAMS = frozenset({"bandwidth", "cluster", "placement"})
 
 
 def _parse_set_params(pairs) -> dict:
-    """Parse repeated ``--set key=value`` options with literal-ish coercion."""
+    """Parse repeated ``--set key=value`` options with literal-ish coercion.
+
+    Coercion is shared with the dataset-spec grammar
+    (:func:`repro.workloads.literal_value`), so large sizes spell the
+    same everywhere: ``--set n=1e6`` and ``--set n=1_000_000`` are both
+    integers, while ``--set eps=2.0`` stays a float.
+    """
+    from repro.workloads import literal_value
+
     params: dict = {}
     for pair in pairs or ():
         key, sep, raw = pair.partition("=")
@@ -83,17 +106,7 @@ def _parse_set_params(pairs) -> dict:
                 f"{key} is not settable via --set; use the Python API "
                 f"(repro.runtime.run(..., {key}=...))"
             )
-        if raw.lower() in ("true", "false"):
-            value: object = raw.lower() == "true"
-        else:
-            try:
-                value = int(raw)
-            except ValueError:
-                try:
-                    value = float(raw)
-                except ValueError:
-                    value = raw
-        params[key] = value
+        params[key] = literal_value(raw)
     return params
 
 
@@ -221,6 +234,80 @@ def cmd_lowerbounds(args) -> int:
     return 0
 
 
+def _format_bytes(nbytes: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if nbytes < 1024 or unit == "GiB":
+            return f"{nbytes:.1f} {unit}" if unit != "B" else f"{nbytes} B"
+        nbytes /= 1024
+    return f"{nbytes:.1f} GiB"  # pragma: no cover - unreachable
+
+
+def cmd_data(args) -> int:
+    """``data {build,ls,info,rm}`` — the on-disk graph cache."""
+    from repro import workloads
+
+    cache = workloads.default_cache()
+    if args.data_command == "build":
+        spec = workloads.parse_spec(args.spec)
+        cached_before = (
+            not args.no_cache and spec.cacheable and cache.has(spec)
+        )
+        g = cache.materialize(spec, use_cache=not args.no_cache)
+        source = "built (no-cache)" if args.no_cache else (
+            "cache hit" if cached_before else "built"
+        )
+        rows = [
+            ["spec", spec.canonical()],
+            ["hash", spec.content_hash()],
+            ["n / m", f"{g.n} / {g.m}"],
+            ["source", source],
+        ]
+        if spec.cacheable and not args.no_cache:
+            rows.append(["path", str(cache.info(spec).path)])
+        print(format_table(["dataset", "value"], rows))
+        return 0
+    if args.data_command == "ls":
+        entries = cache.entries()
+        if not entries:
+            print(f"cache at {cache.graphs_dir} is empty")
+            return 0
+        rows = [
+            [e.key[:12], e.family, e.n, e.m, _format_bytes(e.nbytes), e.spec]
+            for e in entries
+        ]
+        print(format_table(["hash", "family", "n", "m", "size", "spec"], rows))
+        total = sum(e.nbytes for e in entries)
+        print(f"\n{len(entries)} dataset(s), {_format_bytes(total)} "
+              f"(cap {_format_bytes(cache.max_bytes)}) at {cache.graphs_dir}")
+        return 0
+    if args.data_command == "info":
+        e = cache.info(args.spec)
+        rows = [
+            ["spec", e.spec],
+            ["hash", e.key],
+            ["family", e.family],
+            ["n / m", f"{e.n} / {e.m}"],
+            ["directed", e.directed],
+            ["size", _format_bytes(e.nbytes)],
+            ["path", str(e.path)],
+        ]
+        print(format_table(["dataset", "value"], rows))
+        return 0
+    if args.data_command == "rm":
+        if args.all:
+            removed = cache.clear()
+            print(f"removed {removed} dataset(s)")
+            return 0
+        if not args.spec:
+            raise SystemExit("data rm needs a spec/hash or --all")
+        if not cache.evict(args.spec):
+            print(f"no cached dataset for {args.spec!r}", file=sys.stderr)
+            return 1
+        print(f"removed {args.spec}")
+        return 0
+    raise SystemExit(f"unknown data command {args.data_command!r}")
+
+
 def cmd_sweep(args) -> int:
     spec = runtime.get_spec(args.problem)
     data = _input_from_args(spec, args)
@@ -254,8 +341,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def intish(raw: str) -> int:
+        # Accept 1e6 / 1_000_000 spellings for sizes (shared with the
+        # dataset-spec grammar's integer coercion).
+        from repro.workloads import literal_value
+
+        value = literal_value(raw)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise argparse.ArgumentTypeError(f"expected an integer, got {raw!r}")
+        return value
+
     def common(p, default_n=1000):
-        p.add_argument("--n", type=int, default=default_n, help="problem size")
+        p.add_argument("--n", type=intish, default=default_n, help="problem size")
         p.add_argument("--k", type=int, default=8, help="number of machines")
         p.add_argument("--seed", type=int, default=1, help="random seed")
         p.add_argument(
@@ -286,9 +383,20 @@ def build_parser() -> argparse.ArgumentParser:
             "the runs of one command (e.g. a sweep's repetitions)",
         )
 
+    def add_dataset(p):
+        p.add_argument(
+            "--dataset",
+            metavar="SPEC",
+            default=None,
+            help="workload dataset spec replacing --graph/--n, e.g. "
+            "'rmat:n=1e6,avg_deg=16,seed=7' (resolved through the "
+            "content-addressed on-disk cache; see 'python -m repro data')",
+        )
+
     p = sub.add_parser("run", help="run any registered algorithm")
     p.add_argument("algo", choices=runtime.available(), help="registered algorithm")
     common(p, default_n=500)
+    add_dataset(p)
     p.add_argument(
         "--set",
         action="append",
@@ -307,7 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_triangles)
 
     p = sub.add_parser("sort", help="run the §1.3 sample sort")
-    p.add_argument("--n", type=int, default=50_000)
+    p.add_argument("--n", type=intish, default=50_000)
     p.add_argument("--k", type=int, default=8)
     p.add_argument("--seed", type=int, default=1)
     add_engine(p)
@@ -323,8 +431,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bandwidth", type=int, default=None)
     p.set_defaults(func=cmd_lowerbounds)
 
+    p = sub.add_parser("data", help="manage the on-disk workload dataset cache")
+    dsub = p.add_subparsers(dest="data_command", required=True)
+    d = dsub.add_parser("build", help="materialize a dataset spec (cached)")
+    d.add_argument("spec", help="dataset spec, e.g. rmat:n=1e6,avg_deg=16,seed=7")
+    d.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="build fresh without reading or writing the on-disk cache",
+    )
+    d.set_defaults(func=cmd_data)
+    d = dsub.add_parser("ls", help="list cached datasets")
+    d.set_defaults(func=cmd_data)
+    d = dsub.add_parser("info", help="show one cached dataset")
+    d.add_argument("spec", help="dataset spec or (abbreviated) content hash")
+    d.set_defaults(func=cmd_data)
+    d = dsub.add_parser("rm", help="remove cached datasets")
+    d.add_argument("spec", nargs="?", default=None,
+                   help="dataset spec or (abbreviated) content hash")
+    d.add_argument("--all", action="store_true", help="remove every cached dataset")
+    d.set_defaults(func=cmd_data)
+
     p = sub.add_parser("sweep", help="sweep k and fit the scaling exponent")
     common(p, default_n=1000)
+    add_dataset(p)
     p.add_argument(
         "--problem",
         choices=runtime.available(),

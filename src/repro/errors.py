@@ -9,6 +9,7 @@ __all__ = [
     "BandwidthError",
     "GraphError",
     "AlgorithmError",
+    "WorkloadError",
 ]
 
 
@@ -34,3 +35,7 @@ class GraphError(ReproError):
 
 class AlgorithmError(ReproError):
     """An algorithm's preconditions were violated or it failed internally."""
+
+
+class WorkloadError(ReproError):
+    """Invalid dataset spec, unknown workload family, or cache corruption."""

@@ -281,9 +281,10 @@ class DistributedGraph:
         return self.group_by_machine(shipper)
 
 
-#: LRU of recently materialized distgraphs, keyed by graph identity plus
-#: partition contents.  Entries hold their graph alive, which is what makes
-#: ``id(graph)`` collision-free while an entry lives.
+#: LRU of recently materialized distgraphs, keyed by graph identity (or,
+#: for workload-built graphs, by content address) plus partition contents.
+#: Entries hold their graph alive, which is what makes ``id(graph)``
+#: collision-free while an entry lives.
 _DISTGRAPH_CACHE: "OrderedDict[tuple, DistributedGraph]" = OrderedDict()
 _DISTGRAPH_CACHE_SIZE = 8
 
@@ -293,27 +294,54 @@ def clear_distgraph_cache() -> None:
     _DISTGRAPH_CACHE.clear()
 
 
+def _graph_cache_key(graph: Graph):
+    """The graph component of the distgraph LRU key.
+
+    Graphs built by the workload subsystem carry a ``content_key`` (the
+    dataset spec's content hash); keying on it means a dataset reloaded
+    from the on-disk cache — a *different object* with identical content —
+    still reuses materialized shards.  Ad-hoc graphs key on identity.
+    """
+    ck = getattr(graph, "content_key", None)
+    return ("content", ck, graph.directed) if ck else ("id", id(graph))
+
+
+def _same_graph(cached: Graph, graph: Graph) -> bool:
+    """Whether a cache hit's graph may stand in for ``graph``."""
+    if cached is graph:
+        return True
+    ck = getattr(graph, "content_key", None)
+    return (
+        ck is not None
+        and getattr(cached, "content_key", None) == ck
+        and cached.n == graph.n
+        and cached.m == graph.m
+        and cached.directed == graph.directed
+    )
+
+
 def cached_distgraph(graph: Graph, partition: VertexPartition) -> DistributedGraph:
     """A :class:`DistributedGraph` for ``(graph, partition)``, shared via LRU.
 
     Repeated runs over the same graph with the same placement — a pinned
     partition across a k-sweep's repetitions, registry runs at a fixed
     ``(seed, k)``, benchmark engine comparisons — used to re-materialize
-    identical per-machine shards every time.  The cache keys on graph
-    *identity* plus the partition's ``(k, home-contents digest)``; a hit
-    is verified with an exact ``home`` comparison before reuse, so a
-    digest collision can never alias two placements.  Distgraphs are
-    immutable after construction (the lazy views are pure functions of
-    graph + partition), which makes sharing semantics-free.
+    identical per-machine shards every time.  The cache keys on the graph
+    (its workload content address when present, else object identity; see
+    :func:`_graph_cache_key`) plus the partition's ``(k, home-contents
+    digest)``; a hit is verified with an exact ``home`` comparison before
+    reuse, so a digest collision can never alias two placements.
+    Distgraphs are immutable after construction (the lazy views are pure
+    functions of graph + partition), which makes sharing semantics-free.
     """
     digest = hashlib.blake2b(
         np.ascontiguousarray(partition.home).tobytes(), digest_size=16
     ).digest()
-    key = (id(graph), partition.k, digest)
+    key = (_graph_cache_key(graph), partition.k, digest)
     dg = _DISTGRAPH_CACHE.get(key)
     if (
         dg is not None
-        and dg.graph is graph
+        and _same_graph(dg.graph, graph)
         and (
             dg.partition is partition
             or np.array_equal(dg.partition.home, partition.home)
@@ -346,7 +374,7 @@ def resolve_distgraph(
     placement share one set of materialized shards.
     """
     if distgraph is not None:
-        if distgraph.graph is not graph:
+        if not _same_graph(distgraph.graph, graph):
             raise PartitionError("distgraph was built for a different graph")
         if partition is not None and partition is not distgraph.partition:
             raise PartitionError(

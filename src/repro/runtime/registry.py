@@ -26,6 +26,7 @@ from repro.kmachine.partition import VertexPartition, random_vertex_partition
 __all__ = [
     "AlgorithmSpec",
     "RunReport",
+    "DEFAULT_K",
     "register",
     "get_spec",
     "available",
@@ -35,6 +36,10 @@ __all__ = [
 
 #: Input kinds a spec can declare.
 GRAPH, VALUES = "graph", "values"
+
+#: Machine count used when ``run`` is called without ``k`` (dataset-spec
+#: invocations commonly omit it).
+DEFAULT_K = 8
 
 
 def _default_cluster_n(data) -> int:
@@ -215,9 +220,10 @@ class RunReport:
 
 def run(
     name: str,
-    data,
-    k: int,
+    data=None,
+    k: int | None = None,
     *,
+    dataset=None,
     engine: str = "message",
     workers: int | None = None,
     seed: int | None = None,
@@ -246,11 +252,21 @@ def run(
         A registered family name (see :func:`available`).
     data:
         The family input — a :class:`~repro.graphs.graph.Graph` or, for
-        ``input_kind="values"``, an array of elements.
+        ``input_kind="values"``, an array of elements.  Mutually
+        exclusive with ``dataset``.
     k:
-        Number of machines (overridden by specs declaring
-        :attr:`AlgorithmSpec.fix_k`, e.g. the congested clique's
-        ``k = n``).
+        Number of machines (default :data:`DEFAULT_K`; overridden by
+        specs declaring :attr:`AlgorithmSpec.fix_k`, e.g. the congested
+        clique's ``k = n``).
+    dataset:
+        A dataset spec string (or parsed
+        :class:`~repro.workloads.DatasetSpec`), e.g.
+        ``"rmat:n=1e6,avg_deg=16,seed=7"`` — resolved through the
+        workload subsystem's content-addressed on-disk cache
+        (:func:`repro.workloads.materialize`), so repeated runs load the
+        built CSR snapshot instead of regenerating, and the graph's
+        content key lets :func:`~repro.kmachine.distgraph.cached_distgraph`
+        reuse materialized shards across reloads.  Graph families only.
     engine / workers / seed / bandwidth:
         Cluster construction knobs; ignored when ``cluster`` is given
         (``workers`` sizes the process backend's pool).  A cluster this
@@ -267,6 +283,21 @@ def run(
         Family parameters, overriding the spec defaults.
     """
     spec = get_spec(name)
+    if dataset is not None:
+        if data is not None:
+            raise AlgorithmError("pass either data or dataset, not both")
+        if spec.input_kind != GRAPH:
+            raise AlgorithmError(
+                f"algorithm {name!r} takes {spec.input_kind!r} input; "
+                f"dataset specs describe graphs"
+            )
+        from repro import workloads  # deferred: workloads imports graphs
+
+        data = workloads.materialize(dataset)
+    elif data is None:
+        raise AlgorithmError("run() needs an input: pass data or dataset=...")
+    if k is None:
+        k = DEFAULT_K
     if spec.fix_k is not None:
         k = int(spec.fix_k(data))
     own_cluster = cluster is None

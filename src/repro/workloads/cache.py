@@ -1,0 +1,304 @@
+"""Content-addressed on-disk graph cache.
+
+Built datasets are persisted as npz CSR snapshots keyed by the content
+hash of their normalized spec (:meth:`DatasetSpec.content_hash`), so
+repeated runs, sweeps, and CI jobs materialize each workload exactly
+once::
+
+    ~/.cache/repro/graphs/<hash>.npz    CSR snapshot (io.write_npz)
+    ~/.cache/repro/graphs/<hash>.json   metadata sidecar (spec, n, m, ...)
+
+The root directory is ``$REPRO_DATA_DIR`` when set (the knob CI uses to
+persist the cache across runs), else ``$XDG_CACHE_HOME/repro``, else
+``~/.cache/repro``.
+
+Guarantees:
+
+* **atomic writes** — snapshots are written to a temp file in the cache
+  directory and ``os.replace``d into place, and the metadata sidecar is
+  written only after the snapshot, so a crash mid-write never leaves an
+  entry that :func:`materialize` would trust (an npz without its sidecar
+  is half-written garbage and gets overwritten);
+* **LRU size cap** — the cache is bounded by ``$REPRO_CACHE_BYTES``
+  (default 4 GiB); when a store pushes past the cap, least-recently-used
+  entries are evicted (recency = snapshot mtime, bumped on every load);
+* **content keys** — every graph returned by :func:`materialize` carries
+  the spec hash in ``Graph.content_key``, which the in-memory shard LRU
+  (:func:`repro.kmachine.distgraph.cached_distgraph`) uses to share
+  materialized :class:`~repro.kmachine.DistributedGraph` shards across
+  reloads of the same dataset.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import WorkloadError
+from repro.graphs.graph import Graph
+from repro.workloads import io as _io
+from repro.workloads import spec as _spec
+from repro.workloads.spec import DatasetSpec, parse_spec
+
+__all__ = [
+    "DATA_DIR_ENV",
+    "CACHE_BYTES_ENV",
+    "DEFAULT_CACHE_BYTES",
+    "CacheEntry",
+    "GraphCache",
+    "default_cache",
+    "materialize",
+]
+
+DATA_DIR_ENV = "REPRO_DATA_DIR"
+CACHE_BYTES_ENV = "REPRO_CACHE_BYTES"
+DEFAULT_CACHE_BYTES = 4 * 1024**3
+
+
+def _default_root() -> Path:
+    if os.environ.get(DATA_DIR_ENV):
+        return Path(os.environ[DATA_DIR_ENV]).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached dataset: its hash, spec string, shape, and footprint."""
+
+    key: str
+    spec: str
+    family: str
+    n: int
+    m: int
+    directed: bool
+    nbytes: int
+    last_used: float
+    path: Path
+
+
+class GraphCache:
+    """A content-addressed graph cache rooted at one directory.
+
+    All methods accept either a spec string/:class:`DatasetSpec` or a
+    (possibly abbreviated) content-hash hex string where a dataset must
+    be named.
+    """
+
+    def __init__(self, root: "str | Path | None" = None,
+                 max_bytes: int | None = None) -> None:
+        self.root = Path(root) if root is not None else _default_root()
+        if max_bytes is None:
+            raw = os.environ.get(CACHE_BYTES_ENV)
+            if raw:
+                # Same integer spellings as specs/--set: 2e9, 2_000_000_000.
+                from repro.workloads.spec import literal_value
+
+                max_bytes = literal_value(raw)
+                if not isinstance(max_bytes, int) or isinstance(max_bytes, bool):
+                    raise WorkloadError(
+                        f"${CACHE_BYTES_ENV} must be an integer byte count, "
+                        f"got {raw!r}"
+                    )
+            else:
+                max_bytes = DEFAULT_CACHE_BYTES
+        if max_bytes <= 0:
+            raise WorkloadError(f"cache size cap must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+
+    # -- paths ----------------------------------------------------------
+    @property
+    def graphs_dir(self) -> Path:
+        return self.root / "graphs"
+
+    def _paths(self, key: str) -> tuple[Path, Path]:
+        return self.graphs_dir / f"{key}.npz", self.graphs_dir / f"{key}.json"
+
+    # -- key resolution -------------------------------------------------
+    def resolve_key(self, ref: "str | DatasetSpec") -> str:
+        """Resolve a spec or an abbreviated hash to a full content hash."""
+        if isinstance(ref, DatasetSpec):
+            return ref.content_hash()
+        ref = ref.strip()
+        if ":" in ref or not all(ch in "0123456789abcdef" for ch in ref.lower()):
+            return parse_spec(ref).content_hash()
+        low = ref.lower()
+        if len(low) == 32:
+            return low
+        matches = [e.key for e in self.entries() if e.key.startswith(low)]
+        # A short all-hex token that is a registered family name (none
+        # today, but cheap to keep honest) or matches nothing falls back
+        # to spec parsing for its error message.
+        if not matches:
+            return parse_spec(ref).content_hash()
+        if len(matches) > 1:
+            raise WorkloadError(
+                f"hash prefix {ref!r} is ambiguous: {', '.join(sorted(matches))}"
+            )
+        return matches[0]
+
+    # -- queries --------------------------------------------------------
+    def has(self, ref: "str | DatasetSpec") -> bool:
+        """Whether a committed entry exists (snapshot *and* sidecar)."""
+        npz, meta = self._paths(self.resolve_key(ref))
+        return npz.exists() and meta.exists()
+
+    def entries(self) -> list[CacheEntry]:
+        """All committed entries, most recently used first."""
+        out: list[CacheEntry] = []
+        if not self.graphs_dir.is_dir():
+            return out
+        for meta_path in self.graphs_dir.glob("*.json"):
+            npz_path = meta_path.with_suffix(".npz")
+            if not npz_path.exists():
+                continue
+            try:
+                meta = json.loads(meta_path.read_text())
+                stat = npz_path.stat()
+                out.append(CacheEntry(
+                    key=meta_path.stem,
+                    spec=meta["spec"],
+                    family=meta["family"],
+                    n=int(meta["n"]),
+                    m=int(meta["m"]),
+                    directed=bool(meta["directed"]),
+                    nbytes=stat.st_size,
+                    last_used=stat.st_mtime,
+                    path=npz_path,
+                ))
+            except (OSError, ValueError, KeyError):
+                continue  # half-written or foreign file; ignore
+        out.sort(key=lambda e: e.last_used, reverse=True)
+        return out
+
+    def info(self, ref: "str | DatasetSpec") -> CacheEntry:
+        """The committed entry for ``ref`` (raises if absent)."""
+        key = self.resolve_key(ref)
+        for entry in self.entries():
+            if entry.key == key:
+                return entry
+        raise WorkloadError(f"no cached dataset for {ref!r} (hash {key})")
+
+    # -- load/store -----------------------------------------------------
+    def load(self, spec: "str | DatasetSpec") -> Graph | None:
+        """Load a cached dataset, or ``None`` on miss.
+
+        A hit bumps the snapshot's mtime (the LRU recency marker) and
+        stamps the graph with the spec's content key.
+        """
+        spec = parse_spec(spec)
+        key = spec.content_hash()
+        npz, meta = self._paths(key)
+        if not (npz.exists() and meta.exists()):
+            return None
+        graph = _io.read_npz(npz)
+        os.utime(npz, None)
+        graph.content_key = key
+        return graph
+
+    def store(self, spec: "str | DatasetSpec", graph: Graph) -> Path:
+        """Persist a built dataset atomically and enforce the size cap."""
+        spec = parse_spec(spec)
+        if not spec.cacheable:
+            raise WorkloadError(
+                f"family {spec.family!r} is file-backed and not cacheable"
+            )
+        key = spec.content_hash()
+        npz, meta = self._paths(key)
+        self.graphs_dir.mkdir(parents=True, exist_ok=True)
+        tmp = npz.with_name(f".{key}.{os.getpid()}.tmp")
+        try:
+            _io.write_npz(tmp, graph)
+            os.replace(tmp, npz)
+        finally:
+            tmp.unlink(missing_ok=True)
+        meta_tmp = meta.with_name(f".{key}.{os.getpid()}.meta.tmp")
+        try:
+            meta_tmp.write_text(json.dumps({
+                "spec": spec.canonical(),
+                "family": spec.family,
+                "n": graph.n,
+                "m": graph.m,
+                "directed": graph.directed,
+                "created": time.time(),
+            }, indent=2) + "\n")
+            os.replace(meta_tmp, meta)
+        finally:
+            meta_tmp.unlink(missing_ok=True)
+        self.enforce_cap(protect=key)
+        return npz
+
+    def enforce_cap(self, protect: str | None = None) -> list[str]:
+        """Evict least-recently-used entries until under the size cap.
+
+        ``protect`` names a key never evicted (the entry just stored —
+        a single dataset larger than the whole cap must still persist).
+        Returns the evicted keys.
+        """
+        entries = self.entries()
+        total = sum(e.nbytes for e in entries)
+        evicted: list[str] = []
+        for entry in reversed(entries):  # least recently used first
+            if total <= self.max_bytes:
+                break
+            if entry.key == protect:
+                continue
+            self._remove(entry.key)
+            total -= entry.nbytes
+            evicted.append(entry.key)
+        return evicted
+
+    # -- removal --------------------------------------------------------
+    def _remove(self, key: str) -> None:
+        npz, meta = self._paths(key)
+        meta.unlink(missing_ok=True)  # sidecar first: no orphaned "commit"
+        npz.unlink(missing_ok=True)
+
+    def evict(self, ref: "str | DatasetSpec") -> bool:
+        """Remove one entry; returns whether anything was deleted."""
+        key = self.resolve_key(ref)
+        npz, meta = self._paths(key)
+        existed = npz.exists() or meta.exists()
+        self._remove(key)
+        return existed
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number of entries deleted."""
+        entries = self.entries()
+        for entry in entries:
+            self._remove(entry.key)
+        return len(entries)
+
+    # -- the cached build path ------------------------------------------
+    def materialize(self, spec: "str | DatasetSpec", use_cache: bool = True) -> Graph:
+        """Load a dataset from the cache, building (and storing) on miss.
+
+        Non-cacheable (file-backed) families always build, and their
+        graphs carry no content key (see
+        :func:`~repro.workloads.spec.build_dataset`).
+        """
+        spec = parse_spec(spec)
+        if use_cache and spec.cacheable:
+            graph = self.load(spec)
+            if graph is not None:
+                return graph
+        graph = _spec.build_dataset(spec)
+        if use_cache and spec.cacheable:
+            self.store(spec, graph)
+        return graph
+
+
+def default_cache() -> GraphCache:
+    """A cache at the environment-resolved root (cheap to construct)."""
+    return GraphCache()
+
+
+def materialize(spec: "str | DatasetSpec", use_cache: bool = True) -> Graph:
+    """Module-level convenience: :meth:`GraphCache.materialize` at the
+    default root.  This is the entry point ``runtime.run(dataset=...)``
+    and the CLI use."""
+    return default_cache().materialize(spec, use_cache=use_cache)

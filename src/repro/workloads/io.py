@@ -1,0 +1,264 @@
+"""Dataset loaders and the npz CSR snapshot format.
+
+Three ways bits become a :class:`~repro.graphs.graph.Graph`:
+
+* :func:`read_edge_list` — whitespace/TSV edge lists (``u v`` per line,
+  ``#`` comments), with optional relabeling of arbitrary integer ids to
+  the dense ``0..n-1`` range the simulator requires;
+* :func:`read_metis` — the METIS adjacency format (header ``n m``,
+  1-indexed neighbor lines);
+* :func:`read_npz` / :func:`write_npz` — the snapshot format of the
+  on-disk graph cache: canonical edge array plus the prebuilt CSR, so a
+  load is a handful of array reads and a trusted
+  :meth:`~repro.graphs.graph.Graph.from_canonical` call — no re-sorting,
+  no re-validation, bit-identical to the graph that was written.
+
+Snapshots store arrays at the narrowest safe dtype (int32 when all ids
+fit) and are versioned; readers reject snapshots written by an
+incompatible future format instead of misinterpreting them.
+
+The file-backed readers are registered as the ``edgelist`` and ``metis``
+workload families (``edgelist:path=graph.tsv``).  They are *not*
+cacheable: the spec string cannot content-address bytes owned by an
+external file, so they rebuild on every materialization.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.graphs.graph import Graph
+from repro.workloads.spec import ParamSpec, WorkloadFamily, register_workload
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_metis",
+    "read_npz",
+    "write_npz",
+    "SNAPSHOT_VERSION",
+]
+
+#: npz snapshot format version (see module docstring).
+SNAPSHOT_VERSION = 1
+
+
+def read_edge_list(
+    path: "str | Path",
+    directed: bool = False,
+    relabel: bool = False,
+    n: int | None = None,
+) -> Graph:
+    """Read a whitespace- or tab-separated edge list (``u v`` per line).
+
+    Lines starting with ``#`` or ``%`` are comments.  Duplicate rows (and,
+    for undirected graphs, reversed duplicates — the common "both
+    directions on disk" convention) and self-loops are dropped.  With
+    ``relabel=True`` arbitrary integer ids are densely renumbered in
+    sorted order; otherwise ids must already be ``0..n-1`` (``n`` defaults
+    to ``max id + 1``).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadError(f"edge-list file not found: {path}")
+    rows = []
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, 1):
+            s = line.strip()
+            if not s or s[0] in "#%":
+                continue
+            parts = s.split()
+            if len(parts) < 2:
+                raise WorkloadError(f"{path}:{lineno}: expected 'u v', got {s!r}")
+            try:
+                rows.append((int(parts[0]), int(parts[1])))
+            except ValueError:
+                raise WorkloadError(
+                    f"{path}:{lineno}: non-integer endpoint in {s!r}"
+                ) from None
+    edges = np.array(rows, dtype=np.int64).reshape(-1, 2)
+    if relabel:
+        ids, edges = np.unique(edges, return_inverse=True)
+        edges = edges.reshape(-1, 2)
+        n = ids.size if n is None else n
+    if edges.size:
+        if edges.min() < 0:
+            raise WorkloadError(f"{path}: negative vertex id (use relabel=true?)")
+        n = int(edges.max()) + 1 if n is None else n
+    elif n is None:
+        n = 0
+    edges = _drop_duplicate_rows(edges, n, directed)
+    return Graph(n=n, edges=edges, directed=directed)
+
+
+def _drop_duplicate_rows(edges: np.ndarray, n: int, directed: bool) -> np.ndarray:
+    """First-occurrence dedupe (+ self-loop drop) matching Graph canon rules."""
+    if not edges.size:
+        return edges
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    key_edges = edges if directed else np.sort(edges, axis=1)
+    keys = key_edges[:, 0] * np.int64(max(n, 1)) + key_edges[:, 1]
+    _, first = np.unique(keys, return_index=True)
+    first.sort()
+    return edges[first]
+
+
+def write_edge_list(path: "str | Path", graph: Graph) -> None:
+    """Write a graph's canonical edge array as a TSV edge list."""
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(f"# repro edge list: n={graph.n} m={graph.m} "
+                 f"directed={graph.directed}\n")
+        for u, v in graph.edges:
+            fh.write(f"{u}\t{v}\n")
+
+
+def read_metis(path: "str | Path") -> Graph:
+    """Read a METIS adjacency file (undirected; no weights).
+
+    Format: a header line ``n m [fmt]`` followed by ``n`` lines, line
+    ``i`` listing the (1-indexed) neighbors of vertex ``i``.  Only the
+    unweighted format (``fmt`` absent or ``0``/``00``/``000``) is
+    supported.  Each edge must appear in both endpoint lines (the METIS
+    contract); the duplicate listing is folded into one undirected edge.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadError(f"METIS file not found: {path}")
+    lines = [
+        ln.strip() for ln in path.read_text().splitlines()
+        if ln.strip() and not ln.lstrip().startswith("%")
+    ]
+    if not lines:
+        raise WorkloadError(f"{path}: empty METIS file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise WorkloadError(f"{path}: METIS header must be 'n m [fmt]'")
+    n, m = int(header[0]), int(header[1])
+    if len(header) > 2 and int(header[2]) != 0:
+        raise WorkloadError(f"{path}: weighted METIS format is not supported")
+    if len(lines) - 1 != n:
+        raise WorkloadError(
+            f"{path}: header says n={n} but file has {len(lines) - 1} "
+            f"adjacency lines"
+        )
+    srcs, dsts = [], []
+    for i, line in enumerate(lines[1:]):
+        try:
+            nbrs = np.array(line.split(), dtype=np.int64)
+        except ValueError:
+            raise WorkloadError(
+                f"{path}: non-integer neighbor id on line {i + 2}"
+            ) from None
+        if nbrs.size:
+            if nbrs.min() < 1 or nbrs.max() > n:
+                raise WorkloadError(f"{path}: neighbor id out of range on line {i + 2}")
+            srcs.append(np.full(nbrs.size, i, dtype=np.int64))
+            dsts.append(nbrs - 1)
+    if not srcs:
+        return Graph(n=n, edges=np.zeros((0, 2), dtype=np.int64), directed=False)
+    u = np.concatenate(srcs)
+    v = np.concatenate(dsts)
+    edges = _drop_duplicate_rows(np.column_stack([u, v]), n, directed=False)
+    g = Graph(n=n, edges=edges, directed=False)
+    if g.m != m:
+        raise WorkloadError(
+            f"{path}: header says m={m} but adjacency lines define {g.m} edges"
+        )
+    return g
+
+
+def _narrow(arr: np.ndarray) -> np.ndarray:
+    """Store ids as int32 when they fit (halves snapshot size)."""
+    if arr.size and (arr.max() > np.iinfo(np.int32).max or arr.min() < 0):
+        return arr
+    return arr.astype(np.int32)
+
+
+def write_npz(path: "str | Path", graph: Graph) -> None:
+    """Write a CSR snapshot (uncompressed npz; see module docstring)."""
+    path = Path(path)
+    with path.open("wb") as fh:
+        np.savez(
+            fh,
+            version=np.int64(SNAPSHOT_VERSION),
+            n=np.int64(graph.n),
+            directed=np.bool_(graph.directed),
+            edges=_narrow(graph.edges),
+            indptr=graph.indptr,
+            indices=_narrow(graph.indices),
+        )
+
+
+def read_npz(path: "str | Path") -> Graph:
+    """Read a CSR snapshot written by :func:`write_npz`.
+
+    Reconstruction goes through the trusted
+    :meth:`Graph.from_canonical <repro.graphs.graph.Graph.from_canonical>`
+    fast path — the snapshot's canonical edge array and prebuilt CSR are
+    adopted as-is, so loading is I/O-bound and the result is bit-identical
+    to the graph that was written.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadError(f"snapshot not found: {path}")
+    try:
+        with np.load(path) as data:
+            version = int(data["version"])
+            if version > SNAPSHOT_VERSION:
+                raise WorkloadError(
+                    f"{path}: snapshot format v{version} is newer than this "
+                    f"reader (v{SNAPSHOT_VERSION})"
+                )
+            return Graph.from_canonical(
+                n=int(data["n"]),
+                edges=data["edges"],
+                directed=bool(data["directed"]),
+                indptr=data["indptr"],
+                indices=data["indices"],
+            )
+    except WorkloadError:
+        raise
+    except Exception as exc:
+        raise WorkloadError(f"corrupt snapshot {path}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# File-backed workload families (not cacheable; the file owns the bytes).
+
+def _edgelist_builder(path: str, directed: bool, relabel: bool) -> Graph:
+    return read_edge_list(path, directed=directed, relabel=relabel)
+
+
+def _metis_builder(path: str) -> Graph:
+    return read_metis(path)
+
+
+_REGISTERED = False
+
+
+def register_io_workloads() -> None:
+    """Register the file-backed workload families (idempotent)."""
+    global _REGISTERED
+    if _REGISTERED:
+        return
+    _REGISTERED = True
+    register_workload(WorkloadFamily(
+        name="edgelist",
+        title="edge-list/TSV file (u v per line)",
+        builder=_edgelist_builder,
+        params=(ParamSpec("path", str, required=True),
+                ParamSpec("directed", bool, False),
+                ParamSpec("relabel", bool, False)),
+        cacheable=False,
+    ))
+    register_workload(WorkloadFamily(
+        name="metis",
+        title="METIS adjacency file (unweighted)",
+        builder=_metis_builder,
+        params=(ParamSpec("path", str, required=True),),
+        cacheable=False,
+    ))

@@ -137,3 +137,85 @@ class TestGenericRun:
         rc = main(["run", "pagerank", "--n", "40", "--k", "4", "--set", "eps=2.0"])
         assert rc == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_set_coerces_large_int_spellings(self):
+        from repro.cli import _parse_set_params
+
+        params = _parse_set_params(["a=1e6", "b=1_000_000", "c=2.5", "d=2.0", "e=c4"])
+        assert params["a"] == 10**6 and isinstance(params["a"], int)
+        assert params["b"] == 10**6 and isinstance(params["b"], int)
+        assert params["c"] == 2.5
+        assert params["d"] == 2.0 and isinstance(params["d"], float)
+        assert params["e"] == "c4"
+
+    def test_n_flag_accepts_scientific_and_underscores(self):
+        args = build_parser().parse_args(["pagerank", "--n", "1e3"])
+        assert args.n == 1000
+        args = build_parser().parse_args(["sort", "--n", "2_000"])
+        assert args.n == 2000
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["pagerank", "--n", "1.5"])
+
+
+@pytest.fixture
+def data_dir(tmp_path, monkeypatch):
+    from repro.workloads import DATA_DIR_ENV
+
+    monkeypatch.setenv(DATA_DIR_ENV, str(tmp_path / "data"))
+    return tmp_path / "data"
+
+
+class TestDataCommands:
+    SPEC = "gnp:n=300,avg_deg=4,seed=5"
+
+    def test_build_then_hit(self, data_dir, capsys):
+        assert main(["data", "build", self.SPEC]) == 0
+        assert "built" in capsys.readouterr().out
+        assert main(["data", "build", self.SPEC]) == 0
+        assert "cache hit" in capsys.readouterr().out
+        # --no-cache rebuilds and must say so, even with an entry present.
+        assert main(["data", "build", self.SPEC, "--no-cache"]) == 0
+        assert "built (no-cache)" in capsys.readouterr().out
+
+    def test_ls_and_info_and_rm(self, data_dir, capsys):
+        main(["data", "build", self.SPEC])
+        capsys.readouterr()
+        assert main(["data", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "gnp" in out and "1 dataset(s)" in out
+        assert main(["data", "info", self.SPEC]) == 0
+        assert "path" in capsys.readouterr().out
+        assert main(["data", "rm", self.SPEC]) == 0
+        capsys.readouterr()
+        assert main(["data", "ls"]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_rm_all(self, data_dir, capsys):
+        main(["data", "build", self.SPEC])
+        main(["data", "build", "gnp:n=300,avg_deg=4,seed=6"])
+        capsys.readouterr()
+        assert main(["data", "rm", "--all"]) == 0
+        assert "removed 2" in capsys.readouterr().out
+
+    def test_rm_missing_is_error(self, data_dir, capsys):
+        assert main(["data", "rm", self.SPEC]) == 1
+
+    def test_bad_spec_reports_error(self, data_dir, capsys):
+        assert main(["data", "build", "nope:n=3"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_with_dataset(self, data_dir, capsys):
+        rc = main(["run", "triangles", "--dataset", self.SPEC, "--k", "4",
+                   "--engine", "vector"])
+        assert rc == 0
+        assert "rounds" in capsys.readouterr().out
+
+    def test_run_dataset_rejected_for_values_input(self, data_dir):
+        with pytest.raises(SystemExit, match="values"):
+            main(["run", "sorting", "--dataset", self.SPEC, "--k", "4"])
+
+    def test_sweep_with_dataset(self, data_dir, capsys):
+        rc = main(["sweep", "--problem", "pagerank", "--dataset", self.SPEC,
+                   "--ks", "4,8", "--tokens", "2"])
+        assert rc == 0
+        assert "fit: rounds ~ k^" in capsys.readouterr().out

@@ -1,0 +1,176 @@
+"""Tests for the content-addressed on-disk graph cache."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+import repro.workloads.spec as spec_mod
+from repro.errors import WorkloadError
+from repro.workloads import DATA_DIR_ENV, GraphCache, materialize, parse_spec
+
+SPEC = "rmat:n=500,avg_deg=8,seed=7"
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return GraphCache(root=tmp_path / "data")
+
+
+@pytest.fixture
+def counting_builds(monkeypatch):
+    """Count build_dataset calls (the 'did the cache regenerate?' probe)."""
+    calls = []
+    real = spec_mod.build_dataset
+
+    def counted(spec):
+        calls.append(parse_spec(spec).canonical())
+        return real(spec)
+
+    monkeypatch.setattr(spec_mod, "build_dataset", counted)
+    return calls
+
+
+class TestMaterialize:
+    def test_second_materialization_hits_cache(self, cache, counting_builds):
+        g1 = cache.materialize(SPEC)
+        g2 = cache.materialize(SPEC)
+        assert len(counting_builds) == 1, "second call must not regenerate"
+        assert g1 is not g2  # a fresh load, not the same object
+        assert np.array_equal(g1.edges, g2.edges)
+        assert np.array_equal(g1.indptr, g2.indptr)
+        assert np.array_equal(g1.indices, g2.indices)
+        assert g1.content_key == g2.content_key == parse_spec(SPEC).content_hash()
+
+    def test_equivalent_spelling_hits_same_entry(self, cache, counting_builds):
+        cache.materialize(SPEC)
+        cache.materialize("rmat:seed=7,avg_deg=8.0,n=5e2")
+        assert len(counting_builds) == 1
+
+    def test_use_cache_false_rebuilds_and_does_not_store(self, cache, counting_builds):
+        cache.materialize(SPEC, use_cache=False)
+        assert not cache.has(SPEC)
+        cache.materialize(SPEC, use_cache=False)
+        assert len(counting_builds) == 2
+
+    def test_file_backed_family_never_cached(self, cache, tmp_path, counting_builds):
+        from repro.workloads import write_edge_list
+
+        path = tmp_path / "g.tsv"
+        write_edge_list(path, spec_mod.build_dataset("gnp:n=30,avg_deg=4,seed=1"))
+        counting_builds.clear()
+        spec = f"edgelist:path={path}"
+        cache.materialize(spec)
+        cache.materialize(spec)
+        assert len(counting_builds) == 2
+        assert cache.entries() == []
+
+    def test_module_level_materialize_uses_env_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(DATA_DIR_ENV, str(tmp_path / "env-root"))
+        materialize(SPEC)
+        assert GraphCache().has(SPEC)
+        assert (tmp_path / "env-root" / "graphs").is_dir()
+
+
+class TestEntriesAndRemoval:
+    def test_entries_metadata(self, cache):
+        g = cache.materialize(SPEC)
+        (entry,) = cache.entries()
+        assert entry.key == parse_spec(SPEC).content_hash()
+        assert entry.n == g.n and entry.m == g.m
+        assert entry.family == "rmat"
+        assert entry.nbytes > 0 and entry.path.exists()
+
+    def test_info_and_evict_by_hash_prefix(self, cache):
+        cache.materialize(SPEC)
+        key = parse_spec(SPEC).content_hash()
+        assert cache.info(key[:8]).key == key
+        assert cache.evict(key[:8])
+        assert not cache.has(SPEC)
+        assert not cache.evict(key)  # already gone
+
+    def test_info_missing_raises(self, cache):
+        with pytest.raises(WorkloadError, match="no cached dataset"):
+            cache.info(SPEC)
+
+    def test_ambiguous_prefix_raises(self, cache, monkeypatch):
+        cache.materialize(SPEC)
+        cache.materialize("rmat:n=500,avg_deg=8,seed=8")
+        keys = sorted(e.key for e in cache.entries())
+        shared = os.path.commonprefix(keys)
+        if shared:  # blake2b prefixes rarely collide at length >= 1
+            with pytest.raises(WorkloadError, match="ambiguous"):
+                cache.resolve_key(shared)
+
+    def test_clear(self, cache):
+        cache.materialize(SPEC)
+        cache.materialize("gnp:n=100,avg_deg=4,seed=1")
+        assert cache.clear() == 2
+        assert cache.entries() == []
+
+    def test_half_written_entry_ignored(self, cache):
+        cache.materialize(SPEC)
+        (entry,) = cache.entries()
+        # Simulate a crash between snapshot and sidecar: orphan npz.
+        entry.path.with_suffix(".json").unlink()
+        assert cache.entries() == []
+        assert not cache.has(SPEC)
+        assert cache.load(SPEC) is None
+
+    def test_corrupt_sidecar_ignored(self, cache):
+        cache.materialize(SPEC)
+        (entry,) = cache.entries()
+        entry.path.with_suffix(".json").write_text("{not json")
+        assert cache.entries() == []
+
+
+class TestSizeCap:
+    def test_lru_eviction(self, tmp_path):
+        cache = GraphCache(root=tmp_path, max_bytes=1)  # evict everything old
+        cache.materialize("gnp:n=200,avg_deg=4,seed=1")
+        cache.materialize("gnp:n=200,avg_deg=4,seed=2")
+        # The just-stored entry is protected even though it exceeds the cap.
+        (entry,) = cache.entries()
+        assert json.loads(entry.path.with_suffix(".json").read_text())["spec"].endswith(
+            "seed=2"
+        )
+
+    def test_recency_decides_victim(self, tmp_path):
+        cache = GraphCache(root=tmp_path, max_bytes=10**12)
+        a = "gnp:n=200,avg_deg=4,seed=1"
+        b = "gnp:n=200,avg_deg=4,seed=2"
+        cache.materialize(a)
+        cache.materialize(b)
+        os.utime(cache.info(a).path, (0, 0))  # a is stale
+        cache.max_bytes = cache.info(b).nbytes  # room for exactly one
+        evicted = cache.enforce_cap()
+        assert evicted == [parse_spec(a).content_hash()]
+        assert cache.has(b) and not cache.has(a)
+
+    def test_bad_cap_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError, match="positive"):
+            GraphCache(root=tmp_path, max_bytes=0)
+
+    def test_env_cap_accepts_spec_integer_spellings(self, tmp_path, monkeypatch):
+        from repro.workloads import CACHE_BYTES_ENV
+
+        monkeypatch.setenv(CACHE_BYTES_ENV, "2e9")
+        assert GraphCache(root=tmp_path).max_bytes == 2_000_000_000
+        monkeypatch.setenv(CACHE_BYTES_ENV, "1_000_000")
+        assert GraphCache(root=tmp_path).max_bytes == 10**6
+        monkeypatch.setenv(CACHE_BYTES_ENV, "lots")
+        with pytest.raises(WorkloadError, match="integer byte count"):
+            GraphCache(root=tmp_path)
+
+
+class TestAtomicity:
+    def test_no_tmp_files_left_behind(self, cache):
+        cache.materialize(SPEC)
+        leftovers = [p for p in cache.graphs_dir.iterdir() if "tmp" in p.name]
+        assert leftovers == []
+
+    def test_store_refuses_uncacheable(self, cache):
+        g = spec_mod.build_dataset("gnp:n=30,avg_deg=4,seed=1")
+        with pytest.raises(WorkloadError, match="not cacheable"):
+            cache.store("edgelist:path=x.tsv", g)
