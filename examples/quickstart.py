@@ -15,7 +15,10 @@ family reachable through one ``run(name, data, k, ...)`` call.  The
 *workload subsystem* (``repro.workloads``) names datasets by spec string
 (``"rmat:n=1e6,avg_deg=16,seed=7"``) and caches built CSR graphs on disk
 by content hash — the tour at the end generates, caches, runs, and
-reruns one.
+reruns one.  The *serve layer* (``repro.serve``) keeps all of that
+resident in a long-lived daemon with a sqlite result cache, so repeated
+requests are answered with zero superstep execution — the final tour
+starts one in-process and round-trips it over HTTP.
 
 Run:  python examples/quickstart.py
 """
@@ -197,6 +200,46 @@ def main() -> None:
     print(f"  triangles on the dataset: {wrep.result.count} "
           f"({wrep.rounds} rounds; rerun reused cached shards)")
     workloads.default_cache().evict(dataset)  # leave no quickstart residue
+
+    # --- Serve tour: a persistent analytics daemon + result cache -------
+    # Deterministic engines make completed runs data: runtime.run(...,
+    # result_cache=True) persists (result, metrics) in sqlite keyed by
+    # (dataset content_key, algo, canonical params, seed, engine), and a
+    # repeat of the same request is answered with zero superstep
+    # execution.  The serve daemon keeps the whole substrate — warm
+    # pools, materialized datasets, the result cache — resident behind
+    # an HTTP/JSON front end, multiplexing concurrent clients through
+    # one Session (misses serialize over the substrate lock; cache hits
+    # answer concurrently without it).  On the CLI:
+    #   python -m repro serve --port 8642 &
+    #   python -m repro client run triangles --dataset "rmat:n=1e6,avg_deg=16,seed=7" --k 8 --seed 9
+    #   python -m repro client status && python -m repro client shutdown
+    import tempfile
+
+    from repro.serve import ReproServer, ServeClient
+
+    serve_dataset = "gnp:n=2000,avg_deg=6,seed=7"
+    with tempfile.NamedTemporaryFile(suffix=".sqlite") as tmp_db:
+        server = ReproServer(port=0, result_cache=tmp_db.name)
+        with server.start_in_thread() as handle:
+            client = ServeClient(handle.host, handle.port)
+            client.wait_until_ready()
+            start = time.perf_counter()
+            first = client.run("triangles", dataset=serve_dataset, k=8, seed=9)
+            miss_s = time.perf_counter() - start
+            start = time.perf_counter()
+            second = client.run("triangles", dataset=serve_dataset, k=8, seed=9)
+            hit_s = time.perf_counter() - start
+            assert not first["cached"] and second["cached"]
+            assert second["rounds"] == first["rounds"]
+            stats = client.status()["session"]
+        print(f"\nServe daemon on 127.0.0.1:{handle.port} ({serve_dataset})")
+        print(f"  first request (executes): {miss_s:.3f}s   "
+              f"identical repeat (sqlite hit): {hit_s:.3f}s")
+        print(f"  session counters: executed={stats['executed']} "
+              f"cache_hits={stats['cache_hits']} "
+              f"store={stats['result_store']['entries']} entries")
+    workloads.default_cache().evict(serve_dataset)
 
 
 if __name__ == "__main__":

@@ -24,6 +24,13 @@ Commands
 ``data``         manage the workload subsystem's content-addressed graph
                  cache: ``data build <spec>``, ``data ls``, ``data info
                  <spec|hash>``, ``data rm <spec|hash|--all>``.
+``serve``        run the persistent analytics daemon: warm pools,
+                 resident datasets, and the sqlite result cache stay
+                 live across requests (``python -m repro serve --port
+                 8642 --prewarm "rmat:n=1e6,avg_deg=16,seed=7"``).
+``client``       talk to a running daemon: ``client run <algo> --dataset
+                 <spec>``, ``client status``, ``client health``,
+                 ``client shutdown``.
 
 ``run`` and ``sweep`` also accept ``--dataset <spec>`` (e.g. ``--dataset
 rmat:n=1e6,avg_deg=16,seed=7``), replacing the built-in ``--graph/--n``
@@ -308,6 +315,97 @@ def cmd_data(args) -> int:
     raise SystemExit(f"unknown data command {args.data_command!r}")
 
 
+def cmd_serve(args) -> int:
+    """``serve`` — run the persistent analytics daemon (blocks)."""
+    from repro.serve import ReproServer
+
+    result_cache: "bool | str" = True
+    if args.result_db:
+        if args.result_db.lower() in ("none", "off"):
+            result_cache = False
+        else:
+            result_cache = args.result_db
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        result_cache=result_cache,
+        queue_limit=args.queue_limit,
+        timeout=args.timeout,
+        max_datasets=args.max_datasets,
+        prewarm=args.prewarm or (),
+    )
+    store = server.session.store
+    print(f"repro serve: listening on http://{args.host}:{args.port}")
+    print(f"  result cache: {store.path if store is not None else 'disabled'}")
+    if args.prewarm:
+        print(f"  prewarming {len(args.prewarm)} dataset(s)")
+    print("  POST /run, GET /status, GET /health, POST /shutdown")
+    server.serve_forever()
+    print("repro serve: stopped")
+    return 0
+
+
+def cmd_client(args) -> int:
+    """``client {run,status,health,shutdown}`` — talk to a daemon."""
+    from repro.serve import ServeClient
+
+    client = ServeClient(host=args.host, port=args.port, timeout=args.timeout)
+    if args.client_command == "health":
+        reply = client.health()
+        print(f"ok (uptime {reply['uptime_s']:.1f}s)")
+        return 0
+    if args.client_command == "status":
+        reply = client.status()
+        session = reply["session"]
+        rows = [
+            ["served", reply["served"]],
+            ["uptime", f"{reply['uptime_s']:.1f}s"],
+            ["requests", session["requests"]],
+            ["result-cache hits", session["cache_hits"]],
+            ["executed", session["executed"]],
+            ["errors / rejected / timeouts",
+             f"{session['errors']} / {session['rejected']} / {session['timeouts']}"],
+            ["in flight", f"{session['inflight']} (limit {session['queue_limit']})"],
+            ["resident datasets", session["resident_datasets"]],
+        ]
+        store = session.get("result_store")
+        if store:
+            rows.append(["result store",
+                         f"{store['entries']} entries at {store['path']} "
+                         f"({store['hits']} hits / {store['misses']} misses)"])
+        print(format_table(["daemon", "value"], rows))
+        return 0
+    if args.client_command == "shutdown":
+        client.shutdown()
+        print("daemon stopping")
+        return 0
+    if args.client_command == "run":
+        params = _parse_set_params(args.set)
+        report = client.run(
+            args.algo,
+            dataset=args.dataset,
+            k=args.k,
+            seed=args.seed,
+            engine=args.engine,
+            workers=args.workers,
+            params=params or None,
+        )
+        rows = [
+            ["n / k / B", f"{report['n']} / {report['k']} / {report['bandwidth']}"],
+            ["engine", report["engine"]],
+            ["served from result cache", report["cached"]],
+            ["rounds", report["rounds"]],
+            ["messages / bits", f"{report['messages']} / {report['bits']}"],
+            ["daemon time", f"{report['elapsed_s']:.3f}s"],
+        ]
+        for label, value in report.get("summary", []):
+            rows.append([label, value])
+        print(format_table([f"{report['algo']} @ {args.host}:{args.port}", "value"],
+                           rows))
+        return 0
+    raise SystemExit(f"unknown client command {args.client_command!r}")
+
+
 def cmd_sweep(args) -> int:
     spec = runtime.get_spec(args.problem)
     data = _input_from_args(spec, args)
@@ -451,6 +549,59 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dataset spec or (abbreviated) content hash")
     d.add_argument("--all", action="store_true", help="remove every cached dataset")
     d.set_defaults(func=cmd_data)
+
+    p = sub.add_parser("serve", help="run the persistent analytics daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument(
+        "--queue-limit", type=int, default=16,
+        help="max requests admitted at once (beyond it: HTTP 429)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="seconds a queued run may wait for the execution substrate "
+        "before HTTP 503 (default: wait forever)",
+    )
+    p.add_argument(
+        "--result-db", default=None, metavar="PATH",
+        help="sqlite result-cache file (default: $REPRO_RESULT_DB or "
+        "<cache root>/results.sqlite; 'none' disables result caching)",
+    )
+    p.add_argument(
+        "--max-datasets", type=int, default=4,
+        help="materialized dataset graphs kept resident (LRU)",
+    )
+    p.add_argument(
+        "--prewarm", action="append", metavar="SPEC", default=None,
+        help="dataset spec to materialize before accepting traffic "
+        "(repeatable)",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("client", help="talk to a running analytics daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="client-side request timeout (seconds)")
+    csub = p.add_subparsers(dest="client_command", required=True)
+    cr = csub.add_parser("run", help="submit one run request")
+    cr.add_argument("algo", help="registered algorithm name")
+    cr.add_argument("--dataset", required=True, metavar="SPEC",
+                    help="workload dataset spec, e.g. rmat:n=1e6,avg_deg=16,seed=7")
+    cr.add_argument("--k", type=int, default=None)
+    cr.add_argument("--seed", type=int, default=None,
+                    help="run seed (cacheable runs need one)")
+    cr.add_argument("--engine", choices=("message", "vector", "process"),
+                    default=None, help="execution backend (daemon default: vector)")
+    cr.add_argument("--workers", type=int, default=None)
+    cr.add_argument("--set", action="append", metavar="KEY=VALUE",
+                    help="family parameter override (repeatable)")
+    cr.set_defaults(func=cmd_client)
+    for name, doc in (("status", "daemon/session/result-store counters"),
+                      ("health", "liveness probe"),
+                      ("shutdown", "ask the daemon to stop")):
+        cc = csub.add_parser(name, help=doc)
+        cc.set_defaults(func=cmd_client)
 
     p = sub.add_parser("sweep", help="sweep k and fit the scaling exponent")
     common(p, default_n=1000)

@@ -10,6 +10,9 @@ __all__ = [
     "GraphError",
     "AlgorithmError",
     "WorkloadError",
+    "ServeError",
+    "SessionSaturated",
+    "SessionTimeout",
 ]
 
 
@@ -39,3 +42,15 @@ class AlgorithmError(ReproError):
 
 class WorkloadError(ReproError):
     """Invalid dataset spec, unknown workload family, or cache corruption."""
+
+
+class ServeError(ReproError):
+    """A request to the analytics service (or its client) failed."""
+
+
+class SessionSaturated(ServeError):
+    """Admission control rejected a run: the session queue is full."""
+
+
+class SessionTimeout(ServeError):
+    """A run waited longer than the session allows for the substrate."""

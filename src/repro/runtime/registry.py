@@ -191,6 +191,10 @@ class RunReport:
     distgraph: DistributedGraph | None = None
     #: Worker-pool size of the process backend (None for inline backends).
     workers: int | None = None
+    #: Whether this report was answered from the sqlite result cache
+    #: (no cluster was built, no superstep executed; ``distgraph`` and
+    #: ``workers`` are None on cached reports).
+    cached: bool = False
 
     @property
     def rounds(self) -> int:
@@ -218,18 +222,61 @@ class RunReport:
         return self.spec.lower_bound(self.n, self.k, self.bandwidth, **extra)
 
 
+def _resolve_result_store(result_cache):
+    """The :class:`~repro.serve.results.ResultStore` for ``result_cache``.
+
+    ``None``/``False`` disable caching; ``True`` resolves the default
+    store (``$REPRO_RESULT_DB`` or ``<cache root>/results.sqlite``); a
+    store instance is used as-is.
+    """
+    if result_cache is None or result_cache is False:
+        return None
+    if result_cache is True:
+        from repro.serve.results import default_result_store
+
+        return default_result_store()
+    return result_cache
+
+
+def _result_cache_plan(name, data, k, merged, seed, engine, bandwidth, cluster, placement):
+    """``(key, params_json, engine_name)`` for a cacheable run, else ``None``.
+
+    A run is cacheable exactly when it is a pure function of the key:
+    the input carries a dataset content key, the seed is pinned, the
+    cluster and placement are run-built (an explicit cluster/placement
+    smuggles in state the key cannot see), and every parameter has a
+    canonical JSON form.
+    """
+    content_key = getattr(data, "content_key", None)
+    if content_key is None or seed is None:
+        return None
+    if cluster is not None or placement is not None:
+        return None
+    from repro.serve.results import canonical_params, result_key
+
+    try:
+        params_json = canonical_params(merged, k, bandwidth)
+    except TypeError:
+        return None  # e.g. an explicit numpy weights array
+    engine_name = engine if engine is not None else "message"
+    key = result_key(content_key, name, params_json, seed, engine_name)
+    return key, params_json, engine_name
+
+
 def run(
     name: str,
     data=None,
     k: int | None = None,
     *,
     dataset=None,
-    engine: str = "message",
+    engine: str | None = None,
     workers: int | None = None,
     seed: int | None = None,
     bandwidth: int | None = None,
     cluster: Cluster | None = None,
     placement=None,
+    result_cache=None,
+    cache_only: bool = False,
     **params,
 ) -> RunReport:
     """Run a registered algorithm family end to end.
@@ -268,17 +315,35 @@ def run(
         content key lets :func:`~repro.kmachine.distgraph.cached_distgraph`
         reuse materialized shards across reloads.  Graph families only.
     engine / workers / seed / bandwidth:
-        Cluster construction knobs; ignored when ``cluster`` is given
-        (``workers`` sizes the process backend's pool).  A cluster this
-        call builds is closed before returning; with the process
-        backend that releases the worker pool *warm*, so consecutive
-        ``run(engine="process")`` calls with the same worker count
-        reuse the same worker processes and published graph stores (see
+        Cluster construction knobs (``engine`` defaults to
+        ``"message"``; ``workers`` sizes the process backend's pool).
+        All four conflict with an explicit ``cluster=`` — the cluster
+        already fixed them — and passing any of them alongside one
+        raises :class:`AlgorithmError` rather than silently running on
+        the wrong engine/seed.  A cluster this call builds is closed
+        before returning; with the process backend that releases the
+        worker pool *warm*, so consecutive ``run(engine="process")``
+        calls with the same worker count reuse the same worker
+        processes and published graph stores (see
         :func:`repro.kmachine.parallel.shutdown_worker_pools` for
         explicit teardown).
     placement:
         Explicit input placement (partition or assignment array);
         sampled from shared randomness when omitted.
+    result_cache:
+        ``True`` (the default sqlite store), a
+        :class:`~repro.serve.results.ResultStore`, or ``None``/``False``
+        (off).  Cacheable runs — dataset-addressed input (a graph with
+        a ``content_key``), pinned ``seed``, run-built cluster and
+        placement, canonicalizable params — are answered from the store
+        when present (``report.cached`` is True and no superstep
+        executes) and persisted after execution otherwise.  Runs that
+        are not cacheable simply execute.
+    cache_only:
+        Return the cached :class:`RunReport` or ``None`` without ever
+        executing (requires ``result_cache``).  The serve session uses
+        this to answer hits without queueing for the execution
+        substrate.
     **params:
         Family parameters, overriding the spec defaults.
     """
@@ -300,18 +365,57 @@ def run(
         k = DEFAULT_K
     if spec.fix_k is not None:
         k = int(spec.fix_k(data))
+    if cluster is not None:
+        if cluster.k != k:
+            raise AlgorithmError(f"cluster has k={cluster.k}, expected {k}")
+        if workers is not None:
+            raise AlgorithmError(
+                "workers sizes the cluster run() builds; pass it via "
+                "Cluster(engine='process', workers=...) instead"
+            )
+        # Mixed intent fails loudly: an explicit cluster already fixed
+        # its engine, seed, and bandwidth, so accepting them here would
+        # silently run on the wrong one.
+        for knob, value in (("engine", engine), ("seed", seed),
+                            ("bandwidth", bandwidth)):
+            if value is not None:
+                raise AlgorithmError(
+                    f"{knob} configures the cluster run() builds; the "
+                    f"explicit cluster= already fixed it — drop {knob} "
+                    f"or drop cluster"
+                )
+    merged = dict(spec.default_params)
+    merged.update(params)
+    if "seed" in merged and merged["seed"] is None:
+        merged["seed"] = seed
+    n = data.n if hasattr(data, "n") else int(np.asarray(data).size)
+    store = _resolve_result_store(result_cache)
+    if cache_only and store is None:
+        raise AlgorithmError("cache_only needs result_cache")
+    plan = None
+    if store is not None:
+        plan = _result_cache_plan(
+            name, data, k, merged, seed, engine, bandwidth, cluster, placement
+        )
+        if plan is not None:
+            key, params_json, engine_name = plan
+            # cache_only probes never count a miss: the caller's real
+            # run (which looks up again) owns the miss accounting.
+            hit = store.get(key, count_miss=not cache_only)
+            if hit is not None:
+                result, metrics, _meta = hit
+                return RunReport(
+                    name=spec.name, result=result, metrics=metrics,
+                    engine=engine_name, k=k, n=n, params=merged, spec=spec,
+                    distgraph=None, workers=None, cached=True,
+                )
+    if cache_only:
+        return None
     own_cluster = cluster is None
     if cluster is None:
         cluster = Cluster(
             k=k, n=spec.cluster_n(data), bandwidth=bandwidth, seed=seed,
-            engine=engine, workers=workers,
-        )
-    elif cluster.k != k:
-        raise AlgorithmError(f"cluster has k={cluster.k}, expected {k}")
-    elif workers is not None:
-        raise AlgorithmError(
-            "workers sizes the cluster run() builds; pass it via "
-            "Cluster(engine='process', workers=...) instead"
+            engine=engine if engine is not None else "message", workers=workers,
         )
     if placement is None:
         placement = spec.sample_placement(cluster, data)
@@ -324,10 +428,6 @@ def run(
             # (k-sweep repetitions, engine comparisons) share one set of
             # materialized shards instead of rebuilding them per run.
             distgraph = cached_distgraph(data, placement)
-    merged = dict(spec.default_params)
-    merged.update(params)
-    if "seed" in merged and merged["seed"] is None:
-        merged["seed"] = seed
     try:
         result = spec.runner(
             data, cluster, distgraph if distgraph is not None else placement, merged
@@ -335,7 +435,13 @@ def run(
     finally:
         if own_cluster:
             cluster.close()
-    n = data.n if hasattr(data, "n") else int(np.asarray(data).size)
+    if plan is not None:
+        key, params_json, engine_name = plan
+        store.put(
+            key, content_key=data.content_key, algo=spec.name,
+            params_json=params_json, seed=seed, engine=cluster.engine.name,
+            n=n, k=k, result=result, metrics=cluster.metrics,
+        )
     return RunReport(
         name=spec.name,
         result=result,

@@ -1,0 +1,124 @@
+"""The blocking client for the analytics daemon (``repro client``).
+
+One request per connection (the daemon replies ``Connection: close``),
+stdlib ``http.client`` only.  Every method returns the decoded JSON
+payload; protocol-level failures and ``ok: false`` replies raise
+:class:`~repro.errors.ServeError` with the daemon's error class and
+message preserved.
+
+Usage::
+
+    from repro.serve import ServeClient
+
+    client = ServeClient(port=8642)
+    client.wait_until_ready()
+    report = client.run("pagerank", dataset="rmat:n=1e6,avg_deg=16,seed=7",
+                        k=8, seed=1, params={"c": 2})
+    assert report["cached"] in (False, True)
+    print(client.status()["session"]["result_store"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+from repro.errors import ServeError
+from repro.serve.daemon import DEFAULT_HOST, DEFAULT_PORT
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """A blocking HTTP-JSON client bound to one daemon address."""
+
+    def __init__(self, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+                 timeout: float = 600.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = json.dumps(payload).encode() if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (ConnectionError, OSError) as exc:
+                raise ServeError(
+                    f"no daemon at {self.host}:{self.port} ({exc})"
+                ) from exc
+        finally:
+            conn.close()
+        try:
+            data = json.loads(raw.decode() or "{}")
+        except json.JSONDecodeError as exc:
+            raise ServeError(
+                f"daemon at {self.host}:{self.port} returned non-JSON "
+                f"(HTTP {response.status})"
+            ) from exc
+        if not data.get("ok"):
+            raise ServeError(
+                f"{data.get('error', 'Error')}: {data.get('message', '')} "
+                f"(HTTP {response.status})"
+            )
+        return data
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Liveness probe (raises :class:`ServeError` when unreachable)."""
+        return self._request("GET", "/health")
+
+    def wait_until_ready(self, deadline: float = 10.0,
+                         interval: float = 0.05) -> dict:
+        """Poll ``/health`` until the daemon answers (or the deadline)."""
+        end = time.monotonic() + deadline
+        while True:
+            try:
+                return self.health()
+            except ServeError:
+                if time.monotonic() >= end:
+                    raise
+                time.sleep(interval)
+
+    def status(self) -> dict:
+        """Daemon + session + result-store counters."""
+        return self._request("GET", "/status")
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to stop gracefully."""
+        return self._request("POST", "/shutdown")
+
+    def run(
+        self,
+        algo: str,
+        *,
+        dataset: str,
+        k: int | None = None,
+        seed: int | None = None,
+        engine: str | None = None,
+        workers: int | None = None,
+        bandwidth: int | None = None,
+        timeout: float | None = None,
+        params: dict | None = None,
+    ) -> dict:
+        """Submit one run request; returns the daemon's report dict.
+
+        The report carries counts and metrics (``rounds``, ``messages``,
+        ``bits``), the ``cached`` flag (True when the sqlite result
+        cache answered with zero superstep execution), the daemon-side
+        ``elapsed_s``, and the family's ``summary`` rows.
+        """
+        payload = {"algo": algo, "dataset": dataset}
+        for key, value in (("k", k), ("seed", seed), ("engine", engine),
+                           ("workers", workers), ("bandwidth", bandwidth),
+                           ("timeout", timeout), ("params", params)):
+            if value is not None:
+                payload[key] = value
+        return self._request("POST", "/run", payload)["report"]

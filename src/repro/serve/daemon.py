@@ -1,0 +1,353 @@
+"""The analytics daemon: an asyncio HTTP-JSON front end over one Session.
+
+``python -m repro serve`` turns the runtime into a long-lived service:
+the warm worker pools, the shared-memory graph stores, the distgraph
+LRU, the materialized datasets, and the sqlite result cache all stay
+resident across requests, and an asyncio socket front end multiplexes
+any number of concurrent clients over them.  Request execution follows
+the :class:`~repro.runtime.Session` contract — misses serialize over
+the substrate, result-cache hits are answered concurrently — and a
+failed run poisons only its own request.
+
+Protocol (HTTP/1.1, JSON bodies, ``Connection: close``):
+
+``GET /health``
+    ``{"ok": true, "uptime_s": ...}`` — liveness.
+``GET /status``
+    Session traffic counters, result-store stats, resident datasets.
+``POST /run``
+    Body: ``{"algo": "pagerank", "dataset": "rmat:n=1e6,avg_deg=16,seed=7",
+    "k": 8, "seed": 1, "engine": "vector", "params": {"c": 2}}``
+    (``engine`` defaults to ``"vector"``, the fast in-process backend;
+    ``workers``/``bandwidth``/``timeout`` optional).  Replies with the
+    run report: counts, metrics, ``cached`` flag, and the family's
+    summary rows.  Graph families only — inputs are named by dataset
+    spec, resolved through the content-addressed graph cache.
+``POST /shutdown``
+    Graceful stop (in-flight requests finish).
+
+Error mapping: saturation → 429, substrate timeout → 503, any other
+:class:`~repro.errors.ReproError` (bad spec, unknown algo, failed run)
+→ 400, unexpected exceptions → 500 — in every case the daemon keeps
+serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import ReproError, ServeError, SessionSaturated, SessionTimeout
+from repro.runtime.session import Session
+
+__all__ = ["DEFAULT_HOST", "DEFAULT_PORT", "ReproServer", "ServerHandle"]
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+
+def _jsonable(value):
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _jsonable(item())
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+class ReproServer:
+    """The long-lived daemon multiplexing run requests over one session.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (read
+        :attr:`port` after startup).
+    session:
+        An existing :class:`Session` to serve over, or ``None`` to own a
+        fresh one built from the remaining knobs (closed — including
+        warm-pool teardown — when the daemon stops).
+    result_cache / queue_limit / timeout / max_datasets:
+        Forwarded to the owned :class:`Session`.
+    prewarm:
+        Dataset specs to materialize before accepting traffic, so the
+        first request pays no build/load.
+    """
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        session: Session | None = None,
+        result_cache=True,
+        queue_limit: int = 16,
+        timeout: float | None = None,
+        max_datasets: int = 4,
+        prewarm=(),
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._own_session = session is None
+        self.session = session if session is not None else Session(
+            result_cache=result_cache, queue_limit=queue_limit,
+            timeout=timeout, max_datasets=max_datasets,
+        )
+        self.prewarm = tuple(prewarm)
+        # Executor threads mostly wait (on the substrate lock or sqlite),
+        # so sizing past the admission limit just burns memory.
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.session.queue_limit + 2,
+            thread_name_prefix="repro-serve",
+        )
+        self.served = 0
+        self.started = time.time()
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._shutdown_requested = False
+
+    # -- asyncio core ---------------------------------------------------
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            for spec in self.prewarm:
+                await self._loop.run_in_executor(
+                    self._executor, self.session.materialize, spec
+                )
+            server = await asyncio.start_server(
+                self._handle_conn, self.host, self.port
+            )
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            raise
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            self._executor.shutdown(wait=True)
+            if self._own_session:
+                self.session.close(shutdown_pools=True)
+
+    async def _handle_conn(self, reader, writer) -> None:
+        status, payload = 400, {"ok": False, "error": "BadRequest",
+                                "message": "malformed HTTP request"}
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            if len(parts) >= 2:
+                method, path = parts[0].upper(), parts[1]
+                headers = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                length = int(headers.get("content-length", "0") or 0)
+                body = await reader.readexactly(length) if length else b""
+                status, payload = await self._dispatch(method, path, body)
+        except (asyncio.IncompleteReadError, ConnectionError, ValueError) as exc:
+            status, payload = 400, {"ok": False, "error": type(exc).__name__,
+                                    "message": str(exc)}
+        except Exception as exc:  # isolation: one bad request, not the daemon
+            status, payload = 500, {"ok": False, "error": type(exc).__name__,
+                                    "message": str(exc)}
+        try:
+            data = json.dumps(payload).encode()
+            writer.write((
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(data)}\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode() + data)
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass  # client went away; nothing to salvage
+        if self._shutdown_requested and self._stop is not None:
+            self._stop.set()
+
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        if path == "/health":
+            if method != "GET":
+                return 405, {"ok": False, "error": "MethodNotAllowed",
+                             "message": f"{method} {path}"}
+            return 200, {"ok": True, "uptime_s": time.time() - self.started}
+        if path == "/status":
+            if method != "GET":
+                return 405, {"ok": False, "error": "MethodNotAllowed",
+                             "message": f"{method} {path}"}
+            return 200, {"ok": True, "served": self.served,
+                         "uptime_s": time.time() - self.started,
+                         "session": self.session.stats()}
+        if path == "/shutdown":
+            if method != "POST":
+                return 405, {"ok": False, "error": "MethodNotAllowed",
+                             "message": f"{method} {path}"}
+            self._shutdown_requested = True  # applied after the response
+            return 200, {"ok": True, "stopping": True}
+        if path == "/run":
+            if method != "POST":
+                return 405, {"ok": False, "error": "MethodNotAllowed",
+                             "message": f"{method} {path}"}
+            try:
+                payload = json.loads(body.decode() or "{}")
+                if not isinstance(payload, dict):
+                    raise ServeError("request body must be a JSON object")
+                report = await asyncio.get_running_loop().run_in_executor(
+                    self._executor, self._run_request, payload
+                )
+                self.served += 1
+                return 200, {"ok": True, "report": report}
+            except SessionSaturated as exc:
+                return 429, {"ok": False, "error": "SessionSaturated",
+                             "message": str(exc)}
+            except SessionTimeout as exc:
+                return 503, {"ok": False, "error": "SessionTimeout",
+                             "message": str(exc)}
+            except (ReproError, json.JSONDecodeError, TypeError) as exc:
+                return 400, {"ok": False, "error": type(exc).__name__,
+                             "message": str(exc)}
+            except Exception as exc:
+                return 500, {"ok": False, "error": type(exc).__name__,
+                             "message": str(exc)}
+        return 404, {"ok": False, "error": "NotFound", "message": path}
+
+    # -- request execution (runs on executor threads) -------------------
+    def _run_request(self, payload: dict) -> dict:
+        known = {"algo", "dataset", "k", "seed", "engine", "workers",
+                 "bandwidth", "timeout", "params"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ServeError(
+                f"unknown request fields: {', '.join(sorted(unknown))} "
+                f"(expected a subset of {', '.join(sorted(known))})"
+            )
+        algo = payload.get("algo")
+        if not algo or not isinstance(algo, str):
+            raise ServeError("request needs an 'algo' field")
+        dataset = payload.get("dataset")
+        if not dataset:
+            raise ServeError(
+                "request needs a 'dataset' spec — serve inputs are named "
+                "workloads (e.g. 'rmat:n=1e6,avg_deg=16,seed=7')"
+            )
+        params = payload.get("params") or {}
+        if not isinstance(params, dict):
+            raise ServeError("'params' must be a JSON object")
+        kwargs = {}
+        if payload.get("timeout") is not None:
+            kwargs["timeout"] = float(payload["timeout"])
+        start = time.perf_counter()
+        report = self.session.run(
+            algo,
+            dataset=dataset,
+            k=int(payload["k"]) if payload.get("k") is not None else None,
+            seed=int(payload["seed"]) if payload.get("seed") is not None else None,
+            # The service default is the fast in-process backend.
+            engine=payload.get("engine") or "vector",
+            workers=int(payload["workers"]) if payload.get("workers") is not None else None,
+            bandwidth=int(payload["bandwidth"]) if payload.get("bandwidth") is not None else None,
+            **kwargs,
+            **params,
+        )
+        elapsed = time.perf_counter() - start
+        out = {
+            "algo": report.name,
+            "n": report.n,
+            "k": report.k,
+            "engine": report.engine,
+            "workers": report.workers,
+            "cached": report.cached,
+            "rounds": report.metrics.rounds,
+            "phases": report.metrics.phases,
+            "messages": report.metrics.messages,
+            "bits": report.metrics.bits,
+            "bandwidth": report.bandwidth,
+            "elapsed_s": elapsed,
+            "result_type": type(report.result).__name__,
+        }
+        if report.spec.summarize is not None:
+            out["summary"] = [
+                [label, _jsonable(value)]
+                for label, value in report.spec.summarize(report.result)
+            ]
+        return out
+
+    # -- entry points ---------------------------------------------------
+    def serve_forever(self) -> None:
+        """Run the daemon in this thread until shutdown (CLI entry)."""
+        try:
+            asyncio.run(self._serve())
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            pass
+
+    def start_in_thread(self, ready_timeout: float = 30.0) -> "ServerHandle":
+        """Run the daemon in a background thread; returns once bound.
+
+        The returned :class:`ServerHandle` exposes the bound port and a
+        thread-safe :meth:`~ServerHandle.stop`.  Used by tests, the
+        bench harness, and embedding processes.
+        """
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve-daemon", daemon=True
+        )
+        thread.start()
+        if not self._ready.wait(ready_timeout):
+            raise ServeError("daemon did not start within "
+                             f"{ready_timeout:.1f}s")
+        if self._startup_error is not None:
+            thread.join(timeout=5.0)
+            raise ServeError(
+                f"daemon failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return ServerHandle(self, thread)
+
+
+class ServerHandle:
+    """A running daemon started by :meth:`ReproServer.start_in_thread`."""
+
+    def __init__(self, server: ReproServer, thread: threading.Thread) -> None:
+        self.server = server
+        self._thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self, join_timeout: float = 10.0) -> None:
+        """Request shutdown from any thread and wait for the daemon."""
+        loop, stop = self.server._loop, self.server._stop
+        if loop is not None and stop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:
+                pass  # loop already shut down
+        self._thread.join(timeout=join_timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

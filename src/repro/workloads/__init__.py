@@ -82,6 +82,7 @@ from repro.workloads.generators import (
     smallworld_graph,
 )
 from repro.workloads.io import (
+    SnapshotMissingError,
     read_edge_list,
     read_metis,
     read_npz,
@@ -124,6 +125,7 @@ __all__ = [
     "write_edge_list",
     "read_metis",
     "read_npz",
+    "SnapshotMissingError",
     "write_npz",
     "register_io_workloads",
     # cache

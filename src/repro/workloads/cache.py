@@ -19,6 +19,14 @@ Guarantees:
   written only after the snapshot, so a crash mid-write never leaves an
   entry that :func:`materialize` would trust (an npz without its sidecar
   is half-written garbage and gets overwritten);
+* **concurrency-safe** — any number of processes (or threads) may
+  ``materialize``/``evict``/``enforce_cap`` one root concurrently.  A
+  snapshot deleted between another process's existence check and its
+  read is treated as a plain miss (the loser rebuilds and re-stores),
+  directory scans tolerate entries vanishing mid-scan, and temp files
+  are named per-process *and* per-thread so concurrent writers of the
+  same key never collide (``os.replace`` makes the last commit win with
+  bit-identical contents either way);
 * **LRU size cap** — the cache is bounded by ``$REPRO_CACHE_BYTES``
   (default 4 GiB); when a store pushes past the cap, least-recently-used
   entries are evicted (recency = snapshot mtime, bumped on every load);
@@ -33,6 +41,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -148,17 +157,22 @@ class GraphCache:
         return npz.exists() and meta.exists()
 
     def entries(self) -> list[CacheEntry]:
-        """All committed entries, most recently used first."""
+        """All committed entries, most recently used first.
+
+        ``nbytes`` is the entry's full footprint — snapshot *plus*
+        sidecar — so :meth:`enforce_cap` bounds what the cache actually
+        occupies on disk.  Entries a concurrent process removes mid-scan
+        are skipped, never raised.
+        """
         out: list[CacheEntry] = []
         if not self.graphs_dir.is_dir():
             return out
         for meta_path in self.graphs_dir.glob("*.json"):
             npz_path = meta_path.with_suffix(".npz")
-            if not npz_path.exists():
-                continue
             try:
                 meta = json.loads(meta_path.read_text())
                 stat = npz_path.stat()
+                meta_size = meta_path.stat().st_size
                 out.append(CacheEntry(
                     key=meta_path.stem,
                     spec=meta["spec"],
@@ -166,12 +180,14 @@ class GraphCache:
                     n=int(meta["n"]),
                     m=int(meta["m"]),
                     directed=bool(meta["directed"]),
-                    nbytes=stat.st_size,
+                    nbytes=stat.st_size + meta_size,
                     last_used=stat.st_mtime,
                     path=npz_path,
                 ))
             except (OSError, ValueError, KeyError):
-                continue  # half-written or foreign file; ignore
+                # Half-written, foreign, or concurrently-evicted entry
+                # (stat/read on a file that vanished mid-scan); skip it.
+                continue
         out.sort(key=lambda e: e.last_used, reverse=True)
         return out
 
@@ -195,8 +211,17 @@ class GraphCache:
         npz, meta = self._paths(key)
         if not (npz.exists() and meta.exists()):
             return None
-        graph = _io.read_npz(npz)
-        os.utime(npz, None)
+        try:
+            graph = _io.read_npz(npz)
+        except FileNotFoundError:
+            # A concurrent enforce_cap/evict deleted the snapshot between
+            # the existence check and the read: a plain miss, not an
+            # error — the caller rebuilds (and re-stores).
+            return None
+        try:
+            os.utime(npz, None)  # bump LRU recency
+        except OSError:
+            pass  # entry evicted after the read; the loaded graph is fine
         graph.content_key = key
         return graph
 
@@ -210,13 +235,16 @@ class GraphCache:
         key = spec.content_hash()
         npz, meta = self._paths(key)
         self.graphs_dir.mkdir(parents=True, exist_ok=True)
-        tmp = npz.with_name(f".{key}.{os.getpid()}.tmp")
+        # Temp names are per-process *and* per-thread: two concurrent
+        # writers of one key must never share a temp file.
+        writer = f"{os.getpid()}.{threading.get_ident()}"
+        tmp = npz.with_name(f".{key}.{writer}.tmp")
         try:
             _io.write_npz(tmp, graph)
             os.replace(tmp, npz)
         finally:
             tmp.unlink(missing_ok=True)
-        meta_tmp = meta.with_name(f".{key}.{os.getpid()}.meta.tmp")
+        meta_tmp = meta.with_name(f".{key}.{writer}.meta.tmp")
         try:
             meta_tmp.write_text(json.dumps({
                 "spec": spec.canonical(),
@@ -232,13 +260,24 @@ class GraphCache:
         self.enforce_cap(protect=key)
         return npz
 
+    #: Age (seconds) after which an orphaned temp file from a crashed
+    #: writer is swept by :meth:`enforce_cap`.  Live writers finish (and
+    #: unlink) their temp files in well under this.
+    STALE_TMP_SECONDS = 3600.0
+
     def enforce_cap(self, protect: str | None = None) -> list[str]:
         """Evict least-recently-used entries until under the size cap.
 
         ``protect`` names a key never evicted (the entry just stored —
         a single dataset larger than the whole cap must still persist).
-        Returns the evicted keys.
+        Accounting covers each entry's full footprint (snapshot +
+        sidecar), and temp files abandoned by crashed writers are swept
+        once they are older than :attr:`STALE_TMP_SECONDS` — so nothing
+        the cache writes is invisible to the cap.  Entries a concurrent
+        process removes mid-pass are simply skipped.  Returns the
+        evicted keys.
         """
+        self._sweep_stale_tmp()
         entries = self.entries()
         total = sum(e.nbytes for e in entries)
         evicted: list[str] = []
@@ -251,6 +290,18 @@ class GraphCache:
             total -= entry.nbytes
             evicted.append(entry.key)
         return evicted
+
+    def _sweep_stale_tmp(self) -> None:
+        """Delete temp files old enough that their writer must be dead."""
+        if not self.graphs_dir.is_dir():
+            return
+        cutoff = time.time() - self.STALE_TMP_SECONDS
+        for tmp in self.graphs_dir.glob(".*.tmp"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+            except OSError:
+                continue  # vanished mid-sweep (another process's sweep)
 
     # -- removal --------------------------------------------------------
     def _remove(self, key: str) -> None:

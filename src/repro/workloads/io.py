@@ -40,10 +40,22 @@ __all__ = [
     "read_npz",
     "write_npz",
     "SNAPSHOT_VERSION",
+    "SnapshotMissingError",
 ]
 
 #: npz snapshot format version (see module docstring).
 SNAPSHOT_VERSION = 1
+
+
+class SnapshotMissingError(WorkloadError, FileNotFoundError):
+    """A snapshot path with no file behind it.
+
+    Inherits both: callers holding the :class:`WorkloadError` contract
+    see an ordinary workload failure, while the graph cache — where a
+    concurrent ``enforce_cap``/``evict`` may delete a snapshot between
+    the hit check and the read — catches it as ``FileNotFoundError``
+    and treats the read as a plain miss.
+    """
 
 
 def read_edge_list(
@@ -204,7 +216,7 @@ def read_npz(path: "str | Path") -> Graph:
     """
     path = Path(path)
     if not path.exists():
-        raise WorkloadError(f"snapshot not found: {path}")
+        raise SnapshotMissingError(f"snapshot not found: {path}")
     try:
         with np.load(path) as data:
             version = int(data["version"])
@@ -222,6 +234,10 @@ def read_npz(path: "str | Path") -> Graph:
             )
     except WorkloadError:
         raise
+    except FileNotFoundError as exc:
+        # Deleted between the existence check and the open (a concurrent
+        # cache eviction): missing, not corrupt.
+        raise SnapshotMissingError(f"snapshot not found: {path}") from exc
     except Exception as exc:
         raise WorkloadError(f"corrupt snapshot {path}: {exc}") from exc
 

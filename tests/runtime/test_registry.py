@@ -378,3 +378,115 @@ class TestDistgraphCache:
         g2 = repro.gnp_random_graph(48, 0.25, seed=6)
         part = random_vertex_partition(48, K, seed=8)
         assert cached_distgraph(FIXED_GRAPH, part) is not cached_distgraph(g2, part)
+
+
+class TestMixedIntentRejected:
+    """engine=/seed=/bandwidth= configure the cluster run() builds; with an
+    explicit cluster= they were silently ignored (the PR-6 bugfix)."""
+
+    def test_engine_with_cluster_rejected(self):
+        cluster = repro.Cluster(k=K, n=FIXED_GRAPH.n, seed=0)
+        with pytest.raises(AlgorithmError, match="engine"):
+            runtime.run("triangles", FIXED_GRAPH, K, cluster=cluster, engine="vector")
+
+    def test_seed_with_cluster_rejected(self):
+        cluster = repro.Cluster(k=K, n=FIXED_GRAPH.n, seed=0)
+        with pytest.raises(AlgorithmError, match="seed"):
+            runtime.run("triangles", FIXED_GRAPH, K, cluster=cluster, seed=SEED)
+
+    def test_bandwidth_with_cluster_rejected(self):
+        cluster = repro.Cluster(k=K, n=FIXED_GRAPH.n, seed=0)
+        with pytest.raises(AlgorithmError, match="bandwidth"):
+            runtime.run("triangles", FIXED_GRAPH, K, cluster=cluster, bandwidth=64)
+
+    def test_cluster_alone_still_works(self):
+        cluster = repro.Cluster(k=K, n=FIXED_GRAPH.n, seed=0)
+        rep = runtime.run("triangles", FIXED_GRAPH, K, cluster=cluster)
+        assert rep.k == K
+
+
+class TestResultCache:
+    """runtime.run(result_cache=...) — hit, miss, and cacheability rules."""
+
+    @pytest.fixture
+    def dataset_graph(self, tmp_path):
+        from repro.workloads import GraphCache
+
+        return GraphCache(root=tmp_path / "data").materialize(
+            "gnp:n=120,avg_deg=5,seed=3"
+        )
+
+    @pytest.fixture
+    def store(self, tmp_path):
+        from repro.serve import ResultStore
+
+        with ResultStore(tmp_path / "results.sqlite") as s:
+            yield s
+
+    def test_second_run_hits_without_executing(self, dataset_graph, store, monkeypatch):
+        import repro.runtime.registry as registry_mod
+
+        first = runtime.run(
+            "pagerank", dataset_graph, K, seed=SEED, result_cache=store, c=2
+        )
+        assert not first.cached
+        assert store.stats() == pytest.approx(
+            {**store.stats(), "hits": 0, "misses": 1, "stores": 1}
+        )
+        # A hit must never build a cluster: poison the constructor.
+        monkeypatch.setattr(
+            registry_mod, "Cluster",
+            lambda *a, **kw: pytest.fail("cache hit built a cluster"),
+        )
+        second = runtime.run(
+            "pagerank", dataset_graph, K, seed=SEED, result_cache=store, c=2
+        )
+        assert second.cached
+        assert second.distgraph is None and second.workers is None
+        assert store.stats()["hits"] == 1
+        assert np.array_equal(first.result.estimates, second.result.estimates)
+        assert second.rounds == first.rounds
+        assert second.metrics.messages == first.metrics.messages
+
+    def test_param_change_misses(self, dataset_graph, store):
+        runtime.run("pagerank", dataset_graph, K, seed=SEED, result_cache=store, c=2)
+        rep = runtime.run(
+            "pagerank", dataset_graph, K, seed=SEED, result_cache=store, c=3
+        )
+        assert not rep.cached
+        assert store.stats()["stores"] == 2
+
+    def test_graph_without_content_key_is_not_cached(self, store):
+        runtime.run("triangles", FIXED_GRAPH, K, seed=SEED, result_cache=store)
+        runtime.run("triangles", FIXED_GRAPH, K, seed=SEED, result_cache=store)
+        assert len(store) == 0
+
+    def test_unpinned_seed_is_not_cached(self, dataset_graph, store):
+        runtime.run("triangles", dataset_graph, K, result_cache=store)
+        assert len(store) == 0
+
+    def test_placement_bypasses_the_cache(self, dataset_graph, store):
+        part = random_vertex_partition(dataset_graph.n, K, seed=8)
+        runtime.run(
+            "triangles", dataset_graph, K, seed=SEED, result_cache=store,
+            placement=part,
+        )
+        assert len(store) == 0
+
+    def test_cache_only_probe(self, dataset_graph, store):
+        probe = runtime.run(
+            "triangles", dataset_graph, K, seed=SEED,
+            result_cache=store, cache_only=True,
+        )
+        assert probe is None
+        assert store.stats()["misses"] == 0, "probes must not count misses"
+        runtime.run("triangles", dataset_graph, K, seed=SEED, result_cache=store)
+        hit = runtime.run(
+            "triangles", dataset_graph, K, seed=SEED,
+            result_cache=store, cache_only=True,
+        )
+        assert hit is not None and hit.cached
+
+    def test_cache_only_without_store_rejected(self, dataset_graph):
+        with pytest.raises(AlgorithmError, match="cache_only"):
+            runtime.run("triangles", dataset_graph, K, seed=SEED, cache_only=True)

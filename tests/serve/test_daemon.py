@@ -1,0 +1,173 @@
+"""End-to-end daemon tests: HTTP surface, concurrency, fault isolation."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import ReproServer, ServeClient
+
+DATASET = "gnp:n=150,avg_deg=5,seed=3"
+
+
+@pytest.fixture(autouse=True)
+def _isolated_caches(tmp_path, monkeypatch):
+    from repro.serve import RESULT_DB_ENV
+    from repro.workloads import DATA_DIR_ENV
+
+    monkeypatch.setenv(DATA_DIR_ENV, str(tmp_path / "data"))
+    monkeypatch.setenv(RESULT_DB_ENV, str(tmp_path / "results.sqlite"))
+
+
+@pytest.fixture
+def daemon():
+    """A live daemon on an ephemeral port, with a bound client."""
+    server = ReproServer(port=0)
+    with server.start_in_thread() as handle:
+        client = ServeClient(handle.host, handle.port)
+        client.wait_until_ready()
+        yield server, client
+
+
+class TestHTTPSurface:
+    def test_health_and_status(self, daemon):
+        server, client = daemon
+        assert client.health()["ok"]
+        status = client.status()
+        assert status["served"] == 0  # counts completed /run requests only
+        assert status["session"]["requests"] == 0
+        assert status["uptime_s"] >= 0
+
+    def test_unknown_path_404(self, daemon):
+        _, client = daemon
+        url = f"http://{client.host}:{client.port}/nope"
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(url)
+        assert err.value.code == 404
+
+    def test_wrong_method_405(self, daemon):
+        _, client = daemon
+        url = f"http://{client.host}:{client.port}/health"
+        request = urllib.request.Request(url, data=b"{}", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request)
+        assert err.value.code == 405
+
+    def test_malformed_json_400(self, daemon):
+        _, client = daemon
+        url = f"http://{client.host}:{client.port}/run"
+        request = urllib.request.Request(
+            url, data=b"{not json", method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request)
+        assert err.value.code == 400
+        body = json.loads(err.value.read())
+        assert body["ok"] is False
+
+
+class TestRunRequests:
+    def test_miss_then_result_cache_hit(self, daemon):
+        server, client = daemon
+        first = client.run("triangles", dataset=DATASET, k=4, seed=9)
+        second = client.run("triangles", dataset=DATASET, k=4, seed=9)
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert second["rounds"] == first["rounds"]
+        assert second["messages"] == first["messages"]
+        status = client.status()
+        assert status["session"]["executed"] == 1
+        assert status["session"]["cache_hits"] == 1
+        assert status["session"]["result_store"]["hits"] == 1
+
+    def test_summary_rows_are_json_clean(self, daemon):
+        _, client = daemon
+        report = client.run("pagerank", dataset=DATASET, k=4, seed=1)
+        assert report["algo"] == "pagerank"
+        assert report["n"] == 150 and report["k"] == 4
+        assert isinstance(report["summary"], list)
+        json.dumps(report)  # the whole report must round-trip
+
+    def test_poisoned_request_leaves_the_daemon_serving(self, daemon):
+        _, client = daemon
+        with pytest.raises(ServeError, match="AlgorithmError"):
+            client.run("no-such-algo", dataset=DATASET, k=4)
+        with pytest.raises(ServeError):
+            client.run("pagerank", dataset="bogus-spec", k=4)
+        report = client.run("pagerank", dataset=DATASET, k=4, seed=1)
+        assert report["cached"] is False
+        status = client.status()
+        assert status["session"]["errors"] == 2
+        assert status["session"]["executed"] == 1
+
+    def test_unknown_request_field_rejected(self, daemon):
+        _, client = daemon
+        url = f"http://{client.host}:{client.port}/run"
+        payload = json.dumps(
+            {"algo": "pagerank", "dataset": DATASET, "k": 4, "bogus": 1}
+        ).encode()
+        request = urllib.request.Request(
+            url, data=payload, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request)
+        assert err.value.code == 400
+
+    def test_concurrent_clients(self, daemon):
+        """Eight clients at once; every reply correct, one execution."""
+        _, client = daemon
+        client.run("pagerank", dataset=DATASET, k=4, seed=1)  # warm the key
+        errors, reports = [], []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            try:
+                barrier.wait()
+                own = ServeClient(client.host, client.port)
+                reports.append(
+                    own.run("pagerank", dataset=DATASET, k=4, seed=1)
+                )
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(reports) == 8
+        assert all(r["cached"] for r in reports)
+        status = client.status()
+        assert status["session"]["executed"] == 1
+        assert status["session"]["cache_hits"] == 8
+
+
+class TestLifecycle:
+    def test_shutdown_endpoint_stops_the_daemon(self):
+        server = ReproServer(port=0)
+        handle = server.start_in_thread()
+        client = ServeClient(handle.host, handle.port)
+        client.wait_until_ready()
+        assert client.shutdown()["ok"]
+        handle._thread.join(timeout=10.0)
+        assert not handle._thread.is_alive()
+        with pytest.raises(ServeError, match="no daemon"):
+            client.health()
+
+    def test_client_error_when_no_daemon(self):
+        client = ServeClient(port=1)  # nothing listens on port 1
+        with pytest.raises(ServeError, match="no daemon"):
+            client.health()
+
+    def test_prewarm_materializes_before_traffic(self):
+        server = ReproServer(port=0, prewarm=(DATASET,))
+        with server.start_in_thread() as handle:
+            client = ServeClient(handle.host, handle.port)
+            client.wait_until_ready()
+            assert client.status()["session"]["resident_datasets"] == 1

@@ -1,0 +1,180 @@
+"""Tests for the sqlite result cache (keying, storage, bounds, sharing)."""
+
+import pickle
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro import runtime
+from repro.errors import ServeError
+from repro.serve import (
+    RESULT_DB_ENV,
+    ResultStore,
+    canonical_params,
+    default_result_store,
+    result_key,
+)
+
+
+class FakeMetrics:
+    def __init__(self, rounds=3):
+        self.rounds = rounds
+        self.messages = 10
+        self.bits = 80
+
+
+def _put(store, key, **overrides):
+    fields = dict(
+        content_key="c" * 32, algo="pagerank", params_json="{}",
+        seed=1, engine="vector", n=100, k=8,
+        result={"pi": [0.1, 0.9]}, metrics=FakeMetrics(),
+    )
+    fields.update(overrides)
+    store.put(key, **fields)
+
+
+class TestCanonicalParams:
+    def test_key_order_is_irrelevant(self):
+        a = canonical_params({"c": 2, "eps": 0.1}, k=8)
+        b = canonical_params({"eps": 0.1, "c": 2}, k=8)
+        assert a == b
+
+    def test_k_and_bandwidth_fold_into_the_surface(self):
+        assert canonical_params({}, k=8) != canonical_params({}, k=16)
+        assert canonical_params({}, k=8) != canonical_params({}, k=8, bandwidth=64)
+        # Default (None) bandwidth leaves the surface untouched.
+        assert "__bandwidth__" not in canonical_params({}, k=8)
+
+    def test_numpy_scalars_coerce(self):
+        a = canonical_params({"c": np.int64(2), "eps": np.float64(0.5)}, k=8)
+        b = canonical_params({"c": 2, "eps": 0.5}, k=8)
+        assert a == b
+
+    def test_arrays_are_not_canonicalizable(self):
+        with pytest.raises(TypeError, match="not canonicalizable"):
+            canonical_params({"weights": np.arange(4)}, k=8)
+
+    def test_result_key_separates_every_field(self):
+        base = ("c" * 32, "pagerank", "{}", 1, "vector")
+        key = result_key(*base)
+        assert len(key) == 32
+        for i, changed in enumerate(
+            [("d" * 32, "pagerank", "{}", 1, "vector"),
+             ("c" * 32, "triangles", "{}", 1, "vector"),
+             ("c" * 32, "pagerank", '{"c":2}', 1, "vector"),
+             ("c" * 32, "pagerank", "{}", 2, "vector"),
+             ("c" * 32, "pagerank", "{}", 1, "message")]
+        ):
+            assert result_key(*changed) != key, f"field {i} must change the key"
+
+
+class TestResultStore:
+    def test_put_get_roundtrip_and_counters(self, tmp_path):
+        with ResultStore(tmp_path / "r.sqlite") as store:
+            key = result_key("c" * 32, "pagerank", "{}", 1, "vector")
+            assert store.get(key) is None
+            _put(store, key)
+            result, metrics, meta = store.get(key)
+            assert result == {"pi": [0.1, 0.9]}
+            assert metrics.rounds == 3
+            assert meta["algo"] == "pagerank" and meta["k"] == 8
+            assert store.stats()["hits"] == 1
+            assert store.stats()["misses"] == 1
+            assert store.stats()["stores"] == 1
+
+    def test_count_miss_false_skips_the_miss_counter(self, tmp_path):
+        with ResultStore(tmp_path / "r.sqlite") as store:
+            assert store.get("0" * 32, count_miss=False) is None
+            assert store.misses == 0
+
+    def test_lru_eviction_respects_max_entries(self, tmp_path):
+        with ResultStore(tmp_path / "r.sqlite", max_entries=3) as store:
+            keys = [result_key("c" * 32, "pagerank", "{}", seed, "vector")
+                    for seed in range(5)]
+            for seed, key in enumerate(keys):
+                _put(store, key, seed=seed)
+            assert len(store) == 3
+            survivors = {row["key"] for row in store.rows()}
+            assert survivors == set(keys[2:]), "oldest rows are evicted"
+
+    def test_hit_refreshes_lru_rank(self, tmp_path):
+        with ResultStore(tmp_path / "r.sqlite", max_entries=2) as store:
+            keys = [result_key("c" * 32, "pagerank", "{}", seed, "vector")
+                    for seed in range(3)]
+            _put(store, keys[0], seed=0)
+            _put(store, keys[1], seed=1)
+            assert store.get(keys[0]) is not None  # 0 is now most recent
+            _put(store, keys[2], seed=2)
+            survivors = {row["key"] for row in store.rows()}
+            assert survivors == {keys[0], keys[2]}
+
+    def test_corrupt_payload_is_dropped_and_raised(self, tmp_path):
+        path = tmp_path / "r.sqlite"
+        store = ResultStore(path)
+        key = result_key("c" * 32, "pagerank", "{}", 1, "vector")
+        _put(store, key)
+        with store._lock, store._conn:
+            store._conn.execute(
+                "UPDATE results SET payload = ? WHERE key = ?",
+                (b"not a pickle", key),
+            )
+        with pytest.raises(ServeError, match="corrupt result payload"):
+            store.get(key)
+        assert len(store) == 0
+        store.close()
+
+    def test_two_handles_share_one_file(self, tmp_path):
+        path = tmp_path / "r.sqlite"
+        key = result_key("c" * 32, "pagerank", "{}", 1, "vector")
+        with ResultStore(path) as writer, ResultStore(path) as reader:
+            _put(writer, key)
+            result, _, _ = reader.get(key)
+            assert result == {"pi": [0.1, 0.9]}
+
+    def test_clear_and_len(self, tmp_path):
+        with ResultStore(tmp_path / "r.sqlite") as store:
+            _put(store, "a" * 32)
+            _put(store, "b" * 32)
+            assert len(store) == 2
+            assert store.clear() == 2
+            assert len(store) == 0
+
+    def test_bad_max_entries_rejected(self, tmp_path):
+        with pytest.raises(ServeError, match="positive"):
+            ResultStore(tmp_path / "r.sqlite", max_entries=0)
+
+    def test_default_store_follows_the_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(RESULT_DB_ENV, str(tmp_path / "a.sqlite"))
+        first = default_result_store()
+        assert first is default_result_store()
+        monkeypatch.setenv(RESULT_DB_ENV, str(tmp_path / "b.sqlite"))
+        second = default_result_store()
+        assert second is not first
+        assert second.path.endswith("b.sqlite")
+
+
+class TestRunIntegration:
+    """The cache under real runs: payloads must survive the roundtrip."""
+
+    def test_cached_report_is_bit_identical(self, tmp_path):
+        from repro.workloads import GraphCache
+
+        g = GraphCache(root=tmp_path / "data").materialize(
+            "gnp:n=120,avg_deg=5,seed=3"
+        )
+        with ResultStore(tmp_path / "r.sqlite") as store:
+            first = runtime.run("pagerank", g, k=4, seed=1, result_cache=store)
+            second = runtime.run("pagerank", g, k=4, seed=1, result_cache=store)
+            assert not first.cached and second.cached
+            assert np.array_equal(
+                first.result.estimates, second.result.estimates
+            )
+            assert second.rounds == first.rounds
+            assert second.metrics.messages == first.metrics.messages
+            # The payload really came from sqlite, not memory.
+            raw = sqlite3.connect(store.path).execute(
+                "SELECT payload FROM results"
+            ).fetchone()[0]
+            result, _ = pickle.loads(raw)
+            assert np.array_equal(result.estimates, first.result.estimates)

@@ -1,0 +1,181 @@
+"""Tests for the Session scheduler (concurrency, admission, residency)."""
+
+import threading
+
+import pytest
+
+import repro.runtime.session as session_mod
+from repro.errors import (
+    AlgorithmError,
+    ServeError,
+    SessionSaturated,
+    SessionTimeout,
+)
+from repro.runtime import Session
+from repro.serve import ResultStore
+
+DATASET = "gnp:n=150,avg_deg=5,seed=3"
+
+
+@pytest.fixture(autouse=True)
+def _isolated_caches(tmp_path, monkeypatch):
+    from repro.workloads import DATA_DIR_ENV
+
+    monkeypatch.setenv(DATA_DIR_ENV, str(tmp_path / "data"))
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ResultStore(tmp_path / "r.sqlite") as s:
+        yield s
+
+
+class TestRequestPath:
+    def test_miss_then_hit(self, store):
+        with Session(result_cache=store) as session:
+            first = session.run("pagerank", dataset=DATASET, k=4, seed=1)
+            second = session.run("pagerank", dataset=DATASET, k=4, seed=1)
+        assert not first.cached and second.cached
+        stats = session.stats()
+        assert stats["requests"] == 2
+        assert stats["executed"] == 1
+        assert stats["cache_hits"] == 1
+        assert stats["result_store"]["hits"] == 1
+        assert stats["result_store"]["misses"] == 1, (
+            "the optimistic probe must not double-count the miss"
+        )
+
+    def test_no_store_always_executes(self):
+        with Session(result_cache=None) as session:
+            assert session.store is None
+            one = session.run("pagerank", dataset=DATASET, k=4, seed=1)
+            two = session.run("pagerank", dataset=DATASET, k=4, seed=1)
+        assert not one.cached and not two.cached
+        assert session.stats()["executed"] == 2
+
+    def test_data_and_dataset_conflict(self, small_gnp):
+        with Session(result_cache=None) as session:
+            with pytest.raises(AlgorithmError, match="not both"):
+                session.run("pagerank", small_gnp, dataset=DATASET, k=4)
+
+    def test_failed_run_counts_and_session_survives(self, store):
+        with Session(result_cache=store) as session:
+            with pytest.raises(AlgorithmError):
+                session.run("no-such-algo", dataset=DATASET, k=4)
+            report = session.run("pagerank", dataset=DATASET, k=4, seed=1)
+        assert report is not None
+        stats = session.stats()
+        assert stats["errors"] == 1 and stats["executed"] == 1
+        assert stats["inflight"] == 0
+
+    def test_closed_session_rejects(self, store):
+        session = Session(result_cache=store)
+        session.close()
+        with pytest.raises(ServeError, match="closed"):
+            session.run("pagerank", dataset=DATASET, k=4, seed=1)
+
+    def test_concurrent_identical_requests(self, store):
+        """Many threads, one dataset: one execution, the rest cache hits."""
+        session = Session(result_cache=store, queue_limit=32)
+        session.run("pagerank", dataset=DATASET, k=4, seed=1)  # warm the key
+        errors, reports = [], []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            try:
+                barrier.wait()
+                reports.append(
+                    session.run("pagerank", dataset=DATASET, k=4, seed=1)
+                )
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        session.close()
+        assert errors == []
+        assert all(r.cached for r in reports)
+        assert session.stats()["executed"] == 1
+        assert session.stats()["cache_hits"] == 8
+
+
+class TestAdmissionControl:
+    """Admission limits, tested against a controllable fake substrate."""
+
+    @pytest.fixture
+    def slow_run(self, monkeypatch):
+        """Replace the registry call with one that blocks until released."""
+        release = threading.Event()
+        entered = threading.Event()
+
+        def fake(name, data, k, **kwargs):
+            if kwargs.get("cache_only"):
+                return None
+            entered.set()
+            release.wait(10.0)
+            return "done"
+
+        monkeypatch.setattr(session_mod, "_registry_run", fake)
+        return entered, release
+
+    def test_saturation_rejects_fast(self, slow_run):
+        entered, release = slow_run
+        session = Session(result_cache=None, queue_limit=1)
+        thread = threading.Thread(
+            target=session.run, args=("pagerank",), kwargs={"k": 4}
+        )
+        thread.start()
+        assert entered.wait(5.0)
+        with pytest.raises(SessionSaturated, match="saturated"):
+            session.run("pagerank", k=4)
+        release.set()
+        thread.join()
+        assert session.stats()["rejected"] == 1
+        session.close()
+
+    def test_substrate_timeout(self, slow_run):
+        entered, release = slow_run
+        session = Session(result_cache=None, queue_limit=4)
+        thread = threading.Thread(
+            target=session.run, args=("pagerank",), kwargs={"k": 4}
+        )
+        thread.start()
+        assert entered.wait(5.0)
+        with pytest.raises(SessionTimeout, match="waited over"):
+            session.run("pagerank", k=4, timeout=0.05)
+        release.set()
+        thread.join()
+        stats = session.stats()
+        assert stats["timeouts"] == 1
+        assert stats["errors"] == 0, "a timeout is not a run failure"
+        session.close()
+
+    def test_bad_limits_rejected(self):
+        with pytest.raises(ServeError, match="queue_limit"):
+            Session(queue_limit=0)
+        with pytest.raises(ServeError, match="max_datasets"):
+            Session(max_datasets=0)
+
+
+class TestDatasetResidency:
+    def test_repeat_requests_reuse_the_resident_graph(self, store):
+        with Session(result_cache=store) as session:
+            g1 = session.materialize(DATASET)
+            g2 = session.materialize("gnp:avg_deg=5.0,n=1.5e2,seed=3")
+            assert g1 is g2, "equivalent spellings share one resident graph"
+            assert len(session.resident_datasets()) == 1
+
+    def test_lru_bound(self, store):
+        with Session(result_cache=store, max_datasets=2) as session:
+            for seed in (1, 2, 3):
+                session.materialize(f"gnp:n=100,avg_deg=4,seed={seed}")
+            assert len(session.resident_datasets()) == 2
+
+    def test_close_drops_residency(self, store):
+        session = Session(result_cache=store)
+        session.materialize(DATASET)
+        session.close()
+        assert session.resident_datasets() == ()
