@@ -1,0 +1,386 @@
+"""Experiment C2 — sub-second cold start from mmap'd shard snapshots.
+
+A k-machine experiment pays three taxes before its first superstep:
+generate (or load) the graph, partition it, and materialize the
+per-machine :class:`DistributedGraph` shards.  PR 7 attacks all three:
+generators shard across a worker pool (bit-identical to serial), and the
+materialized shards persist as mmap-friendly sidecars next to the CSR
+snapshot, so a warm start maps them back read-only instead of rebuilding.
+This bench measures the cold-start ladder on a cached 1e6-node R-MAT at
+``k = 8``, using :attr:`RunReport.first_superstep_seconds` (process entry
+to first superstep activity) as the cold-start clock:
+
+* **rebuild** — snapshots disabled: CSR load + partition + shard build,
+  the pre-PR-7 floor for every fresh process;
+* **snapshot store** — first snapshot-enabled start: same work plus the
+  one-time sidecar write;
+* **snapshot warm** — sidecars present: CSR load + read-only ``mmap`` of
+  the shard sections, the steady-state cold start.
+
+A second, graph-resident pair times shard *acquisition* directly (CSR
+and partition in hand, every lazily-built view touched): materializing
+the per-machine shards from the CSR vs mapping the sidecar back — the
+exact cost the snapshots remove, isolated from the shared CSR load.
+
+Acceptance bars asserted here (and recorded in the repo-committed
+``BENCH_coldstart.json`` trajectory): the warm start reaches its first
+superstep in **< 1 s** at full scale, and mmap'd snapshot load is at
+least **5x** faster than shard re-materialization.  A fourth section times parallel generation
+(``--jobs``) against serial for one geometric spec; its **2x** bar
+applies only on hosts with >= 4 CPUs (the sweep still runs elsewhere so
+the numbers land in the artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import emit  # noqa: E402
+
+DATASET = "rmat:n=1000000,avg_deg=16,seed=7"
+#: The cold-start clock stops at the *first* superstep, so the run
+#: after it is pure overhead — cap PageRank at two iterations to keep
+#: the bench about setup, not superstep throughput (counts are still
+#: asserted identical across the three regimes).
+ALGO = "pagerank"
+ALGO_KWARGS = {"c": 0.5, "max_iterations": 2}
+K = 8
+SEED = 11
+ENGINE = "vector"
+#: The headline bar: steady-state cold start to first superstep.
+WARM_BUDGET_SECONDS = 1.0
+#: Warm mmap start vs rebuilding shards from the CSR.
+WARM_SPEEDUP_FLOOR = 5.0
+#: Below this rebuild time the speedup ratio is noise (smoke sizes).
+MIN_STABLE_REBUILD_SECONDS = 0.2
+#: The < 1 s budget is a full-scale claim, not a toy-graph tautology.
+FULL_SCALE_N = 1_000_000
+#: Parallel-generation section: one grid-scan family, serial vs sharded.
+PARALLEL_SPEC = "geometric:n=400000,avg_deg=8,seed=7"
+PARALLEL_JOBS = 4
+PARALLEL_SPEEDUP_FLOOR = 2.0
+#: The 2x bar only binds where the workers have cores to land on.
+MIN_CPUS_FOR_PARALLEL_BAR = 4
+MIN_STABLE_SERIAL_SECONDS = 0.5
+
+
+def _first_superstep(dataset: str, k: int, seed: int) -> float:
+    """One registry run from a cold in-process state; returns the
+    process-entry-to-first-superstep time (CSR cache load included).
+
+    The seed must be the same across compared runs: the partition —
+    and so the sidecar digest — derives from it.
+    """
+    from repro import runtime
+    from repro.kmachine.distgraph import clear_distgraph_cache
+
+    clear_distgraph_cache()  # a fresh process has no resident shards
+    report = runtime.run(ALGO, dataset=dataset, k=k, seed=seed,
+                         engine=ENGINE, **ALGO_KWARGS)
+    assert report.first_superstep_seconds is not None
+    return report.first_superstep_seconds
+
+
+def _touch_shards(dg) -> None:
+    """Force every lazily-built view an engine touches over a run."""
+    dg.nbr_home
+    for i in range(dg.k):
+        shard = dg.shard(i)
+        shard.indptr, shard.indices, shard.nbr_home, shard.vertices
+
+
+def _shard_acquisition(graph, k: int, seed: int) -> tuple[float, float]:
+    """(rematerialize, mmap-load) seconds for one resident partition."""
+    import numpy as np
+
+    from repro.kmachine.distgraph import (
+        SHARD_SNAPSHOTS_ENV,
+        cached_distgraph,
+        clear_distgraph_cache,
+    )
+    from repro.kmachine.partition import random_vertex_partition
+
+    partition = random_vertex_partition(
+        graph.n, k, seed=np.random.default_rng(seed))
+
+    os.environ[SHARD_SNAPSHOTS_ENV] = "0"
+    clear_distgraph_cache()
+    start = time.perf_counter()
+    _touch_shards(cached_distgraph(graph, partition))
+    rebuild_seconds = time.perf_counter() - start
+
+    os.environ.pop(SHARD_SNAPSHOTS_ENV, None)
+    clear_distgraph_cache()  # else the LRU hit would skip the write-through
+    _touch_shards(cached_distgraph(graph, partition))  # write the sidecar
+    clear_distgraph_cache()
+    start = time.perf_counter()
+    _touch_shards(cached_distgraph(graph, partition))
+    warm_seconds = time.perf_counter() - start
+    return rebuild_seconds, warm_seconds
+
+
+def run_coldstart_bench(dataset: str = DATASET, k: int = K,
+                        seed: int = SEED) -> dict:
+    """Measure the rebuild -> store -> warm cold-start ladder."""
+    from repro import workloads
+    from repro.kmachine.distgraph import SHARD_SNAPSHOTS_ENV
+    from repro.workloads import parse_spec
+    from repro.workloads.cache import default_cache
+
+    prep_start = time.perf_counter()
+    graph = workloads.materialize(dataset)  # cached: load or build+store
+    prep_seconds = time.perf_counter() - prep_start
+
+    # Start from a clean slate: no sidecars for this dataset on disk.
+    cache = default_cache()
+    key = parse_spec(dataset).content_hash()
+    for shard_k, digest in cache.list_shards(key):
+        for path in cache._shard_paths(key, shard_k, digest):
+            path.unlink(missing_ok=True)
+
+    old_flag = os.environ.get(SHARD_SNAPSHOTS_ENV)
+    try:
+        # Dataset-path ladder: each run is a full process cold start
+        # (CSR cache load included) — the < 1 s budget applies here.
+        os.environ[SHARD_SNAPSHOTS_ENV] = "0"
+        rebuild_seconds = _first_superstep(dataset, k, seed)
+
+        os.environ.pop(SHARD_SNAPSHOTS_ENV, None)
+        store_seconds = _first_superstep(dataset, k, seed)
+        assert cache.list_shards(key), "snapshot store left no sidecar"
+        warm_seconds = _first_superstep(dataset, k, seed)
+
+        # Shard-acquisition pair: the CSR is already in memory and the
+        # partition is in hand, so the clock isolates exactly what the
+        # snapshots replace — materializing every per-machine shard
+        # from the CSR vs mapping the sidecar back.  Shards build
+        # lazily, so each acquisition also touches every view an
+        # engine would (the first-superstep clock alone would hide the
+        # deferred build cost).  The 5x floor applies here.
+        shard_rebuild_seconds, shard_warm_seconds = _shard_acquisition(
+            graph, k, seed)
+    finally:
+        if old_flag is None:
+            os.environ.pop(SHARD_SNAPSHOTS_ENV, None)
+        else:
+            os.environ[SHARD_SNAPSHOTS_ENV] = old_flag
+
+    return {
+        "dataset": dataset,
+        "algo": ALGO,
+        "n": graph.n,
+        "m": graph.m,
+        "k": k,
+        "engine": ENGINE,
+        "prep_seconds": round(prep_seconds, 3),
+        "rebuild_first_superstep_seconds": round(rebuild_seconds, 4),
+        "store_first_superstep_seconds": round(store_seconds, 4),
+        "warm_first_superstep_seconds": round(warm_seconds, 4),
+        "shard_rebuild_seconds": round(shard_rebuild_seconds, 4),
+        "shard_warm_seconds": round(shard_warm_seconds, 4),
+        "warm_speedup_vs_rebuild": round(
+            shard_rebuild_seconds / shard_warm_seconds, 1),
+    }
+
+
+def run_parallel_bench(spec: str = PARALLEL_SPEC,
+                       jobs: int = PARALLEL_JOBS) -> dict:
+    """Serial vs sharded generation for one spec (always bit-identical)."""
+    from repro.workloads.spec import build_dataset
+
+    start = time.perf_counter()
+    serial = build_dataset(spec)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = build_dataset(spec, jobs=jobs)
+    parallel_seconds = time.perf_counter() - start
+
+    import numpy as np
+
+    assert np.array_equal(serial.edges, parallel.edges), (
+        "parallel generation must be bit-identical to serial"
+    )
+    return {
+        "spec": spec,
+        "n": serial.n,
+        "m": serial.m,
+        "jobs": jobs,
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "parallel_speedup": round(serial_seconds / parallel_seconds, 2),
+    }
+
+
+def check_acceptance(report: dict) -> None:
+    """Assert the bars wherever the measurement carries signal."""
+    cold = report["coldstart"]
+    if cold["shard_rebuild_seconds"] >= MIN_STABLE_REBUILD_SECONDS:
+        assert cold["warm_speedup_vs_rebuild"] >= WARM_SPEEDUP_FLOOR, (
+            f"mmap'd snapshot load ({cold['shard_warm_seconds']}s) must be "
+            f">= {WARM_SPEEDUP_FLOOR}x faster than shard rematerialization "
+            f"({cold['shard_rebuild_seconds']}s)"
+        )
+    if cold["n"] >= FULL_SCALE_N:
+        assert cold["warm_first_superstep_seconds"] < WARM_BUDGET_SECONDS, (
+            f"cached cold start must reach its first superstep in "
+            f"< {WARM_BUDGET_SECONDS}s, took "
+            f"{cold['warm_first_superstep_seconds']}s"
+        )
+    par = report["parallel"]
+    cpus = os.cpu_count() or 1
+    if (cpus >= MIN_CPUS_FOR_PARALLEL_BAR
+            and par["serial_seconds"] >= MIN_STABLE_SERIAL_SECONDS):
+        assert par["parallel_speedup"] >= PARALLEL_SPEEDUP_FLOOR, (
+            f"parallel generation ({par['jobs']} jobs on {cpus} CPUs) must "
+            f"be >= {PARALLEL_SPEEDUP_FLOOR}x serial, got "
+            f"{par['parallel_speedup']}x"
+        )
+
+
+def _render_report(r: dict) -> str:
+    cold, par = r["coldstart"], r["parallel"]
+    return "\n".join([
+        f"C2 cold start on {cold['dataset']} "
+        f"(n={cold['n']}, m={cold['m']}, k={cold['k']}, "
+        f"{cold['algo']}/{cold['engine']}):",
+        "",
+        f"  dataset prep (cached materialize):   {cold['prep_seconds']:9.3f}s",
+        "  process cold start to first superstep (CSR load included):",
+        f"    rebuild (snapshots off):           "
+        f"{cold['rebuild_first_superstep_seconds']:9.4f}s",
+        f"    snapshot store (first warm write): "
+        f"{cold['store_first_superstep_seconds']:9.4f}s",
+        f"    snapshot warm (mmap):              "
+        f"{cold['warm_first_superstep_seconds']:9.4f}s"
+        f"  (budget {WARM_BUDGET_SECONDS}s at full scale)",
+        "  shard acquisition alone (CSR resident):",
+        f"    rematerialize:                     "
+        f"{cold['shard_rebuild_seconds']:9.4f}s",
+        f"    mmap'd snapshot:                   "
+        f"{cold['shard_warm_seconds']:9.4f}s",
+        "",
+        f"  warm speedup vs rematerialization: "
+        f"{cold['warm_speedup_vs_rebuild']}x (floor {WARM_SPEEDUP_FLOOR}x)",
+        "",
+        f"  parallel generation, {par['spec']} (n={par['n']}, m={par['m']}):",
+        f"    serial:            {par['serial_seconds']:9.3f}s",
+        f"    --jobs {par['jobs']}:          {par['parallel_seconds']:9.3f}s"
+        f"  = {par['parallel_speedup']}x"
+        f"  (floor {PARALLEL_SPEEDUP_FLOOR}x on >= "
+        f"{MIN_CPUS_FOR_PARALLEL_BAR} CPUs; host has {os.cpu_count()})",
+    ])
+
+
+def bench_coldstart(benchmark):
+    report = benchmark.pedantic(build_report, rounds=1, iterations=1,
+                                args=(DATASET, PARALLEL_SPEC))
+    emit("C2_coldstart", _render_report(report))
+    benchmark.extra_info.update({
+        "warm_first_superstep_seconds":
+            report["coldstart"]["warm_first_superstep_seconds"],
+        "warm_speedup_vs_rebuild":
+            report["coldstart"]["warm_speedup_vs_rebuild"],
+        "parallel_speedup": report["parallel"]["parallel_speedup"],
+    })
+    check_acceptance(report)
+
+
+def build_report(dataset: str, parallel_spec: str) -> dict:
+    """The JSON document the CI ``coldstart`` job uploads."""
+    return {
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "coldstart": run_coldstart_bench(dataset),
+        "parallel": run_parallel_bench(parallel_spec),
+    }
+
+
+def update_trajectory(path: Path, report: dict, label: str) -> None:
+    """Append (or replace) this run's entry in the committed trajectory."""
+    doc = {"bench": "coldstart", "unit": "seconds to first superstep",
+           "entries": []}
+    if path.exists():
+        doc = json.loads(path.read_text())
+    entry = {
+        "label": label,
+        "host_cpus": report["host"]["cpu_count"],
+        **{key: report["coldstart"][key] for key in (
+            "dataset", "algo", "k", "engine",
+            "rebuild_first_superstep_seconds",
+            "store_first_superstep_seconds",
+            "warm_first_superstep_seconds",
+            "shard_rebuild_seconds",
+            "shard_warm_seconds",
+            "warm_speedup_vs_rebuild",
+        )},
+        "parallel_spec": report["parallel"]["spec"],
+        "parallel_jobs": report["parallel"]["jobs"],
+        "parallel_speedup": report["parallel"]["parallel_speedup"],
+    }
+    doc["entries"] = [e for e in doc["entries"] if e["label"] != label]
+    doc["entries"].append(entry)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="bench-coldstart.json")
+    parser.add_argument("--dataset", default=DATASET)
+    parser.add_argument("--parallel-spec", default=PARALLEL_SPEC)
+    parser.add_argument("--trajectory", default=None,
+                        help="also record this run in the committed "
+                             "BENCH_coldstart.json trajectory file")
+    parser.add_argument("--label", default="PR7",
+                        help="trajectory entry label (default: PR7)")
+    args = parser.parse_args(argv)
+    report = build_report(args.dataset, args.parallel_spec)
+    # Persist the artifact before asserting, so a failed bar still
+    # leaves the measurements on disk for diagnosis.
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    emit("C2_coldstart", _render_report(report))
+    check_acceptance(report)
+    if args.trajectory:
+        update_trajectory(Path(args.trajectory), report, args.label)
+    return 0
+
+
+def smoke():
+    """Smallest configuration: the whole ladder on a toy R-MAT."""
+    from repro.workloads import DATA_DIR_ENV
+
+    with tempfile.TemporaryDirectory() as tmp:
+        old = os.environ.get(DATA_DIR_ENV)
+        os.environ[DATA_DIR_ENV] = tmp
+        try:
+            report = {
+                "host": {"cpu_count": os.cpu_count()},
+                "coldstart": run_coldstart_bench(
+                    "rmat:n=2000,avg_deg=8,seed=7", k=4),
+                "parallel": run_parallel_bench(
+                    "geometric:n=2000,avg_deg=8,seed=7", jobs=2),
+            }
+            check_acceptance(report)  # guarded: smoke times are noise
+            assert report["coldstart"]["warm_first_superstep_seconds"] > 0
+        finally:
+            if old is None:
+                os.environ.pop(DATA_DIR_ENV, None)
+            else:
+                os.environ[DATA_DIR_ENV] = old
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

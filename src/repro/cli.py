@@ -259,7 +259,7 @@ def cmd_data(args) -> int:
         cached_before = (
             not args.no_cache and spec.cacheable and cache.has(spec)
         )
-        g = cache.materialize(spec, use_cache=not args.no_cache)
+        g = cache.materialize(spec, use_cache=not args.no_cache, jobs=args.jobs)
         source = "built (no-cache)" if args.no_cache else (
             "cache hit" if cached_before else "built"
         )
@@ -537,6 +537,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="build fresh without reading or writing the on-disk cache",
+    )
+    d.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel generation workers (bit-identical to serial; "
+        "default: $REPRO_BUILD_JOBS or 1)",
     )
     d.set_defaults(func=cmd_data)
     d = dsub.add_parser("ls", help="list cached datasets")

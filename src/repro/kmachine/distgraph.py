@@ -35,6 +35,7 @@ recomputation per superstep.
 from __future__ import annotations
 
 import hashlib
+import os
 from collections import OrderedDict
 
 import numpy as np
@@ -49,7 +50,13 @@ __all__ = [
     "resolve_distgraph",
     "cached_distgraph",
     "clear_distgraph_cache",
+    "warm_shard_snapshots",
+    "SHARD_SNAPSHOTS_ENV",
 ]
+
+#: Set to ``0``/``false``/``off`` to disable on-disk shard snapshots
+#: (both the mmap'd warm-start load and the write-through store).
+SHARD_SNAPSHOTS_ENV = "REPRO_SHARD_SNAPSHOTS"
 
 
 class MachineShard:
@@ -320,6 +327,174 @@ def _same_graph(cached: Graph, graph: Graph) -> bool:
     )
 
 
+def _snapshots_enabled() -> bool:
+    return os.environ.get(SHARD_SNAPSHOTS_ENV, "1").strip().lower() not in (
+        "0", "false", "off", "no",
+    )
+
+
+def _home_digest(home: np.ndarray) -> bytes:
+    return hashlib.blake2b(
+        np.ascontiguousarray(home).tobytes(), digest_size=16
+    ).digest()
+
+
+def _graph_cache_module():
+    """The workload cache, imported lazily (workloads imports kmachine)."""
+    from repro.workloads import cache as _cache
+
+    return _cache
+
+
+def _snapshot_sections(dg: DistributedGraph) -> tuple[dict, dict]:
+    """Disassemble a distgraph into flat int64 sections + identity meta.
+
+    Forces materialization of every derived view the snapshot covers
+    (hosted-vertex lists, the global ``nbr_home`` column, all ``k``
+    shards) — a cold run pays the build once so every later warm start
+    can mmap it.
+    """
+    shards = dg.shards()
+    parts = dg.parts
+    parts_offsets = np.zeros(dg.k + 1, dtype=np.int64)
+    np.cumsum([p.size for p in parts], out=parts_offsets[1:])
+    indices_offsets = np.zeros(dg.k + 1, dtype=np.int64)
+    np.cumsum([s.indices.size for s in shards], out=indices_offsets[1:])
+    empty = np.zeros(0, dtype=np.int64)
+    sections = {
+        "home": dg.home,
+        "parts_flat": np.concatenate(parts) if dg.n else empty,
+        "parts_offsets": parts_offsets,
+        "nbr_home": dg.nbr_home,
+        "shards_indptr": np.concatenate([s.indptr for s in shards]),
+        "shards_indices": (
+            np.concatenate([s.indices for s in shards])
+            if int(indices_offsets[-1]) else empty
+        ),
+        "shards_nbr_home": (
+            np.concatenate([s.nbr_home for s in shards])
+            if int(indices_offsets[-1]) else empty
+        ),
+        "shards_indices_offsets": indices_offsets,
+    }
+    meta = {
+        "content_key": dg.graph.content_key,
+        "k": dg.k,
+        "n": dg.n,
+        "m": dg.graph.m,
+        "directed": dg.graph.directed,
+        "home_digest": _home_digest(dg.home).hex(),
+        "indices_size": int(dg.graph.indices.size),
+    }
+    return sections, meta
+
+
+def _distgraph_from_snapshot(
+    graph: Graph,
+    partition: VertexPartition,
+    views: dict,
+    manifest: dict,
+) -> DistributedGraph | None:
+    """Assemble a distgraph from mmap'd snapshot sections, or ``None``.
+
+    Every identity field is verified against the live graph/partition —
+    including an exact ``home`` comparison — before any view is adopted;
+    any mismatch (or structurally impossible section table) is treated
+    as a miss, never an error: the caller rebuilds from the CSR.
+
+    The adopted arrays are stripped to plain ``ndarray`` views of the
+    mapping (``np.asarray``): they stay read-only and page-fault lazily
+    through the same mmap (kept alive via ``.base``), but slicing them
+    in per-vertex hot loops skips the ``np.memmap`` subclass dispatch,
+    which profiles as real per-superstep overhead.
+    """
+    try:
+        views = {name: np.asarray(arr) for name, arr in views.items()}
+        if (
+            manifest["content_key"] != getattr(graph, "content_key", None)
+            or int(manifest["k"]) != partition.k
+            or int(manifest["n"]) != graph.n
+            or int(manifest["m"]) != graph.m
+            or bool(manifest["directed"]) != graph.directed
+            or int(manifest["indices_size"]) != int(graph.indices.size)
+        ):
+            return None
+        home = views["home"]
+        if home.size != partition.n or not np.array_equal(home, partition.home):
+            return None
+        k, n = partition.k, graph.n
+        parts_offsets = views["parts_offsets"]
+        indices_offsets = views["shards_indices_offsets"]
+        parts_flat = views["parts_flat"]
+        nbr_home = views["nbr_home"]
+        shards_indptr = views["shards_indptr"]
+        shards_indices = views["shards_indices"]
+        shards_nbr_home = views["shards_nbr_home"]
+        if (
+            parts_offsets.size != k + 1
+            or indices_offsets.size != k + 1
+            or int(parts_offsets[-1]) != n
+            or parts_flat.size != n
+            or nbr_home.size != graph.indices.size
+            or shards_indptr.size != n + k
+            or shards_indices.size != int(indices_offsets[-1])
+            or shards_nbr_home.size != shards_indices.size
+        ):
+            return None
+        dg = DistributedGraph(graph, partition)
+        dg._parts = [
+            parts_flat[parts_offsets[i]:parts_offsets[i + 1]] for i in range(k)
+        ]
+        dg._nbr_home = nbr_home
+        shards: list[MachineShard | None] = []
+        for i in range(k):
+            verts = dg._parts[i]
+            ip_lo = int(parts_offsets[i]) + i
+            ix_lo, ix_hi = int(indices_offsets[i]), int(indices_offsets[i + 1])
+            shards.append(MachineShard(
+                i,
+                verts,
+                shards_indptr[ip_lo:ip_lo + verts.size + 1],
+                shards_indices[ix_lo:ix_hi],
+                shards_nbr_home[ix_lo:ix_hi],
+            ))
+        dg._shards = shards
+        return dg
+    except (KeyError, ValueError, TypeError, IndexError):
+        return None
+
+
+def _load_snapshot_distgraph(
+    graph: Graph, partition: VertexPartition, digest: bytes
+) -> DistributedGraph | None:
+    """Try the on-disk shard snapshot for ``(graph, partition)``."""
+    from repro.errors import WorkloadError
+
+    cache = _graph_cache_module().default_cache()
+    try:
+        loaded = cache.load_shards(
+            graph.content_key, partition.k, digest.hex()[:12]
+        )
+    except WorkloadError:
+        return None  # corrupt sidecar: rebuild (the re-store overwrites it)
+    if loaded is None:
+        return None
+    views, manifest = loaded
+    return _distgraph_from_snapshot(graph, partition, views, manifest)
+
+
+def _store_snapshot_distgraph(dg: DistributedGraph, digest: bytes) -> None:
+    """Write-through a freshly built distgraph; failures never fail the run."""
+    cache = _graph_cache_module().default_cache()
+    sections, meta = _snapshot_sections(dg)
+    try:
+        cache.store_shards(
+            dg.graph.content_key, dg.k, digest.hex()[:12], sections, meta
+        )
+    except OSError:
+        pass  # read-only or full disk: the in-memory distgraph is fine
+
+
 def cached_distgraph(graph: Graph, partition: VertexPartition) -> DistributedGraph:
     """A :class:`DistributedGraph` for ``(graph, partition)``, shared via LRU.
 
@@ -333,10 +508,16 @@ def cached_distgraph(graph: Graph, partition: VertexPartition) -> DistributedGra
     reuse, so a digest collision can never alias two placements.
     Distgraphs are immutable after construction (the lazy views are pure
     functions of graph + partition), which makes sharing semantics-free.
+
+    Content-addressed graphs additionally persist their materialized
+    shards as an mmap-friendly sidecar next to the CSR snapshot (see
+    :mod:`repro.workloads.io`): an in-memory miss first tries
+    ``np.load(mmap_mode="r")`` on the sidecar — a warm start skips shard
+    materialization entirely and faults pages in lazily, shared across
+    processes — and a genuine cold build writes the sidecar through for
+    the next process.  ``$REPRO_SHARD_SNAPSHOTS=0`` disables both sides.
     """
-    digest = hashlib.blake2b(
-        np.ascontiguousarray(partition.home).tobytes(), digest_size=16
-    ).digest()
+    digest = _home_digest(partition.home)
     key = (_graph_cache_key(graph), partition.k, digest)
     dg = _DISTGRAPH_CACHE.get(key)
     if (
@@ -349,11 +530,63 @@ def cached_distgraph(graph: Graph, partition: VertexPartition) -> DistributedGra
     ):
         _DISTGRAPH_CACHE.move_to_end(key)
         return dg
-    dg = DistributedGraph(graph, partition)
+    dg = None
+    snapshot = (
+        getattr(graph, "content_key", None) is not None and _snapshots_enabled()
+    )
+    if snapshot:
+        dg = _load_snapshot_distgraph(graph, partition, digest)
+    if dg is None:
+        dg = DistributedGraph(graph, partition)
+        if snapshot:
+            _store_snapshot_distgraph(dg, digest)
     _DISTGRAPH_CACHE[key] = dg
     while len(_DISTGRAPH_CACHE) > _DISTGRAPH_CACHE_SIZE:
         _DISTGRAPH_CACHE.popitem(last=False)
     return dg
+
+
+def warm_shard_snapshots(graph: Graph, limit: int | None = None) -> int:
+    """Preload every on-disk shard snapshot of ``graph`` into the LRU.
+
+    A restarted daemon (``repro serve --prewarm``) calls this after
+    materializing a dataset: each ``(k, partition)`` sidecar left by
+    earlier processes is mapped read-only and registered under its exact
+    LRU key — the partitions are reconstructed from the snapshot's own
+    ``home`` section — so the first request that resolves the same
+    placement starts computing without touching the CSR.  Returns the
+    number of snapshots loaded (0 when snapshots are disabled or the
+    graph has no content key).
+    """
+    ck = getattr(graph, "content_key", None)
+    if ck is None or not _snapshots_enabled():
+        return 0
+    cache = _graph_cache_module().default_cache()
+    count = 0
+    for k, digest12 in cache.list_shards(ck):
+        if limit is not None and count >= limit:
+            break
+        try:
+            loaded = cache.load_shards(ck, k, digest12)
+        except Exception:
+            continue
+        if loaded is None:
+            continue
+        views, manifest = loaded
+        try:
+            partition = VertexPartition(home=views["home"], k=int(manifest["k"]))
+        except Exception:
+            continue
+        dg = _distgraph_from_snapshot(graph, partition, views, manifest)
+        if dg is None:
+            continue
+        key = (_graph_cache_key(graph), partition.k, _home_digest(partition.home))
+        _DISTGRAPH_CACHE[key] = dg
+        _DISTGRAPH_CACHE.move_to_end(key)
+        while len(_DISTGRAPH_CACHE) > _DISTGRAPH_CACHE_SIZE:
+            _DISTGRAPH_CACHE.popitem(last=False)
+        count += 1
+    return count
 
 
 def resolve_distgraph(

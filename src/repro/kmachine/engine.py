@@ -42,6 +42,7 @@ both engines support.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -213,6 +214,15 @@ class Engine:
 
     def __init__(self, network: LinkNetwork) -> None:
         self.network = network
+        #: ``time.perf_counter()`` of the first phase activity (exchange,
+        #: accounting, or superstep dispatch) this engine executed, or
+        #: ``None`` before any.  The runtime uses it to split cold-start
+        #: setup (materialize + partition + shard) from algorithm time.
+        self.first_activity: float | None = None
+
+    def _mark_activity(self) -> None:
+        if self.first_activity is None:
+            self.first_activity = time.perf_counter()
 
     # -- shared properties ---------------------------------------------
     @property
@@ -246,6 +256,7 @@ class Engine:
         local_messages: int = 0,
     ) -> int:
         """Account an aggregate-only phase (no payloads to deliver)."""
+        self._mark_activity()
         return self.network.account_phase(
             bits_matrix, messages_matrix, label=label, local_messages=local_messages
         )
@@ -274,6 +285,7 @@ class Engine:
         stay in per-machine order on an independent stream, both
         executions are draw-for-draw identical.
         """
+        self._mark_activity()
         k = self.k
         if len(payloads) != k:
             raise ModelError(
@@ -308,11 +320,13 @@ class MessageEngine(Engine):
     def exchange(
         self, outboxes: Sequence[Iterable[Message]], label: str = ""
     ) -> list[list[Message]]:
+        self._mark_activity()
         return self.network.exchange(outboxes, label=label)
 
     def exchange_batches(
         self, batches: Sequence[MessageBatch], label: str = ""
     ) -> list[DeliveredBatch]:
+        self._mark_activity()
         self._validate_batches(batches)
         k = self.k
         outboxes: list[list[Message]] = [[] for _ in range(k)]
@@ -377,11 +391,13 @@ class VectorEngine(Engine):
     ) -> list[list[Message]]:
         # Heterogeneous traffic keeps per-object semantics on both
         # backends; only batch traffic takes the vectorized path.
+        self._mark_activity()
         return self.network.exchange(outboxes, label=label)
 
     def exchange_batches(
         self, batches: Sequence[MessageBatch], label: str = ""
     ) -> list[DeliveredBatch]:
+        self._mark_activity()
         self._validate_batches(batches)
         net = self.network
         k = self.k

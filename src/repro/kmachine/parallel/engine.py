@@ -225,6 +225,7 @@ class ProcessEngine(VectorEngine):
         ``distgraph`` skips store publication and hands kernels a
         ``None`` context.
         """
+        self._mark_activity()
         k = self.k
         if len(payloads) != k:
             raise ModelError(f"expected one payload per machine ({k}), got {len(payloads)}")

@@ -12,6 +12,7 @@ benchmark suite.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
@@ -195,6 +196,13 @@ class RunReport:
     #: (no cluster was built, no superstep executed; ``distgraph`` and
     #: ``workers`` are None on cached reports).
     cached: bool = False
+    #: Seconds from :func:`run` entry to the engine's first phase
+    #: activity — the cold-start cost (dataset materialization,
+    #: placement sampling, shard construction or mmap'd snapshot load)
+    #: paid before the algorithm's first superstep.  ``None`` when the
+    #: run never touched the engine (cached reports) or the runner
+    #: finished without a phase.
+    first_superstep_seconds: float | None = None
 
     @property
     def rounds(self) -> int:
@@ -347,6 +355,7 @@ def run(
     **params:
         Family parameters, overriding the spec defaults.
     """
+    entered = time.perf_counter()
     spec = get_spec(name)
     if dataset is not None:
         if data is not None:
@@ -435,6 +444,7 @@ def run(
     finally:
         if own_cluster:
             cluster.close()
+    first_activity = getattr(cluster.engine, "first_activity", None)
     if plan is not None:
         key, params_json, engine_name = plan
         store.put(
@@ -453,4 +463,7 @@ def run(
         spec=spec,
         distgraph=distgraph,
         workers=getattr(cluster.engine, "workers", None),
+        first_superstep_seconds=(
+            first_activity - entered if first_activity is not None else None
+        ),
     )

@@ -169,6 +169,23 @@ class Session:
                     self._datasets.popitem(last=False)
             return graph
 
+    def prewarm(self, dataset) -> int:
+        """Materialize a dataset and preload its on-disk shard snapshots.
+
+        Beyond :meth:`materialize`, this loads every mmap'd shard
+        snapshot the graph cache holds for the dataset (one per
+        ``(k, partition)`` pair previously run) into the in-memory
+        distgraph LRU via
+        :func:`repro.kmachine.distgraph.warm_shard_snapshots`, so the
+        first request at a warmed ``k`` pays neither the graph load nor
+        the shard construction.  Returns the number of snapshots loaded
+        (0 when none exist on disk).
+        """
+        from repro.kmachine.distgraph import warm_shard_snapshots
+
+        graph = self.materialize(dataset)
+        return warm_shard_snapshots(graph)
+
     def resident_datasets(self) -> tuple[str, ...]:
         """Content keys of the resident graphs, least recent first."""
         with self._dataset_lock:

@@ -80,8 +80,10 @@ class ReproServer:
     result_cache / queue_limit / timeout / max_datasets:
         Forwarded to the owned :class:`Session`.
     prewarm:
-        Dataset specs to materialize before accepting traffic, so the
-        first request pays no build/load.
+        Dataset specs to materialize before accepting traffic — and
+        whose on-disk shard snapshots are preloaded into the distgraph
+        LRU (:meth:`Session.prewarm`) — so the first request pays
+        neither the build/load nor the shard construction.
     """
 
     def __init__(
@@ -125,7 +127,7 @@ class ReproServer:
         try:
             for spec in self.prewarm:
                 await self._loop.run_in_executor(
-                    self._executor, self.session.materialize, spec
+                    self._executor, self.session.prewarm, spec
                 )
             server = await asyncio.start_server(
                 self._handle_conn, self.host, self.port

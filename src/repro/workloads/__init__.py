@@ -28,6 +28,7 @@ Examples::
     smallworld:n=100000,nbrs=10,rewire=0.2,seed=5
     gnp:n=1000,avg_deg=8,seed=3
     edgelist:path=graph.tsv,relabel=true
+    snap:path=soc-LiveJournal1.txt
 
 Specs are *normalized* on parse — defaults filled in, keys sorted, types
 coerced — so every spelling of the same dataset has one canonical string
@@ -46,7 +47,36 @@ structure), ``geometric`` (grid-bucketed unit square), ``smallworld``
 (ring lattice + rewiring), ``gnp`` (sparse binomial sampler above the
 quadratic limit).  Adapters over the legacy exact generators:
 ``chung-lu``, ``planted-triangles``.  File-backed (never cached):
-``edgelist``, ``metis``.
+``edgelist``, ``metis``, ``snap`` (chunked SNAP/edge-text reader for
+multi-ten-million-edge downloads).
+
+Cold start: shard snapshots and parallel generation
+---------------------------------------------------
+Two layers keep repeated starts sub-second and first builds fast:
+
+* **Shard snapshots.**  Running an algorithm at machine count ``k``
+  materializes a :class:`~repro.kmachine.distgraph.DistributedGraph` —
+  per-machine CSR shards, partition arrays, neighbor-home maps.  That
+  work is deterministic given ``(dataset, k, partition)``, so
+  :func:`~repro.kmachine.distgraph.cached_distgraph` persists it as a
+  versioned sidecar next to the dataset's npz (one flat int64 blob +
+  JSON manifest, atomic tmp+rename, bytes counted toward the LRU cap)
+  and later processes load it back **mmap'd read-only**
+  (``np.load(mmap_mode="r")``) — pages fault in on demand, nothing is
+  parsed or copied, and a warm ``runtime.run`` reaches its first
+  superstep in well under a second where rebuilding shards took
+  seconds.  ``$REPRO_SHARD_SNAPSHOTS=0`` disables the layer;
+  ``repro serve --prewarm SPEC`` preloads snapshots at daemon start.
+
+* **Parallel generation.**  ``build_dataset(spec, jobs=N)``, ``repro
+  data build --jobs N``, or ``$REPRO_BUILD_JOBS`` shard the heavy
+  generators (``geometric``, ``rmat``, ``sbm``) across the warm worker
+  pools (:mod:`repro.workloads.parallel`).  The parallel build is
+  **bit-identical** to the serial one — RNG streams are repositioned
+  exactly (R-MAT), kept serial where consumption is data-dependent
+  (SBM), or untouched where the sharded work is deterministic
+  (geometric) — so ``jobs`` never enters specs or content hashes, and
+  the golden-hash suites enforce the equivalence.
 
 Quickstart::
 
@@ -63,11 +93,13 @@ Quickstart::
 """
 
 from repro.workloads.spec import (
+    BUILD_JOBS_ENV,
     DatasetSpec,
     ParamSpec,
     WorkloadFamily,
     available_workloads,
     build_dataset,
+    build_jobs,
     get_workload,
     literal_value,
     parse_spec,
@@ -82,10 +114,12 @@ from repro.workloads.generators import (
     smallworld_graph,
 )
 from repro.workloads.io import (
+    SHARD_SNAPSHOT_VERSION,
     SnapshotMissingError,
     read_edge_list,
     read_metis,
     read_npz,
+    read_snap,
     register_io_workloads,
     write_edge_list,
     write_npz,
@@ -114,6 +148,8 @@ __all__ = [
     "available_workloads",
     "workload_families",
     "build_dataset",
+    "build_jobs",
+    "BUILD_JOBS_ENV",
     # generators
     "rmat_graph",
     "sbm_graph",
@@ -125,7 +161,9 @@ __all__ = [
     "write_edge_list",
     "read_metis",
     "read_npz",
+    "read_snap",
     "SnapshotMissingError",
+    "SHARD_SNAPSHOT_VERSION",
     "write_npz",
     "register_io_workloads",
     # cache

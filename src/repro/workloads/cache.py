@@ -7,6 +7,18 @@ once::
 
     ~/.cache/repro/graphs/<hash>.npz    CSR snapshot (io.write_npz)
     ~/.cache/repro/graphs/<hash>.json   metadata sidecar (spec, n, m, ...)
+    ~/.cache/repro/graphs/<hash>.shards-k<k>-<digest>.npy   shard snapshot blob
+    ~/.cache/repro/graphs/<hash>.shards-k<k>-<digest>.json  shard manifest
+
+The ``.shards-*`` sidecars persist *derived* artifacts: the
+per-machine :class:`~repro.kmachine.DistributedGraph` arrays for one
+``(content key, k, partition)`` triple, in the flat mmap-friendly
+format of :func:`repro.workloads.io.write_shard_blob`.  A warm start
+maps them read-only instead of re-materializing shards from the CSR.
+They ride the parent entry's lifecycle: their bytes count toward the
+LRU cap under the parent's key, eviction removes them with the parent,
+and orphans (parent evicted by an older version of this code, or a
+crashed mid-commit writer) are swept by :meth:`GraphCache.enforce_cap`.
 
 The root directory is ``$REPRO_DATA_DIR`` when set (the knob CI uses to
 persist the cache across runs), else ``$XDG_CACHE_HOME/repro``, else
@@ -65,6 +77,10 @@ __all__ = [
 DATA_DIR_ENV = "REPRO_DATA_DIR"
 CACHE_BYTES_ENV = "REPRO_CACHE_BYTES"
 DEFAULT_CACHE_BYTES = 4 * 1024**3
+
+#: Filename infix marking a shard-snapshot sidecar of a cached graph:
+#: ``<key>.shards-k<k>-<digest>.{npy,json}``.
+SHARD_SIDECAR_MARK = ".shards-"
 
 
 def _default_root() -> Path:
@@ -127,6 +143,20 @@ class GraphCache:
     def _paths(self, key: str) -> tuple[Path, Path]:
         return self.graphs_dir / f"{key}.npz", self.graphs_dir / f"{key}.json"
 
+    def _shard_paths(self, key: str, k: int, digest: str) -> tuple[Path, Path]:
+        stem = f"{key}{SHARD_SIDECAR_MARK}k{k}-{digest}"
+        return self.graphs_dir / f"{stem}.npy", self.graphs_dir / f"{stem}.json"
+
+    def _shard_bytes(self, key: str) -> int:
+        """Total on-disk footprint of ``key``'s shard sidecars."""
+        total = 0
+        for path in self.graphs_dir.glob(f"{key}{SHARD_SIDECAR_MARK}*"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue  # vanished mid-scan
+        return total
+
     # -- key resolution -------------------------------------------------
     def resolve_key(self, ref: "str | DatasetSpec") -> str:
         """Resolve a spec or an abbreviated hash to a full content hash."""
@@ -159,20 +189,24 @@ class GraphCache:
     def entries(self) -> list[CacheEntry]:
         """All committed entries, most recently used first.
 
-        ``nbytes`` is the entry's full footprint — snapshot *plus*
-        sidecar — so :meth:`enforce_cap` bounds what the cache actually
-        occupies on disk.  Entries a concurrent process removes mid-scan
-        are skipped, never raised.
+        ``nbytes`` is the entry's full footprint — snapshot, metadata
+        sidecar, *and* any shard-snapshot sidecars — so
+        :meth:`enforce_cap` bounds what the cache actually occupies on
+        disk.  Entries a concurrent process removes mid-scan are
+        skipped, never raised.
         """
         out: list[CacheEntry] = []
         if not self.graphs_dir.is_dir():
             return out
         for meta_path in self.graphs_dir.glob("*.json"):
+            if SHARD_SIDECAR_MARK in meta_path.name:
+                continue  # shard manifests ride their parent entry
             npz_path = meta_path.with_suffix(".npz")
             try:
                 meta = json.loads(meta_path.read_text())
                 stat = npz_path.stat()
                 meta_size = meta_path.stat().st_size
+                shard_size = self._shard_bytes(meta_path.stem)
                 out.append(CacheEntry(
                     key=meta_path.stem,
                     spec=meta["spec"],
@@ -180,7 +214,7 @@ class GraphCache:
                     n=int(meta["n"]),
                     m=int(meta["m"]),
                     directed=bool(meta["directed"]),
-                    nbytes=stat.st_size + meta_size,
+                    nbytes=stat.st_size + meta_size + shard_size,
                     last_used=stat.st_mtime,
                     path=npz_path,
                 ))
@@ -260,6 +294,89 @@ class GraphCache:
         self.enforce_cap(protect=key)
         return npz
 
+    # -- shard snapshot sidecars ----------------------------------------
+    def store_shards(
+        self,
+        key: str,
+        k: int,
+        digest: str,
+        sections: dict,
+        meta: dict,
+    ) -> Path | None:
+        """Persist a shard snapshot sidecar for a *committed* entry.
+
+        Writes the flat blob + manifest atomically (blob replaced first;
+        the manifest is the commit marker, so a reader that sees the
+        manifest sees a complete blob).  Returns ``None`` without
+        writing when ``key`` has no committed parent entry — sidecars
+        never outlive (or predate) the graph they derive from.
+        """
+        _, graph_meta = self._paths(key)
+        if not graph_meta.exists():
+            return None
+        npy, manifest = self._shard_paths(key, k, digest)
+        self.graphs_dir.mkdir(parents=True, exist_ok=True)
+        writer = f"{os.getpid()}.{threading.get_ident()}"
+        tmp_npy = npy.with_name(f".{npy.name}.{writer}.tmp")
+        tmp_json = manifest.with_name(f".{manifest.name}.{writer}.tmp")
+        try:
+            _io.write_shard_blob(tmp_npy, tmp_json, sections, meta)
+            os.replace(tmp_npy, npy)
+            os.replace(tmp_json, manifest)
+        except FileNotFoundError:
+            # A concurrent stale-tmp sweep beat us to the rename.  The
+            # snapshot is best-effort; losing one write is a benign miss.
+            return None
+        finally:
+            tmp_npy.unlink(missing_ok=True)
+            tmp_json.unlink(missing_ok=True)
+        self.enforce_cap(protect=key)
+        return npy
+
+    def load_shards(self, key: str, k: int, digest: str):
+        """Map a committed shard sidecar read-only, or ``None`` on miss.
+
+        Returns ``(views, manifest)`` where ``views`` are the mmap'd
+        int64 section arrays.  Any vanished file (concurrent eviction)
+        or format-version mismatch is a plain miss; the caller
+        re-materializes shards from the CSR and re-stores.  A hit bumps
+        both the sidecar's and the parent snapshot's mtime so hot
+        entries stay at the front of the LRU.
+        """
+        npy, manifest_path = self._shard_paths(key, k, digest)
+        try:
+            manifest = _io.read_shard_manifest(manifest_path)
+            views = _io.map_shard_blob(npy, manifest)
+        except FileNotFoundError:
+            # SnapshotMissingError included: missing file, stale format
+            # version, or an eviction racing this load — all misses.
+            return None
+        for path in (npy, self._paths(key)[0]):
+            try:
+                os.utime(path, None)
+            except OSError:
+                pass
+        return views, manifest
+
+    def list_shards(self, key: str) -> list[tuple[int, str]]:
+        """Committed shard sidecars for ``key`` as ``(k, digest)`` pairs.
+
+        Parsed from manifest filenames only — no file is opened, so this
+        is safe to call while other processes store/evict concurrently.
+        """
+        out: list[tuple[int, str]] = []
+        pattern = f"{key}{SHARD_SIDECAR_MARK}*.json"
+        for manifest in sorted(self.graphs_dir.glob(pattern)):
+            stem = manifest.name.split(SHARD_SIDECAR_MARK, 1)[1][:-len(".json")]
+            if not stem.startswith("k") or "-" not in stem:
+                continue
+            k_text, digest = stem[1:].split("-", 1)
+            try:
+                out.append((int(k_text), digest))
+            except ValueError:
+                continue
+        return out
+
     #: Age (seconds) after which an orphaned temp file from a crashed
     #: writer is swept by :meth:`enforce_cap`.  Live writers finish (and
     #: unlink) their temp files in well under this.
@@ -278,6 +395,7 @@ class GraphCache:
         evicted keys.
         """
         self._sweep_stale_tmp()
+        self._sweep_orphan_shards()
         entries = self.entries()
         total = sum(e.nbytes for e in entries)
         evicted: list[str] = []
@@ -303,10 +421,43 @@ class GraphCache:
             except OSError:
                 continue  # vanished mid-sweep (another process's sweep)
 
+    def _sweep_orphan_shards(self) -> None:
+        """Delete shard sidecars whose parent entry (or commit) is gone.
+
+        Two flavors of orphan: a sidecar for an entry some other process
+        already evicted (its bytes would otherwise be invisible to the
+        cap), and a blob whose manifest never landed because its writer
+        crashed between the two commit renames — the latter only once it
+        is old enough that the writer must be dead.
+        """
+        if not self.graphs_dir.is_dir():
+            return
+        cutoff = time.time() - self.STALE_TMP_SECONDS
+        for path in self.graphs_dir.glob(f"*{SHARD_SIDECAR_MARK}*"):
+            if path.name.startswith("."):
+                # A live writer's tmp file (its name embeds the sidecar
+                # name, so it matches this glob); _sweep_stale_tmp owns
+                # those — deleting one here would race the commit rename.
+                continue
+            key = path.name.split(SHARD_SIDECAR_MARK, 1)[0]
+            try:
+                if not (self.graphs_dir / f"{key}.json").exists():
+                    path.unlink(missing_ok=True)
+                elif (path.suffix == ".npy"
+                        and not path.with_suffix(".json").exists()
+                        and path.stat().st_mtime < cutoff):
+                    path.unlink(missing_ok=True)
+            except OSError:
+                continue  # vanished mid-sweep
+
     # -- removal --------------------------------------------------------
     def _remove(self, key: str) -> None:
         npz, meta = self._paths(key)
         meta.unlink(missing_ok=True)  # sidecar first: no orphaned "commit"
+        for sidecar in self.graphs_dir.glob(f"{key}{SHARD_SIDECAR_MARK}*.json"):
+            sidecar.unlink(missing_ok=True)  # manifests first, same reason
+        for sidecar in self.graphs_dir.glob(f"{key}{SHARD_SIDECAR_MARK}*"):
+            sidecar.unlink(missing_ok=True)
         npz.unlink(missing_ok=True)
 
     def evict(self, ref: "str | DatasetSpec") -> bool:
@@ -325,8 +476,19 @@ class GraphCache:
         return len(entries)
 
     # -- the cached build path ------------------------------------------
-    def materialize(self, spec: "str | DatasetSpec", use_cache: bool = True) -> Graph:
+    def materialize(
+        self,
+        spec: "str | DatasetSpec",
+        use_cache: bool = True,
+        jobs: int | None = None,
+    ) -> Graph:
         """Load a dataset from the cache, building (and storing) on miss.
+
+        ``jobs`` is an *execution* knob, not part of the dataset's
+        identity: it requests a parallel build on a miss (see
+        :func:`~repro.workloads.spec.build_dataset`) and never enters
+        the content hash — a graph built at any job count is
+        bit-identical and cache-shared with the serial build.
 
         Non-cacheable (file-backed) families always build, and their
         graphs carry no content key (see
@@ -337,7 +499,10 @@ class GraphCache:
             graph = self.load(spec)
             if graph is not None:
                 return graph
-        graph = _spec.build_dataset(spec)
+        if jobs is None:
+            graph = _spec.build_dataset(spec)
+        else:
+            graph = _spec.build_dataset(spec, jobs=jobs)
         if use_cache and spec.cacheable:
             self.store(spec, graph)
         return graph
@@ -348,8 +513,12 @@ def default_cache() -> GraphCache:
     return GraphCache()
 
 
-def materialize(spec: "str | DatasetSpec", use_cache: bool = True) -> Graph:
+def materialize(
+    spec: "str | DatasetSpec",
+    use_cache: bool = True,
+    jobs: int | None = None,
+) -> Graph:
     """Module-level convenience: :meth:`GraphCache.materialize` at the
     default root.  This is the entry point ``runtime.run(dataset=...)``
     and the CLI use."""
-    return default_cache().materialize(spec, use_cache=use_cache)
+    return default_cache().materialize(spec, use_cache=use_cache, jobs=jobs)

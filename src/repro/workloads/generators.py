@@ -34,7 +34,12 @@ from repro._util import as_rng, check_positive_int
 from repro.errors import WorkloadError
 from repro.graphs import generators as _legacy
 from repro.graphs.graph import Graph
-from repro.workloads.spec import ParamSpec, WorkloadFamily, register_workload
+from repro.workloads.spec import (
+    ParamSpec,
+    WorkloadFamily,
+    build_jobs,
+    register_workload,
+)
 
 __all__ = [
     "rmat_graph",
@@ -49,20 +54,36 @@ __all__ = [
 _QUADRATIC_LIMIT = 20_000
 
 
+def _sorted_unique(keys: np.ndarray) -> np.ndarray:
+    """In-place sort + adjacent-inequality dedupe of a fresh key array.
+
+    Produces exactly ``np.unique(keys)`` (sorted distinct values) but
+    through the sort path unconditionally — ``np.unique``'s hash path
+    is an order of magnitude slower on large int64 key arrays.
+    """
+    keys.sort()
+    if keys.size < 2:
+        return keys
+    mask = np.empty(keys.size, dtype=bool)
+    mask[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=mask[1:])
+    return keys[mask]
+
+
 def _draws_to_graph(u: np.ndarray, v: np.ndarray, n: int) -> Graph:
     """Canonicalize undirected endpoint draws into a Graph.
 
-    Drops self-loops, folds duplicates, and sorts — ``np.unique`` on the
-    packed ``(min, max)`` keys produces the canonical edge order
-    directly, so construction takes the trusted
-    :meth:`Graph.from_canonical_edges` fast path.
+    Drops self-loops, folds duplicates, and sorts — deduping the packed
+    ``(min, max)`` keys produces the canonical edge order directly, so
+    construction takes the trusted :meth:`Graph.from_canonical_edges`
+    fast path.
     """
     keep = u != v
     keys = (
         np.minimum(u[keep], v[keep]) * np.int64(n)
         + np.maximum(u[keep], v[keep])
     )
-    return _keys_to_graph(np.unique(keys), n)
+    return _keys_to_graph(_sorted_unique(keys), n)
 
 
 def _in_sorted(haystack: np.ndarray, needles: np.ndarray) -> np.ndarray:
@@ -149,13 +170,38 @@ def rmat_graph(
         )
     if avg_deg <= 0:
         raise WorkloadError(f"avg_deg must be positive, got {avg_deg}")
-    rng = as_rng(seed)
     scale = max(1, math.ceil(math.log2(n)))
     max_edges = n * (n - 1) // 2
     target = min(int(round(n * avg_deg / 2.0)), max_edges)
     # Thresholds as float32: half the memory traffic of the level loop,
     # plenty of resolution for quadrant probabilities.
     t_a, t_ab, t_abc = np.float32(a), np.float32(a + b), np.float32(a + b + c)
+
+    jobs = build_jobs()
+    if jobs > 1 and isinstance(seed, (int, np.integer)):
+        # Workers re-derive the exact serial float32 draws by PCG64
+        # stream position (see repro.workloads.parallel); the driver
+        # only tracks the position and keeps rejection/dedup serial,
+        # so the result is bit-identical to the serial path below.
+        from repro.workloads import parallel as _parallel
+
+        pos = [0]
+
+        def parallel_draw(batch: int) -> tuple[np.ndarray, np.ndarray]:
+            u, v = _parallel.rmat_draw_chunks(
+                jobs, seed=int(seed), pos=pos[0], batch=batch, scale=scale,
+                t_a=t_a, t_ab=t_ab, t_abc=t_abc,
+            )
+            pos[0] += scale * batch
+            return u, v
+
+        try:
+            keys = _sample_unique_keys(parallel_draw, n, target, oversample=1.1)
+            return _keys_to_graph(keys, n)
+        except _parallel.ParallelBuildUnavailable:
+            pass  # fresh serial rng below; no draws were consumed from it
+
+    rng = as_rng(seed)
 
     def draw(batch: int) -> tuple[np.ndarray, np.ndarray]:
         u = np.zeros(batch, dtype=np.int64)
@@ -226,6 +272,18 @@ def sbm_graph(
     if not parts:
         return Graph(n=n, edges=np.zeros((0, 2), dtype=np.int64), directed=False)
     raw = np.concatenate(parts)
+    jobs = build_jobs()
+    if jobs > 1:
+        # Binomial counts and Lemire-rejection endpoint draws consume
+        # the stream data-dependently, so all RNG work stays serial
+        # (above); workers take the deterministic canonicalization.
+        from repro.workloads import parallel as _parallel
+
+        try:
+            keys = _parallel.pack_sort_chunks(jobs, raw[:, 0], raw[:, 1], n)
+            return _keys_to_graph(keys, n)
+        except _parallel.ParallelBuildUnavailable:
+            pass
     return _draws_to_graph(raw[:, 0], raw[:, 1], n)
 
 
@@ -260,6 +318,21 @@ def geometric_graph(
     np.cumsum(counts, out=indptr[1:])
     pos = np.arange(n, dtype=np.int64)
     r2 = r * r
+    jobs = build_jobs()
+    if jobs > 1:
+        # The point draw above is the only RNG use; the scan is pure
+        # compute, so workers cover disjoint left-row ranges and the
+        # forward-offset rule keeps chunk pair sets disjoint.
+        from repro.workloads import parallel as _parallel
+
+        try:
+            keys = _parallel.geometric_scan_chunks(
+                jobs, pts_s=pts_s, ix_s=ix_s, iy_s=iy_s, cid_s=cid[order],
+                indptr=indptr, order=order, ncell=ncell, r2=r2, n=n,
+            )
+            return _keys_to_graph(keys, n)
+        except _parallel.ParallelBuildUnavailable:
+            pass
     parts: list[np.ndarray] = []
     # Forward-only offsets visit each unordered cell pair exactly once.
     for dx, dy in ((0, 0), (1, 0), (0, 1), (1, 1), (1, -1)):

@@ -1,0 +1,280 @@
+"""Parallel dataset generation over the warm shard-worker pools.
+
+The slowest generators are embarrassingly parallel *if* the parallel
+path is bit-identical to the serial one — dataset specs are content
+addresses, so any divergence would silently fork the cache.  Each
+sharded family therefore parallelizes only what can be reproduced
+exactly (golden CSR hashes are enforced by the generator test suite):
+
+* **geometric** — the single ``rng.random((n, 2))`` point draw stays in
+  the driver; the grid-bucket scan that dominates the build is pure
+  deterministic compute, so workers scan disjoint row ranges of the
+  cell-sorted arrays and the driver merges their (already deduped) key
+  chunks.  The forward-offset scan visits each unordered pair exactly
+  once, so chunk unions equal the serial pair set.
+* **rmat** — every quadrant level consumes exactly ``batch`` float32
+  draws, one uint32 word each, so a chunk ``[lo, hi)`` of level ``L``
+  in a round starting at stream position ``pos`` lives at uint32 offset
+  ``pos + L * batch + lo``.  Workers reconstruct those exact draws by
+  seeding a fresh PCG64 and ``advance``-ing to the offset (one
+  draw-and-discard re-aligns the half-word buffer at odd offsets); the
+  driver keeps rejection/dedup/truncation serial, so the key stream is
+  the serial stream word for word.
+* **sbm** — binomial counts and endpoint placement have data-dependent
+  stream consumption (Lemire rejection), so every RNG draw stays serial
+  in the driver; workers take over the deterministic canonicalization
+  (key packing, per-chunk sort + dedupe) and the driver merges.
+
+Workers come from the PR-3/4 :mod:`repro.kmachine.parallel.pool`
+registry — a build acquires a warm pool, treats chunk indices as
+"machines" (with ``None`` RNG slots; the tasks are deterministic), and
+releases the pool warm for the next build or process-engine run.
+Infrastructure failures (no pool, dead worker) raise
+:class:`ParallelBuildUnavailable`, and the generators fall back to the
+serial path; *task* errors are real bugs and surface as
+:class:`~repro.errors.WorkloadError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "ParallelBuildUnavailable",
+    "map_chunks",
+    "merge_unique_keys",
+    "geometric_scan_chunks",
+    "rmat_draw_chunks",
+    "pack_sort_chunks",
+]
+
+
+class ParallelBuildUnavailable(RuntimeError):
+    """The worker-pool infrastructure could not run this build.
+
+    Deliberately *not* a :class:`WorkloadError`: generators catch this
+    one exception to fall back to the serial path, while a genuine task
+    failure (a bug) still surfaces — a silent fallback there would let
+    the parallel/serial equivalence suites pass vacuously.
+    """
+
+
+class _BuildHolder:
+    """Pool-holder token for the span of one parallel build."""
+
+
+def _unique_sorted(keys: np.ndarray) -> np.ndarray:
+    """Dedupe an already-sorted key array (adjacent-inequality mask)."""
+    if keys.size < 2:
+        return keys
+    mask = np.empty(keys.size, dtype=bool)
+    mask[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=mask[1:])
+    return keys[mask]
+
+
+def merge_unique_keys(chunks: "list[np.ndarray]") -> np.ndarray:
+    """Union per-chunk key arrays into one sorted, deduped key array."""
+    parts = [c for c in chunks if c is not None and c.size]
+    if not parts:
+        return np.zeros(0, dtype=np.int64)
+    keys = parts[0] if len(parts) == 1 else np.concatenate(parts)
+    keys = np.ascontiguousarray(keys, dtype=np.int64)
+    keys.sort()
+    return _unique_sorted(keys)
+
+
+def map_chunks(jobs: int, task, payloads: list, common: dict) -> list:
+    """Fan ordered chunk payloads over a warm worker pool.
+
+    Chunk ``i`` goes to worker ``i % jobs``; ``common`` is shipped once
+    per worker (large arrays travel through shared memory).  Returns the
+    per-chunk results in payload order.  Worker-process failures raise
+    :class:`ParallelBuildUnavailable` (pool discarded); task exceptions
+    raise :class:`WorkloadError` (pool released warm — the processes
+    are fine).
+    """
+    from repro.errors import ModelError
+    from repro.kmachine.parallel import pool as _pool
+    from repro.kmachine.parallel import shipping
+
+    jobs = max(1, min(int(jobs), len(payloads)))
+    holder = _BuildHolder()
+    try:
+        pool = _pool.acquire_pool(jobs, holder)
+    except (OSError, ModelError) as exc:
+        raise ParallelBuildUnavailable(f"no worker pool: {exc}") from exc
+    discard = False
+    try:
+        mine = {w: list(range(w, len(payloads), jobs)) for w in range(jobs)}
+        try:
+            for w in range(jobs):
+                # Chunk tasks are deterministic; the slots just have to
+                # exist for the worker's ``rngs[machine]`` lookup.
+                pool.send(w, ("rngs", {i: None for i in mine[w]}))
+                wire = shipping.ship(([payloads[i] for i in mine[w]], common))
+                pool.send(w, ("map", task, None, None, mine[w], wire))
+        except (OSError, BrokenPipeError) as exc:
+            discard = True
+            raise ParallelBuildUnavailable(f"worker pipe broke: {exc}") from exc
+        results: list = [None] * len(payloads)
+        errors: list[str] = []
+        for w in range(jobs):
+            try:
+                status, body = pool.recv(w)
+            except (EOFError, OSError) as exc:
+                discard = True
+                raise ParallelBuildUnavailable(f"worker died: {exc}") from exc
+            if status != "ok":
+                errors.append(str(body))
+                continue
+            chunk_results = shipping.receive(body)
+            for i in mine[w]:
+                results[i] = chunk_results[i]
+        if errors:
+            raise WorkloadError(
+                "parallel build task failed in worker:\n" + errors[0]
+            )
+        return results
+    finally:
+        _pool.release_pool(pool, discard=discard)
+
+
+def _even_ranges(total: int, chunks: int) -> list[tuple[int, int]]:
+    """Split ``[0, total)`` into ``chunks`` near-equal contiguous ranges."""
+    chunks = max(1, min(chunks, total)) if total else 1
+    bounds = np.linspace(0, total, chunks + 1).astype(np.int64)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(chunks)]
+
+
+# ----------------------------------------------------------------------
+# geometric: deterministic grid-scan sharding.
+
+def _geometric_chunk(view, chunk, rng, payload, *, pts_s, ix_s, iy_s, cid_s,
+                     indptr, order, ncell, r2, n):
+    """Scan left-rows ``[lo, hi)`` of the cell-sorted arrays.
+
+    Mirrors the serial scan in
+    :func:`repro.workloads.generators.geometric_graph` restricted to one
+    slice of left rows; returns the slice's sorted, deduped canonical
+    keys.  Pure compute — ``rng`` is an unused ``None`` slot.
+    """
+    lo, hi = payload
+    rows = np.arange(lo, hi, dtype=np.int64)
+    parts: list[np.ndarray] = []
+    for dx, dy in ((0, 0), (1, 0), (0, 1), (1, 1), (1, -1)):
+        if dx == 0 and dy == 0:
+            starts = rows + 1
+            cnts = indptr[cid_s[lo:hi] + 1] - starts
+        else:
+            cx, cy = ix_s[lo:hi] + dx, iy_s[lo:hi] + dy
+            valid = (cx < ncell) & (cy >= 0) & (cy < ncell)
+            c2 = np.where(valid, cx * ncell + cy, 0)
+            starts = indptr[c2]
+            cnts = np.where(valid, indptr[c2 + 1] - starts, 0)
+        total = int(cnts.sum())
+        if total == 0:
+            continue
+        cum = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(cnts, out=cum[1:])
+        within = np.arange(total, dtype=np.int64) - np.repeat(cum[:-1], cnts)
+        left = np.repeat(rows, cnts)
+        right = np.repeat(starts, cnts) + within
+        d = pts_s[left] - pts_s[right]
+        close = (d * d).sum(axis=1) <= r2
+        gl, gr = order[left[close]], order[right[close]]
+        parts.append(np.minimum(gl, gr) * np.int64(n) + np.maximum(gl, gr))
+    return merge_unique_keys(parts)
+
+
+def geometric_scan_chunks(jobs: int, *, pts_s, ix_s, iy_s, cid_s, indptr,
+                          order, ncell, r2, n) -> np.ndarray:
+    """Parallel grid scan; returns the full sorted, deduped key array."""
+    ranges = _even_ranges(n, jobs)
+    chunks = map_chunks(
+        jobs,
+        _geometric_chunk,
+        ranges,
+        {
+            "pts_s": pts_s, "ix_s": ix_s, "iy_s": iy_s, "cid_s": cid_s,
+            "indptr": indptr, "order": order,
+            "ncell": int(ncell), "r2": float(r2), "n": int(n),
+        },
+    )
+    return merge_unique_keys(chunks)
+
+
+# ----------------------------------------------------------------------
+# rmat: PCG64 stream positioning.
+
+def _rmat_chunk(view, chunk, rng, payload, *, seed, pos, batch, scale,
+                t_a, t_ab, t_abc):
+    """Reproduce the serial quadrant draws for batch slice ``[lo, hi)``.
+
+    One float32 draw consumes one uint32 word of the PCG64 stream, so
+    the slice of level ``L`` starts at word ``pos + L * batch + lo``.
+    ``advance`` jumps whole 64-bit outputs (two words) and resets the
+    half-word buffer; an odd word offset is re-aligned by drawing and
+    discarding a single float32.
+    """
+    lo, hi = payload
+    count = hi - lo
+    t_a, t_ab, t_abc = np.float32(t_a), np.float32(t_ab), np.float32(t_abc)
+    u = np.zeros(count, dtype=np.int64)
+    v = np.zeros(count, dtype=np.int64)
+    for level in range(scale):
+        offset = pos + level * batch + lo
+        g = np.random.default_rng(seed)
+        g.bit_generator.advance(offset // 2)
+        if offset & 1:
+            g.random(1, dtype=np.float32)
+        r = g.random(count, dtype=np.float32)
+        u <<= 1
+        u |= r >= t_ab
+        v <<= 1
+        v |= ((r >= t_a) & (r < t_ab)) | (r >= t_abc)
+    return u, v
+
+
+def rmat_draw_chunks(jobs: int, *, seed: int, pos: int, batch: int,
+                     scale: int, t_a, t_ab, t_abc):
+    """One parallel R-MAT draw round: the serial ``draw(batch)`` exactly."""
+    ranges = _even_ranges(batch, jobs)
+    chunks = map_chunks(
+        jobs,
+        _rmat_chunk,
+        ranges,
+        {
+            "seed": int(seed), "pos": int(pos), "batch": int(batch),
+            "scale": int(scale), "t_a": float(t_a), "t_ab": float(t_ab),
+            "t_abc": float(t_abc),
+        },
+    )
+    u = np.concatenate([c[0] for c in chunks])
+    v = np.concatenate([c[1] for c in chunks])
+    return u, v
+
+
+# ----------------------------------------------------------------------
+# sbm: serial draws, parallel canonicalization.
+
+def _pack_sort_chunk(view, chunk, rng, payload, *, n):
+    """Pack one endpoint chunk into sorted, deduped canonical keys."""
+    u, v = payload
+    keep = u != v
+    keys = (
+        np.minimum(u[keep], v[keep]) * np.int64(n)
+        + np.maximum(u[keep], v[keep])
+    )
+    keys.sort()
+    return _unique_sorted(keys)
+
+
+def pack_sort_chunks(jobs: int, u: np.ndarray, v: np.ndarray, n: int) -> np.ndarray:
+    """Parallel canonicalization of raw endpoint draws into sorted keys."""
+    ranges = _even_ranges(u.size, jobs)
+    payloads = [(u[lo:hi], v[lo:hi]) for lo, hi in ranges]
+    chunks = map_chunks(jobs, _pack_sort_chunk, payloads, {"n": int(n)})
+    return merge_unique_keys(chunks)

@@ -10,6 +10,7 @@ from repro.workloads import (
     read_edge_list,
     read_metis,
     read_npz,
+    read_snap,
     write_edge_list,
     write_npz,
 )
@@ -81,6 +82,86 @@ class TestEdgeList:
         r2 = runtime.run("pagerank", dataset=spec, k=2, seed=3, c=2.0)
         assert r1.distgraph is not r2.distgraph
         assert not np.array_equal(r1.result.estimates, r2.result.estimates)
+
+
+class TestSnap:
+    def test_matches_read_edge_list_semantics(self, tmp_path):
+        # Comment headers, tabs, both orientations, repeats, self-loops.
+        path = tmp_path / "snap.txt"
+        path.write_text(
+            "# Directed graph (each unordered pair once)\n"
+            "# FromNodeId\tToNodeId\n"
+            "0\t1\n1\t0\n1\t2\n2\t2\n0\t1\n% stray\n2\t0\n"
+        )
+        g = read_snap(path)
+        assert g.n == 3 and g.m == 3 and not g.directed
+
+    def test_sparse_ids_densely_relabeled_in_sorted_order(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("10\t700\n700\t42\n")
+        g = read_snap(path)
+        assert g.n == 3 and g.m == 2
+        # ids sorted: 10 -> 0, 42 -> 1, 700 -> 2
+        assert np.array_equal(g.edges, [[0, 2], [1, 2]])
+
+    def test_chunked_parse_is_identical(self, tmp_path):
+        big = repro.gnp_random_graph(120, 0.1, seed=9)
+        path = tmp_path / "snap.txt"
+        write_edge_list(path, big)
+        whole = read_snap(path)
+        chunked = read_snap(path, chunk_rows=7)
+        assert chunked.n == whole.n
+        assert np.array_equal(chunked.edges, whole.edges)
+        assert np.array_equal(chunked.indptr, whole.indptr)
+        assert np.array_equal(chunked.indices, whole.indices)
+
+    def test_raw_ids_beyond_int32_survive(self, tmp_path):
+        # SNAP downloads can use raw ids past 2**31; the per-chunk packed
+        # dedupe key must not overflow and relabeling must stay exact.
+        a, b, c = 2**31 + 5, 2**33 + 1, 3
+        path = tmp_path / "snap.txt"
+        path.write_text(f"{a}\t{b}\n{b}\t{c}\n{b}\t{a}\n")
+        g = read_snap(path, chunk_rows=2)
+        assert g.n == 3 and g.m == 2
+        assert np.array_equal(g.edges, [[0, 2], [1, 2]])  # 3 < a < b
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("0\t1\t1288\n1\t2\t1289\n")
+        g = read_snap(path)
+        assert g.n == 3 and g.m == 2
+
+    def test_directed(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("0\t1\n1\t0\n")
+        g = read_snap(path, directed=True)
+        assert g.directed and g.m == 2
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("# only comments\n")
+        g = read_snap(path)
+        assert g.n == 0 and g.m == 0
+
+    def test_errors(self, tmp_path):
+        with pytest.raises(WorkloadError, match="not found"):
+            read_snap(tmp_path / "missing.txt")
+        bad = tmp_path / "bad.txt"
+        bad.write_text("0\tx\n")
+        with pytest.raises(WorkloadError, match="malformed edge row"):
+            read_snap(bad)
+        bad.write_text("-1\t2\n")
+        with pytest.raises(WorkloadError, match="negative vertex id"):
+            read_snap(bad)
+        with pytest.raises(WorkloadError, match="chunk_rows"):
+            read_snap(bad, chunk_rows=0)
+
+    def test_snap_workload_family(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("0\t1\n1\t2\n")
+        g = build_dataset(f"snap:path={path}")
+        assert g.n == 3 and g.m == 2
+        assert g.content_key is None  # file-backed: never content-addressed
 
 
 class TestMetis:
@@ -163,3 +244,33 @@ class TestSnapshot:
         )
         with pytest.raises(WorkloadError, match="newer"):
             read_npz(path)
+
+
+class TestNarrow:
+    """The int32 storage optimization must never corrupt wide ids."""
+
+    def test_small_values_narrow_to_int32(self):
+        from repro.workloads.io import _narrow
+
+        out = _narrow(np.array([0, 5, 2**31 - 1], dtype=np.int64))
+        assert out.dtype == np.int32
+        assert np.array_equal(out, [0, 5, 2**31 - 1])
+
+    def test_values_past_int32_round_trip_at_int64(self):
+        from repro.workloads.io import _narrow
+
+        wide = np.array([0, 2**31, 2**62], dtype=np.int64)
+        out = _narrow(wide)
+        assert out.dtype == np.int64
+        assert np.array_equal(out, wide)  # exact, no wrap
+
+    def test_negative_values_rejected(self):
+        from repro.workloads.io import _narrow
+
+        with pytest.raises(WorkloadError, match="non-negative"):
+            _narrow(np.array([-1, 3], dtype=np.int64))
+
+    def test_empty_narrows(self):
+        from repro.workloads.io import _narrow
+
+        assert _narrow(np.zeros(0, dtype=np.int64)).dtype == np.int32

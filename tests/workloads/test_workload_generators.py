@@ -232,3 +232,78 @@ def test_content_key_set_on_built_graphs():
     spec = "rmat:n=100,seed=1"
     g = build_dataset(spec)
     assert g.content_key == parse_spec(spec).content_hash()
+
+
+# ----------------------------------------------------------------------
+# Parallel generation: jobs > 1 must be bit-identical to the serial path
+# (anything else would silently fork the content-addressed cache).
+
+#: Sized so every parallelized stage actually runs (R-MAT draws span
+#: multiple chunks, the geometric grid scan has non-trivial buckets).
+PARALLEL_SPECS = [
+    "rmat:n=30000,avg_deg=8,seed=7",
+    "rmat:n=5000,avg_deg=12,seed=13",
+    "sbm:n=20000,blocks=4,avg_deg=8,mix=0.2,seed=7",
+    "geometric:n=20000,avg_deg=8,seed=7",
+]
+
+
+@pytest.mark.parametrize("spec", PARALLEL_SPECS)
+@pytest.mark.parametrize("jobs", [2, 3])
+def test_parallel_build_bit_identical_to_serial(spec, jobs):
+    serial = build_dataset(spec)
+    parallel = build_dataset(spec, jobs=jobs)
+    assert _csr_hash(parallel) == _csr_hash(serial), (
+        f"{spec} at jobs={jobs} diverged from the serial build"
+    )
+
+
+@pytest.mark.parametrize("spec", GOLDEN_SPECS[:3])
+def test_parallel_build_matches_golden(spec):
+    if os.environ.get(REGEN_ENV):
+        pytest.skip("regenerating")
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert _csr_hash(build_dataset(spec, jobs=2)) == golden[spec]
+
+
+def test_build_jobs_resolution(monkeypatch):
+    from repro.workloads import BUILD_JOBS_ENV, build_jobs
+
+    monkeypatch.delenv(BUILD_JOBS_ENV, raising=False)
+    assert build_jobs() == 1
+    monkeypatch.setenv(BUILD_JOBS_ENV, "3")
+    assert build_jobs() == 3
+    monkeypatch.setenv(BUILD_JOBS_ENV, "junk")
+    with pytest.raises(WorkloadError, match="integer job count"):
+        build_jobs()
+
+
+def test_jobs_env_drives_the_build(monkeypatch):
+    from repro.workloads import BUILD_JOBS_ENV
+
+    spec = "geometric:n=8000,avg_deg=6,seed=2"
+    serial = build_dataset(spec)
+    monkeypatch.setenv(BUILD_JOBS_ENV, "2")
+    assert _csr_hash(build_dataset(spec)) == _csr_hash(serial)
+
+
+def test_worker_task_failure_is_an_error_not_a_fallback():
+    """A bug inside a chunk task must surface, not silently serialize —
+    a silent fallback would let the equivalence tests pass vacuously."""
+    from repro.workloads import parallel
+
+    with pytest.raises(WorkloadError, match="parallel build task failed"):
+        # indptr too short for the claimed cell grid: the worker raises.
+        parallel.map_chunks(
+            2,
+            parallel._geometric_chunk,
+            [(0, 4), (4, 8)],
+            {
+                "pts_s": np.zeros((8, 2)), "ix_s": np.zeros(8, dtype=np.int64),
+                "iy_s": np.zeros(8, dtype=np.int64),
+                "cid_s": np.full(8, 99, dtype=np.int64),
+                "indptr": np.zeros(2, dtype=np.int64),
+                "order": np.arange(8, dtype=np.int64),
+                "ncell": 1, "r2": 1.0, "n": 8,
+            },
+        )
