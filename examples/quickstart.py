@@ -25,6 +25,8 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
+import re
+
 import repro
 
 
@@ -259,13 +261,57 @@ def main() -> None:
             assert not first["cached"] and second["cached"]
             assert second["rounds"] == first["rounds"]
             stats = client.status()["session"]
+            # Daemon telemetry rides along: every component registers its
+            # stats into one obs registry, GET /metrics renders them as
+            # Prometheus text, and /status?history=1 returns the
+            # per-minute request/latency ring.
+            import urllib.request
+
+            with urllib.request.urlopen(
+                f"http://{handle.host}:{handle.port}/metrics"
+            ) as reply:
+                metrics_text = reply.read().decode()
+            # The registry suffixes name collisions (session-2, ...), so
+            # match any session source rather than pinning the bare name.
+            assert re.search(
+                r"^repro_session(_\d+)?_executed 1$", metrics_text, re.M
+            ), metrics_text
         print(f"\nServe daemon on 127.0.0.1:{handle.port} ({serve_dataset})")
         print(f"  first request (executes): {miss_s:.3f}s   "
               f"identical repeat (sqlite hit): {hit_s:.3f}s")
         print(f"  session counters: executed={stats['executed']} "
               f"cache_hits={stats['cache_hits']} "
               f"store={stats['result_store']['entries']} entries")
+        print(f"  GET /metrics: {len(metrics_text.splitlines())} Prometheus "
+              f"samples (plus /status?history=1 per-minute telemetry)")
     workloads.default_cache().evict(serve_dataset)
+
+    # --- Observability tour: tracing + bound checking -------------------
+    # Pass trace= to any run (CLI: --trace out.jsonl, env: $REPRO_TRACE)
+    # and the engines stamp every phase with its wall-clock and
+    # sub-spans; untraced runs pay a single branch per phase.  Every run
+    # also carries a BoundReport comparing measured rounds against the
+    # family theorem's Õ envelope (polynomial x polylog slack) and the
+    # General Lower Bound Theorem's floor.  On the CLI:
+    #   python -m repro run pagerank --n 2000 --k 8 --trace out.jsonl
+    #   python -m repro trace summarize out.jsonl
+    from repro.obs import Tracer, summarize_trace
+
+    tracer = Tracer()  # in-memory; pass a path to stream JSONL instead
+    traced = runtime.run("pagerank", g, k, seed=seed, engine="vector",
+                         c=40, trace=tracer)
+    assert traced.rounds == result.rounds  # tracing never changes a run
+    summary = summarize_trace(tracer.events)
+    heaviest = summary["groups"][0]
+    bound = traced.bound_report
+    print("\nObservability (repro.obs)")
+    print(f"  traced {sum(grp['count'] for grp in summary['groups'])} phase "
+          f"events covering {summary['coverage']:.0%} of the run window")
+    print(f"  heaviest phase group: {heaviest['op']}/{heaviest['label']} "
+          f"({heaviest['wall_s']:.3f}s)")
+    print(f"  bound check: {bound.measured_rounds} rounds "
+          f"{'within' if bound.within_envelope else 'EXCEEDS'} the "
+          f"Õ({bound.upper_bound_rounds:.0f}) envelope, ok={bound.ok}")
 
 
 if __name__ == "__main__":

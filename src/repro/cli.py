@@ -20,7 +20,11 @@ Commands
 ``mst``          run proxy-Borůvka MST on a weighted random graph.
 ``lowerbounds``  print the Theorem-1 cookbook table for given (n, k, B).
 ``sweep``        sweep k for any registered algorithm and fit the
-                 exponent of its round scaling.
+                 exponent of its round scaling (one structured progress
+                 line per run).
+``trace``        inspect execution traces: ``trace summarize out.jsonl``
+                 renders the per-phase wall-clock breakdown written by
+                 ``run --trace`` / ``$REPRO_TRACE``.
 ``data``         manage the workload subsystem's content-addressed graph
                  cache: ``data build <spec>``, ``data ls``, ``data info
                  <spec|hash>``, ``data rm <spec|hash|--all>``.
@@ -123,26 +127,38 @@ def cmd_run(args) -> int:
     params = _parse_set_params(args.set)
     rep = runtime.run(
         args.algo, data, args.k, engine=args.engine, workers=args.workers,
-        seed=args.seed, **params
+        seed=args.seed, trace=args.trace, **params
     )
     size = f"{data.n} / {data.m}" if hasattr(data, "m") else str(rep.n)
     engine_label = (
         f"{rep.engine} ({rep.workers} workers)" if rep.workers else rep.engine
     )
     rows = [
-        ["bound", spec.bounds],
         # rep.k, not args.k: fixed-k families (congested clique) override it.
         ["n (/ m) / k / B", f"{size} / {rep.k} / {rep.bandwidth}"],
         ["engine", engine_label],
         ["rounds", rep.rounds],
         ["messages / bits", f"{rep.metrics.messages} / {rep.metrics.bits}"],
     ]
-    lb = rep.lower_bound()
-    if lb is not None:
-        rows.append(["matching lower bound", f"{lb:.3f} rounds"])
+    if rep.first_superstep_seconds is not None:
+        rows.append(["first superstep", f"{rep.first_superstep_seconds:.3f}s"])
+    if rep.wall_seconds is not None:
+        rows.append(["total wall", f"{rep.wall_seconds:.3f}s"])
+    if rep.bound_report is not None:
+        # The report's rows cover the theorem prose and the matching
+        # lower bound, so no separate "bound" rows are needed.
+        rows.extend(list(pair) for pair in rep.bound_report.rows())
+    else:
+        rows.insert(0, ["bound", spec.bounds])
+        lb = rep.lower_bound()
+        if lb is not None:
+            rows.append(["matching lower bound", f"{lb:.3f} rounds"])
     if spec.summarize is not None:
         rows.extend([label, value] for label, value in spec.summarize(rep.result))
     print(format_table([spec.title, "value"], rows))
+    if args.trace:
+        print(f"\ntrace written to {args.trace} "
+              f"(render with: python -m repro trace summarize {args.trace})")
     if spec.check is not None and not spec.check(rep.result):
         return 1
     return 0
@@ -339,7 +355,8 @@ def cmd_serve(args) -> int:
     print(f"  result cache: {store.path if store is not None else 'disabled'}")
     if args.prewarm:
         print(f"  prewarming {len(args.prewarm)} dataset(s)")
-    print("  POST /run, GET /status, GET /health, POST /shutdown")
+    print("  POST /run, GET /status[?history=1], GET /metrics, "
+          "GET /health, POST /shutdown")
     server.serve_forever()
     print("repro serve: stopped")
     return 0
@@ -412,22 +429,47 @@ def cmd_sweep(args) -> int:
     params = {"c": args.tokens} if "c" in spec.default_params else {}
     params.update(_parse_set_params(args.set))
     ks = [int(x) for x in args.ks.split(",")]
+    tracer = None
+    if args.trace:
+        # One tracer shared by every k-point, so the whole sweep lands
+        # in a single trace file (run() only closes tracers it opened).
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(args.trace)
     rows = []
     rounds = []
-    for k in ks:
-        rep = runtime.run(
-            args.problem, data, k, engine=args.engine, workers=args.workers,
-            seed=args.seed, **params
-        )
-        val = rep.round_value()
-        rounds.append(val)
-        rows.append([k, val])
+    try:
+        for k in ks:
+            rep = runtime.run(
+                args.problem, data, k, engine=args.engine, workers=args.workers,
+                seed=args.seed, trace=tracer, **params
+            )
+            val = rep.round_value()
+            rounds.append(val)
+            rows.append([k, val])
+            wall = f"{rep.wall_seconds:.3f}" if rep.wall_seconds is not None else "-"
+            print(f"[sweep] algo={args.problem} k={k} rounds={val} "
+                  f"wall_s={wall}", flush=True)
+    finally:
+        if tracer is not None:
+            tracer.close()
     print(format_table(["k", "rounds"], rows))
     if len(ks) >= 2 and all(v > 0 for v in rounds):
         fit = fit_power_law(ks, rounds)
         target = f"   (paper: {spec.fit_target})" if spec.fit_target else ""
         print(f"\nfit: rounds ~ k^{fit.exponent:.2f}{target}")
     return 0
+
+
+def cmd_trace(args) -> int:
+    """``trace summarize`` — render a trace JSONL file."""
+    from repro.obs import format_summary, read_trace, summarize_trace
+
+    if args.trace_command == "summarize":
+        events = read_trace(args.path)
+        print(format_summary(summarize_trace(events), top=args.top))
+        return 0
+    raise SystemExit(f"unknown trace command {args.trace_command!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -481,6 +523,14 @@ def build_parser() -> argparse.ArgumentParser:
             "the runs of one command (e.g. a sweep's repetitions)",
         )
 
+    def add_trace(p):
+        p.add_argument(
+            "--trace", metavar="PATH", default=None,
+            help="write a per-phase execution trace (JSONL) to PATH; render "
+            "it with 'python -m repro trace summarize PATH' "
+            "($REPRO_TRACE=PATH works for any run)",
+        )
+
     def add_dataset(p):
         p.add_argument(
             "--dataset",
@@ -495,6 +545,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("algo", choices=runtime.available(), help="registered algorithm")
     common(p, default_n=500)
     add_dataset(p)
+    add_trace(p)
     p.add_argument(
         "--set",
         action="append",
@@ -555,6 +606,16 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--all", action="store_true", help="remove every cached dataset")
     d.set_defaults(func=cmd_data)
 
+    p = sub.add_parser("trace", help="inspect execution trace files")
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    t = tsub.add_parser(
+        "summarize", help="per-phase wall-clock breakdown of a trace file"
+    )
+    t.add_argument("path", help="trace JSONL written by --trace / $REPRO_TRACE")
+    t.add_argument("--top", type=int, default=5,
+                   help="heaviest phase groups and links shown")
+    t.set_defaults(func=cmd_trace)
+
     p = sub.add_parser("serve", help="run the persistent analytics daemon")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8642)
@@ -611,6 +672,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="sweep k and fit the scaling exponent")
     common(p, default_n=1000)
     add_dataset(p)
+    add_trace(p)
     p.add_argument(
         "--problem",
         choices=runtime.available(),

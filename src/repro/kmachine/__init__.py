@@ -116,6 +116,29 @@ and must obey three contracts for the backends to stay bit-identical:
    Returning columnar outbox fragments and assembling one
    :class:`~repro.kmachine.engine.MessageBatch` per stream in the
    parent keeps the exchange accounting byte-equal to the serial loop.
+
+Tracing contract
+----------------
+Every engine carries a ``tracer`` attribute, defaulting to the shared
+:data:`repro.obs.trace.NULL_TRACER` singleton.  The runtime installs a
+live :class:`repro.obs.trace.Tracer` for the duration of a traced run
+(``runtime.run(..., trace=...)`` / ``$REPRO_TRACE``); engines then stamp
+one ``phase`` event per communication phase or kernel dispatch with its
+wall-clock and sub-spans (``pack_s`` / ``account_s`` / ``deliver_s`` on
+the vector backend, ``ship_s`` / ``kernel_s`` / ``pool_wait_s`` /
+``unpack_s`` on the process backend, where ``kernel_s`` is summed
+worker-side wall-clock).  Backends must guard **every** tracing site
+with ``if self.tracer.enabled:`` — the untraced path pays one attribute
+load and one branch per phase, never a clock read or an allocation —
+and must read phase statistics from ``self.metrics.phase_log[-1]``
+*after* accounting, so traced counts are byte-equal to untraced runs.
+The tracer itself attributes the parent-side gap since the previous
+trace point to each phase as ``driver_s`` (BSP superstep = local
+compute + communication), anchored at the engine's ``first_activity``
+so setup is never charged to the first phase — drivers that only
+*account* traffic (``account_phase``) get their wall-clock attributed
+this way.  Tracing never changes results, rounds, or delivery order;
+it only observes them.
 """
 
 from repro.kmachine.message import Message

@@ -53,6 +53,7 @@ from repro.kmachine import encoding
 from repro.kmachine.message import Message
 from repro.kmachine.metrics import Metrics
 from repro.kmachine.network import LinkNetwork
+from repro.obs.trace import NULL_TRACER
 
 __all__ = [
     "MessageBatch",
@@ -199,6 +200,28 @@ def _canonical_delivery(batch: MessageBatch, k: int) -> DeliveredBatch:
     )
 
 
+def _top_links(bits_mat: np.ndarray, top: int) -> list[list[int]] | None:
+    """The ``top`` heaviest ``[src, dst, bits]`` links of a phase, or None.
+
+    Trace-path only: called when a tracer is enabled and asked for link
+    attribution, so the ``argpartition`` cost never touches untraced runs.
+    """
+    if top <= 0:
+        return None
+    flat = bits_mat.ravel()
+    if flat.size == 0 or not flat.any():
+        return None
+    top = min(int(top), flat.size)
+    idx = np.argpartition(flat, -top)[-top:]
+    idx = idx[np.argsort(flat[idx])[::-1]]
+    k = bits_mat.shape[1]
+    return [
+        [int(i // k), int(i % k), int(flat[i])]
+        for i in idx
+        if flat[i] > 0
+    ] or None
+
+
 class Engine:
     """Executes communication phases against a :class:`LinkNetwork`.
 
@@ -219,10 +242,21 @@ class Engine:
         #: ``None`` before any.  The runtime uses it to split cold-start
         #: setup (materialize + partition + shard) from algorithm time.
         self.first_activity: float | None = None
+        #: Trace sink for per-phase wall-clock events.  Defaults to the
+        #: shared no-op singleton; :func:`repro.runtime.run` swaps in a
+        #: live :class:`~repro.obs.trace.Tracer` for traced runs.  Every
+        #: instrumentation site guards on ``self.tracer.enabled`` so the
+        #: untraced hot path pays one attribute load and one branch per
+        #: phase — no clock reads, no event allocations.
+        self.tracer = NULL_TRACER
 
     def _mark_activity(self) -> None:
         if self.first_activity is None:
             self.first_activity = time.perf_counter()
+            # Seed the tracer's driver_s attribution point at the
+            # setup/superstep boundary so the first phase charges only
+            # its own parent-side compute, never shard materialization.
+            self.tracer.mark(self.first_activity)
 
     # -- shared properties ---------------------------------------------
     @property
@@ -257,9 +291,22 @@ class Engine:
     ) -> int:
         """Account an aggregate-only phase (no payloads to deliver)."""
         self._mark_activity()
-        return self.network.account_phase(
+        if not self.tracer.enabled:
+            return self.network.account_phase(
+                bits_matrix, messages_matrix, label=label, local_messages=local_messages
+            )
+        t0 = time.perf_counter()
+        rounds = self.network.account_phase(
             bits_matrix, messages_matrix, label=label, local_messages=local_messages
         )
+        self.tracer.phase(
+            "account_phase",
+            label,
+            time.perf_counter() - t0,
+            stats=self.metrics.phase_log[-1],
+            top_links=_top_links(np.asarray(bits_matrix), self.tracer.top_links),
+        )
+        return rounds
 
     # -- superstep compute scheduling -----------------------------------
     def map_machines(
@@ -292,7 +339,18 @@ class Engine:
                 f"expected one payload per machine ({k}), got {len(payloads)}"
             )
         common = common or {}
-        return [task(distgraph, i, rngs[i], payloads[i], **common) for i in range(k)]
+        if not self.tracer.enabled:
+            return [task(distgraph, i, rngs[i], payloads[i], **common) for i in range(k)]
+        t0 = time.perf_counter()
+        results = [task(distgraph, i, rngs[i], payloads[i], **common) for i in range(k)]
+        wall = time.perf_counter() - t0
+        self.tracer.phase(
+            "map_machines",
+            getattr(task, "__name__", str(task)),
+            wall,
+            segments={"kernel_s": wall},
+        )
+        return results
 
     def close(self) -> None:
         """Release engine-held resources (worker pools, shared segments)."""
@@ -321,13 +379,25 @@ class MessageEngine(Engine):
         self, outboxes: Sequence[Iterable[Message]], label: str = ""
     ) -> list[list[Message]]:
         self._mark_activity()
-        return self.network.exchange(outboxes, label=label)
+        if not self.tracer.enabled:
+            return self.network.exchange(outboxes, label=label)
+        t0 = time.perf_counter()
+        inboxes = self.network.exchange(outboxes, label=label)
+        self.tracer.phase(
+            "exchange",
+            label,
+            time.perf_counter() - t0,
+            stats=self.metrics.phase_log[-1],
+        )
+        return inboxes
 
     def exchange_batches(
         self, batches: Sequence[MessageBatch], label: str = ""
     ) -> list[DeliveredBatch]:
         self._mark_activity()
         self._validate_batches(batches)
+        trace = self.tracer.enabled
+        t0 = time.perf_counter() if trace else 0.0
         k = self.k
         outboxes: list[list[Message]] = [[] for _ in range(k)]
         for b, batch in enumerate(batches):
@@ -342,7 +412,9 @@ class MessageEngine(Engine):
                         bits=int(bits[r]),
                     )
                 )
+        t1 = time.perf_counter() if trace else 0.0
         inboxes = self.network.exchange(outboxes, label=label)
+        t2 = time.perf_counter() if trace else 0.0
 
         # Reassemble each batch from the physically delivered messages in
         # canonical order: destination, then source, then emission order.
@@ -371,6 +443,19 @@ class MessageEngine(Engine):
                     offsets=offsets,
                 )
             )
+        if trace:
+            t3 = time.perf_counter()
+            self.tracer.phase(
+                "exchange_batches",
+                label,
+                t3 - t0,
+                segments={
+                    "pack_s": t1 - t0,
+                    "exchange_s": t2 - t1,
+                    "deliver_s": t3 - t2,
+                },
+                stats=self.metrics.phase_log[-1],
+            )
         return delivered
 
 
@@ -392,13 +477,25 @@ class VectorEngine(Engine):
         # Heterogeneous traffic keeps per-object semantics on both
         # backends; only batch traffic takes the vectorized path.
         self._mark_activity()
-        return self.network.exchange(outboxes, label=label)
+        if not self.tracer.enabled:
+            return self.network.exchange(outboxes, label=label)
+        t0 = time.perf_counter()
+        inboxes = self.network.exchange(outboxes, label=label)
+        self.tracer.phase(
+            "exchange",
+            label,
+            time.perf_counter() - t0,
+            stats=self.metrics.phase_log[-1],
+        )
+        return inboxes
 
     def exchange_batches(
         self, batches: Sequence[MessageBatch], label: str = ""
     ) -> list[DeliveredBatch]:
         self._mark_activity()
         self._validate_batches(batches)
+        trace = self.tracer.enabled
+        t0 = time.perf_counter() if trace else 0.0
         net = self.network
         k = self.k
         bits_mat = np.zeros((k, k), dtype=np.int64)
@@ -416,6 +513,7 @@ class VectorEngine(Engine):
 
         if net.mode == "strict":
             strict_rounds = self._strict_rounds(batches, bits_mat)
+        t1 = time.perf_counter() if trace else 0.0
         net.record(
             bits_mat,
             msgs_mat,
@@ -423,7 +521,23 @@ class VectorEngine(Engine):
             local_messages=local,
             strict_rounds=strict_rounds,
         )
-        return [_canonical_delivery(batch, k) for batch in batches]
+        t2 = time.perf_counter() if trace else 0.0
+        delivered = [_canonical_delivery(batch, k) for batch in batches]
+        if trace:
+            t3 = time.perf_counter()
+            self.tracer.phase(
+                "exchange_batches",
+                label,
+                t3 - t0,
+                segments={
+                    "pack_s": t1 - t0,
+                    "account_s": t2 - t1,
+                    "deliver_s": t3 - t2,
+                },
+                stats=self.metrics.phase_log[-1],
+                top_links=_top_links(bits_mat, self.tracer.top_links),
+            )
+        return delivered
 
     def _strict_rounds(
         self, batches: Sequence[MessageBatch], bits_mat: np.ndarray

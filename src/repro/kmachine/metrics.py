@@ -151,6 +151,11 @@ class Metrics:
         """Largest number of messages received by a single machine overall."""
         return int(self.received_messages.max(initial=0))
 
+    @property
+    def max_link_bits(self) -> int:
+        """Heaviest single-phase link load across the whole execution."""
+        return max((p.max_link_bits for p in self.phase_log), default=0)
+
     def as_dict(self) -> dict:
         """Summary dictionary (for benches / EXPERIMENTS.md rows)."""
         return {
@@ -163,15 +168,46 @@ class Metrics:
             "local_messages": self.local_messages,
             "max_machine_sent": self.max_machine_sent,
             "max_machine_received": self.max_machine_received,
+            "max_link_bits": self.max_link_bits,
+            "phase_summary": [
+                {
+                    "label": p.label,
+                    "rounds": p.rounds,
+                    "messages": p.messages,
+                    "bits": p.bits,
+                    "max_link_bits": p.max_link_bits,
+                }
+                for p in self.phase_log
+            ],
         }
 
     def check_conservation(self) -> None:
-        """Internal consistency: totals match per-machine aggregates."""
+        """Internal consistency: totals match per-machine aggregates.
+
+        Also validates the phase log against the cumulative counters and
+        the per-machine arrays against the configured shape — so a buggy
+        :meth:`merge` (mismatched ``k``, dropped phases, corrupted
+        arrays) is caught here rather than in downstream reports.
+        """
+        for name in ("sent_messages", "received_messages", "sent_bits", "received_bits"):
+            arr = getattr(self, name)
+            if arr.shape != (self.k,):
+                raise AssertionError(
+                    f"{name} must have shape ({self.k},), got {arr.shape}"
+                )
+            if np.any(arr < 0):
+                raise AssertionError(f"{name} has negative per-machine entries")
         if int(self.sent_messages.sum()) != self.messages:
             raise AssertionError("sent message totals do not match")
         if int(self.received_messages.sum()) != self.messages:
             raise AssertionError("received message totals do not match")
         if int(self.sent_bits.sum()) != self.bits or int(self.received_bits.sum()) != self.bits:
             raise AssertionError("bit totals do not match")
+        if self.phases != len(self.phase_log):
+            raise AssertionError("phase count does not match phase log")
         if self.rounds != sum(p.rounds for p in self.phase_log):
             raise AssertionError("round total does not match phase log")
+        if self.messages != sum(p.messages for p in self.phase_log):
+            raise AssertionError("message total does not match phase log")
+        if self.bits != sum(p.bits for p in self.phase_log):
+            raise AssertionError("bit total does not match phase log")

@@ -55,6 +55,7 @@ Design notes
 from __future__ import annotations
 
 import os
+import time
 import weakref
 from typing import Sequence
 
@@ -244,6 +245,8 @@ class ProcessEngine(VectorEngine):
             self._rngs_shipped = True
         store = pool.ensure_store(distgraph) if distgraph is not None else None
         common = dict(common) if common else {}
+        trace = self.tracer.enabled
+        t0 = time.perf_counter() if trace else 0.0
         in_flight: dict[int, tuple] = {}  # payload wires, for crash cleanup
         pending: set[int] = set()
         for w in range(pool.workers):
@@ -259,20 +262,31 @@ class ProcessEngine(VectorEngine):
             except (BrokenPipeError, OSError) as exc:
                 self._crash(w, exc, in_flight=in_flight, pending=pending)
             pending.add(w)
+        t_shipped = time.perf_counter() if trace else 0.0
         results: list = [None] * k
         failure: str | None = None
+        kernel_s = 0.0  # summed worker-side kernel wall-clock
+        wait_s = 0.0  # parent blocked on replies
+        unpack_s = 0.0  # decoding result wires
         for w in range(pool.workers):
+            t_wait = time.perf_counter() if trace else 0.0
             try:
                 status, value = pool.recv(w)
             except (EOFError, OSError) as exc:
                 self._crash(w, exc, in_flight=in_flight, pending=pending)
+            t_recv = time.perf_counter() if trace else 0.0
             pending.discard(w)
             if status == "ok":
                 # An ok reply proves the worker consumed (and unlinked)
                 # its payload segment before running the kernels.
                 in_flight.pop(w, None)
-                for machine, result in shipping.receive(value).items():
+                worker_results, worker_kernel_s = shipping.receive(value)
+                kernel_s += worker_kernel_s
+                for machine, result in worker_results.items():
                     results[machine] = result
+                if trace:
+                    wait_s += t_recv - t_wait
+                    unpack_s += time.perf_counter() - t_recv
             else:
                 # An err reply may predate payload consumption; discard
                 # is a no-op when the worker already unlinked it.
@@ -290,6 +304,19 @@ class ProcessEngine(VectorEngine):
             raise ModelError(
                 f"superstep task failed in a worker; the engine was closed "
                 f"(its RNG streams diverged from the inline draw order)\n{failure}"
+            )
+        if trace:
+            t_end = time.perf_counter()
+            self.tracer.phase(
+                "map_machines",
+                getattr(task, "__name__", str(task)),
+                t_end - t0,
+                segments={
+                    "ship_s": t_shipped - t0,
+                    "kernel_s": kernel_s,
+                    "pool_wait_s": max(0.0, wait_s - kernel_s),
+                    "unpack_s": unpack_s,
+                },
             )
         return results
 

@@ -20,10 +20,14 @@ Protocol (parent -> worker over one duplex pipe, processed in order):
     decoding to ``(payloads, common)``; large payloads arrive through a
     per-superstep shared-memory segment, small ones inline on the pipe.
     Run ``task(view, machine, rng, payload, **common)`` for each owned
-    machine and reply ``("ok", wire)`` — results shipped the same way,
-    so large outbox fragments go back through shared memory and the
-    parent assembles delivery batches without piping arrays — or
-    ``("err", traceback)``.  ``meta`` is included the first time the
+    machine and reply ``("ok", wire)`` — the wire decodes to
+    ``(results, kernel_seconds)``, results shipped the same way, so
+    large outbox fragments go back through shared memory and the parent
+    assembles delivery batches without piping arrays;
+    ``kernel_seconds`` is the wall-clock the kernel loop spent in this
+    worker (always measured: two clock reads per superstep), which the
+    engine's tracer attributes as kernel time — or ``("err",
+    traceback)``.  ``meta`` is included the first time the
     parent references a store; a ``None`` store key runs the task with
     ``view=None`` (kernels that need no graph state, e.g. sorting).
 ``("pull-rngs", machines)``
@@ -43,6 +47,7 @@ which the parent detects and turns into pool destruction plus a
 
 from __future__ import annotations
 
+import time
 import traceback
 
 from repro.kmachine.parallel import shipping
@@ -85,11 +90,13 @@ def worker_main(conn) -> None:
                         if key not in views:
                             views[key] = SharedGraphView.attach(meta)
                         view = views[key]
+                    t0 = time.perf_counter()
                     results = {
                         machine: task(view, machine, rngs[machine], payload, **common)
                         for machine, payload in zip(machines, payloads)
                     }
-                    conn.send(("ok", shipping.ship(results)))
+                    kernel_s = time.perf_counter() - t0
+                    conn.send(("ok", shipping.ship((results, kernel_s))))
                 except BaseException:
                     conn.send(("err", traceback.format_exc()))
                 continue

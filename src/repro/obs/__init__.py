@@ -1,0 +1,53 @@
+"""Observability: execution tracing, bound checking, live telemetry.
+
+Three pieces, all designed to cost nothing when unused:
+
+- :mod:`repro.obs.trace` — a :class:`Tracer` the engines emit per-phase
+  wall-clock events into (JSONL with a versioned schema), plus the
+  shared :data:`NULL_TRACER` no-op every engine carries by default.
+- :mod:`repro.obs.bounds` — :class:`BoundReport`: measured rounds and
+  link loads checked against the family theorem's Õ envelope and lower
+  bound, attached to every :class:`~repro.runtime.registry.RunReport`.
+- :mod:`repro.obs.registry` — :func:`obs_registry`, the process-wide
+  weak-referenced stats registry the serve daemon's ``/metrics``
+  endpoint collects, and :class:`MinuteRing`, the per-minute request
+  time series behind ``/status?history=1``.
+
+Enable tracing with ``runtime.run(trace="out.jsonl")`` (or a
+:class:`Tracer` instance, or ``trace=True`` for in-memory events), the
+CLI's ``--trace out.jsonl``, or ``$REPRO_TRACE``; render a trace with
+``python -m repro trace summarize out.jsonl``.
+"""
+
+from repro.obs.bounds import BoundReport, compute_bound_report
+from repro.obs.registry import MinuteRing, ObsRegistry, obs_registry, render_prometheus
+from repro.obs.summarize import format_summary, summarize_trace
+from repro.obs.trace import (
+    NULL_TRACER,
+    TRACE_ENV,
+    TRACE_SCHEMA_VERSION,
+    NullTracer,
+    TraceError,
+    Tracer,
+    read_trace,
+    resolve_tracer,
+)
+
+__all__ = [
+    "BoundReport",
+    "compute_bound_report",
+    "MinuteRing",
+    "ObsRegistry",
+    "obs_registry",
+    "render_prometheus",
+    "format_summary",
+    "summarize_trace",
+    "NULL_TRACER",
+    "TRACE_ENV",
+    "TRACE_SCHEMA_VERSION",
+    "NullTracer",
+    "TraceError",
+    "Tracer",
+    "read_trace",
+    "resolve_tracer",
+]

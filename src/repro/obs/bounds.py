@@ -1,0 +1,205 @@
+"""Measured-vs-predicted bound checking for registry runs.
+
+Every :class:`~repro.runtime.registry.AlgorithmSpec` carries the paper's
+matching theorem as prose (``bounds``) and, when available, callables
+for the round lower bound (``lower_bound``) and the Õ upper-bound
+polynomial (``upper_bound``).  :func:`compute_bound_report` evaluates
+both at a run's ``(n, k, B)`` and compares them against the rounds the
+metrics layer actually charged, producing a :class:`BoundReport` the CLI
+prints and the serve daemon attaches to ``/run`` responses.
+
+The Õ notation hides polylogarithmic factors, so the *envelope* a
+measured run is checked against is ``upper_bound(n, k, B) * polylog(n)``
+with the same ``polylog(n) = 32 ceil(log2 n)`` slack the model uses for
+its default bandwidth — generous by design: a run that *exceeds* it has
+broken the theorem (or the accounting), while the informative ratio for
+plots is ``measured / core`` (how much of the hidden polylog factor an
+implementation actually spends).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro._util import polylog
+
+__all__ = ["BoundReport", "compute_bound_report"]
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    return f"{value:,.4g}" if value < 1e6 else f"{value:.3e}"
+
+
+@dataclass(frozen=True)
+class BoundReport:
+    """Measured rounds / link loads vs the family theorem's envelope.
+
+    ``upper_bound_core`` is the theorem's polynomial part evaluated at
+    the run's parameters; ``upper_bound_rounds`` multiplies in the
+    ``polylog_slack`` the Õ hides.  ``lower_bound_rounds`` comes from
+    the General Lower Bound Theorem cookbook when the family declares
+    one.  Fields are ``None`` when the spec declares no matching bound.
+    """
+
+    algo: str
+    n: int
+    k: int
+    bandwidth: int
+    measured_rounds: int
+    measured_phases: int
+    #: Heaviest single-link bit load over all phases of the run.
+    measured_max_link_bits: int
+    #: Label of the phase carrying that heaviest link load.
+    heaviest_phase: str
+    bounds: str
+    lower_bound_rounds: float | None
+    upper_bound_core: float | None
+    upper_bound_rounds: float | None
+    polylog_slack: float
+
+    @property
+    def within_envelope(self) -> bool | None:
+        """Measured rounds do not exceed the Õ envelope (None: no bound)."""
+        if self.upper_bound_rounds is None:
+            return None
+        return self.measured_rounds <= self.upper_bound_rounds
+
+    @property
+    def above_lower_bound(self) -> bool | None:
+        """Measured rounds are >= the lower bound, as any correct run must be."""
+        if self.lower_bound_rounds is None:
+            return None
+        return self.measured_rounds >= self.lower_bound_rounds
+
+    @property
+    def measured_over_core(self) -> float | None:
+        """Measured rounds / polynomial part — the polylog factor spent."""
+        if self.upper_bound_core is None or self.upper_bound_core <= 0:
+            return None
+        return self.measured_rounds / self.upper_bound_core
+
+    @property
+    def ok(self) -> bool:
+        """No declared bound is violated by the measurement."""
+        return self.within_envelope is not False and self.above_lower_bound is not False
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable summary (serve responses, bench artifacts)."""
+        return {
+            "algo": self.algo,
+            "n": self.n,
+            "k": self.k,
+            "bandwidth": self.bandwidth,
+            "measured_rounds": self.measured_rounds,
+            "measured_phases": self.measured_phases,
+            "measured_max_link_bits": self.measured_max_link_bits,
+            "heaviest_phase": self.heaviest_phase,
+            "bounds": self.bounds,
+            "lower_bound_rounds": self.lower_bound_rounds,
+            "upper_bound_core": self.upper_bound_core,
+            "upper_bound_rounds": self.upper_bound_rounds,
+            "polylog_slack": self.polylog_slack,
+            "within_envelope": self.within_envelope,
+            "above_lower_bound": self.above_lower_bound,
+            "measured_over_core": self.measured_over_core,
+            "ok": self.ok,
+        }
+
+    def rows(self) -> list[tuple[str, str]]:
+        """``(label, value)`` rows for CLI tables."""
+        rows: list[tuple[str, str]] = [("theorem", self.bounds)]
+        if self.upper_bound_rounds is not None:
+            verdict = "within" if self.within_envelope else "EXCEEDS"
+            rows.append(
+                (
+                    "upper envelope",
+                    f"{self.measured_rounds:,} rounds {verdict} "
+                    f"Õ-envelope {_fmt(self.upper_bound_rounds)} "
+                    f"(core {_fmt(self.upper_bound_core)} × "
+                    f"polylog {_fmt(self.polylog_slack)})",
+                )
+            )
+            ratio = self.measured_over_core
+            if ratio is not None:
+                rows.append(("measured / core", f"{ratio:.3g}"))
+        if self.lower_bound_rounds is not None:
+            verdict = "above" if self.above_lower_bound else "BELOW"
+            rows.append(
+                (
+                    "lower bound",
+                    f"{self.measured_rounds:,} rounds {verdict} "
+                    f"lower bound {_fmt(self.lower_bound_rounds)}",
+                )
+            )
+        rows.append(
+            (
+                "heaviest link",
+                f"{self.measured_max_link_bits:,} bits"
+                + (f" in phase {self.heaviest_phase!r}" if self.heaviest_phase else ""),
+            )
+        )
+        return rows
+
+
+def compute_bound_report(
+    spec,
+    *,
+    n: int,
+    k: int,
+    bandwidth: int,
+    metrics,
+    result=None,
+    m: int | None = None,
+) -> BoundReport:
+    """Evaluate ``spec``'s declared bounds against a run's metrics.
+
+    ``result`` feeds :attr:`AlgorithmSpec.lower_bound_extra` (families
+    whose lower bound depends on the output, e.g. triangle counts);
+    ``m`` is the input's edge count when known (families whose upper
+    bound mixes ``m`` and ``n`` terms).
+    """
+    lower = None
+    if spec.lower_bound is not None:
+        extra = (
+            spec.lower_bound_extra(result)
+            if spec.lower_bound_extra is not None and result is not None
+            else {}
+        )
+        try:
+            lower = float(spec.lower_bound(n, k, bandwidth, **extra))
+        except ValueError:
+            lower = None  # out of the theorem's stated domain (tiny n/k)
+    slack = float(polylog(n))
+    core = None
+    envelope = None
+    upper = getattr(spec, "upper_bound", None)
+    if upper is not None:
+        try:
+            core = float(upper(n=n, k=k, bandwidth=bandwidth, m=m))
+            envelope = max(core, 1.0) * slack
+        except ValueError:
+            core = envelope = None
+    heaviest_bits = 0
+    heaviest_label = ""
+    for phase in metrics.phase_log:
+        if phase.max_link_bits > heaviest_bits:
+            heaviest_bits = phase.max_link_bits
+            heaviest_label = phase.label
+    return BoundReport(
+        algo=spec.name,
+        n=int(n),
+        k=int(k),
+        bandwidth=int(bandwidth),
+        measured_rounds=int(metrics.rounds),
+        measured_phases=int(metrics.phases),
+        measured_max_link_bits=heaviest_bits,
+        heaviest_phase=heaviest_label,
+        bounds=spec.bounds,
+        lower_bound_rounds=lower,
+        upper_bound_core=core,
+        upper_bound_rounds=envelope,
+        polylog_slack=slack,
+    )

@@ -102,6 +102,44 @@ def _run_sorting(values, cluster, assignment, params):
     )
 
 
+# -- Õ upper-bound polynomials (the part the theorem states; the obs
+# -- layer multiplies in a polylog(n) slack to form the envelope a
+# -- measured run is checked against).  ``m`` falls back to ``n`` for
+# -- inputs whose edge count is unknown.
+
+
+def _ub_pagerank(n, k, bandwidth, m=None):
+    return n / k**2
+
+
+def _ub_pagerank_baseline(n, k, bandwidth, m=None):
+    return n / k
+
+
+def _ub_triangles(n, k, bandwidth, m=None):
+    return (m if m is not None else n) / k ** (5 / 3) + n / k ** (4 / 3)
+
+
+def _ub_congested_clique(n, k, bandwidth, m=None):
+    return n ** (1 / 3) / bandwidth
+
+
+def _ub_triangles_conversion(n, k, bandwidth, m=None):
+    return n ** (7 / 3) / k**2
+
+
+def _ub_subgraphs(n, k, bandwidth, m=None):
+    return (m if m is not None else n) / k**1.5 + n / k**1.25
+
+
+def _ub_boruvka(n, k, bandwidth, m=None):
+    return (m if m is not None else n) / k**2 + 1
+
+
+def _ub_sorting(n, k, bandwidth, m=None):
+    return n / k**2
+
+
 def _summarize_pagerank(r: PageRankResult) -> list:
     return [
         ("iterations", r.iterations),
@@ -150,6 +188,7 @@ def register_builtin_specs() -> None:
             bounds="Õ(n/k²) rounds (Theorem 4)",
             default_params={"c": 16.0},
             lower_bound=pagerank_round_lower_bound,
+            upper_bound=_ub_pagerank,
             round_value=lambda r: r.token_rounds(),
             fit_target="-2 (Thm 4)",
             summarize=_summarize_pagerank,
@@ -166,6 +205,7 @@ def register_builtin_specs() -> None:
             bounds="Õ(n/k) rounds (Klauck et al., SODA 2015)",
             default_params={"c": 16.0},
             lower_bound=pagerank_round_lower_bound,
+            upper_bound=_ub_pagerank_baseline,
             round_value=lambda r: r.token_rounds(),
             fit_target="-1 (SODA'15)",
             summarize=_summarize_pagerank,
@@ -184,6 +224,7 @@ def register_builtin_specs() -> None:
             # Theorem 3's bound depends on the output count t; without it the
             # dense-graph default can exceed the measured rounds on sparse inputs.
             lower_bound_extra=lambda r: {"t": max(1, r.count)},
+            upper_bound=_ub_triangles,
             fit_target="-5/3 (Thm 5)",
             summarize=_summarize_triangles,
             build_distgraph=True,
@@ -202,6 +243,7 @@ def register_builtin_specs() -> None:
             fix_k=lambda g: g.n,
             sample_placement=lambda cluster, g: identity_partition(g.n),
             lower_bound=lambda n, k, B: congested_clique_lower_bound(n, B),
+            upper_bound=_ub_congested_clique,
             fit_target=None,
             summarize=_summarize_triangles,
             build_distgraph=True,
@@ -217,6 +259,7 @@ def register_builtin_specs() -> None:
             bounds="Õ(n^{7/3}/k²) rounds (Klauck et al., SODA 2015 baseline)",
             lower_bound=triangle_round_lower_bound,
             lower_bound_extra=lambda r: {"t": max(1, r.count)},
+            upper_bound=_ub_triangles_conversion,
             fit_target="-2 (conversion)",
             summarize=_summarize_triangles,
             build_distgraph=False,
@@ -231,6 +274,7 @@ def register_builtin_specs() -> None:
             result_type=TriangleResult,
             bounds="Õ(m/k^{3/2} + n/k^{5/4}) rounds (§1.2 remark)",
             default_params={"pattern": "k4"},
+            upper_bound=_ub_subgraphs,
             summarize=_summarize_triangles,
             build_distgraph=True,
         )
@@ -245,6 +289,7 @@ def register_builtin_specs() -> None:
             bounds="Õ(m/k² + polylog) rounds (§1.3, cf. SPAA'16)",
             default_params={"weights": None, "seed": None},
             lower_bound=mst_round_lower_bound,
+            upper_bound=_ub_boruvka,
             summarize=_summarize_mst,
             build_distgraph=True,
         )
@@ -258,6 +303,7 @@ def register_builtin_specs() -> None:
             result_type=ConnectivityResult,
             bounds="Õ(m/k² + polylog) rounds (§1.3)",
             lower_bound=mst_round_lower_bound,
+            upper_bound=_ub_boruvka,
             summarize=_summarize_connectivity,
             build_distgraph=True,
         )
@@ -272,6 +318,7 @@ def register_builtin_specs() -> None:
             bounds="Θ̃(n/k²) rounds (§1.3)",
             default_params={"oversample": 8.0},
             lower_bound=sorting_round_lower_bound,
+            upper_bound=_ub_sorting,
             summarize=_summarize_sorting,
             check=_sorting_ok,
             sample_placement=_sample_element_assignment,

@@ -23,6 +23,8 @@ from repro.kmachine.cluster import Cluster
 from repro.kmachine.distgraph import DistributedGraph, cached_distgraph
 from repro.kmachine.metrics import Metrics
 from repro.kmachine.partition import VertexPartition, random_vertex_partition
+from repro.obs.bounds import BoundReport, compute_bound_report
+from repro.obs.trace import resolve_tracer
 
 __all__ = [
     "AlgorithmSpec",
@@ -90,6 +92,14 @@ class AlgorithmSpec:
     lower_bound:
         Optional ``(n, k, B, **extra) -> float`` round lower bound from
         the General Lower Bound Theorem cookbook.
+    upper_bound:
+        Optional ``(n=, k=, bandwidth=, m=) -> float`` giving the
+        polynomial part of the family theorem's Õ round bound (e.g.
+        ``n / k**2`` for PageRank, Thm 4).  ``m`` is the input edge
+        count, ``None`` for non-graph inputs.  The observability layer
+        multiplies in a ``polylog(n)`` slack to form the envelope a
+        measured run is checked against (see
+        :func:`repro.obs.compute_bound_report`).
     lower_bound_extra:
         Optional result → dict of extra keyword arguments for
         :attr:`lower_bound` (e.g. the triangle bound needs the measured
@@ -130,6 +140,7 @@ class AlgorithmSpec:
     default_params: Mapping[str, Any] = field(default_factory=dict)
     lower_bound: Callable[..., float] | None = None
     lower_bound_extra: Callable[[Any], dict] | None = None
+    upper_bound: Callable[..., float] | None = None
     round_value: Callable[[Any], int] = _total_rounds
     fit_target: str | None = None
     summarize: Callable[[Any], list] | None = None
@@ -203,6 +214,17 @@ class RunReport:
     #: run never touched the engine (cached reports) or the runner
     #: finished without a phase.
     first_superstep_seconds: float | None = None
+    #: Seconds from :func:`run` entry to the report being assembled —
+    #: the total wall-clock the caller paid, including dataset
+    #: materialization and (for cached reports) the sqlite lookup.
+    wall_seconds: float | None = None
+    #: Measured rounds / link loads checked against the family
+    #: theorem's Õ envelope and lower bound (see :mod:`repro.obs.bounds`).
+    bound_report: BoundReport | None = None
+    #: The live :class:`~repro.obs.trace.Tracer` of a traced run
+    #: (``None`` untraced).  In-memory tracers keep their events here
+    #: for programmatic inspection.
+    tracer: Any = None
 
     @property
     def rounds(self) -> int:
@@ -285,6 +307,7 @@ def run(
     placement=None,
     result_cache=None,
     cache_only: bool = False,
+    trace=None,
     **params,
 ) -> RunReport:
     """Run a registered algorithm family end to end.
@@ -352,10 +375,59 @@ def run(
         executing (requires ``result_cache``).  The serve session uses
         this to answer hits without queueing for the execution
         substrate.
+    trace:
+        Execution tracing (see :mod:`repro.obs`): a JSONL output path,
+        ``True`` for an in-memory :class:`~repro.obs.trace.Tracer`
+        (kept on ``report.tracer``), or a ``Tracer`` instance the
+        caller owns (shared across runs, e.g. one trace per sweep).
+        ``None`` consults ``$REPRO_TRACE``; unset means disabled, and a
+        disabled run pays one branch per phase — no clocks, no events.
     **params:
         Family parameters, overriding the spec defaults.
     """
     entered = time.perf_counter()
+    tracer, owned_tracer = resolve_tracer(trace)
+    try:
+        return _run_impl(
+            name, data, k, entered=entered, tracer=tracer, dataset=dataset,
+            engine=engine, workers=workers, seed=seed, bandwidth=bandwidth,
+            cluster=cluster, placement=placement, result_cache=result_cache,
+            cache_only=cache_only, **params,
+        )
+    finally:
+        if owned_tracer:
+            tracer.close()
+
+
+def _bandwidth_of(cluster, bandwidth, spec, data) -> int:
+    """The link bandwidth ``B`` the run will use (for trace headers)."""
+    if cluster is not None:
+        return int(cluster.bandwidth)
+    if bandwidth is not None:
+        return int(bandwidth)
+    from repro._util import polylog
+
+    return int(polylog(max(2, spec.cluster_n(data))))
+
+
+def _run_impl(
+    name: str,
+    data,
+    k: int | None,
+    *,
+    entered: float,
+    tracer,
+    dataset,
+    engine: str | None,
+    workers: int | None,
+    seed: int | None,
+    bandwidth: int | None,
+    cluster: Cluster | None,
+    placement,
+    result_cache,
+    cache_only: bool,
+    **params,
+) -> RunReport:
     spec = get_spec(name)
     if dataset is not None:
         if data is not None:
@@ -398,6 +470,15 @@ def run(
     if "seed" in merged and merged["seed"] is None:
         merged["seed"] = seed
     n = data.n if hasattr(data, "n") else int(np.asarray(data).size)
+    m = int(data.m) if hasattr(data, "m") else None
+    if tracer.enabled:
+        tracer.run_start(
+            algo=spec.name, n=n, m=m, k=k,
+            bandwidth=_bandwidth_of(cluster, bandwidth, spec, data),
+            engine=(cluster.engine.name if cluster is not None
+                    else engine if engine is not None else "message"),
+            workers=workers,
+        )
     store = _resolve_result_store(result_cache)
     if cache_only and store is None:
         raise AlgorithmError("cache_only needs result_cache")
@@ -413,10 +494,22 @@ def run(
             hit = store.get(key, count_miss=not cache_only)
             if hit is not None:
                 result, metrics, _meta = hit
+                wall = time.perf_counter() - entered
+                if tracer.enabled:
+                    tracer.run_end(
+                        algo=spec.name, cached=True, wall_s=wall,
+                        setup_s=None, metrics=metrics,
+                    )
                 return RunReport(
                     name=spec.name, result=result, metrics=metrics,
                     engine=engine_name, k=k, n=n, params=merged, spec=spec,
                     distgraph=None, workers=None, cached=True,
+                    wall_seconds=wall,
+                    bound_report=compute_bound_report(
+                        spec, n=n, k=k, bandwidth=metrics.bandwidth,
+                        metrics=metrics, result=result, m=m,
+                    ),
+                    tracer=tracer if tracer.enabled else None,
                 )
     if cache_only:
         return None
@@ -437,11 +530,19 @@ def run(
             # (k-sweep repetitions, engine comparisons) share one set of
             # materialized shards instead of rebuilding them per run.
             distgraph = cached_distgraph(data, placement)
+    installed_tracer = False
+    prev_tracer = None
+    if tracer.enabled:
+        prev_tracer = cluster.engine.tracer
+        cluster.engine.tracer = tracer
+        installed_tracer = True
     try:
         result = spec.runner(
             data, cluster, distgraph if distgraph is not None else placement, merged
         )
     finally:
+        if installed_tracer:
+            cluster.engine.tracer = prev_tracer
         if own_cluster:
             cluster.close()
     first_activity = getattr(cluster.engine, "first_activity", None)
@@ -451,6 +552,13 @@ def run(
             key, content_key=data.content_key, algo=spec.name,
             params_json=params_json, seed=seed, engine=cluster.engine.name,
             n=n, k=k, result=result, metrics=cluster.metrics,
+        )
+    setup_s = first_activity - entered if first_activity is not None else None
+    wall = time.perf_counter() - entered
+    if tracer.enabled:
+        tracer.run_end(
+            algo=spec.name, cached=False, wall_s=wall, setup_s=setup_s,
+            metrics=cluster.metrics,
         )
     return RunReport(
         name=spec.name,
@@ -463,7 +571,11 @@ def run(
         spec=spec,
         distgraph=distgraph,
         workers=getattr(cluster.engine, "workers", None),
-        first_superstep_seconds=(
-            first_activity - entered if first_activity is not None else None
+        first_superstep_seconds=setup_s,
+        wall_seconds=wall,
+        bound_report=compute_bound_report(
+            spec, n=n, k=k, bandwidth=cluster.metrics.bandwidth,
+            metrics=cluster.metrics, result=result, m=m,
         ),
+        tracer=tracer if tracer.enabled else None,
     )

@@ -46,6 +46,7 @@ import time
 from collections import OrderedDict
 
 from repro.errors import ServeError, SessionSaturated, SessionTimeout
+from repro.obs.registry import obs_registry
 
 __all__ = ["Session"]
 
@@ -115,6 +116,9 @@ class Session:
         self.errors = 0
         self.rejected = 0
         self.timeouts = 0
+        # The obs registry holds stats() by weak reference, so this
+        # neither leaks the session nor needs the caller to opt in.
+        self._obs_token = obs_registry().register("session", self.stats)
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -131,6 +135,7 @@ class Session:
         """
         with self._admit:
             self._closed = True
+        obs_registry().unregister(self._obs_token)
         with self._dataset_lock:
             self._datasets.clear()
         if self._owns_store and self.store is not None:

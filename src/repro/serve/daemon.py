@@ -15,6 +15,13 @@ Protocol (HTTP/1.1, JSON bodies, ``Connection: close``):
     ``{"ok": true, "uptime_s": ...}`` — liveness.
 ``GET /status``
     Session traffic counters, result-store stats, resident datasets.
+    ``?history=1`` adds the per-minute telemetry ring (requests,
+    outcome counts, latency quantiles for up to the last 3 hours).
+``GET /metrics``
+    Prometheus text exposition: server counters, the current minute's
+    telemetry bucket, and every source registered with the process-wide
+    :func:`repro.obs.registry.obs_registry` (session, result store,
+    graph cache).
 ``POST /run``
     Body: ``{"algo": "pagerank", "dataset": "rmat:n=1e6,avg_deg=16,seed=7",
     "k": 8, "seed": 1, "engine": "vector", "params": {"c": 2}}``
@@ -41,6 +48,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.errors import ReproError, ServeError, SessionSaturated, SessionTimeout
+from repro.obs.registry import MinuteRing, obs_registry, render_prometheus
 from repro.runtime.session import Session
 
 __all__ = ["DEFAULT_HOST", "DEFAULT_PORT", "ReproServer", "ServerHandle"]
@@ -114,6 +122,9 @@ class ReproServer:
         )
         self.served = 0
         self.started = time.time()
+        # Per-minute request telemetry (outcome counts + latency
+        # quantiles); served by /status?history=1 and /metrics.
+        self.ring = MinuteRing()
         self._ready = threading.Event()
         self._startup_error: BaseException | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -171,10 +182,15 @@ class ReproServer:
             status, payload = 500, {"ok": False, "error": type(exc).__name__,
                                     "message": str(exc)}
         try:
-            data = json.dumps(payload).encode()
+            if isinstance(payload, str):  # /metrics: Prometheus text
+                data = payload.encode()
+                content_type = "text/plain; version=0.0.4"
+            else:
+                data = json.dumps(payload).encode()
+                content_type = "application/json"
             writer.write((
                 f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(data)}\r\n"
                 f"Connection: close\r\n\r\n"
             ).encode() + data)
@@ -187,6 +203,12 @@ class ReproServer:
             self._stop.set()
 
     async def _dispatch(self, method: str, path: str, body: bytes):
+        path, _, raw_query = path.partition("?")
+        query = {}
+        for pair in raw_query.split("&"):
+            if pair:
+                name, _, value = pair.partition("=")
+                query[name] = value
         if path == "/health":
             if method != "GET":
                 return 405, {"ok": False, "error": "MethodNotAllowed",
@@ -196,9 +218,23 @@ class ReproServer:
             if method != "GET":
                 return 405, {"ok": False, "error": "MethodNotAllowed",
                              "message": f"{method} {path}"}
-            return 200, {"ok": True, "served": self.served,
-                         "uptime_s": time.time() - self.started,
-                         "session": self.session.stats()}
+            out = {"ok": True, "served": self.served,
+                   "uptime_s": time.time() - self.started,
+                   "session": self.session.stats()}
+            if query.get("history") not in (None, "", "0", "false"):
+                out["history"] = self.ring.rows()
+            return 200, out
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"ok": False, "error": "MethodNotAllowed",
+                             "message": f"{method} {path}"}
+            stats = {
+                "server": {"served": self.served,
+                           "uptime_s": time.time() - self.started},
+                "serve_minute": self.ring.current(),
+            }
+            stats.update(obs_registry().collect())
+            return 200, render_prometheus(stats)
         if path == "/shutdown":
             if method != "POST":
                 return 405, {"ok": False, "error": "MethodNotAllowed",
@@ -209,6 +245,7 @@ class ReproServer:
             if method != "POST":
                 return 405, {"ok": False, "error": "MethodNotAllowed",
                              "message": f"{method} {path}"}
+            arrived = time.perf_counter()
             try:
                 payload = json.loads(body.decode() or "{}")
                 if not isinstance(payload, dict):
@@ -217,17 +254,25 @@ class ReproServer:
                     self._executor, self._run_request, payload
                 )
                 self.served += 1
+                self.ring.observe(
+                    time.perf_counter() - arrived,
+                    kind="hit" if report.get("cached") else "executed",
+                )
                 return 200, {"ok": True, "report": report}
             except SessionSaturated as exc:
+                self.ring.observe(time.perf_counter() - arrived, kind="rejected")
                 return 429, {"ok": False, "error": "SessionSaturated",
                              "message": str(exc)}
             except SessionTimeout as exc:
+                self.ring.observe(time.perf_counter() - arrived, kind="timeout")
                 return 503, {"ok": False, "error": "SessionTimeout",
                              "message": str(exc)}
             except (ReproError, json.JSONDecodeError, TypeError) as exc:
+                self.ring.observe(time.perf_counter() - arrived, kind="error")
                 return 400, {"ok": False, "error": type(exc).__name__,
                              "message": str(exc)}
             except Exception as exc:
+                self.ring.observe(time.perf_counter() - arrived, kind="error")
                 return 500, {"ok": False, "error": type(exc).__name__,
                              "message": str(exc)}
         return 404, {"ok": False, "error": "NotFound", "message": path}
@@ -284,8 +329,12 @@ class ReproServer:
             "bits": report.metrics.bits,
             "bandwidth": report.bandwidth,
             "elapsed_s": elapsed,
+            "wall_seconds": report.wall_seconds,
+            "first_superstep_seconds": report.first_superstep_seconds,
             "result_type": type(report.result).__name__,
         }
+        if report.bound_report is not None:
+            out["bound"] = report.bound_report.as_dict()
         if report.spec.summarize is not None:
             out["summary"] = [
                 [label, _jsonable(value)]

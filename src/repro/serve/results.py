@@ -40,6 +40,7 @@ import time
 from pathlib import Path
 
 from repro.errors import ServeError
+from repro.obs.registry import obs_registry
 
 __all__ = [
     "RESULT_DB_ENV",
@@ -169,9 +170,12 @@ class ResultStore:
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA busy_timeout=10000")
             self._conn.executescript(_SCHEMA)
+        # Weak-referenced: registration never keeps the store alive.
+        self._obs_token = obs_registry().register("result_store", self.stats)
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        obs_registry().unregister(self._obs_token)
         with self._lock:
             self._conn.close()
 

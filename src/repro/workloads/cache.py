@@ -60,6 +60,7 @@ from pathlib import Path
 
 from repro.errors import WorkloadError
 from repro.graphs.graph import Graph
+from repro.obs.registry import obs_registry
 from repro.workloads import io as _io
 from repro.workloads import spec as _spec
 from repro.workloads.spec import DatasetSpec, parse_spec
@@ -70,9 +71,44 @@ __all__ = [
     "DEFAULT_CACHE_BYTES",
     "CacheEntry",
     "GraphCache",
+    "cache_stats",
     "default_cache",
     "materialize",
 ]
+
+
+class _CacheCounters:
+    """Process-wide graph-cache traffic counters.
+
+    :func:`default_cache` constructs a fresh (cheap) :class:`GraphCache`
+    per call, so per-instance counters would never accumulate; every
+    instance increments this shared set instead.  Plain int increments
+    are atomic enough under the GIL for advisory telemetry, and
+    :func:`cache_stats` is what the obs registry serves on ``/metrics``
+    — deliberately no :meth:`GraphCache.entries` disk scan, which would
+    make metrics polling O(cache size).
+    """
+
+    __slots__ = ("hits", "misses", "builds", "stores", "evictions",
+                 "shard_hits", "shard_misses")
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def stats(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+_COUNTERS = _CacheCounters()
+
+
+def cache_stats() -> dict:
+    """Process-wide graph-cache counters (hits/misses/builds/...)."""
+    return _COUNTERS.stats()
+
+
+obs_registry().register("graph_cache", cache_stats)
 
 DATA_DIR_ENV = "REPRO_DATA_DIR"
 CACHE_BYTES_ENV = "REPRO_CACHE_BYTES"
@@ -244,6 +280,7 @@ class GraphCache:
         key = spec.content_hash()
         npz, meta = self._paths(key)
         if not (npz.exists() and meta.exists()):
+            _COUNTERS.misses += 1
             return None
         try:
             graph = _io.read_npz(npz)
@@ -251,12 +288,14 @@ class GraphCache:
             # A concurrent enforce_cap/evict deleted the snapshot between
             # the existence check and the read: a plain miss, not an
             # error — the caller rebuilds (and re-stores).
+            _COUNTERS.misses += 1
             return None
         try:
             os.utime(npz, None)  # bump LRU recency
         except OSError:
             pass  # entry evicted after the read; the loaded graph is fine
         graph.content_key = key
+        _COUNTERS.hits += 1
         return graph
 
     def store(self, spec: "str | DatasetSpec", graph: Graph) -> Path:
@@ -291,6 +330,7 @@ class GraphCache:
             os.replace(meta_tmp, meta)
         finally:
             meta_tmp.unlink(missing_ok=True)
+        _COUNTERS.stores += 1
         self.enforce_cap(protect=key)
         return npz
 
@@ -350,7 +390,9 @@ class GraphCache:
         except FileNotFoundError:
             # SnapshotMissingError included: missing file, stale format
             # version, or an eviction racing this load — all misses.
+            _COUNTERS.shard_misses += 1
             return None
+        _COUNTERS.shard_hits += 1
         for path in (npy, self._paths(key)[0]):
             try:
                 os.utime(path, None)
@@ -407,6 +449,7 @@ class GraphCache:
             self._remove(entry.key)
             total -= entry.nbytes
             evicted.append(entry.key)
+        _COUNTERS.evictions += len(evicted)
         return evicted
 
     def _sweep_stale_tmp(self) -> None:
@@ -503,6 +546,7 @@ class GraphCache:
             graph = _spec.build_dataset(spec)
         else:
             graph = _spec.build_dataset(spec, jobs=jobs)
+        _COUNTERS.builds += 1
         if use_cache and spec.cacheable:
             self.store(spec, graph)
         return graph

@@ -130,7 +130,9 @@ def map_chunks(jobs: int, task, payloads: list, common: dict) -> list:
             if status != "ok":
                 errors.append(str(body))
                 continue
-            chunk_results = shipping.receive(body)
+            # The map reply wire decodes to (results, kernel_seconds);
+            # builds have no tracer to feed, so the timing is dropped.
+            chunk_results, _kernel_s = shipping.receive(body)
             for i in mine[w]:
                 results[i] = chunk_results[i]
         if errors:

@@ -116,6 +116,49 @@ class TestMergeAndConsistency:
         for key in ("k", "bandwidth", "rounds", "messages", "bits"):
             assert key in d
 
+    def test_check_conservation_covers_merged_metrics(self):
+        a = Metrics(k=2, bandwidth=8)
+        b = Metrics(k=2, bandwidth=8)
+        bits, msgs = mats(2, {(0, 1): (24, 3)})
+        a.record_phase(bits, msgs, label="a")
+        b.record_phase(bits, msgs, label="b")
+        a.merge(b)
+        a.check_conservation()
+        assert a.max_link_bits == 24
+
+    def test_check_conservation_catches_dropped_phase(self):
+        met = Metrics(k=2, bandwidth=8)
+        bits, msgs = mats(2, {(0, 1): (8, 1)})
+        met.record_phase(bits, msgs)
+        met.record_phase(bits, msgs)
+        met.phase_log.pop()  # a buggy merge that loses phase entries
+        with pytest.raises(AssertionError, match="phase"):
+            met.check_conservation()
+
+    def test_check_conservation_catches_corrupt_machine_arrays(self):
+        met = Metrics(k=3, bandwidth=8)
+        bits, msgs = mats(3, {(0, 1): (8, 1)})
+        met.record_phase(bits, msgs)
+        met.sent_messages = met.sent_messages[:2]  # wrong shape after a bad merge
+        with pytest.raises(AssertionError, match="shape"):
+            met.check_conservation()
+        met = Metrics(k=3, bandwidth=8)
+        met.record_phase(bits, msgs)
+        met.received_bits[1] = -4
+        with pytest.raises(AssertionError, match="negative"):
+            met.check_conservation()
+
+    def test_as_dict_phase_summary_has_max_link_bits(self):
+        met = Metrics(k=2, bandwidth=8)
+        bits, msgs = mats(2, {(0, 1): (24, 3)})
+        met.record_phase(bits, msgs, label="tokens")
+        d = met.as_dict()
+        assert d["max_link_bits"] == 24
+        assert d["phase_summary"] == [
+            {"label": "tokens", "rounds": 3, "messages": 3, "bits": 24,
+             "max_link_bits": 24}
+        ]
+
     def test_rejects_bad_construction(self):
         with pytest.raises(ValueError):
             Metrics(k=1, bandwidth=8)

@@ -1,0 +1,150 @@
+"""BoundReport tests: closed-form envelopes vs measured metrics."""
+
+import json
+import math
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+import repro
+from repro import runtime
+from repro._util import polylog
+from repro.kmachine.metrics import Metrics
+from repro.obs.bounds import compute_bound_report
+
+
+def make_metrics(k=4, bandwidth=32, link_bits=96, label="phase"):
+    met = Metrics(k=k, bandwidth=bandwidth)
+    bits = np.zeros((k, k), dtype=np.int64)
+    msgs = np.zeros((k, k), dtype=np.int64)
+    bits[0, 1] = link_bits
+    msgs[0, 1] = 3
+    met.record_phase(bits, msgs, label=label)
+    return met
+
+
+class TestClosedForm:
+    """sorting's theorem is Θ̃(n/k²): both sides are closed-form."""
+
+    def test_envelope_is_core_times_polylog(self):
+        rng = np.random.default_rng(3)
+        values = rng.random(4096)
+        rep = runtime.run("sorting", values, 4, seed=1, engine="vector")
+        report = rep.bound_report
+        assert report is not None
+        n, k = len(values), 4
+        assert report.upper_bound_core == pytest.approx(n / k**2)
+        assert report.polylog_slack == float(polylog(n))
+        assert report.upper_bound_rounds == pytest.approx(
+            (n / k**2) * polylog(n)
+        )
+        assert report.polylog_slack == 32 * math.ceil(math.log2(n))
+
+    def test_measured_sits_inside_the_envelope(self):
+        values = np.random.default_rng(3).random(4096)
+        rep = runtime.run("sorting", values, 4, seed=1, engine="vector")
+        report = rep.bound_report
+        assert report.measured_rounds == rep.rounds
+        assert report.within_envelope is True
+        assert report.above_lower_bound is True
+        assert report.ok is True
+
+    def test_heaviest_phase_comes_from_the_phase_log(self):
+        met = make_metrics(link_bits=96, label="heavy")
+        spec = SimpleNamespace(name="stub", bounds="Õ(n/k²)",
+                               lower_bound=None, lower_bound_extra=None,
+                               upper_bound=None)
+        report = compute_bound_report(spec, n=100, k=4, bandwidth=32,
+                                      metrics=met)
+        assert report.measured_max_link_bits == 96
+        assert report.heaviest_phase == "heavy"
+        assert report.within_envelope is None
+        assert report.ok is True  # no declared bound, nothing violated
+
+
+class TestViolations:
+    def test_exceeding_the_envelope_flags_not_ok(self):
+        met = make_metrics(k=4, bandwidth=1, link_bits=10**9)
+        spec = SimpleNamespace(
+            name="stub", bounds="Õ(1)",
+            lower_bound=None, lower_bound_extra=None,
+            upper_bound=lambda n, k, bandwidth, m=None: 1.0,
+        )
+        report = compute_bound_report(spec, n=64, k=4, bandwidth=1,
+                                      metrics=met)
+        assert report.within_envelope is False
+        assert report.ok is False
+        assert any("EXCEEDS" in value for _, value in report.rows())
+
+    def test_below_lower_bound_flags_not_ok(self):
+        met = make_metrics(k=4, bandwidth=10**9, link_bits=1)  # 1 round
+        spec = SimpleNamespace(
+            name="stub", bounds="Ω(1000)",
+            lower_bound=lambda n, k, bandwidth: 1000.0,
+            lower_bound_extra=None, upper_bound=None,
+        )
+        report = compute_bound_report(spec, n=64, k=4, bandwidth=10**9,
+                                      metrics=met)
+        assert report.above_lower_bound is False
+        assert report.ok is False
+        assert any("BELOW" in value for _, value in report.rows())
+
+    def test_lower_bound_extra_threads_the_result_through(self):
+        met = make_metrics()
+        seen = {}
+
+        def lower(n, k, bandwidth, t=1):
+            seen["t"] = t
+            return 0.0
+
+        spec = SimpleNamespace(
+            name="stub", bounds="Ω(t)", lower_bound=lower,
+            lower_bound_extra=lambda r: {"t": r.count}, upper_bound=None,
+        )
+        compute_bound_report(spec, n=64, k=4, bandwidth=32, metrics=met,
+                             result=SimpleNamespace(count=17))
+        assert seen["t"] == 17
+
+    def test_out_of_domain_bounds_are_omitted_not_fatal(self):
+        # The paper's theorems state domains (e.g. PageRank's information
+        # cost needs n >= 5); runs outside them still deserve a report.
+        def raises(*a, **kw):
+            raise ValueError("out of domain")
+
+        spec = SimpleNamespace(
+            name="stub", bounds="Õ(n/k²)", lower_bound=raises,
+            lower_bound_extra=None, upper_bound=raises,
+        )
+        report = compute_bound_report(
+            spec, n=4, k=2, bandwidth=32, metrics=make_metrics(k=2)
+        )
+        assert report.lower_bound_rounds is None
+        assert report.upper_bound_rounds is None
+        assert report.ok is True
+
+
+class TestSerialization:
+    def test_as_dict_is_json_ready(self):
+        values = np.random.default_rng(3).random(1024)
+        rep = runtime.run("sorting", values, 4, seed=1, engine="vector")
+        payload = json.loads(json.dumps(rep.bound_report.as_dict()))
+        assert payload["algo"] == "sorting"
+        assert payload["ok"] is True
+        assert payload["measured_rounds"] == rep.rounds
+
+    def test_rows_are_string_pairs(self):
+        g = repro.gnp_random_graph(80, 0.1, seed=2)
+        rep = runtime.run("pagerank", g, 4, seed=1, engine="vector")
+        rows = rep.bound_report.rows()
+        assert rows and all(
+            isinstance(label, str) and isinstance(value, str)
+            for label, value in rows
+        )
+        labels = [label for label, _ in rows]
+        assert "theorem" in labels and "heaviest link" in labels
+
+    def test_every_registered_graph_family_declares_an_upper_bound(self):
+        for name in runtime.available():
+            spec = runtime.get_spec(name)
+            assert spec.upper_bound is not None, name

@@ -1,0 +1,277 @@
+"""Telemetry tests: registry, Prometheus rendering, MinuteRing, daemon."""
+
+import gc
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.registry import (
+    MinuteRing,
+    ObsRegistry,
+    obs_registry,
+    render_prometheus,
+)
+
+
+class TestObsRegistry:
+    def test_register_collect_unregister(self):
+        reg = ObsRegistry()
+
+        def stats():
+            return {"hits": 3}
+
+        token = reg.register("store", stats)
+        assert token == "store"
+        assert reg.collect() == {"store": {"hits": 3}}
+        reg.unregister(token)
+        assert reg.collect() == {}
+
+    def test_name_collision_gets_suffixed(self):
+        reg = ObsRegistry()
+
+        def a():
+            return {"x": 1}
+
+        def b():
+            return {"x": 2}
+
+        assert reg.register("s", a) == "s"
+        assert reg.register("s", b) == "s-2"
+        assert reg.collect() == {"s": {"x": 1}, "s-2": {"x": 2}}
+
+    def test_sources_are_weak(self):
+        reg = ObsRegistry()
+
+        class Component:
+            def stats(self):
+                return {"alive": True}
+
+        comp = Component()
+        reg.register("comp", comp.stats)
+        assert reg.collect() == {"comp": {"alive": True}}
+        del comp
+        gc.collect()
+        assert reg.collect() == {}
+        assert reg.sources() == ()
+
+    def test_failing_source_is_isolated(self):
+        reg = ObsRegistry()
+
+        def bad():
+            raise RuntimeError("mid-teardown")
+
+        def good():
+            return {"ok": 1}
+
+        reg.register("bad", bad)
+        reg.register("good", good)
+        out = reg.collect()
+        assert out["good"] == {"ok": 1}
+        assert "error" in out["bad"]
+
+    def test_components_register_into_the_global_registry(self, tmp_path):
+        from repro.serve.results import ResultStore
+
+        store = ResultStore(tmp_path / "r.sqlite")
+        try:
+            assert "result_store" in " ".join(obs_registry().sources())
+        finally:
+            store.close()
+        from repro.workloads.cache import cache_stats
+
+        assert "graph_cache" in obs_registry().sources()
+        assert set(cache_stats()) >= {"hits", "misses", "builds", "stores",
+                                      "evictions"}
+
+
+class TestRenderPrometheus:
+    def test_flattens_and_skips_strings(self):
+        text = render_prometheus({
+            "store": {"hits": 3, "path": "/tmp/x", "nested": {"p50": 0.25},
+                      "closed": False},
+        })
+        assert "repro_store_hits 3" in text
+        assert "repro_store_nested_p50 0.25" in text
+        assert "repro_store_closed 0" in text
+        assert "/tmp/x" not in text
+        assert text.endswith("\n")
+
+    def test_sanitizes_names(self):
+        text = render_prometheus({"result-store": {"latency p50.s": 1}})
+        assert "repro_result_store_latency_p50_s 1" in text
+
+
+class TestMinuteRing:
+    def test_outcomes_land_in_their_buckets(self):
+        ring = MinuteRing()
+        now = 1_000_000.0
+        ring.observe(0.1, kind="hit", now=now)
+        ring.observe(0.2, kind="executed", now=now)
+        ring.observe(0.3, kind="error", now=now)
+        ring.observe(0.4, kind="rejected", now=now)
+        ring.observe(0.5, kind="timeout", now=now)
+        (row,) = ring.rows()
+        assert row["requests"] == 5
+        assert row["hits"] == 1 and row["executed"] == 1
+        assert row["errors"] == 1
+        assert row["rejected"] == 1 and row["timeouts"] == 1
+
+    def test_unknown_kind_raises(self):
+        ring = MinuteRing()
+        with pytest.raises(ValueError, match="unknown request kind"):
+            ring.observe(0.6, kind="???", now=1_000_000.0)
+
+    def test_latency_quantiles(self):
+        ring = MinuteRing()
+        now = 1_000_000.0
+        for i in range(100):
+            ring.observe(i / 100, now=now)
+        (row,) = ring.rows()
+        assert row["latency_p50_s"] == pytest.approx(0.50, abs=0.02)
+        assert row["latency_p99_s"] == pytest.approx(0.99, abs=0.02)
+        assert row["latency_max_s"] == pytest.approx(0.99)
+
+    def test_ring_is_bounded_and_ordered(self):
+        ring = MinuteRing(minutes=3)
+        for minute in range(10):
+            ring.observe(0.1, now=minute * 60.0)
+        rows = ring.rows()
+        assert len(rows) == 3
+        assert [r["minute"] for r in rows] == [420, 480, 540]
+        assert ring.rows(limit=1)[0]["minute"] == 540
+
+    def test_stale_observation_never_evicts_the_newest(self):
+        ring = MinuteRing(minutes=3)
+        for minute in range(3, 6):
+            ring.observe(0.1, now=minute * 60.0)
+        # A clock step-back files into an older minute than anything
+        # retained: the stale bucket is the one dropped, not the newest.
+        ring.observe(0.1, now=0.0)
+        assert [r["minute"] for r in ring.rows()] == [180, 240, 300]
+
+    def test_sample_reservoir_is_bounded(self):
+        ring = MinuteRing(max_samples=8)
+        now = 1_000_000.0
+        for _ in range(100):
+            ring.observe(1.0, now=now)
+        (row,) = ring.rows()
+        assert row["requests"] == 100
+        assert row["latency_max_s"] == 1.0
+
+    def test_current_is_zero_when_idle(self):
+        ring = MinuteRing()
+        cur = ring.current(now=60.0)
+        assert cur["requests"] == 0 and cur["minute"] == 60
+
+
+DATASET = "gnp:n=120,avg_deg=5,seed=3"
+
+
+@pytest.fixture(autouse=True)
+def _isolated_caches(tmp_path, monkeypatch):
+    from repro.serve import RESULT_DB_ENV
+    from repro.workloads import DATA_DIR_ENV
+
+    monkeypatch.setenv(DATA_DIR_ENV, str(tmp_path / "data"))
+    monkeypatch.setenv(RESULT_DB_ENV, str(tmp_path / "results.sqlite"))
+
+
+@pytest.fixture
+def daemon():
+    from repro.serve import ReproServer, ServeClient
+
+    server = ReproServer(port=0)
+    with server.start_in_thread() as handle:
+        client = ServeClient(handle.host, handle.port)
+        client.wait_until_ready()
+        yield server, client
+
+
+def _get(client, path):
+    url = f"http://{client.host}:{client.port}{path}"
+    with urllib.request.urlopen(url, timeout=30) as reply:
+        return reply.status, reply.headers.get("Content-Type"), reply.read()
+
+
+class TestDaemonTelemetry:
+    def test_metrics_endpoint_serves_prometheus_text(self, daemon):
+        server, client = daemon
+        client.run("pagerank", dataset=DATASET, k=4, seed=1)
+        status, content_type, body = _get(client, "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        text = body.decode()
+        assert "repro_server_served 1" in text
+        assert "repro_session_executed 1" in text
+        assert "repro_serve_minute_requests 1" in text
+
+    def test_status_history_returns_the_ring(self, daemon):
+        server, client = daemon
+        client.run("pagerank", dataset=DATASET, k=4, seed=1)
+        client.run("pagerank", dataset=DATASET, k=4, seed=1)  # result-cache hit
+        plain = client.status()
+        assert "history" not in plain
+        import json as _json
+
+        status, _, body = _get(client, "/status?history=1")
+        assert status == 200
+        history = _json.loads(body)["history"]
+        assert sum(row["requests"] for row in history) == 2
+        assert sum(row["executed"] for row in history) == 1
+        assert sum(row["hits"] for row in history) == 1
+        assert any("latency_p50_s" in row for row in history)
+
+    def test_run_response_carries_timing_and_bound(self, daemon):
+        server, client = daemon
+        report = client.run("pagerank", dataset=DATASET, k=4, seed=1)
+        assert report["wall_seconds"] > 0
+        assert report["first_superstep_seconds"] is not None
+        bound = report["bound"]
+        assert bound["algo"] == "pagerank"
+        assert bound["ok"] is True
+        assert bound["measured_rounds"] == report["rounds"]
+        hit = client.run("pagerank", dataset=DATASET, k=4, seed=1)
+        assert hit["cached"] is True
+        assert hit["wall_seconds"] is not None
+        assert hit["bound"]["measured_rounds"] == report["rounds"]
+
+    def test_bad_requests_count_as_errors_in_the_ring(self, daemon):
+        server, client = daemon
+        url = f"http://{client.host}:{client.port}/run"
+        request = urllib.request.Request(
+            url, data=b'{"algo": "no-such-algo", "dataset": "%s", "k": 4}'
+            % DATASET.encode(), method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(request)
+        assert server.ring.current()["errors"] >= 1
+
+    def test_telemetry_under_concurrent_load(self, daemon):
+        server, client = daemon
+        client.run("pagerank", dataset=DATASET, k=4, seed=1)  # warm the cache
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(3):
+                    client.run("pagerank", dataset=DATASET, k=4, seed=1)
+                    _get(client, "/metrics")
+                    _get(client, "/status?history=1")
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        rows = server.ring.rows()
+        total = sum(row["requests"] for row in rows)
+        assert total == 13  # 1 warmup + 4 threads x 3 runs
+        assert sum(row["hits"] for row in rows) == 12
+        _, _, body = _get(client, "/metrics")
+        assert b"repro_server_served 13" in body
