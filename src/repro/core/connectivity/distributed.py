@@ -66,6 +66,7 @@ def connected_components_distributed(
     engine: str = "message",
     cluster=None,
     distgraph=None,
+    resident: bool | None = None,
 ) -> ConnectivityResult:
     """Compute connected components of ``graph`` with ``k`` machines.
 
@@ -87,6 +88,7 @@ def connected_components_distributed(
         engine=engine,
         cluster=cluster,
         distgraph=distgraph,
+        resident=resident,
     )
     # Canonical labels from the forest (local computation).
     from repro.core.mst.dsu import DisjointSetUnion

@@ -45,6 +45,7 @@ from repro.graphs.graph import Graph
 from repro.kmachine import encoding
 from repro.kmachine.cluster import Cluster
 from repro.kmachine.distgraph import DistributedGraph, resolve_distgraph
+from repro.kmachine.engine import resident_enabled
 from repro.kmachine.metrics import Metrics
 from repro.kmachine.partition import VertexPartition
 
@@ -71,6 +72,58 @@ def _mwoe_scan_task(ctx, machine: int, rng, payload) -> dict:
     comp, edge, rank = payload["comp"], payload["edge"], payload["rank"]
     if comp.size == 0:
         return {"comp": _EMPTY, "edge": _EMPTY}
+    order = np.lexsort((rank, comp))
+    comp, edge = comp[order], edge[order]
+    first = np.ones(comp.size, dtype=bool)
+    first[1:] = np.diff(comp) != 0
+    return {"comp": comp[first], "edge": edge[first]}
+
+
+def _install_incident_states(dg: DistributedGraph, edges: np.ndarray,
+                             edge_order: np.ndarray) -> list[dict]:
+    """Per-machine resident incidence tables for the MWOE scans.
+
+    One row per (edge, endpoint hosted by the machine): the edge id, the
+    hosted endpoint (``own``), the opposite endpoint (``other``), and
+    the edge's global rank.  Rows are the endpoint-0 incidences in
+    ascending edge order followed by the endpoint-1 incidences — exactly
+    the order :func:`distributed_mst`'s legacy flow-2 payload
+    (``concat([ce, ce])`` grouped by machine) enumerates them, so the
+    crossing-filtered view each phase is row-for-row the legacy payload.
+    Constant across phases: installed once, only labels ship per phase.
+    """
+    eh0, eh1 = dg.edge_homes
+    g0 = dg.group_by_machine(eh0)
+    g1 = dg.group_by_machine(eh1)
+    states = []
+    for e0, e1 in zip(g0, g1):
+        edge_ids = np.concatenate([e0, e1])
+        states.append({
+            "edge": edge_ids,
+            "own": np.concatenate([edges[e0, 0], edges[e1, 1]]),
+            "other": np.concatenate([edges[e0, 1], edges[e1, 0]]),
+            "rank": edge_order[edge_ids],
+        })
+    return states
+
+
+def _mwoe_scan_resident_task(ctx, machine: int, rng, payload, state, *,
+                             labels: np.ndarray) -> dict:
+    """Resident twin of :func:`_mwoe_scan_task`.
+
+    Builds the machine's crossing-edge proposals from its resident
+    incidence table and the broadcast ``labels`` (the only per-phase
+    delta), then runs the same component scan.  The crossing filter is
+    order-preserving, so proposals match the legacy payload row for row;
+    no RNG draws either way.
+    """
+    own_labels = labels[state["own"]]
+    cross = own_labels != labels[state["other"]]
+    comp = own_labels[cross]
+    if comp.size == 0:
+        return {"comp": _EMPTY, "edge": _EMPTY}
+    edge = state["edge"][cross]
+    rank = state["rank"][cross]
     order = np.lexsort((rank, comp))
     comp, edge = comp[order], edge[order]
     first = np.ones(comp.size, dtype=bool)
@@ -135,6 +188,7 @@ def distributed_mst(
     engine: str = "message",
     cluster: Cluster | None = None,
     distgraph: DistributedGraph | None = None,
+    resident: bool | None = None,
 ) -> MSTResult:
     """Compute the minimum spanning forest of ``graph`` with ``k`` machines.
 
@@ -142,6 +196,11 @@ def distributed_mst(
     unique MSF of the perturbed weights and matches Kruskal exactly.
     All four flows are accounted at aggregate level through the chosen
     execution ``engine`` backend.
+
+    ``resident`` (default: the ``REPRO_RESIDENT`` switch) installs each
+    machine's edge-incidence table as worker-resident state once, so per
+    phase only the current label array ships to the MWOE scans instead
+    of the full proposal rows; results are bit-identical either way.
     """
     if graph.directed:
         raise AlgorithmError("MST is defined on undirected graphs")
@@ -169,121 +228,141 @@ def distributed_mst(
     labels = np.arange(n, dtype=np.int64)
     chosen = np.zeros(m, dtype=bool)
     phases = 0
+    use_resident = resident_enabled(resident) and m > 0
+    handle = None
 
-    for _ in range(max_phases):
-        if m == 0:
-            break
-        lu, lv = labels[edges[:, 0]], labels[edges[:, 1]]
-        crossing = lu != lv
-        if not np.any(crossing):
-            break
-        phases += 1
-
-        # ---- Flow 1: neighbor labels (both directions of every edge). ----
-        eh0, eh1 = dg.edge_homes  # cached once; constant across phases
-        src = np.concatenate([eh1, eh0])
-        dst = np.concatenate([eh0, eh1])
-        _account(cluster, src, dst, 2 * vid, f"mst/labels/{phases}")
-
-        # ---- Flow 2: candidate MWOE per (machine, component) -> proxy. ----
-        ce = np.flatnonzero(crossing)
-        # Each endpoint's machine proposes the edge for its own component;
-        # the per-machine reduction to one candidate per component is the
-        # local Borůvka scan, dispatched as a superstep kernel (each
-        # machine scans only its own proposals, so the reduced rows come
-        # back machine-major / component-ascending — the exact order the
-        # driver's historical global lexsort produced).
-        prop_edge = np.concatenate([ce, ce])
-        prop_comp = np.concatenate([lu[ce], lv[ce]])
-        prop_machine = np.concatenate([eh0[ce], eh1[ce]])
-        groups = dg.group_by_machine(prop_machine)
-        scans = cluster.map_machines(
-            _mwoe_scan_task,
-            dg,
-            [
-                {
-                    "comp": prop_comp[idx],
-                    "edge": prop_edge[idx],
-                    "rank": edge_order[prop_edge[idx]],
-                }
-                for idx in groups
-            ],
-        )
-        cand_comp = np.concatenate([scan["comp"] for scan in scans])
-        cand_edge = np.concatenate([scan["edge"] for scan in scans])
-        cand_machine = np.concatenate(
-            [np.full(scan["comp"].size, i, dtype=np.int64) for i, scan in enumerate(scans)]
-        )
-        proxy_of_comp = (
-            stable_hash64_array(cand_comp, salt=9) % np.uint64(k)
-        ).astype(np.int64)
-        _account(
-            cluster,
-            cand_machine,
-            proxy_of_comp,
-            2 * vid + vid + _WEIGHT_BITS,
-            f"mst/candidates/{phases}",
-        )
-
-        # Proxies take the global minimum candidate per component.
-        order = np.lexsort((edge_order[cand_edge], cand_comp))
-        se, sc = cand_edge[order], cand_comp[order]
-        first = np.ones(se.size, dtype=bool)
-        first[1:] = np.diff(sc) != 0
-        mwoe_comp = sc[first]
-        mwoe_edge = se[first]
-        chosen[mwoe_edge] = True
-
-        # ---- Flow 3: pointer jumping over component proxies. ----
-        parent = {}
-        for comp, e in zip(mwoe_comp, mwoe_edge):
-            a, b = labels[edges[e, 0]], labels[edges[e, 1]]
-            parent[int(comp)] = int(b) if int(a) == int(comp) else int(a)
-        comps = np.fromiter(parent.keys(), dtype=np.int64)
-        par = np.fromiter((parent[int(c)] for c in comps), dtype=np.int64)
-        # Components without an own MWOE entry may still be merge targets;
-        # give them a self-parent so lookups resolve.
-        index = {int(c): i for i, c in enumerate(comps)}
-
-        def resolve(c: int) -> int:
-            return par[index[c]] if c in index else c
-
-        # Break 2-cycles toward the smaller label.
-        for i, c in enumerate(comps):
-            p = int(par[i])
-            if resolve(p) == int(c) and int(c) < p:
-                par[i] = int(c)
-        # Jump until fixpoint; each jump is a query+reply between the
-        # proxies of c and parent(c).
-        proxies = (stable_hash64_array(comps, salt=9) % np.uint64(k)).astype(np.int64)
-        while True:
-            parents_of_parents = np.fromiter(
-                (resolve(int(p)) for p in par), dtype=np.int64, count=par.size
-            )
-            if np.array_equal(parents_of_parents, par):
+    try:
+        for _ in range(max_phases):
+            if m == 0:
                 break
-            parent_proxies = (
-                stable_hash64_array(par, salt=9) % np.uint64(k)
+            lu, lv = labels[edges[:, 0]], labels[edges[:, 1]]
+            crossing = lu != lv
+            if not np.any(crossing):
+                break
+            phases += 1
+
+            # ---- Flow 1: neighbor labels (both directions of every edge). ----
+            eh0, eh1 = dg.edge_homes  # cached once; constant across phases
+            src = np.concatenate([eh1, eh0])
+            dst = np.concatenate([eh0, eh1])
+            _account(cluster, src, dst, 2 * vid, f"mst/labels/{phases}")
+
+            # ---- Flow 2: candidate MWOE per (machine, component) -> proxy. ----
+            # Each endpoint's machine proposes the edge for its own component;
+            # the per-machine reduction to one candidate per component is the
+            # local Borůvka scan, dispatched as a superstep kernel (each
+            # machine scans only its own proposals, so the reduced rows come
+            # back machine-major / component-ascending — the exact order the
+            # driver's historical global lexsort produced).
+            if use_resident:
+                # Incidence tables live with their machine; only labels ship.
+                if handle is None:
+                    handle = cluster.install_resident(
+                        _install_incident_states(dg, edges, edge_order), distgraph=dg
+                    )
+                scans = cluster.map_machines(
+                    _mwoe_scan_resident_task,
+                    dg,
+                    [None] * k,
+                    common={"labels": labels},
+                    resident=handle,
+                )
+            else:
+                ce = np.flatnonzero(crossing)
+                prop_edge = np.concatenate([ce, ce])
+                prop_comp = np.concatenate([lu[ce], lv[ce]])
+                prop_machine = np.concatenate([eh0[ce], eh1[ce]])
+                groups = dg.group_by_machine(prop_machine)
+                scans = cluster.map_machines(
+                    _mwoe_scan_task,
+                    dg,
+                    [
+                        {
+                            "comp": prop_comp[idx],
+                            "edge": prop_edge[idx],
+                            "rank": edge_order[prop_edge[idx]],
+                        }
+                        for idx in groups
+                    ],
+                )
+            cand_comp = np.concatenate([scan["comp"] for scan in scans])
+            cand_edge = np.concatenate([scan["edge"] for scan in scans])
+            cand_machine = np.concatenate(
+                [np.full(scan["comp"].size, i, dtype=np.int64) for i, scan in enumerate(scans)]
+            )
+            proxy_of_comp = (
+                stable_hash64_array(cand_comp, salt=9) % np.uint64(k)
             ).astype(np.int64)
-            _account(cluster, proxies, parent_proxies, vid, f"mst/jump-query/{phases}")
-            _account(cluster, parent_proxies, proxies, vid, f"mst/jump-reply/{phases}")
-            par = parents_of_parents
+            _account(
+                cluster,
+                cand_machine,
+                proxy_of_comp,
+                2 * vid + vid + _WEIGHT_BITS,
+                f"mst/candidates/{phases}",
+            )
 
-        root_of = {int(c): int(p) for c, p in zip(comps, par)}
+            # Proxies take the global minimum candidate per component.
+            order = np.lexsort((edge_order[cand_edge], cand_comp))
+            se, sc = cand_edge[order], cand_comp[order]
+            first = np.ones(se.size, dtype=bool)
+            first[1:] = np.diff(sc) != 0
+            mwoe_comp = sc[first]
+            mwoe_edge = se[first]
+            chosen[mwoe_edge] = True
 
-        # ---- Flow 4: label refresh per (machine, component) pair. ----
-        vert_machine = home
-        pair_key = vert_machine * (labels.max() + 1) + labels
-        uniq = np.unique(pair_key)
-        q_machine = uniq // (labels.max() + 1)
-        q_comp = uniq % (labels.max() + 1)
-        q_proxy = (stable_hash64_array(q_comp, salt=9) % np.uint64(k)).astype(np.int64)
-        _account(cluster, q_machine, q_proxy, vid, f"mst/label-query/{phases}")
-        _account(cluster, q_proxy, q_machine, 2 * vid, f"mst/label-reply/{phases}")
+            # ---- Flow 3: pointer jumping over component proxies. ----
+            parent = {}
+            for comp, e in zip(mwoe_comp, mwoe_edge):
+                a, b = labels[edges[e, 0]], labels[edges[e, 1]]
+                parent[int(comp)] = int(b) if int(a) == int(comp) else int(a)
+            comps = np.fromiter(parent.keys(), dtype=np.int64)
+            par = np.fromiter((parent[int(c)] for c in comps), dtype=np.int64)
+            # Components without an own MWOE entry may still be merge targets;
+            # give them a self-parent so lookups resolve.
+            index = {int(c): i for i, c in enumerate(comps)}
 
-        labels = np.fromiter(
-            (root_of.get(int(lab), int(lab)) for lab in labels), dtype=np.int64, count=n
-        )
+            def resolve(c: int) -> int:
+                return par[index[c]] if c in index else c
+
+            # Break 2-cycles toward the smaller label.
+            for i, c in enumerate(comps):
+                p = int(par[i])
+                if resolve(p) == int(c) and int(c) < p:
+                    par[i] = int(c)
+            # Jump until fixpoint; each jump is a query+reply between the
+            # proxies of c and parent(c).
+            proxies = (stable_hash64_array(comps, salt=9) % np.uint64(k)).astype(np.int64)
+            while True:
+                parents_of_parents = np.fromiter(
+                    (resolve(int(p)) for p in par), dtype=np.int64, count=par.size
+                )
+                if np.array_equal(parents_of_parents, par):
+                    break
+                parent_proxies = (
+                    stable_hash64_array(par, salt=9) % np.uint64(k)
+                ).astype(np.int64)
+                _account(cluster, proxies, parent_proxies, vid, f"mst/jump-query/{phases}")
+                _account(cluster, parent_proxies, proxies, vid, f"mst/jump-reply/{phases}")
+                par = parents_of_parents
+
+            root_of = {int(c): int(p) for c, p in zip(comps, par)}
+
+            # ---- Flow 4: label refresh per (machine, component) pair. ----
+            vert_machine = home
+            pair_key = vert_machine * (labels.max() + 1) + labels
+            uniq = np.unique(pair_key)
+            q_machine = uniq // (labels.max() + 1)
+            q_comp = uniq % (labels.max() + 1)
+            q_proxy = (stable_hash64_array(q_comp, salt=9) % np.uint64(k)).astype(np.int64)
+            _account(cluster, q_machine, q_proxy, vid, f"mst/label-query/{phases}")
+            _account(cluster, q_proxy, q_machine, 2 * vid, f"mst/label-reply/{phases}")
+
+            labels = np.fromiter(
+                (root_of.get(int(lab), int(lab)) for lab in labels), dtype=np.int64, count=n
+            )
+    finally:
+        if handle is not None:
+            cluster.drop_resident(handle)
 
     forest_idx = np.flatnonzero(chosen)
     out_edges = edges[forest_idx] if forest_idx.size else np.zeros((0, 2), dtype=np.int64)

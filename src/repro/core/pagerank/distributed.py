@@ -37,7 +37,7 @@ from repro.graphs.graph import Graph
 from repro.kmachine import encoding
 from repro.kmachine.cluster import Cluster
 from repro.kmachine.distgraph import DistributedGraph, resolve_distgraph
-from repro.kmachine.engine import MessageBatch
+from repro.kmachine.engine import MessageBatch, resident_enabled
 from repro.kmachine.message import Message
 from repro.kmachine.partition import VertexPartition
 from repro.core.pagerank.result import IterationStats, PageRankResult
@@ -85,6 +85,7 @@ def distributed_pagerank(
     sources: np.ndarray | None = None,
     engine: str = "message",
     distgraph: DistributedGraph | None = None,
+    resident: bool | None = None,
 ) -> PageRankResult:
     """Run Algorithm 1 on ``graph`` with ``k`` machines.
 
@@ -127,6 +128,12 @@ def distributed_pagerank(
         A prebuilt :class:`~repro.kmachine.distgraph.DistributedGraph`
         whose shards are reused (e.g. across runs sharing a partition);
         built internally when omitted.
+    resident:
+        Use the resident-superstep driver (worker-held token/ψ tables,
+        worker-side outbox assembly); the default follows
+        ``REPRO_RESIDENT`` (on unless set falsy).  Both drivers are
+        bit-identical on every engine — the resident one just ships
+        per-iteration deltas instead of full token arrays.
 
     Returns
     -------
@@ -165,7 +172,10 @@ def distributed_pagerank(
         tokens[sources] = t0
         num_sources = int(sources.size)
     psi = tokens.copy()  # every token visits its birth vertex
-    driver = _PageRankDriver(
+    driver_cls = (
+        _ResidentPageRankDriver if resident_enabled(resident) else _PageRankDriver
+    )
+    driver = driver_cls(
         cluster=cluster,
         distgraph=dg,
         tokens=tokens,
@@ -179,6 +189,9 @@ def distributed_pagerank(
     # terminated by the default), so exhausting it returns partial state.
     try:
         cluster.run_driver(driver, max_steps=max_iterations, on_exhaust="return")
+        # The resident driver's ψ table lives worker-side; pull it back
+        # while the pool is still held (before any close below).
+        driver.finish(cluster)
     finally:
         # A cluster this call built is this call's to clean up: with the
         # process backend that shuts the worker pool down deterministically
@@ -359,6 +372,9 @@ class _PageRankDriver:
         self.iteration = 0
         self.stats: list[IterationStats] = []
 
+    def finish(self, cluster: Cluster) -> None:
+        """Post-loop hook; driver state already lives in the parent."""
+
     def step(self, cluster: Cluster, state=None) -> bool:
         it = self.iteration
         self.iteration += 1
@@ -461,6 +477,352 @@ class _PageRankDriver:
         flags = cluster.empty_outboxes()
         for i in range(1, cluster.k):
             alive = bool(tokens[self.parts[i]].sum() > 0)
+            flags[i].append(Message(src=i, dst=0, kind="pr-alive", payload=alive, bits=1))
+        cluster.exchange(flags, label="pagerank/control/report")
+        cluster.broadcast(
+            0, kind="pr-continue", payload=live > 0, bits=1, label="pagerank/control/verdict"
+        )
+        return live > 0
+
+
+# ----------------------------------------------------------------------
+# Resident-superstep driver: token/ψ tables live with their machine.
+
+def _install_token_states(dg: DistributedGraph, tokens: np.ndarray,
+                          psi: np.ndarray) -> list[dict]:
+    """Per-machine resident state for :class:`_ResidentPageRankDriver`.
+
+    ``tokens``/``psi`` hold the machine's hosted slice (local index =
+    position in the sorted ``parts[i]``); ``active`` is the invariant
+    ``flatnonzero(tokens > 0)`` maintained incrementally so a superstep
+    costs ``O(live)`` instead of ``O(n_i)``.  ``pending_*`` (free local
+    light deliveries, local indices) and ``local_heavy_*`` (same-machine
+    β rows, emission order) buffer intra-iteration carry-over between
+    the move and apply kernels.
+    """
+    return [
+        {
+            "tokens": tokens[verts],
+            "psi": psi[verts],
+            "active": np.flatnonzero(tokens[verts] > 0),
+            "pending_v": _EMPTY, "pending_c": _EMPTY,
+            "local_heavy_v": _EMPTY, "local_heavy_c": _EMPTY,
+        }
+        for verts in dg.parts
+    ]
+
+
+def _move_tokens_resident_task(
+    ctx, machine: int, rng, payload, state, *, eps: float,
+    heavy_threshold: int, enable_heavy_path: bool,
+) -> dict:
+    """Resident twin of :func:`_move_tokens_task` (identical draw order).
+
+    Reads token counts from ``state`` instead of a shipped array and
+    emits only the *remote* rows; free local light deliveries land in
+    ``state["pending_*"]`` and same-machine β rows in
+    ``state["local_heavy_*"]`` for :func:`_apply_tokens_resident_task`.
+    Every previously-live count is consumed (``tokens[active] = 0``),
+    mirroring the legacy driver's global reset.  ``light_dst`` is
+    resolved worker-side so the parent never touches per-row data.
+    """
+    out = {
+        "light_dst": _EMPTY, "light_v": _EMPTY, "light_c": _EMPTY,
+        "heavy_dst": _EMPTY, "heavy_v": _EMPTY, "heavy_c": _EMPTY,
+    }
+    verts = ctx.parts[machine]
+    indptr, indices = ctx.graph.indptr, ctx.graph.indices
+    tok = state["tokens"]
+    act0 = state["active"]  # invariant: flatnonzero(tok > 0)
+    state["active"] = _EMPTY
+    if act0.size == 0:
+        return out
+    act = act0
+    tok[act] = terminate_tokens(tok[act], eps, rng)
+    act = act[tok[act] > 0]
+    if act.size == 0:
+        tok[act0] = 0
+        return out
+    av = verts[act]
+    deg = indptr[av + 1] - indptr[av]
+    keep = deg > 0
+    act, av = act[keep], av[keep]
+    if act.size == 0:
+        tok[act0] = 0
+        return out
+
+    counts = tok[act]
+    if enable_heavy_path:
+        is_heavy = counts >= heavy_threshold
+    else:
+        is_heavy = np.zeros(act.size, dtype=bool)
+
+    light_v = av[~is_heavy]
+    dv, dc = move_light_tokens(light_v, tok[act[~is_heavy]], indptr, indices, rng)
+    if dv.size:
+        homes = ctx.home[dv]
+        local = homes == machine
+        state["pending_v"] = np.searchsorted(verts, dv[local])
+        state["pending_c"] = dc[local]
+        out["light_dst"] = homes[~local]
+        out["light_v"], out["light_c"] = dv[~local], dc[~local]
+
+    heavy_act, heavy_av = act[is_heavy], av[is_heavy]
+    if heavy_av.size:
+        hd: list[int] = []
+        hv: list[int] = []
+        hc: list[int] = []
+        lhv: list[int] = []
+        lhc: list[int] = []
+        for p, u in zip(heavy_act, heavy_av):
+            cnt = int(tok[p])
+            beta = heavy_machine_counts(
+                int(u), cnt, indptr, indices, ctx.home, ctx.k, rng,
+                nbr_home=ctx.nbr_home,
+            )
+            for j in np.flatnonzero(beta):
+                j = int(j)
+                if j == machine:
+                    lhv.append(int(u))
+                    lhc.append(int(beta[j]))
+                    continue
+                hd.append(j)
+                hv.append(int(u))
+                hc.append(int(beta[j]))
+        out["heavy_dst"] = np.array(hd, dtype=np.int64)
+        out["heavy_v"] = np.array(hv, dtype=np.int64)
+        out["heavy_c"] = np.array(hc, dtype=np.int64)
+        state["local_heavy_v"] = np.array(lhv, dtype=np.int64)
+        state["local_heavy_c"] = np.array(lhc, dtype=np.int64)
+    tok[act0] = 0  # every live count was consumed above
+    return out
+
+
+def _step_tokens_resident_task(
+    ctx, machine: int, rng, payload, state, *, eps: float,
+    heavy_threshold: int, enable_heavy_path: bool,
+) -> dict:
+    """Fused apply+move: one dispatch per iteration instead of two.
+
+    ``payload`` is the *previous* iteration's deliveries (``None`` on the
+    first superstep): folding them in here instead of in a trailing
+    dispatch halves the per-iteration kernel round-trips, and the draw
+    sequence is unchanged — apply(it) draws still precede move(it+1)
+    draws on each machine's private stream.  ``local_live`` reports the
+    tokens this move parked machine-locally (free light deliveries plus
+    same-machine β rows); because the heavy re-sampling in
+    :func:`split_tokens_among_local_neighbors` conserves counts, the
+    parent recovers each machine's post-apply live total as
+    ``local_live + delivered light + delivered heavy`` without waiting
+    for the apply.
+    """
+    if payload is not None:
+        _apply_tokens_resident_task(ctx, machine, rng, payload, state)
+    out = _move_tokens_resident_task(
+        ctx, machine, rng, None, state, eps=eps,
+        heavy_threshold=heavy_threshold, enable_heavy_path=enable_heavy_path,
+    )
+    out["local_live"] = int(state["pending_c"].sum()
+                            + state["local_heavy_c"].sum())
+    return out
+
+
+def _assemble_token_outbox(machines, results) -> dict:
+    """Pack one group's move-kernel fragments into a columnar outbox.
+
+    Runs worker-side on the process engine (one aggregate per worker)
+    and inline otherwise (one aggregate covering all machines).  Rows
+    keep per-machine emission order within the group, which is all the
+    canonical delivery order needs.  ``live_m``/``live_c`` carry each
+    member machine's ``local_live`` count back alongside the outbox.
+    """
+    cols: dict[str, list[np.ndarray]] = {
+        "light_src": [], "light_dst": [], "light_v": [], "light_c": [],
+        "heavy_src": [], "heavy_dst": [], "heavy_v": [], "heavy_c": [],
+    }
+    for m, res in zip(machines, results):
+        if res["light_v"].size:
+            cols["light_src"].append(np.full(res["light_v"].size, m, dtype=np.int64))
+            for name in ("light_dst", "light_v", "light_c"):
+                cols[name].append(res[name])
+        if res["heavy_v"].size:
+            cols["heavy_src"].append(np.full(res["heavy_v"].size, m, dtype=np.int64))
+            for name in ("heavy_dst", "heavy_v", "heavy_c"):
+                cols[name].append(res[name])
+    out = {
+        name: (np.concatenate(parts) if parts else _EMPTY)
+        for name, parts in cols.items()
+    }
+    out["live_m"] = np.asarray(list(machines), dtype=np.int64)
+    out["live_c"] = np.array([r.get("local_live", 0) for r in results],
+                             dtype=np.int64)
+    return out
+
+
+def _apply_tokens_resident_task(ctx, machine: int, rng, payload, state) -> int:
+    """Apply one iteration's deliveries to the machine's resident tables.
+
+    ``payload`` carries the machine's delivered light rows (canonical
+    order) and delivered heavy β rows (canonical order); the heavy rows
+    are re-sampled with this machine's stream — delivered rows first,
+    then the buffered same-machine rows in emission order — exactly
+    :func:`_receive_heavy_task`'s sequence.  All contributions are
+    positive, so the new ``active`` set is just the unique touched
+    indices.  Returns the machine's live-token count (the termination
+    signal), the only thing that still crosses back per iteration.
+    """
+    verts = ctx.parts[machine]
+    tok, psi = state["tokens"], state["psi"]
+    idxs: list[np.ndarray] = [state["pending_v"]]
+    cnts: list[np.ndarray] = [state["pending_c"]]
+    state["pending_v"] = state["pending_c"] = _EMPTY
+    if payload["vertex"].size:
+        idxs.append(np.searchsorted(verts, payload["vertex"]))
+        cnts.append(payload["count"])
+    dvs: list[np.ndarray] = []
+    dcs: list[np.ndarray] = []
+    for u, cnt in zip(payload["hvertex"], payload["hcount"]):
+        local = ctx.local_neighbors(int(u), machine)
+        dv, dc = split_tokens_among_local_neighbors(int(u), int(cnt), local, rng)
+        dvs.append(dv)
+        dcs.append(dc)
+    for u, cnt in zip(state["local_heavy_v"], state["local_heavy_c"]):
+        local = ctx.local_neighbors(int(u), machine)
+        dv, dc = split_tokens_among_local_neighbors(int(u), int(cnt), local, rng)
+        dvs.append(dv)
+        dcs.append(dc)
+    state["local_heavy_v"] = state["local_heavy_c"] = _EMPTY
+    if dvs:
+        idxs.append(np.searchsorted(verts, np.concatenate(dvs)))
+        cnts.append(np.concatenate(dcs))
+    idx = np.concatenate(idxs)
+    cnt = np.concatenate(cnts)
+    if idx.size:
+        np.add.at(tok, idx, cnt)
+        np.add.at(psi, idx, cnt)
+    state["active"] = np.unique(idx)
+    return int(cnt.sum())
+
+
+class _ResidentPageRankDriver(_PageRankDriver):
+    """Algorithm-1 driver with worker-resident token/ψ tables.
+
+    Same BSP structure and bit-identical traffic/draws as
+    :class:`_PageRankDriver`, but the per-machine token and ψ tables are
+    installed once as resident state, the move kernel's outbox is
+    assembled group-side (:func:`_assemble_token_outbox`), and delivery
+    application is folded into the *next* iteration's dispatch
+    (:func:`_step_tokens_resident_task`) — so per iteration exactly one
+    kernel round-trip carries the previous deliveries in and the remote
+    α/β rows out, and per-iteration work is proportional to live tokens
+    rather than ``n``.  Live counts (the termination signal) are
+    recovered parent-side from ``local_live`` plus delivered counts
+    (token moves conserve counts), and :meth:`finish` issues one
+    trailing apply so the pulled tables always include the last
+    deliveries.  The apply is draw-neutral when it has no heavy rows,
+    so the per-machine draw sequence is the legacy driver's exactly.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._handle = self.cluster.install_resident(
+            _install_token_states(self.dg, self.tokens, self.psi),
+            distgraph=self.dg,
+        )
+        self._lives = [0] * self.cluster.k
+        self._carry: list | None = None  # deliveries awaiting fold-in
+
+    def finish(self, cluster: Cluster) -> None:
+        """Pull the worker-side tables back into the parent arrays."""
+        if self._handle is None:
+            return
+        if self._carry is not None:
+            # Fold the final iteration's deliveries in (a draw-free
+            # no-op when the run terminated with zero live tokens).
+            cluster.map_machines(
+                _apply_tokens_resident_task, self.dg, self._carry,
+                resident=self._handle,
+            )
+            self._carry = None
+        states = cluster.pull_resident(self._handle)
+        cluster.drop_resident(self._handle)
+        self._handle = None
+        for verts, st in zip(self.parts, states):
+            self.tokens[verts] = st["tokens"]
+            self.psi[verts] = st["psi"]
+
+    def step(self, cluster: Cluster, state=None) -> bool:
+        it = self.iteration
+        self.iteration += 1
+        k = cluster.k
+
+        groups = cluster.map_machines(
+            _step_tokens_resident_task,
+            self.dg,
+            self._carry if self._carry is not None else [None] * k,
+            common={
+                "eps": self.eps,
+                "heavy_threshold": self.heavy_threshold,
+                "enable_heavy_path": self.enable_heavy_path,
+            },
+            resident=self._handle,
+            assemble=_assemble_token_outbox,
+        )
+        local_live = np.zeros(k, dtype=np.int64)
+        for g in groups:
+            local_live[g["live_m"]] = g["live_c"]
+        merged = {
+            name: (
+                np.concatenate([g[name] for g in groups])
+                if len(groups) > 1 else groups[0][name]
+            )
+            for name in groups[0]
+            if not name.startswith("live_")
+        }
+        light = _count_batch(
+            "pr-light", merged["light_src"], merged["light_dst"],
+            merged["light_v"], merged["light_c"], self.vid_bits,
+        )
+        heavy = _count_batch(
+            "pr-heavy", merged["heavy_src"], merged["heavy_dst"],
+            merged["heavy_v"], merged["heavy_c"], self.vid_bits,
+        )
+        light_in, heavy_in = cluster.exchange_batches(
+            [light, heavy], label=f"pagerank/tokens/{it}"
+        )
+
+        payloads = []
+        lives = []
+        for j in range(k):
+            rows = light_in.for_machine(j)
+            hrows = heavy_in.for_machine(j)
+            payloads.append({
+                "vertex": rows["vertex"], "count": rows["count"],
+                "hvertex": hrows["vertex"], "hcount": hrows["count"],
+            })
+            # Moves conserve counts, so the post-apply live total is
+            # known before the apply runs (it rides the next dispatch).
+            lives.append(int(local_live[j] + rows["count"].sum()
+                             + hrows["count"].sum()))
+        self._carry = payloads
+        self._lives = lives
+
+        phase = cluster.metrics.phase_log[-1]
+        live = int(sum(self._lives))
+        self.stats.append(
+            IterationStats(
+                iteration=it,
+                rounds=phase.rounds,
+                messages=phase.messages,
+                max_machine_sent=phase.max_machine_sent,
+                max_machine_received=phase.max_machine_received,
+                live_tokens=live,
+            )
+        )
+
+        flags = cluster.empty_outboxes()
+        for i in range(1, k):
+            alive = bool(self._lives[i] > 0)
             flags[i].append(Message(src=i, dst=0, kind="pr-alive", payload=alive, bits=1))
         cluster.exchange(flags, label="pagerank/control/report")
         cluster.broadcast(

@@ -46,7 +46,7 @@ from repro.graphs.triangles_ref import enumerate_triangles_edges
 from repro.kmachine import encoding
 from repro.kmachine.cluster import Cluster
 from repro.kmachine.distgraph import DistributedGraph, resolve_distgraph
-from repro.kmachine.engine import MessageBatch
+from repro.kmachine.engine import MessageBatch, resident_enabled
 from repro.kmachine.partition import VertexPartition
 from repro.core.triangles.colors import (
     machines_needing_edge_array,
@@ -106,6 +106,40 @@ def _enumerate_triangles_task(
     return mine, triads
 
 
+_EMPTY3 = np.zeros((0, 3), dtype=np.int64)
+
+
+def _assemble_enumeration(machines, results) -> dict:
+    """Pack one group's Phase-3 outputs into a single columnar shipment.
+
+    Concatenated triangle/triad rows plus per-machine row counts, so the
+    driver can split the aggregate back per machine (triad output order
+    is machine-ascending, so the counts are load-bearing, not just
+    bookkeeping).  On the process engine this runs worker-side — one
+    shipment per worker instead of one (possibly huge) row array per
+    machine.
+    """
+    tri_rows: list[np.ndarray] = []
+    tri_counts: list[int] = []
+    triad_rows: list[np.ndarray] = []
+    triad_counts: list[int] = []
+    for out in results:
+        mine, triads = out if out is not None else (None, None)
+        tri_counts.append(0 if mine is None else mine.shape[0])
+        if mine is not None:
+            tri_rows.append(mine)
+        triad_counts.append(0 if triads is None else triads.shape[0])
+        if triads is not None:
+            triad_rows.append(triads)
+    return {
+        "machines": np.asarray(machines, dtype=np.int64),
+        "tris": np.concatenate(tri_rows) if tri_rows else _EMPTY3,
+        "tri_counts": np.asarray(tri_counts, dtype=np.int64),
+        "triads": np.concatenate(triad_rows) if triad_rows else _EMPTY3,
+        "triad_counts": np.asarray(triad_counts, dtype=np.int64),
+    }
+
+
 def _edge_batch(
     edges: np.ndarray,
     src_machines: np.ndarray,
@@ -139,6 +173,7 @@ def enumerate_triangles_distributed(
     skip_local_enumeration: bool = False,
     engine: str = "message",
     distgraph: DistributedGraph | None = None,
+    resident: bool | None = None,
 ) -> TriangleResult:
     """Enumerate all triangles of ``graph`` with ``k`` machines (Theorem 5).
 
@@ -168,6 +203,10 @@ def enumerate_triangles_distributed(
         an explicit ``cluster`` is supplied.  The edge streams of all
         three phases are columnar, so the vector backend runs them
         without materializing message objects.
+    resident:
+        Ship Phase-3 outputs through the group-assembled contract
+        (:func:`_assemble_enumeration`); the default follows
+        ``REPRO_RESIDENT``.  Output is identical either way.
 
     Returns
     -------
@@ -313,21 +352,41 @@ def enumerate_triangles_distributed(
         np.concatenate(received[j], axis=0) if j < owners and received[j] else None
         for j in range(k)
     ]
-    outs = cluster.map_machines(
-        _enumerate_triangles_task,
-        dg,
-        payloads,
-        common={"colors": colors, "q": q, "enumerate_triads": enumerate_triads},
-    )
-    for j, out in enumerate(outs):
-        if out is None:
-            continue
-        mine, triads = out
-        if mine is not None:
-            all_tris.append(mine)
-            per_machine[j] += mine.shape[0]
-        if triads is not None:
-            all_triads.append(triads)
+    common = {"colors": colors, "q": q, "enumerate_triads": enumerate_triads}
+    if resident_enabled(resident):
+        # Group-assembled shipping: one aggregate per worker (process) or
+        # for the whole superstep (inline).  Triangles are re-sorted
+        # globally below, so group order is free to differ from machine
+        # order; triads are reassembled machine-ascending via the counts.
+        groups = cluster.map_machines(
+            _enumerate_triangles_task, dg, payloads, common=common,
+            assemble=_assemble_enumeration,
+        )
+        triad_chunks: list = [None] * k
+        for agg in groups:
+            tri_parts = np.split(agg["tris"], np.cumsum(agg["tri_counts"])[:-1])
+            triad_parts = np.split(agg["triads"], np.cumsum(agg["triad_counts"])[:-1])
+            for j, tri_c, triad_c in zip(agg["machines"], tri_parts, triad_parts):
+                j = int(j)
+                if tri_c.shape[0]:
+                    all_tris.append(tri_c)
+                    per_machine[j] += tri_c.shape[0]
+                if triad_c.shape[0]:
+                    triad_chunks[j] = triad_c
+        all_triads = [c for c in triad_chunks if c is not None]
+    else:
+        outs = cluster.map_machines(
+            _enumerate_triangles_task, dg, payloads, common=common
+        )
+        for j, out in enumerate(outs):
+            if out is None:
+                continue
+            mine, triads = out
+            if mine is not None:
+                all_tris.append(mine)
+                per_machine[j] += mine.shape[0]
+            if triads is not None:
+                all_triads.append(triads)
 
     if all_tris:
         triangles = np.concatenate(all_tris, axis=0)

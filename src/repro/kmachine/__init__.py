@@ -117,6 +117,48 @@ and must obey three contracts for the backends to stay bit-identical:
    :class:`~repro.kmachine.engine.MessageBatch` per stream in the
    parent keeps the exchange accounting byte-equal to the serial loop.
 
+Two further contracts let hot drivers cut what crosses the
+driver/worker boundary each superstep (the *resident superstep* path,
+default-on, gated by ``REPRO_RESIDENT=0``):
+
+4. **Resident state.**  :meth:`Cluster.install_resident` ships one
+   per-machine state object to its owning worker once and returns a
+   :class:`~repro.kmachine.engine.ResidentHandle`; with
+   ``map_machines(..., resident=handle)`` the kernel signature gains a
+   ``state`` argument after ``payload``::
+
+       def my_kernel(ctx, machine, rng, payload, state, **common) -> result
+
+   Mutations of ``state`` persist to the next superstep without ever
+   being re-shipped, so per-superstep payloads shrink to *deltas* (e.g.
+   only the labels that changed).  The state must hold everything the
+   kernel needs that the driver would otherwise rebuild and re-ship —
+   and nothing the parent needs back before the run ends
+   (:meth:`Cluster.pull_resident` reads the final states;
+   :meth:`Cluster.drop_resident` releases them).  RNG contract
+   unchanged: resident kernels draw exactly the inline draws in the
+   inline order.  **Invalidation rules**: handles are holder-scoped —
+   a warm pool handed to the next cluster drops every resident bundle
+   (the RNG handoff is the invalidation point); a worker crash poisons
+   the engine and its handles; installing with ``distgraph=`` binds the
+   bundle to that graph's published store, so store eviction drops it.
+   Inline engines honor the same API with the states kept parent-side,
+   so drivers stay engine-agnostic and bit-identical across backends.
+5. **Outbox assembly.**  ``map_machines(..., assemble=fn)`` moves the
+   per-group merge worker-side: ``fn(machines, results)`` — a
+   module-level callable — folds one scheduling group's ordered kernel
+   results into a single aggregate (typically concatenated columnar
+   outbox fragments), and the call returns a list of *group aggregates*
+   (one group covering all machines inline; one group per worker, its
+   machines ascending, on the process backend) instead of ``k``
+   results.  Only the aggregate ships back, so reply traffic stops
+   scaling with ``k``.  Aggregates must be order-insensitive to
+   concatenate — columnar ``MessageBatch`` fragments are, because
+   canonical delivery re-sorts rows by ``(dst, src, emission)`` and
+   per-machine rows stay contiguous and emission-ordered within any
+   group; order-sensitive outputs must carry per-machine counts so the
+   parent can restore machine order (see the triangle Phase-3 kernel).
+
 Tracing contract
 ----------------
 Every engine carries a ``tracer`` attribute, defaulting to the shared
@@ -127,7 +169,8 @@ one ``phase`` event per communication phase or kernel dispatch with its
 wall-clock and sub-spans (``pack_s`` / ``account_s`` / ``deliver_s`` on
 the vector backend, ``ship_s`` / ``kernel_s`` / ``pool_wait_s`` /
 ``unpack_s`` on the process backend, where ``kernel_s`` is summed
-worker-side wall-clock).  Backends must guard **every** tracing site
+worker-side wall-clock, plus ``assemble_s`` — worker-side outbox
+assembly time — on group-assembled supersteps).  Backends must guard **every** tracing site
 with ``if self.tracer.enabled:`` — the untraced path pays one attribute
 load and one branch per phase, never a clock read or an allocation —
 and must read phase statistics from ``self.metrics.phase_log[-1]``
@@ -149,8 +192,10 @@ from repro.kmachine.engine import (
     Engine,
     MessageBatch,
     MessageEngine,
+    ResidentHandle,
     VectorEngine,
     make_engine,
+    resident_enabled,
 )
 from repro.kmachine.cluster import Cluster
 from repro.kmachine.distgraph import (
@@ -197,6 +242,8 @@ __all__ = [
     "shutdown_worker_pools",
     "MessageBatch",
     "DeliveredBatch",
+    "ResidentHandle",
+    "resident_enabled",
     "make_engine",
     "DistributedGraph",
     "MachineShard",

@@ -139,7 +139,8 @@ class Cluster:
         """
         return self.engine.exchange_batches(batches, label=label)
 
-    def map_machines(self, task, distgraph, payloads, common: dict | None = None) -> list:
+    def map_machines(self, task, distgraph, payloads, common: dict | None = None,
+                     resident=None, assemble=None) -> list:
         """Run a per-machine superstep kernel via the engine.
 
         ``task(ctx, machine, rng, payload, **common)`` runs once per
@@ -149,10 +150,39 @@ class Cluster:
         workers, which then hold and advance the machine streams — so a
         cluster whose driver uses ``map_machines`` must route *all*
         machine-RNG draws through it.
+
+        With ``resident`` (a handle from :meth:`install_resident`) each
+        kernel also receives its machine's persistent state as a fifth
+        positional argument; with ``assemble`` the return value is a
+        list of per-group aggregates instead of per-machine results
+        (see :meth:`Engine.map_machines`).
         """
         return self.engine.map_machines(
-            task, distgraph, payloads, self.machine_rngs, common=common
+            task, distgraph, payloads, self.machine_rngs, common=common,
+            resident=resident, assemble=assemble,
         )
+
+    def install_resident(self, states, distgraph=None):
+        """Install per-machine driver state that persists across supersteps.
+
+        Returns a :class:`~repro.kmachine.engine.ResidentHandle` to pass
+        as ``map_machines(..., resident=handle)``.  Inline engines keep
+        the states in-process; the process engine ships each machine's
+        state to its owning worker once, after which only deltas travel
+        per superstep.  Pull final state with :meth:`pull_resident`
+        *before* :meth:`close` and release it with :meth:`drop_resident`.
+        """
+        return self.engine.install_resident(
+            states, distgraph=distgraph, rngs=self.machine_rngs
+        )
+
+    def pull_resident(self, handle) -> list:
+        """The current per-machine resident states, in machine order."""
+        return self.engine.pull_resident(handle)
+
+    def drop_resident(self, handle) -> None:
+        """Release a resident state bundle (idempotent)."""
+        self.engine.drop_resident(handle)
 
     def account_phase(
         self,

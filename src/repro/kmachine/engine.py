@@ -42,6 +42,8 @@ both engines support.
 
 from __future__ import annotations
 
+import itertools
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -61,9 +63,54 @@ __all__ = [
     "Engine",
     "MessageEngine",
     "VectorEngine",
+    "ResidentHandle",
+    "resident_enabled",
     "ENGINES",
     "make_engine",
 ]
+
+#: Environment switch for the resident-superstep driver paths (PageRank
+#: token tables, Borůvka incident structures, assembled triangle
+#: outboxes).  Default on; ``REPRO_RESIDENT=0`` restores the legacy
+#: ship-everything-per-superstep paths (bit-identical results either
+#: way — the toggle exists so benchmarks can compare the two).
+RESIDENT_ENV = "REPRO_RESIDENT"
+
+
+def resident_enabled(override: "bool | None" = None) -> bool:
+    """Resolve a driver's ``resident`` parameter against the environment."""
+    if override is not None:
+        return bool(override)
+    return os.environ.get(RESIDENT_ENV, "1").lower() not in ("0", "false", "no", "off")
+
+
+_RESIDENT_COUNTER = itertools.count()
+
+
+class ResidentHandle:
+    """A token for per-machine state installed once and kept between supersteps.
+
+    Created by :meth:`Engine.install_resident` and passed back via
+    ``map_machines(..., resident=handle)``: the kernel then runs as
+    ``task(ctx, machine, rng, payload, state, **common)`` with
+    ``state`` the machine's resident object, and mutations persist to
+    the next superstep without ever crossing the driver/worker boundary.
+    On the inline engines the states simply live in :attr:`states`; on
+    the process engine they are shipped once to the owning workers and
+    :attr:`states` is ``None`` (use :meth:`Engine.pull_resident` to read
+    them back).
+    """
+
+    __slots__ = ("token", "states", "store_key")
+
+    def __init__(self, token: str, states: "list | None", store_key: "str | None" = None) -> None:
+        self.token = token
+        self.states = states
+        self.store_key = store_key
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = "inline" if self.states is not None else "worker-resident"
+        return f"ResidentHandle({self.token!r}, {where})"
 
 
 def _as_int_array(values, name: str) -> np.ndarray:
@@ -310,7 +357,8 @@ class Engine:
 
     # -- superstep compute scheduling -----------------------------------
     def map_machines(
-        self, task, distgraph, payloads: Sequence, rngs, common: dict | None = None
+        self, task, distgraph, payloads: Sequence, rngs, common: dict | None = None,
+        resident: "ResidentHandle | None" = None, assemble=None,
     ) -> list:
         """Run one per-machine compute kernel for every machine.
 
@@ -324,6 +372,25 @@ class Engine:
         sorting family).  ``payloads[i]`` is machine ``i``'s
         per-superstep input; ``rngs[i]`` its private Generator.  Returns
         the ``k`` results in machine order.
+
+        ``resident`` names per-machine state previously installed with
+        :meth:`install_resident`; the kernel is then called as
+        ``task(ctx, machine, rng, payload, state, **common)`` and any
+        mutation of ``state`` persists to the next superstep (on the
+        process backend the state never leaves the owning worker).
+
+        ``assemble`` is a module-level callable
+        ``assemble(machines, results) -> aggregate`` that folds one
+        scheduling group's ordered kernel results into a single
+        aggregate (typically concatenated columnar outbox fragments).
+        The return value is then a list of *group aggregates* instead of
+        ``k`` per-machine results: one group covering all machines on
+        the inline backends, one group per worker (its machines in
+        ascending order) on the process backend.  Aggregates must
+        therefore be order-insensitive to concatenate — which columnar
+        ``MessageBatch`` fragments are, because canonical delivery
+        re-sorts rows by ``(dst, src, emission)`` and per-machine rows
+        stay contiguous and emission-ordered within any group.
 
         The inline backends run the kernels serially against the
         distgraph itself — exactly the per-machine loop drivers used to
@@ -339,18 +406,76 @@ class Engine:
                 f"expected one payload per machine ({k}), got {len(payloads)}"
             )
         common = common or {}
-        if not self.tracer.enabled:
-            return [task(distgraph, i, rngs[i], payloads[i], **common) for i in range(k)]
-        t0 = time.perf_counter()
-        results = [task(distgraph, i, rngs[i], payloads[i], **common) for i in range(k)]
-        wall = time.perf_counter() - t0
-        self.tracer.phase(
-            "map_machines",
-            getattr(task, "__name__", str(task)),
-            wall,
-            segments={"kernel_s": wall},
-        )
+        trace = self.tracer.enabled
+        t0 = time.perf_counter() if trace else 0.0
+        if resident is not None:
+            states = resident.states
+            if states is None:
+                raise ModelError(
+                    f"resident state {resident.token!r} is not readable by an "
+                    f"inline engine (it was installed on a process engine, or "
+                    f"already dropped)"
+                )
+            results = [
+                task(distgraph, i, rngs[i], payloads[i], states[i], **common)
+                for i in range(k)
+            ]
+        else:
+            results = [task(distgraph, i, rngs[i], payloads[i], **common) for i in range(k)]
+        t1 = time.perf_counter() if trace else 0.0
+        if assemble is not None:
+            results = [assemble(list(range(k)), results)]
+        if trace:
+            t2 = time.perf_counter()
+            segments = {"kernel_s": t1 - t0}
+            if assemble is not None:
+                segments["assemble_s"] = t2 - t1
+            self.tracer.phase(
+                "map_machines",
+                getattr(task, "__name__", str(task)),
+                t2 - t0,
+                segments=segments,
+            )
         return results
+
+    # -- worker-resident driver state -----------------------------------
+    def install_resident(
+        self, states: Sequence, distgraph=None, rngs=None
+    ) -> ResidentHandle:
+        """Install one per-machine state object to survive between supersteps.
+
+        ``states[i]`` becomes machine ``i``'s resident state, passed to
+        every subsequent ``map_machines(..., resident=handle)`` kernel
+        call for that machine.  The inline engines keep the objects
+        parent-side (so installation is free); the process backend ships
+        each state once to the machine's owning worker under a
+        holder-scoped token, after which only per-superstep deltas cross
+        the pipe.  ``distgraph`` (optional) binds the state's lifetime
+        to that graph's published store on the process backend — if the
+        store is evicted, the resident state is dropped with it.
+        ``rngs`` is the cluster's machine-RNG list, needed by the
+        process backend when installation precedes the first superstep.
+        """
+        states = list(states)
+        if len(states) != self.k:
+            raise ModelError(
+                f"expected one resident state per machine ({self.k}), "
+                f"got {len(states)}"
+            )
+        return ResidentHandle(f"rs-inline-{next(_RESIDENT_COUNTER)}", states)
+
+    def pull_resident(self, handle: ResidentHandle) -> list:
+        """Fetch the current per-machine resident states (machine order)."""
+        if handle.states is None:
+            raise ModelError(
+                f"resident state {handle.token!r} is not held by this engine "
+                f"(dropped, or installed on a process engine)"
+            )
+        return list(handle.states)
+
+    def drop_resident(self, handle: ResidentHandle) -> None:
+        """Release a resident state's memory.  Idempotent."""
+        handle.states = None
 
     def close(self) -> None:
         """Release engine-held resources (worker pools, shared segments)."""

@@ -60,7 +60,12 @@ import weakref
 from typing import Sequence
 
 from repro.errors import ModelError
-from repro.kmachine.engine import ENGINES, VectorEngine
+from repro.kmachine.engine import (
+    ENGINES,
+    _RESIDENT_COUNTER,
+    ResidentHandle,
+    VectorEngine,
+)
 from repro.kmachine.network import LinkNetwork
 from repro.kmachine.parallel import shipping
 from repro.kmachine.parallel.pool import (
@@ -138,6 +143,11 @@ class ProcessEngine(VectorEngine):
                                   network.k))
         self._closed = False
         self._rngs_shipped = False
+        #: Tokens of resident state bundles installed in the held pool's
+        #: workers.  Cleared (with best-effort worker-side drops) on
+        #: release so a warm pool carries no stale holder state even
+        #: before the next holder's rngs shipment wipes it for real.
+        self._resident_tokens: set[str] = set()
         # The held pool lives in a one-slot cell so the GC finalizer can
         # release it without keeping the engine alive.
         self._pool_cell: list = [None]
@@ -211,38 +221,73 @@ class ProcessEngine(VectorEngine):
             f"was destroyed and its shared-memory segments were released"
         ) from exc
 
+    def _ship_rngs(self, pool: WorkerPool, rngs) -> None:
+        """Hand the per-machine Generators to their owning workers (once).
+
+        Shipping replaces the parent-side slots with sentinels that
+        raise on any draw, so code that would silently diverge from the
+        inline engines (e.g. another algorithm drawing machine RNGs in
+        the parent on the same cluster) fails loudly instead.  The
+        shipment also marks this engine as the pool's current holder
+        worker-side: any resident state of a previous holder is dropped.
+        """
+        if self._rngs_shipped:
+            return
+        for w in range(pool.workers):
+            try:
+                pool.send(w, ("rngs", {i: rngs[i] for i in self._machines_of(w)}))
+            except (BrokenPipeError, OSError) as exc:  # pragma: no cover
+                self._crash(w, exc)
+        try:
+            for i in range(self.k):
+                rngs[i] = _DelegatedRNG(i)
+        except TypeError:  # immutable sequence: best-effort enforcement only
+            pass
+        self._rngs_shipped = True
+
     # ------------------------------------------------------------------
     def map_machines(self, task, distgraph, payloads: Sequence, rngs,
-                     common: dict | None = None) -> list:
+                     common: dict | None = None, resident: ResidentHandle | None = None,
+                     assemble=None) -> list:
         """Run a per-machine superstep task across the worker pool.
 
         See :meth:`Engine.map_machines` for the contract.  On the first
         call the current per-machine Generators are shipped to their
-        owning workers, which hold and advance them from then on; the
-        shipped slots of ``rngs`` are replaced with sentinels that raise
-        on any draw, so code that would silently diverge from the inline
-        engines (e.g. another algorithm drawing machine RNGs in the
-        parent on the same cluster) fails loudly instead.  A ``None``
-        ``distgraph`` skips store publication and hands kernels a
-        ``None`` context.
+        owning workers, which hold and advance them from then on.  A
+        ``None`` ``distgraph`` skips store publication and hands kernels
+        a ``None`` context.
+
+        With ``resident`` the kernels additionally receive their
+        machine's worker-held state (installed via
+        :meth:`install_resident`) — nothing state-sized crosses the
+        pipes.  With ``assemble`` each worker packs its machines'
+        results into one aggregate before replying, and the returned
+        list holds one aggregate per worker (workers ``0..W-1``, each
+        covering its machines in ascending order) instead of one entry
+        per machine; the worker-side pack time is traced as
+        ``assemble_s``.
         """
         self._mark_activity()
         k = self.k
         if len(payloads) != k:
             raise ModelError(f"expected one payload per machine ({k}), got {len(payloads)}")
+        token = None
+        if resident is not None:
+            if resident.states is not None:
+                raise ModelError(
+                    "resident handle was installed on an inline engine; "
+                    "process-engine supersteps need a handle from this "
+                    "engine's install_resident"
+                )
+            if resident.token not in self._resident_tokens:
+                raise ModelError(
+                    f"resident state {resident.token!r} is not installed in this "
+                    f"engine's worker pool (dropped, or installed under a "
+                    f"different holder)"
+                )
+            token = resident.token
         pool = self._ensure_pool()
-        if not self._rngs_shipped:
-            for w in range(pool.workers):
-                try:
-                    pool.send(w, ("rngs", {i: rngs[i] for i in self._machines_of(w)}))
-                except (BrokenPipeError, OSError) as exc:  # pragma: no cover
-                    self._crash(w, exc)
-            try:
-                for i in range(k):
-                    rngs[i] = _DelegatedRNG(i)
-            except TypeError:  # immutable sequence: best-effort enforcement only
-                pass
-            self._rngs_shipped = True
+        self._ship_rngs(pool, rngs)
         store = pool.ensure_store(distgraph) if distgraph is not None else None
         common = dict(common) if common else {}
         trace = self.tracer.enabled
@@ -258,14 +303,15 @@ class ProcessEngine(VectorEngine):
             wire = shipping.ship(([payloads[i] for i in machines], common))
             in_flight[w] = wire
             try:
-                pool.send(w, ("map", task, key, meta, machines, wire))
+                pool.send(w, ("map", task, key, meta, machines, wire, token, assemble))
             except (BrokenPipeError, OSError) as exc:
                 self._crash(w, exc, in_flight=in_flight, pending=pending)
             pending.add(w)
         t_shipped = time.perf_counter() if trace else 0.0
-        results: list = [None] * k
+        results: list = [None] * (pool.workers if assemble is not None else k)
         failure: str | None = None
         kernel_s = 0.0  # summed worker-side kernel wall-clock
+        assemble_s = 0.0  # summed worker-side outbox-assembly wall-clock
         wait_s = 0.0  # parent blocked on replies
         unpack_s = 0.0  # decoding result wires
         for w in range(pool.workers):
@@ -280,10 +326,14 @@ class ProcessEngine(VectorEngine):
                 # An ok reply proves the worker consumed (and unlinked)
                 # its payload segment before running the kernels.
                 in_flight.pop(w, None)
-                worker_results, worker_kernel_s = shipping.receive(value)
+                worker_results, worker_kernel_s, worker_assemble_s = shipping.receive(value)
                 kernel_s += worker_kernel_s
-                for machine, result in worker_results.items():
-                    results[machine] = result
+                assemble_s += worker_assemble_s
+                if assemble is not None:
+                    results[w] = worker_results
+                else:
+                    for machine, result in worker_results.items():
+                        results[machine] = result
                 if trace:
                     wait_s += t_recv - t_wait
                     unpack_s += time.perf_counter() - t_recv
@@ -307,16 +357,19 @@ class ProcessEngine(VectorEngine):
             )
         if trace:
             t_end = time.perf_counter()
+            segments = {
+                "ship_s": t_shipped - t0,
+                "kernel_s": kernel_s,
+                "pool_wait_s": max(0.0, wait_s - kernel_s - assemble_s),
+                "unpack_s": unpack_s,
+            }
+            if assemble is not None:
+                segments["assemble_s"] = assemble_s
             self.tracer.phase(
                 "map_machines",
                 getattr(task, "__name__", str(task)),
                 t_end - t0,
-                segments={
-                    "ship_s": t_shipped - t0,
-                    "kernel_s": kernel_s,
-                    "pool_wait_s": max(0.0, wait_s - kernel_s),
-                    "unpack_s": unpack_s,
-                },
+                segments=segments,
             )
         return results
 
@@ -339,12 +392,104 @@ class ProcessEngine(VectorEngine):
             out.update(value)
         return out
 
+    # ------------------------------------------------------------------
+    def install_resident(self, states: Sequence, distgraph=None, rngs=None) -> ResidentHandle:
+        """Install per-machine driver state into the owning workers.
+
+        ``states[i]`` ships once to machine ``i``'s worker and stays
+        there; subsequent :meth:`map_machines` calls with the returned
+        handle pass only deltas.  The RNG streams must ship first (the
+        shipment is the worker-side holder marker that clears previous
+        residents), so ``rngs`` — the cluster's ``machine_rngs`` — is
+        required on the first call of a hold.  A non-``None``
+        ``distgraph`` publishes its store and binds the bundle's
+        worker-side lifetime to it (store eviction drops the bundle).
+        """
+        k = self.k
+        if len(states) != k:
+            raise ModelError(f"expected one resident state per machine ({k}), got {len(states)}")
+        pool = self._ensure_pool()
+        if not self._rngs_shipped:
+            if rngs is None:
+                raise ModelError(
+                    "install_resident before the first superstep needs the "
+                    "cluster's machine RNG streams (rngs=) so the holder "
+                    "handoff ships them first"
+                )
+            self._ship_rngs(pool, rngs)
+        store = pool.ensure_store(distgraph) if distgraph is not None else None
+        store_key = store.key if store is not None else None
+        token = f"rs-proc-{next(_RESIDENT_COUNTER)}"
+        for w in range(pool.workers):
+            wire = shipping.ship({i: states[i] for i in self._machines_of(w)})
+            try:
+                pool.send(w, ("install-state", token, store_key, wire))
+                status, value = pool.recv(w)
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                shipping.discard(wire)
+                self._crash(w, exc)
+            if status != "ok":
+                raise ModelError(f"install-state failed in worker {w}: {value}")
+        self._resident_tokens.add(token)
+        return ResidentHandle(token, None, store_key=store_key)
+
+    def pull_resident(self, handle: ResidentHandle) -> list:
+        """Fetch the current per-machine resident states (machine order)."""
+        if handle.states is not None:
+            return list(handle.states)  # inline handle: state never left the parent
+        if handle.token not in self._resident_tokens:
+            raise ModelError(
+                f"resident state {handle.token!r} is not installed in this "
+                f"engine's worker pool"
+            )
+        pool = self.pool
+        if pool is None:
+            raise ModelError("process engine holds no worker pool")
+        merged: dict = {}
+        for w in range(pool.workers):
+            machines = list(self._machines_of(w))
+            try:
+                pool.send(w, ("pull-state", handle.token, machines))
+                status, value = pool.recv(w)
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                self._crash(w, exc)
+            if status != "ok":
+                raise ModelError(f"pull-state failed in worker {w}: {value}")
+            merged.update(shipping.receive(value))
+        return [merged[i] for i in range(self.k)]
+
+    def drop_resident(self, handle: ResidentHandle) -> None:
+        """Release a resident bundle in every worker (idempotent)."""
+        handle.states = None
+        if handle.token not in self._resident_tokens:
+            return
+        self._resident_tokens.discard(handle.token)
+        pool = self.pool
+        if pool is None:
+            return
+        for w in range(pool.workers):
+            try:
+                pool.send(w, ("drop-state", handle.token))
+            except (BrokenPipeError, OSError):  # pragma: no cover - crash path
+                pass
+
     def _release(self, discard: bool) -> None:
         pool = self.pool
         self._pool_cell[0] = None
         self._closed = True
         self._rngs_shipped = False
         if pool is not None:
+            # Free leftover resident bundles before the pool goes back
+            # warm — the next holder's rngs shipment would clear them
+            # anyway, but an idle pool should not sit on holder state.
+            if not discard:
+                for token in self._resident_tokens:
+                    for w in range(pool.workers):
+                        try:
+                            pool.send(w, ("drop-state", token))
+                        except (BrokenPipeError, OSError):  # pragma: no cover
+                            pass
+            self._resident_tokens.clear()
             release_pool(pool, discard=discard)
 
     def close(self) -> None:

@@ -163,9 +163,14 @@ class MinuteRing:
     minutes under the cap).
     """
 
-    def __init__(self, minutes: int = 180, max_samples: int = 512) -> None:
+    def __init__(self, minutes: int = 180, max_samples: int = 512,
+                 max_algos: int = 16) -> None:
         self.minutes = int(minutes)
         self.max_samples = int(max_samples)
+        #: Cap on distinct per-bucket algo labels; overflow folds into
+        #: ``"other"`` so request-supplied labels can't grow buckets
+        #: without bound.
+        self.max_algos = int(max_algos)
         self._lock = threading.Lock()
         #: epoch-minute -> mutable bucket dict (insertion-ordered).
         self._buckets: dict[int, dict] = {}
@@ -178,6 +183,7 @@ class MinuteRing:
                 "requests": 0,
                 **{kind: 0 for kind in _RING_KINDS},
                 "samples": [],
+                "algos": {},
             }
             # Evict by minute, not insertion order: an out-of-order
             # observe(now=) (clock step-back, replayed timestamp) must
@@ -188,9 +194,15 @@ class MinuteRing:
         return bucket
 
     def observe(
-        self, latency_s: float, kind: str = "executed", now: float | None = None
+        self, latency_s: float, kind: str = "executed",
+        now: float | None = None, algo: str | None = None,
     ) -> None:
         """File one request (``kind`` in hit/executed/error/rejected/timeout).
+
+        ``algo`` additionally attributes the request to a per-algorithm
+        breakdown within the bucket (the ``"algos"`` sub-dict rendered
+        behind ``/status?history=1``); beyond :attr:`max_algos` distinct
+        labels a bucket folds new labels into ``"other"``.
 
         Raises :class:`ValueError` on an unknown ``kind`` — a misspelled
         outcome must fail loudly, not silently inflate ``errors``.
@@ -209,6 +221,17 @@ class MinuteRing:
             bucket[field] += 1
             if len(bucket["samples"]) < self.max_samples:
                 bucket["samples"].append(float(latency_s))
+            if algo is not None:
+                algos = bucket["algos"]
+                label = str(algo)
+                if label not in algos and len(algos) >= self.max_algos:
+                    label = "other"
+                per = algos.setdefault(
+                    label,
+                    {"requests": 0, **{kind: 0 for kind in _RING_KINDS}},
+                )
+                per["requests"] += 1
+                per[field] += 1
 
     @staticmethod
     def _render(bucket: dict) -> dict:
@@ -224,6 +247,9 @@ class MinuteRing:
             out["latency_p99_s"] = _quantile(samples, 0.99)
             out["latency_max_s"] = samples[-1]
             out["latency_mean_s"] = sum(samples) / len(samples)
+        if bucket["algos"]:
+            out["algos"] = {name: dict(counts)
+                            for name, counts in bucket["algos"].items()}
         return out
 
     def rows(self, limit: int | None = None) -> list[dict]:

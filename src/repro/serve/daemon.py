@@ -246,10 +246,13 @@ class ReproServer:
                 return 405, {"ok": False, "error": "MethodNotAllowed",
                              "message": f"{method} {path}"}
             arrived = time.perf_counter()
+            algo = None  # best-effort attribution, set once parsed
             try:
                 payload = json.loads(body.decode() or "{}")
                 if not isinstance(payload, dict):
                     raise ServeError("request body must be a JSON object")
+                if isinstance(payload.get("algo"), str):
+                    algo = payload["algo"]
                 report = await asyncio.get_running_loop().run_in_executor(
                     self._executor, self._run_request, payload
                 )
@@ -257,22 +260,27 @@ class ReproServer:
                 self.ring.observe(
                     time.perf_counter() - arrived,
                     kind="hit" if report.get("cached") else "executed",
+                    algo=algo,
                 )
                 return 200, {"ok": True, "report": report}
             except SessionSaturated as exc:
-                self.ring.observe(time.perf_counter() - arrived, kind="rejected")
+                self.ring.observe(time.perf_counter() - arrived,
+                                  kind="rejected", algo=algo)
                 return 429, {"ok": False, "error": "SessionSaturated",
                              "message": str(exc)}
             except SessionTimeout as exc:
-                self.ring.observe(time.perf_counter() - arrived, kind="timeout")
+                self.ring.observe(time.perf_counter() - arrived,
+                                  kind="timeout", algo=algo)
                 return 503, {"ok": False, "error": "SessionTimeout",
                              "message": str(exc)}
             except (ReproError, json.JSONDecodeError, TypeError) as exc:
-                self.ring.observe(time.perf_counter() - arrived, kind="error")
+                self.ring.observe(time.perf_counter() - arrived,
+                                  kind="error", algo=algo)
                 return 400, {"ok": False, "error": type(exc).__name__,
                              "message": str(exc)}
             except Exception as exc:
-                self.ring.observe(time.perf_counter() - arrived, kind="error")
+                self.ring.observe(time.perf_counter() - arrived,
+                                  kind="error", algo=algo)
                 return 500, {"ok": False, "error": type(exc).__name__,
                              "message": str(exc)}
         return 404, {"ok": False, "error": "NotFound", "message": path}

@@ -254,7 +254,7 @@ def sbm_graph(
     m_target = n * avg_deg / 2.0
     p_in = min(1.0, (1.0 - mix) * m_target / pairs_within) if pairs_within else 0.0
     p_out = min(1.0, mix * m_target / pairs_cross) if pairs_cross else 0.0
-    parts: list[np.ndarray] = []
+    parts: list[tuple[np.ndarray, np.ndarray]] = []
     for i in range(blocks):
         for j in range(i, blocks):
             if i == j:
@@ -268,23 +268,25 @@ def sbm_graph(
                 continue
             u = offsets[i] + rng.integers(0, sizes[i], size=count)
             v = offsets[j] + rng.integers(0, sizes[j], size=count)
-            parts.append(np.column_stack([u, v]))
+            parts.append((u, v))
     if not parts:
         return Graph(n=n, edges=np.zeros((0, 2), dtype=np.int64), directed=False)
-    raw = np.concatenate(parts)
     jobs = build_jobs()
     if jobs > 1:
         # Binomial counts and Lemire-rejection endpoint draws consume
         # the stream data-dependently, so all RNG work stays serial
-        # (above); workers take the deterministic canonicalization.
+        # (above); workers take the block pairs — size-balanced across
+        # the pool — and the driver never concatenates the raw draws.
         from repro.workloads import parallel as _parallel
 
         try:
-            keys = _parallel.pack_sort_chunks(jobs, raw[:, 0], raw[:, 1], n)
+            keys = _parallel.sbm_pair_chunks(jobs, parts, n)
             return _keys_to_graph(keys, n)
         except _parallel.ParallelBuildUnavailable:
             pass
-    return _draws_to_graph(raw[:, 0], raw[:, 1], n)
+    u = np.concatenate([p[0] for p in parts])
+    v = np.concatenate([p[1] for p in parts])
+    return _draws_to_graph(u, v, n)
 
 
 def geometric_graph(

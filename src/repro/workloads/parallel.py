@@ -22,8 +22,15 @@ exactly (golden CSR hashes are enforced by the generator test suite):
   the serial stream word for word.
 * **sbm** — binomial counts and endpoint placement have data-dependent
   stream consumption (Lemire rejection), so every RNG draw stays serial
-  in the driver; workers take over the deterministic canonicalization
-  (key packing, per-chunk sort + dedupe) and the driver merges.
+  in the driver; workers take over the deterministic canonicalization:
+  the per-block-pair endpoint arrays are sharded across the pool
+  (:func:`sbm_pair_chunks` — each worker concatenates, packs, sorts and
+  dedupes its group of pairs) and the driver merges the key unions.
+* **snap** — SNAP edge-list *parsing* is line-independent, so workers
+  parse disjoint byte ranges of the file (:func:`snap_byte_chunks`,
+  boundary lines resolved by the start-of-line rule) and fold their own
+  chunks; the driver's global relabel + dedupe + ``Graph``
+  canonicalization make the result independent of the chunking.
 
 Workers come from the PR-3/4 :mod:`repro.kmachine.parallel.pool`
 registry — a build acquires a warm pool, treats chunk indices as
@@ -48,6 +55,8 @@ __all__ = [
     "geometric_scan_chunks",
     "rmat_draw_chunks",
     "pack_sort_chunks",
+    "sbm_pair_chunks",
+    "snap_byte_chunks",
 ]
 
 
@@ -130,9 +139,10 @@ def map_chunks(jobs: int, task, payloads: list, common: dict) -> list:
             if status != "ok":
                 errors.append(str(body))
                 continue
-            # The map reply wire decodes to (results, kernel_seconds);
-            # builds have no tracer to feed, so the timing is dropped.
-            chunk_results, _kernel_s = shipping.receive(body)
+            # The map reply wire decodes to (results, kernel_seconds,
+            # assemble_seconds); builds have no tracer to feed, so the
+            # timings are dropped.
+            chunk_results, _kernel_s, _assemble_s = shipping.receive(body)
             for i in mine[w]:
                 results[i] = chunk_results[i]
         if errors:
@@ -280,3 +290,124 @@ def pack_sort_chunks(jobs: int, u: np.ndarray, v: np.ndarray, n: int) -> np.ndar
     payloads = [(u[lo:hi], v[lo:hi]) for lo, hi in ranges]
     chunks = map_chunks(jobs, _pack_sort_chunk, payloads, {"n": int(n)})
     return merge_unique_keys(chunks)
+
+
+def _sbm_pair_group_chunk(view, chunk, rng, payload, *, n):
+    """Canonicalize one group of per-block-pair endpoint arrays.
+
+    ``payload`` is ``(us, vs)`` — parallel lists of endpoint arrays, one
+    entry per block pair assigned to this worker.  The worker owns the
+    concatenation as well as the pack/sort/dedupe, so the driver never
+    materializes the full raw draw array.
+    """
+    us, vs = payload
+    u = np.concatenate(us) if len(us) > 1 else us[0]
+    v = np.concatenate(vs) if len(vs) > 1 else vs[0]
+    return _pack_sort_chunk(view, chunk, rng, (u, v), n=n)
+
+
+def sbm_pair_chunks(jobs: int, pairs: "list[tuple[np.ndarray, np.ndarray]]",
+                    n: int) -> np.ndarray:
+    """Shard per-block-pair SBM draws across the pool; return merged keys.
+
+    ``pairs`` holds one ``(u, v)`` endpoint-array tuple per non-empty
+    block pair.  Pairs are balanced over ``jobs`` groups largest-first;
+    the grouping cannot affect the result because the union of canonical
+    keys is grouping-independent.
+    """
+    pairs = [p for p in pairs if p[0].size]
+    if not pairs:
+        return np.zeros(0, dtype=np.int64)
+    jobs = max(1, min(int(jobs), len(pairs)))
+    order = sorted(range(len(pairs)), key=lambda i: -pairs[i][0].size)
+    groups: list[list[int]] = [[] for _ in range(jobs)]
+    loads = [0] * jobs
+    for i in order:
+        w = loads.index(min(loads))
+        groups[w].append(i)
+        loads[w] += pairs[i][0].size
+    payloads = [
+        ([pairs[i][0] for i in group], [pairs[i][1] for i in group])
+        for group in groups if group
+    ]
+    chunks = map_chunks(len(payloads), _sbm_pair_group_chunk, payloads, {"n": int(n)})
+    return merge_unique_keys(chunks)
+
+
+# ----------------------------------------------------------------------
+# snap: byte-range sharded edge-list parsing.
+
+def _snap_byte_chunk(view, chunk, rng, payload, *, path, directed, chunk_rows):
+    """Parse the edge-list lines that *start* inside byte range ``[lo, hi)``.
+
+    Boundary rule: a chunk whose start falls mid-line skips forward to
+    the next line start (that line belongs to the previous chunk, which
+    reads past its own end to finish it) — so every line is parsed by
+    exactly one chunk regardless of where the boundaries land, including
+    boundaries inside comment lines.  Parsing and per-chunk folding
+    mirror the serial :func:`repro.workloads.io.read_snap` loop.
+    """
+    import io as _io
+    import warnings
+
+    from repro.workloads.io import _chunk_unique_rows
+
+    lo, hi = payload
+    with open(path, "rb") as fh:
+        if lo > 0:
+            fh.seek(lo - 1)
+            if fh.read(1) != b"\n":
+                fh.readline()  # partial first line: the previous chunk's
+        pos = fh.tell()
+        if pos >= hi:
+            return np.zeros((0, 2), dtype=np.int64)
+        data = fh.read(hi - pos)
+        if data and not data.endswith(b"\n"):
+            data += fh.readline()  # finish the line spanning the boundary
+    buf = _io.StringIO(data.decode())
+    parts: list[np.ndarray] = []
+    while True:
+        with warnings.catch_warnings():
+            warnings.filterwarnings(
+                "ignore", message=".*no data.*", category=UserWarning
+            )
+            block = np.loadtxt(
+                buf,
+                dtype=np.int64,
+                comments=("#", "%"),
+                usecols=(0, 1),
+                max_rows=chunk_rows,
+                ndmin=2,
+            )
+        if block.shape[0] == 0:
+            break
+        if block.min() < 0:
+            raise WorkloadError(f"{path}: negative vertex id")
+        folded = _chunk_unique_rows(block, directed)
+        if folded.size:
+            parts.append(folded)
+        if block.shape[0] < chunk_rows:
+            break
+    if not parts:
+        return np.zeros((0, 2), dtype=np.int64)
+    return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+
+def snap_byte_chunks(jobs: int, path, size: int, directed: bool,
+                     chunk_rows: int) -> "list[np.ndarray]":
+    """Parse a SNAP edge list in parallel over ``jobs`` byte ranges.
+
+    Returns the per-range folded edge-row chunks in range order; the
+    caller finishes with the same global relabel + dedupe the serial
+    path runs.  The parsed edge *set* is chunking-independent and
+    ``Graph`` canonicalizes row order, so the resulting graph is
+    bit-identical to a serial parse.
+    """
+    ranges = _even_ranges(int(size), jobs)
+    return map_chunks(
+        len(ranges),
+        _snap_byte_chunk,
+        ranges,
+        {"path": str(path), "directed": bool(directed),
+         "chunk_rows": int(chunk_rows)},
+    )

@@ -165,6 +165,40 @@ class TestMinuteRing:
         cur = ring.current(now=60.0)
         assert cur["requests"] == 0 and cur["minute"] == 60
 
+    def test_per_algo_breakdowns(self):
+        ring = MinuteRing()
+        now = 1_000_000.0
+        ring.observe(0.1, kind="executed", now=now, algo="pagerank")
+        ring.observe(0.2, kind="hit", now=now, algo="pagerank")
+        ring.observe(0.3, kind="error", now=now, algo="mst")
+        ring.observe(0.4, kind="executed", now=now)  # unattributed
+        (row,) = ring.rows()
+        assert row["requests"] == 4
+        algos = row["algos"]
+        assert algos["pagerank"] == {
+            "requests": 2, "hits": 1, "executed": 1, "errors": 0,
+            "rejected": 0, "timeouts": 0}
+        assert algos["mst"]["errors"] == 1 and algos["mst"]["requests"] == 1
+        # Unattributed requests count in the bucket totals only.
+        assert sum(a["requests"] for a in algos.values()) == 3
+
+    def test_algo_labels_are_capped(self):
+        ring = MinuteRing(max_algos=2)
+        now = 1_000_000.0
+        for name in ("a", "b", "c", "d", "a"):
+            ring.observe(0.1, now=now, algo=name)
+        (row,) = ring.rows()
+        algos = row["algos"]
+        assert set(algos) == {"a", "b", "other"}
+        assert algos["a"]["requests"] == 2
+        assert algos["other"]["requests"] == 2  # c and d folded
+
+    def test_rows_without_algo_have_no_breakdown(self):
+        ring = MinuteRing()
+        ring.observe(0.1, now=1_000_000.0)
+        (row,) = ring.rows()
+        assert "algos" not in row
+
 
 DATASET = "gnp:n=120,avg_deg=5,seed=3"
 
@@ -222,6 +256,11 @@ class TestDaemonTelemetry:
         assert sum(row["executed"] for row in history) == 1
         assert sum(row["hits"] for row in history) == 1
         assert any("latency_p50_s" in row for row in history)
+        # Per-algo attribution rides along in the same rows.
+        pagerank = [row["algos"]["pagerank"] for row in history
+                    if "algos" in row]
+        assert sum(a["requests"] for a in pagerank) == 2
+        assert sum(a["hits"] for a in pagerank) == 1
 
     def test_run_response_carries_timing_and_bound(self, daemon):
         server, client = daemon

@@ -220,9 +220,14 @@ class TestTracedRuns:
                 and "ship_s" in (e.get("segments") or {})]
         assert maps, "process engine emitted no shipped map_machines phases"
         for event in maps:
-            assert set(event["segments"]) == {"ship_s", "kernel_s",
-                                              "pool_wait_s", "unpack_s"}
+            # assemble_s appears only on group-assembled supersteps.
+            assert set(event["segments"]) - {"assemble_s"} == {
+                "ship_s", "kernel_s", "pool_wait_s", "unpack_s"}
             assert all(v >= 0 for v in event["segments"].values())
+        from repro.kmachine import resident_enabled
+        if resident_enabled(None):  # legacy path (REPRO_RESIDENT=0): none
+            assert any("assemble_s" in e["segments"] for e in maps), (
+                "resident pagerank emitted no worker-assembled supersteps")
 
     def test_shared_tracer_spans_multiple_runs(self, graph):
         tracer = Tracer()
