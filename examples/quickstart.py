@@ -353,6 +353,85 @@ def main() -> None:
           f"{'within' if bound.within_envelope else 'EXCEEDS'} the "
           f"Õ({bound.upper_bound_rounds:.0f}) envelope, ok={bound.ok}")
 
+    # --- Communication ledger -------------------------------------------
+    # The BoundReport checks the end-of-run total; the LedgerReport on
+    # the same RunReport closes the loop phase by phase: every recorded
+    # phase gets a row of measured bits/rounds with running totals,
+    # checked against the budget the family's declared Õ bound implies
+    # (round_budget = core x polylog(n) x slack, bits_budget = rounds x
+    # bandwidth) — the first phase to blow the envelope is flagged, not
+    # just the sum.  `repro run` prints these rows; the serve daemon
+    # returns them in every /run reply.
+    ledger = traced.ledger_report
+    assert ledger.ok and not ledger.violations
+    heaviest_phase = ledger.heaviest_entry
+    print(f"  ledger: {len(ledger.entries)} phases, "
+          f"{ledger.total_rounds} rounds of budget "
+          f"{ledger.round_budget:.0f} — ok={ledger.ok}")
+    print(f"  heaviest phase: #{heaviest_phase.index} "
+          f"'{heaviest_phase.label}' ({heaviest_phase.max_link_bits} bits "
+          f"on its heaviest link)")
+
+    # --- Trace export: open a run in a timeline viewer ------------------
+    # A JSONL trace converts to the Chrome trace-event format (open in
+    # chrome://tracing or https://ui.perfetto.dev) or a speedscope
+    # profile (https://www.speedscope.app): one named track per run,
+    # phase slices with driver gaps, segment sub-spans as children.
+    # On the CLI:
+    #   python -m repro trace export out.jsonl --format chrome
+    from repro.obs import export_trace, validate_chrome_trace
+
+    chrome_doc = export_trace(tracer.events, "chrome")
+    validate_chrome_trace(chrome_doc)  # what the CI export smoke runs
+    speedscope_doc = export_trace(tracer.events, "speedscope")
+    print(f"  export: {len(chrome_doc['traceEvents'])} Chrome trace "
+          f"events / {len(speedscope_doc['profiles'])} speedscope "
+          f"profile(s) from the same JSONL")
+
+    # --- Alerts round-trip: inject failures, watch a rule fire ----------
+    # The daemon evaluates declarative alert rules (dotted metric path,
+    # threshold, sustain window) against its live telemetry in a
+    # background loop — configured via --alert-rules rules.json or
+    # $REPRO_ALERT_RULES; without rules the request path is untouched.
+    # Here: an error-rate rule, a storm of bad requests to fire it, then
+    # good traffic to resolve it, all visible through GET /alerts.
+    from repro.obs import AlertRule
+
+    alert_events: list[dict] = []
+    rule = AlertRule(name="error-rate", metric="serve.error_rate",
+                     op=">", threshold=0.5, severity="critical")
+    with tempfile.NamedTemporaryFile(suffix=".sqlite") as tmp_db:
+        server = ReproServer(port=0, result_cache=tmp_db.name,
+                             alert_rules=[rule], alert_interval=0.05,
+                             alert_sinks=(alert_events.append,))
+        with server.start_in_thread() as handle:
+            client = ServeClient(handle.host, handle.port)
+            client.wait_until_ready()
+            for _ in range(4):  # the storm: unknown algos are 400s
+                try:
+                    client.run("no-such-algo", dataset=serve_dataset, k=8)
+                except Exception:
+                    pass
+            deadline = time.monotonic() + 15
+            while (client.alerts()["active"] != ["error-rate"]
+                   and time.monotonic() < deadline):
+                time.sleep(0.05)
+            fired = client.alerts()
+            for _ in range(5):  # recovery: good (soon cached) runs
+                client.run("triangles", dataset=serve_dataset, k=8, seed=9)
+            while (client.alerts()["active"]
+                   and time.monotonic() < deadline):
+                time.sleep(0.05)
+            resolved = client.alerts()
+    assert fired["active"] == ["error-rate"]
+    assert resolved["active"] == [] and resolved["resolved"] == ["error-rate"]
+    print("\nAlert rules (GET /alerts; repro serve --alert-rules)")
+    print(f"  rule '{rule.name}' ({rule.metric} {rule.op} {rule.threshold}) "
+          f"fired under the failure storm, resolved after recovery")
+    print("  sink saw: " + ", ".join(
+        f"{e['event']}@{e['value']:.2f}" for e in alert_events))
+    workloads.default_cache().evict(serve_dataset)
+
 
 if __name__ == "__main__":
     main()

@@ -24,7 +24,9 @@ Commands
                  line per run).
 ``trace``        inspect execution traces: ``trace summarize out.jsonl``
                  renders the per-phase wall-clock breakdown written by
-                 ``run --trace`` / ``$REPRO_TRACE``.
+                 ``run --trace`` / ``$REPRO_TRACE``; ``trace export
+                 out.jsonl --format chrome|speedscope`` converts it for
+                 ``chrome://tracing`` / https://speedscope.app.
 ``data``         manage the workload subsystem's content-addressed graph
                  cache: ``data build <spec>``, ``data ls``, ``data info
                  <spec|hash>``, ``data rm <spec|hash|--all>``.
@@ -33,8 +35,8 @@ Commands
                  live across requests (``python -m repro serve --port
                  8642 --prewarm "rmat:n=1e6,avg_deg=16,seed=7"``).
 ``client``       talk to a running daemon: ``client run <algo> --dataset
-                 <spec>``, ``client status``, ``client health``,
-                 ``client shutdown``.
+                 <spec>``, ``client status``, ``client alerts``,
+                 ``client health``, ``client shutdown``.
 
 ``run`` and ``sweep`` also accept ``--dataset <spec>`` (e.g. ``--dataset
 rmat:n=1e6,avg_deg=16,seed=7``), replacing the built-in ``--graph/--n``
@@ -153,6 +155,8 @@ def cmd_run(args) -> int:
         lb = rep.lower_bound()
         if lb is not None:
             rows.append(["matching lower bound", f"{lb:.3f} rounds"])
+    if rep.ledger_report is not None:
+        rows.extend(list(pair) for pair in rep.ledger_report.rows())
     if spec.summarize is not None:
         rows.extend([label, value] for label, value in spec.summarize(rep.result))
     print(format_table([spec.title, "value"], rows))
@@ -349,14 +353,19 @@ def cmd_serve(args) -> int:
         timeout=args.timeout,
         max_datasets=args.max_datasets,
         prewarm=args.prewarm or (),
+        alert_rules=args.alert_rules,
+        alert_interval=args.alert_interval,
     )
     store = server.session.store
     print(f"repro serve: listening on http://{args.host}:{args.port}")
     print(f"  result cache: {store.path if store is not None else 'disabled'}")
     if args.prewarm:
         print(f"  prewarming {len(args.prewarm)} dataset(s)")
+    if server.alerts is not None:
+        print(f"  alerting: {len(server.alerts.rules)} rule(s), "
+              f"evaluated every {server.alert_interval:g}s")
     print("  POST /run, GET /status[?history=1], GET /metrics, "
-          "GET /health, POST /shutdown")
+          "GET /alerts, GET /health, POST /shutdown")
     server.serve_forever()
     print("repro serve: stopped")
     return 0
@@ -391,6 +400,30 @@ def cmd_client(args) -> int:
                          f"{store['entries']} entries at {store['path']} "
                          f"({store['hits']} hits / {store['misses']} misses)"])
         print(format_table(["daemon", "value"], rows))
+        return 0
+    if args.client_command == "alerts":
+        reply = client.alerts()
+        if not reply.get("enabled"):
+            print("alerting disabled (daemon started without --alert-rules)")
+            return 0
+        rows = []
+        for rule in reply["rules"]:
+            last = rule["last_value"]
+            rows.append([
+                rule["name"],
+                rule["severity"],
+                f"{rule['metric']} {rule['op']} {rule['threshold']}",
+                "ACTIVE" if rule["active"] else "ok",
+                f"{last:.4g}" if isinstance(last, float) else
+                ("-" if last is None else last),
+            ])
+        print(format_table(
+            ["rule", "severity", "condition", "state", "last value"], rows
+        ))
+        active = reply["active"]
+        suffix = f": {', '.join(active)}" if active else ""
+        print(f"\n{len(active)} active alert(s){suffix} "
+              f"({reply['evaluations']} evaluations)")
         return 0
     if args.client_command == "shutdown":
         client.shutdown()
@@ -462,12 +495,22 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    """``trace summarize`` — render a trace JSONL file."""
+    """``trace {summarize,export}`` — render or convert a trace file."""
     from repro.obs import format_summary, read_trace, summarize_trace
 
     if args.trace_command == "summarize":
         events = read_trace(args.path)
         print(format_summary(summarize_trace(events), top=args.top))
+        return 0
+    if args.trace_command == "export":
+        from repro.obs.export import default_export_path, write_export
+
+        events = read_trace(args.path)
+        out = args.out or default_export_path(args.path, args.format)
+        path = write_export(events, args.format, out)
+        target = ("chrome://tracing (or https://ui.perfetto.dev)"
+                  if args.format == "chrome" else "https://www.speedscope.app")
+        print(f"wrote {args.format} export to {path}\nopen it in {target}")
         return 0
     raise SystemExit(f"unknown trace command {args.trace_command!r}")
 
@@ -615,6 +658,20 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--top", type=int, default=5,
                    help="heaviest phase groups and links shown")
     t.set_defaults(func=cmd_trace)
+    t = tsub.add_parser(
+        "export", help="convert a trace for an interactive viewer"
+    )
+    t.add_argument("path", help="trace JSONL written by --trace / $REPRO_TRACE")
+    t.add_argument(
+        "--format", choices=("chrome", "speedscope"), default="chrome",
+        help="chrome trace-event JSON (chrome://tracing, Perfetto) or "
+        "speedscope JSON (speedscope.app)",
+    )
+    t.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="output file (default: <trace>.<format>.json next to the input)",
+    )
+    t.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("serve", help="run the persistent analytics daemon")
     p.add_argument("--host", default="127.0.0.1")
@@ -642,6 +699,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="dataset spec to materialize before accepting traffic "
         "(repeatable)",
     )
+    p.add_argument(
+        "--alert-rules", default=None, metavar="PATH",
+        help="alert rule JSON file, 'default' for the stock serve-health "
+        "rules, or 'none' (default: $REPRO_ALERT_RULES, else no alerting)",
+    )
+    p.add_argument(
+        "--alert-interval", type=float, default=5.0, metavar="S",
+        help="seconds between alert-rule evaluations",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("client", help="talk to a running analytics daemon")
@@ -664,6 +730,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="family parameter override (repeatable)")
     cr.set_defaults(func=cmd_client)
     for name, doc in (("status", "daemon/session/result-store counters"),
+                      ("alerts", "alert-rule state (GET /alerts)"),
                       ("health", "liveness probe"),
                       ("shutdown", "ask the daemon to stop")):
         cc = csub.add_parser(name, help=doc)

@@ -456,22 +456,32 @@ class Engine:
         ``rngs`` is the cluster's machine-RNG list, needed by the
         process backend when installation precedes the first superstep.
         """
+        self._mark_activity()
+        t0 = time.perf_counter() if self.tracer.enabled else 0.0
         states = list(states)
         if len(states) != self.k:
             raise ModelError(
                 f"expected one resident state per machine ({self.k}), "
                 f"got {len(states)}"
             )
-        return ResidentHandle(f"rs-inline-{next(_RESIDENT_COUNTER)}", states)
+        handle = ResidentHandle(f"rs-inline-{next(_RESIDENT_COUNTER)}", states)
+        if self.tracer.enabled:
+            self.tracer.phase("resident", "install", time.perf_counter() - t0)
+        return handle
 
     def pull_resident(self, handle: ResidentHandle) -> list:
         """Fetch the current per-machine resident states (machine order)."""
+        self._mark_activity()
+        t0 = time.perf_counter() if self.tracer.enabled else 0.0
         if handle.states is None:
             raise ModelError(
                 f"resident state {handle.token!r} is not held by this engine "
                 f"(dropped, or installed on a process engine)"
             )
-        return list(handle.states)
+        states = list(handle.states)
+        if self.tracer.enabled:
+            self.tracer.phase("resident", "pull", time.perf_counter() - t0)
+        return states
 
     def drop_resident(self, handle: ResidentHandle) -> None:
         """Release a resident state's memory.  Idempotent."""

@@ -39,6 +39,18 @@ class PhaseStats:
     max_machine_received: int
     label: str = ""
 
+    def as_dict(self) -> dict:
+        """JSON-ready view (phase summaries, the communication ledger)."""
+        return {
+            "label": self.label,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "bits": self.bits,
+            "max_link_bits": self.max_link_bits,
+            "max_machine_sent": self.max_machine_sent,
+            "max_machine_received": self.max_machine_received,
+        }
+
 
 @dataclass
 class Metrics:
@@ -169,16 +181,7 @@ class Metrics:
             "max_machine_sent": self.max_machine_sent,
             "max_machine_received": self.max_machine_received,
             "max_link_bits": self.max_link_bits,
-            "phase_summary": [
-                {
-                    "label": p.label,
-                    "rounds": p.rounds,
-                    "messages": p.messages,
-                    "bits": p.bits,
-                    "max_link_bits": p.max_link_bits,
-                }
-                for p in self.phase_log
-            ],
+            "phase_summary": [p.as_dict() for p in self.phase_log],
         }
 
     def check_conservation(self) -> None:

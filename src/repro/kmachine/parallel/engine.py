@@ -405,6 +405,8 @@ class ProcessEngine(VectorEngine):
         ``distgraph`` publishes its store and binds the bundle's
         worker-side lifetime to it (store eviction drops the bundle).
         """
+        self._mark_activity()
+        t0 = time.perf_counter() if self.tracer.enabled else 0.0
         k = self.k
         if len(states) != k:
             raise ModelError(f"expected one resident state per machine ({k}), got {len(states)}")
@@ -431,10 +433,14 @@ class ProcessEngine(VectorEngine):
             if status != "ok":
                 raise ModelError(f"install-state failed in worker {w}: {value}")
         self._resident_tokens.add(token)
+        if self.tracer.enabled:
+            self.tracer.phase("resident", "install", time.perf_counter() - t0)
         return ResidentHandle(token, None, store_key=store_key)
 
     def pull_resident(self, handle: ResidentHandle) -> list:
         """Fetch the current per-machine resident states (machine order)."""
+        self._mark_activity()
+        t0 = time.perf_counter() if self.tracer.enabled else 0.0
         if handle.states is not None:
             return list(handle.states)  # inline handle: state never left the parent
         if handle.token not in self._resident_tokens:
@@ -456,7 +462,10 @@ class ProcessEngine(VectorEngine):
             if status != "ok":
                 raise ModelError(f"pull-state failed in worker {w}: {value}")
             merged.update(shipping.receive(value))
-        return [merged[i] for i in range(self.k)]
+        states = [merged[i] for i in range(self.k)]
+        if self.tracer.enabled:
+            self.tracer.phase("resident", "pull", time.perf_counter() - t0)
+        return states
 
     def drop_resident(self, handle: ResidentHandle) -> None:
         """Release a resident bundle in every worker (idempotent)."""

@@ -1,6 +1,6 @@
-"""Observability: execution tracing, bound checking, live telemetry.
+"""Observability: tracing, bound checking, ledger, alerts, telemetry.
 
-Three pieces, all designed to cost nothing when unused:
+Every piece is designed to cost nothing when unused:
 
 - :mod:`repro.obs.trace` — a :class:`Tracer` the engines emit per-phase
   wall-clock events into (JSONL with a versioned schema), plus the
@@ -8,18 +8,65 @@ Three pieces, all designed to cost nothing when unused:
 - :mod:`repro.obs.bounds` — :class:`BoundReport`: measured rounds and
   link loads checked against the family theorem's Õ envelope and lower
   bound, attached to every :class:`~repro.runtime.registry.RunReport`.
+- :mod:`repro.obs.ledger` — :class:`LedgerReport`: the round-granular
+  version of the same check.  **Contract**: every phase the metrics
+  layer charged becomes a :class:`LedgerEntry` with running totals; the
+  budgets are ``round_budget = max(core, 1) * polylog(n) * slack``
+  (``slack=1.0`` reproduces the BoundReport envelope) and
+  ``bits_budget = round_budget * bandwidth`` (the paper's B-bits-per-
+  link-per-round accounting); an entry is flagged when its cumulative
+  rounds cross ``round_budget`` or its own heaviest link crosses
+  ``bits_budget``; a family with no declared ``upper_bound`` flags
+  nothing (``ok`` is vacuously True).  Attached to ``RunReport.
+  ledger_report`` on every run, cached hits included.
+- :mod:`repro.obs.alerts` — :class:`AlertRule` / :class:`AlertEngine`.
+  **Contract**: a rule names a dotted metric path into the daemon's
+  snapshot (``serve.*`` derived from the :class:`MinuteRing` window and
+  session counters, plus every :func:`obs_registry` source by name), an
+  ``op``/``threshold``, a ``sustain_s`` window, and a severity.  A rule
+  fires after its metric breaches continuously for ``sustain_s`` and
+  resolves on the first clean evaluation; a missing or ``None`` metric
+  never breaches.  Events go to pluggable sinks; state is served at
+  ``GET /alerts`` and as ``repro_alert_active`` Prometheus gauges.  With
+  no rules configured the daemon builds no engine and the request path
+  is untouched.
+- :mod:`repro.obs.export` — ``repro trace export`` converters from the
+  JSONL schema to Chrome trace-event and speedscope JSON, plus
+  :func:`validate_chrome_trace`, the schema check CI runs.
 - :mod:`repro.obs.registry` — :func:`obs_registry`, the process-wide
   weak-referenced stats registry the serve daemon's ``/metrics``
   endpoint collects, and :class:`MinuteRing`, the per-minute request
-  time series behind ``/status?history=1``.
+  time series behind ``/status?history=1`` (its :meth:`~MinuteRing.
+  window` merge feeds the alert engine).
 
 Enable tracing with ``runtime.run(trace="out.jsonl")`` (or a
 :class:`Tracer` instance, or ``trace=True`` for in-memory events), the
 CLI's ``--trace out.jsonl``, or ``$REPRO_TRACE``; render a trace with
-``python -m repro trace summarize out.jsonl``.
+``python -m repro trace summarize out.jsonl`` or export it with
+``python -m repro trace export out.jsonl --format chrome``.
 """
 
+from repro.obs.alerts import (
+    ALERT_RULES_ENV,
+    AlertEngine,
+    AlertRule,
+    default_rules,
+    jsonl_sink,
+    load_rules,
+    resolve_alert_rules,
+    stderr_sink,
+    webhook_sink,
+)
 from repro.obs.bounds import BoundReport, compute_bound_report
+from repro.obs.export import (
+    EXPORT_FORMATS,
+    export_chrome,
+    export_speedscope,
+    export_trace,
+    validate_chrome_trace,
+    write_export,
+)
+from repro.obs.ledger import LedgerEntry, LedgerReport, compute_ledger_report
 from repro.obs.registry import MinuteRing, ObsRegistry, obs_registry, render_prometheus
 from repro.obs.summarize import format_summary, summarize_trace
 from repro.obs.trace import (
@@ -36,6 +83,24 @@ from repro.obs.trace import (
 __all__ = [
     "BoundReport",
     "compute_bound_report",
+    "LedgerEntry",
+    "LedgerReport",
+    "compute_ledger_report",
+    "ALERT_RULES_ENV",
+    "AlertEngine",
+    "AlertRule",
+    "default_rules",
+    "load_rules",
+    "resolve_alert_rules",
+    "stderr_sink",
+    "jsonl_sink",
+    "webhook_sink",
+    "EXPORT_FORMATS",
+    "export_chrome",
+    "export_speedscope",
+    "export_trace",
+    "validate_chrome_trace",
+    "write_export",
     "MinuteRing",
     "ObsRegistry",
     "obs_registry",

@@ -1,0 +1,298 @@
+"""The communication ledger: round-granular bits-vs-envelope accounting.
+
+The k-machine model's claims are *per-round* claims — each of the ``k(k-1)``
+links carries at most ``B`` bits per round — yet :class:`~repro.obs.bounds.
+BoundReport` only checks a run's **total** rounds against the family
+theorem's Õ envelope.  The ledger turns that Theorem-level check into a
+round-granular one: every phase the metrics layer charged becomes a
+:class:`LedgerEntry` carrying its rounds, bits, and heaviest-link load
+*plus* the running totals, checked against two budgets derived from the
+same :attr:`~repro.runtime.registry.AlgorithmSpec.upper_bound` polynomial
+the bound report uses:
+
+``round_budget``
+    ``max(core, 1) * polylog(n) * slack`` — the Õ envelope on the run's
+    cumulative rounds (``slack`` defaults to 1.0, i.e. exactly the
+    :class:`BoundReport` envelope).  The first phase whose *cumulative*
+    rounds cross it — and every phase after — is flagged, so a violation
+    names the phase that blew the budget instead of just the run.
+``bits_budget``
+    ``round_budget * bandwidth`` — the most bits any single link may
+    carry over the whole run if the envelope holds (the paper's
+    bandwidth-model accounting: one link moves ``B`` bits per round).  A
+    phase whose ``max_link_bits`` alone exceeds it is flagged even when
+    the round totals have not caught up yet.
+
+:func:`compute_ledger_report` is evaluated by :func:`repro.runtime.run`
+on every report (cached hits included — the cached metrics carry their
+phase log), attached as ``RunReport.ledger_report`` next to
+``bound_report``, printed by the CLI, and included in serve ``/run``
+responses.  When the run was traced, the engines' per-phase ``top_links``
+attributions are zipped onto the matching entries so a flagged phase also
+names the guilty links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro._util import polylog
+
+__all__ = ["LedgerEntry", "LedgerReport", "compute_ledger_report"]
+
+#: Entries included verbatim in :meth:`LedgerReport.as_dict` — serve
+#: responses must stay bounded no matter how many phases a run charged.
+_DICT_ENTRY_CAP = 20
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    return f"{value:,.4g}" if value < 1e6 else f"{value:.3e}"
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One communication phase's ledger line.
+
+    ``cumulative_rounds`` / ``cumulative_bits`` are the running totals
+    *including* this phase; ``over_budget`` is True when either the
+    cumulative rounds crossed the report's ``round_budget`` or this
+    phase's own heaviest link crossed ``bits_budget``.
+    """
+
+    index: int
+    label: str
+    rounds: int
+    cumulative_rounds: int
+    messages: int
+    bits: int
+    cumulative_bits: int
+    max_link_bits: int
+    over_budget: bool
+    #: ``[src, dst, bits]`` heaviest links from the trace, when the run
+    #: was traced and the phase stream matched the metrics phase log.
+    top_links: tuple | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        out = {
+            "index": self.index,
+            "label": self.label,
+            "rounds": self.rounds,
+            "cumulative_rounds": self.cumulative_rounds,
+            "messages": self.messages,
+            "bits": self.bits,
+            "cumulative_bits": self.cumulative_bits,
+            "max_link_bits": self.max_link_bits,
+            "over_budget": self.over_budget,
+        }
+        if self.top_links is not None:
+            out["top_links"] = [list(link) for link in self.top_links]
+        return out
+
+
+@dataclass(frozen=True)
+class LedgerReport:
+    """A run's full per-phase communication ledger plus its verdict.
+
+    ``round_budget`` / ``bits_budget`` are ``None`` when the family
+    declares no :attr:`~repro.runtime.registry.AlgorithmSpec.upper_bound`
+    (then no entry is ever flagged and :attr:`ok` is True —
+    "no declared bound" is not a violation).
+    """
+
+    algo: str
+    n: int
+    k: int
+    bandwidth: int
+    slack: float
+    polylog_slack: float
+    round_budget: float | None
+    bits_budget: float | None
+    entries: tuple[LedgerEntry, ...]
+
+    @property
+    def total_rounds(self) -> int:
+        return self.entries[-1].cumulative_rounds if self.entries else 0
+
+    @property
+    def total_bits(self) -> int:
+        return self.entries[-1].cumulative_bits if self.entries else 0
+
+    @property
+    def violations(self) -> tuple[LedgerEntry, ...]:
+        """The flagged entries (first one names the offending phase)."""
+        return tuple(e for e in self.entries if e.over_budget)
+
+    @property
+    def first_violation(self) -> LedgerEntry | None:
+        for entry in self.entries:
+            if entry.over_budget:
+                return entry
+        return None
+
+    @property
+    def heaviest_entry(self) -> LedgerEntry | None:
+        """The phase carrying the heaviest single-link load."""
+        if not self.entries:
+            return None
+        return max(self.entries, key=lambda e: e.max_link_bits)
+
+    @property
+    def ok(self) -> bool:
+        """No phase crossed either budget (vacuously True without one)."""
+        return not any(e.over_budget for e in self.entries)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Bounded JSON summary (serve responses, bench artifacts).
+
+        Carries every violation (up to a cap) but only the *count* of
+        clean entries — a 10k-phase PageRank run must not balloon the
+        ``/run`` reply.
+        """
+        violations = self.violations
+        return {
+            "algo": self.algo,
+            "n": self.n,
+            "k": self.k,
+            "bandwidth": self.bandwidth,
+            "slack": self.slack,
+            "polylog_slack": self.polylog_slack,
+            "round_budget": self.round_budget,
+            "bits_budget": self.bits_budget,
+            "phases": len(self.entries),
+            "total_rounds": self.total_rounds,
+            "total_bits": self.total_bits,
+            "ok": self.ok,
+            "violation_count": len(violations),
+            "violations": [e.as_dict() for e in violations[:_DICT_ENTRY_CAP]],
+        }
+
+    def rows(self) -> list[tuple[str, str]]:
+        """``(label, value)`` rows for CLI tables."""
+        if self.round_budget is None:
+            return [("ledger", f"{len(self.entries)} phases, no declared "
+                               f"Õ budget to check against")]
+        rows: list[tuple[str, str]] = []
+        first = self.first_violation
+        if first is None:
+            rows.append((
+                "ledger",
+                f"{len(self.entries)} phases within round budget "
+                f"{_fmt(self.round_budget)} "
+                f"(cumulative {self.total_rounds:,} rounds)",
+            ))
+        else:
+            rows.append((
+                "ledger",
+                f"BUDGET EXCEEDED at phase {first.index} "
+                f"{first.label!r}: {first.cumulative_rounds:,} cumulative "
+                f"rounds / {first.max_link_bits:,} link bits vs budget "
+                f"{_fmt(self.round_budget)} rounds / "
+                f"{_fmt(self.bits_budget)} bits "
+                f"({len(self.violations)} phase(s) flagged)",
+            ))
+        heaviest = self.heaviest_entry
+        if heaviest is not None and self.bits_budget:
+            rows.append((
+                "ledger headroom",
+                f"heaviest link {heaviest.max_link_bits:,} bits in phase "
+                f"{heaviest.index} {heaviest.label!r} = "
+                f"{heaviest.max_link_bits / self.bits_budget:.2%} of the "
+                f"link-bits budget",
+            ))
+        return rows
+
+
+def _trace_top_links(events, phase_log) -> list | None:
+    """Per-phase ``top_links`` from a trace, aligned to the phase log.
+
+    The engines emit one stats-carrying ``phase`` event per
+    ``record_phase`` call, in charge order.  Alignment is only trusted
+    when the streams agree phase-for-phase on ``(rounds, bits)`` —
+    anything else (a shared tracer carrying other runs, a partial
+    trace) returns ``None`` rather than mis-attributing links.
+    """
+    if not events:
+        return None
+    stat_events = [
+        e for e in events
+        if e.get("event") == "phase" and "rounds" in e and "bits" in e
+    ]
+    if len(stat_events) != len(phase_log):
+        return None
+    for event, phase in zip(stat_events, phase_log):
+        if event["rounds"] != phase.rounds or event["bits"] != phase.bits:
+            return None
+    return [e.get("top_links") for e in stat_events]
+
+
+def compute_ledger_report(
+    spec,
+    *,
+    n: int,
+    k: int,
+    bandwidth: int,
+    metrics,
+    m: int | None = None,
+    slack: float = 1.0,
+    events: list | None = None,
+) -> LedgerReport:
+    """Build the per-phase ledger for one run's metrics.
+
+    ``slack`` scales the Õ envelope: 1.0 reproduces the
+    :class:`~repro.obs.bounds.BoundReport` envelope exactly; tests pass
+    a tiny value to verify that an undersized envelope *does* flag
+    violations.  ``events`` is an optional trace event list used to
+    attach per-phase ``top_links`` attributions (best-effort — a
+    mismatched stream is silently ignored).
+    """
+    if slack <= 0:
+        raise ValueError(f"slack must be positive, got {slack}")
+    poly = float(polylog(n))
+    round_budget = None
+    bits_budget = None
+    upper = getattr(spec, "upper_bound", None)
+    if upper is not None:
+        try:
+            core = float(upper(n=n, k=k, bandwidth=bandwidth, m=m))
+            round_budget = max(core, 1.0) * poly * float(slack)
+            bits_budget = round_budget * bandwidth
+        except ValueError:
+            round_budget = bits_budget = None
+    links = _trace_top_links(events, metrics.phase_log)
+    entries = []
+    cum_rounds = 0
+    cum_bits = 0
+    for index, phase in enumerate(metrics.phase_log):
+        cum_rounds += phase.rounds
+        cum_bits += phase.bits
+        over = False
+        if round_budget is not None:
+            over = (cum_rounds > round_budget
+                    or phase.max_link_bits > bits_budget)
+        top = links[index] if links is not None else None
+        entries.append(LedgerEntry(
+            index=index,
+            label=phase.label,
+            rounds=phase.rounds,
+            cumulative_rounds=cum_rounds,
+            messages=phase.messages,
+            bits=phase.bits,
+            cumulative_bits=cum_bits,
+            max_link_bits=phase.max_link_bits,
+            over_budget=over,
+            top_links=tuple(tuple(link) for link in top) if top else None,
+        ))
+    return LedgerReport(
+        algo=spec.name,
+        n=int(n),
+        k=int(k),
+        bandwidth=int(bandwidth),
+        slack=float(slack),
+        polylog_slack=poly,
+        round_budget=round_budget,
+        bits_budget=bits_budget,
+        entries=tuple(entries),
+    )

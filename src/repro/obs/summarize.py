@@ -36,6 +36,12 @@ def summarize_trace(events: list[dict]) -> dict[str, Any]:
     heaviest links are attached), and ``coverage`` is the fraction of
     post-setup run wall-clock the phase events account for (``None``
     without a ``run_end`` event).
+
+    Grouping is generic over ``op``, so every span the engines emit —
+    communication phases, ``map_machines`` kernels with their
+    ``kernel_s`` / ``assemble_s`` segments, and the ``resident``
+    install/pull spans of worker-resident driver state — folds into the
+    rollup and counts toward ``coverage``.
     """
     header = events[0] if events else {}
     groups: dict[tuple[str, str], dict[str, Any]] = {}

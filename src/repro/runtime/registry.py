@@ -24,6 +24,7 @@ from repro.kmachine.distgraph import DistributedGraph, cached_distgraph
 from repro.kmachine.metrics import Metrics
 from repro.kmachine.partition import VertexPartition, random_vertex_partition
 from repro.obs.bounds import BoundReport, compute_bound_report
+from repro.obs.ledger import LedgerReport, compute_ledger_report
 from repro.obs.trace import resolve_tracer
 
 __all__ = [
@@ -221,6 +222,10 @@ class RunReport:
     #: Measured rounds / link loads checked against the family
     #: theorem's Õ envelope and lower bound (see :mod:`repro.obs.bounds`).
     bound_report: BoundReport | None = None
+    #: Per-phase communication ledger: every phase's rounds / bits /
+    #: heaviest link checked against the same Õ envelope, round-granular
+    #: (see :mod:`repro.obs.ledger`).
+    ledger_report: LedgerReport | None = None
     #: The live :class:`~repro.obs.trace.Tracer` of a traced run
     #: (``None`` untraced).  In-memory tracers keep their events here
     #: for programmatic inspection.
@@ -509,6 +514,10 @@ def _run_impl(
                         spec, n=n, k=k, bandwidth=metrics.bandwidth,
                         metrics=metrics, result=result, m=m,
                     ),
+                    ledger_report=compute_ledger_report(
+                        spec, n=n, k=k, bandwidth=metrics.bandwidth,
+                        metrics=metrics, m=m,
+                    ),
                     tracer=tracer if tracer.enabled else None,
                 )
     if cache_only:
@@ -576,6 +585,11 @@ def _run_impl(
         bound_report=compute_bound_report(
             spec, n=n, k=k, bandwidth=cluster.metrics.bandwidth,
             metrics=cluster.metrics, result=result, m=m,
+        ),
+        ledger_report=compute_ledger_report(
+            spec, n=n, k=k, bandwidth=cluster.metrics.bandwidth,
+            metrics=cluster.metrics, m=m,
+            events=tracer.events if tracer.enabled else None,
         ),
         tracer=tracer if tracer.enabled else None,
     )

@@ -142,22 +142,41 @@ class ResultStore:
         ephemeral in-process store.
     max_entries:
         LRU row bound enforced after each :meth:`put`.
+    ttl_seconds:
+        Optional expiry by algorithm family: a number applies one TTL to
+        every row; a mapping keys TTLs by ``algo`` name, with ``"*"`` as
+        the fallback for families not listed (no ``"*"`` means unlisted
+        families never expire).  A row older than its family's TTL
+        (measured from ``created``, not ``last_used`` — popularity must
+        not keep stale results alive) is treated as a miss on lookup and
+        deleted; :meth:`put` additionally sweeps expired rows before LRU
+        eviction so dead rows never crowd out live ones.
 
-    Counters (:attr:`hits`, :attr:`misses`, :attr:`stores`) are
-    in-memory and per-instance: they answer "what did *this* session's
-    traffic do", while the per-row ``hits`` column persists popularity
-    across daemon restarts.
+    Counters (:attr:`hits`, :attr:`misses`, :attr:`stores`,
+    :attr:`expired`, :attr:`swept`) are in-memory and per-instance: they
+    answer "what did *this* session's traffic do", while the per-row
+    ``hits`` column persists popularity across daemon restarts.
+    ``expired`` counts lookups that found only an expired row (each also
+    counts as a miss); ``swept`` counts rows deleted by expiry.
     """
 
     def __init__(self, path: "str | Path | None" = None,
-                 max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+                 max_entries: int = DEFAULT_MAX_ENTRIES,
+                 ttl_seconds=None) -> None:
         if max_entries <= 0:
             raise ServeError(f"max_entries must be positive, got {max_entries}")
         self.path = str(path) if path is not None else _default_path()
         self.max_entries = int(max_entries)
+        self.ttl_seconds = self._normalize_ttl(ttl_seconds)
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.expired = 0
+        self.swept = 0
+        #: Injectable wall clock (tests pin it to exercise expiry
+        #: deterministically); every created/last_used/TTL comparison
+        #: goes through it.
+        self._clock = time.time
         self._lock = threading.RLock()
         if self.path != ":memory:":
             Path(self.path).expanduser().parent.mkdir(parents=True, exist_ok=True)
@@ -172,6 +191,61 @@ class ResultStore:
             self._conn.executescript(_SCHEMA)
         # Weak-referenced: registration never keeps the store alive.
         self._obs_token = obs_registry().register("result_store", self.stats)
+
+    @staticmethod
+    def _normalize_ttl(ttl) -> dict[str, float]:
+        """``{algo: seconds}`` view of the ``ttl_seconds`` argument."""
+        if ttl is None:
+            return {}
+        if isinstance(ttl, (int, float)) and not isinstance(ttl, bool):
+            ttl = {"*": ttl}
+        try:
+            items = dict(ttl).items()
+        except (TypeError, ValueError):
+            raise ServeError(
+                f"ttl_seconds must be a number or an algo->seconds "
+                f"mapping, got {ttl!r}"
+            ) from None
+        out: dict[str, float] = {}
+        for algo, seconds in items:
+            try:
+                seconds = float(seconds)
+            except (TypeError, ValueError):
+                raise ServeError(
+                    f"ttl_seconds[{algo!r}] must be a number, got {seconds!r}"
+                ) from None
+            if seconds <= 0:
+                raise ServeError(
+                    f"ttl_seconds[{algo!r}] must be positive, got {seconds}"
+                )
+            out[str(algo)] = seconds
+        return out
+
+    def _ttl_for(self, algo: str) -> float | None:
+        specific = self.ttl_seconds.get(algo)
+        return specific if specific is not None else self.ttl_seconds.get("*")
+
+    def _sweep_expired_locked(self, now: float) -> int:
+        """Delete every expired row (caller holds the lock + txn)."""
+        removed = 0
+        explicit = [algo for algo in self.ttl_seconds if algo != "*"]
+        for algo in explicit:
+            cursor = self._conn.execute(
+                "DELETE FROM results WHERE algo = ? AND created < ?",
+                (algo, now - self.ttl_seconds[algo]),
+            )
+            removed += cursor.rowcount
+        default = self.ttl_seconds.get("*")
+        if default is not None:
+            placeholders = ",".join("?" * len(explicit))
+            exclusion = f" AND algo NOT IN ({placeholders})" if explicit else ""
+            cursor = self._conn.execute(
+                f"DELETE FROM results WHERE created < ?{exclusion}",
+                (now - default, *explicit),
+            )
+            removed += cursor.rowcount
+        self.swept += removed
+        return removed
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -192,15 +266,27 @@ class ResultStore:
         A hit bumps the row's LRU stamp and hit column and the store's
         in-memory :attr:`hits`; a miss bumps :attr:`misses` unless
         ``count_miss`` is False (optimistic probes that are always
-        followed by a counted lookup).
+        followed by a counted lookup).  A row past its family's TTL is a
+        miss (counted in :attr:`expired` too) and is deleted in place.
         """
         with self._lock:
             row = self._conn.execute(
-                "SELECT payload, algo, engine, n, k, seed, params, content_key "
-                "FROM results WHERE key = ?",
+                "SELECT payload, algo, engine, n, k, seed, params, "
+                "content_key, created FROM results WHERE key = ?",
                 (key,),
             ).fetchone()
             if row is None:
+                if count_miss:
+                    self.misses += 1
+                return None
+            ttl = self._ttl_for(row[1])
+            if ttl is not None and self._clock() - float(row[8]) > ttl:
+                with self._conn:
+                    self._conn.execute(
+                        "DELETE FROM results WHERE key = ?", (key,)
+                    )
+                self.expired += 1
+                self.swept += 1
                 if count_miss:
                     self.misses += 1
                 return None
@@ -208,7 +294,7 @@ class ResultStore:
                 self._conn.execute(
                     "UPDATE results SET last_used = ?, hits = hits + 1 "
                     "WHERE key = ?",
-                    (time.time(), key),
+                    (self._clock(), key),
                 )
             self.hits += 1
         try:
@@ -247,8 +333,12 @@ class ResultStore:
     ) -> None:
         """Persist one completed run (idempotent: the key is the identity)."""
         payload = pickle.dumps((result, metrics), protocol=pickle.HIGHEST_PROTOCOL)
-        now = time.time()
+        now = self._clock()
         with self._lock, self._conn:
+            if self.ttl_seconds:
+                # Expired rows go first so LRU eviction below only ever
+                # competes among live entries.
+                self._sweep_expired_locked(now)
             self._conn.execute(
                 "INSERT OR REPLACE INTO results (key, content_key, algo, params, "
                 "seed, engine, n, k, rounds, payload, created, last_used, hits) "
@@ -286,14 +376,19 @@ class ResultStore:
         """Traffic and occupancy counters (JSON-ready)."""
         with self._lock:
             entries = self._count_locked()
-        return {
+        out = {
             "path": self.path,
             "entries": entries,
             "max_entries": self.max_entries,
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "expired": self.expired,
+            "swept": self.swept,
         }
+        if self.ttl_seconds:
+            out["ttl_seconds"] = dict(self.ttl_seconds)
+        return out
 
     def rows(self) -> list[dict]:
         """Row metadata (no payloads), most recently used first."""

@@ -156,7 +156,8 @@ class TestMergeAndConsistency:
         assert d["max_link_bits"] == 24
         assert d["phase_summary"] == [
             {"label": "tokens", "rounds": 3, "messages": 3, "bits": 24,
-             "max_link_bits": 24}
+             "max_link_bits": 24, "max_machine_sent": 3,
+             "max_machine_received": 3}
         ]
 
     def test_rejects_bad_construction(self):

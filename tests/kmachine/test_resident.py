@@ -133,6 +133,54 @@ def _draw_with_state(ctx, machine, rng, payload, state):
     return float(rng.random())
 
 
+class TestResidentTraceSpans:
+    @pytest.mark.parametrize("engine", ["message", "vector", "process"])
+    def test_install_and_pull_emit_resident_spans(self, engine, distgraph):
+        from repro.obs.trace import Tracer
+
+        with _cluster(engine=engine) as cluster:
+            tracer = Tracer()
+            cluster.engine.tracer = tracer
+            handle = cluster.install_resident(
+                _fresh_states(), distgraph=distgraph)
+            cluster.map_machines(_bump, distgraph, [1] * K, resident=handle)
+            cluster.pull_resident(handle)
+        spans = [e for e in tracer.events
+                 if e.get("event") == "phase" and e.get("op") == "resident"]
+        labels = [e["label"] for e in spans]
+        assert labels == ["install", "pull"]
+        assert all(e["wall_s"] >= 0 for e in spans)
+
+    def test_inline_handle_pull_on_process_engine_is_untraced(self, distgraph):
+        # The process engine's early return for inline handles is a free
+        # parent-side read: no span, so coverage is not polluted with
+        # zero-width noise.
+        from repro.kmachine.engine import ResidentHandle
+        from repro.obs.trace import Tracer
+
+        with _cluster(engine="process") as cluster:
+            tracer = Tracer()
+            cluster.engine.tracer = tracer
+            handle = ResidentHandle("inline-token", _fresh_states())
+            cluster.pull_resident(handle)
+        assert not any(e.get("op") == "resident" for e in tracer.events)
+
+    def test_resident_spans_fold_into_the_summary(self, distgraph):
+        from repro.obs import summarize_trace
+        from repro.obs.trace import Tracer
+
+        with _cluster(engine="vector") as cluster:
+            tracer = Tracer()
+            cluster.engine.tracer = tracer
+            handle = cluster.install_resident(
+                _fresh_states(), distgraph=distgraph)
+            cluster.map_machines(_bump, distgraph, [1] * K, resident=handle)
+            cluster.pull_resident(handle)
+        summary = summarize_trace(tracer.events)
+        resident = [g for g in summary["groups"] if g["op"] == "resident"]
+        assert {g["label"] for g in resident} == {"install", "pull"}
+
+
 class TestHolderScoping:
     def test_warm_pool_handoff_invalidates_previous_residents(self, distgraph):
         shutdown_worker_pools()

@@ -1,0 +1,210 @@
+"""Communication-ledger tests: per-phase budgets vs measured metrics."""
+
+import json
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+import repro
+from repro import runtime
+from repro._util import polylog
+from repro.kmachine.metrics import Metrics
+from repro.obs.ledger import LedgerReport, compute_ledger_report
+
+
+def make_metrics(k=4, bandwidth=32, phases=((96, 3),), labels=None):
+    met = Metrics(k=k, bandwidth=bandwidth)
+    for index, (link_bits, msgs_count) in enumerate(phases):
+        bits = np.zeros((k, k), dtype=np.int64)
+        msgs = np.zeros((k, k), dtype=np.int64)
+        bits[0, 1] = link_bits
+        msgs[0, 1] = msgs_count
+        label = labels[index] if labels else f"phase-{index}"
+        met.record_phase(bits, msgs, label=label)
+    return met
+
+
+def stub_spec(upper=None, name="stub"):
+    return SimpleNamespace(name=name, upper_bound=upper)
+
+
+class TestBudgets:
+    def test_round_budget_is_core_times_polylog_times_slack(self):
+        met = make_metrics()
+        spec = stub_spec(upper=lambda n, k, bandwidth, m=None: n / k**2)
+        report = compute_ledger_report(
+            spec, n=1024, k=4, bandwidth=32, metrics=met
+        )
+        expected = (1024 / 16) * polylog(1024)
+        assert report.round_budget == pytest.approx(expected)
+        assert report.bits_budget == pytest.approx(expected * 32)
+        assert report.slack == 1.0
+        assert report.polylog_slack == float(polylog(1024))
+
+    def test_slack_scales_the_budget(self):
+        met = make_metrics()
+        spec = stub_spec(upper=lambda n, k, bandwidth, m=None: n / k**2)
+        base = compute_ledger_report(spec, n=1024, k=4, bandwidth=32,
+                                     metrics=met)
+        half = compute_ledger_report(spec, n=1024, k=4, bandwidth=32,
+                                     metrics=met, slack=0.5)
+        assert half.round_budget == pytest.approx(base.round_budget * 0.5)
+
+    def test_core_below_one_clamps_to_polylog(self):
+        met = make_metrics()
+        spec = stub_spec(upper=lambda n, k, bandwidth, m=None: 0.001)
+        report = compute_ledger_report(spec, n=1024, k=4, bandwidth=32,
+                                       metrics=met)
+        assert report.round_budget == pytest.approx(float(polylog(1024)))
+
+    def test_no_upper_bound_means_no_budget_and_vacuous_ok(self):
+        met = make_metrics(phases=((10**9, 5),))
+        report = compute_ledger_report(
+            stub_spec(upper=None), n=100, k=4, bandwidth=32, metrics=met
+        )
+        assert report.round_budget is None
+        assert report.bits_budget is None
+        assert report.ok is True
+        assert not any(e.over_budget for e in report.entries)
+        assert "no declared" in report.rows()[0][1]
+
+    def test_out_of_domain_upper_bound_disables_the_budget(self):
+        def upper(n, k, bandwidth, m=None):
+            raise ValueError("out of domain")
+
+        met = make_metrics()
+        report = compute_ledger_report(stub_spec(upper=upper), n=100, k=4,
+                                       bandwidth=32, metrics=met)
+        assert report.round_budget is None
+        assert report.ok is True
+
+    def test_rejects_non_positive_slack(self):
+        met = make_metrics()
+        with pytest.raises(ValueError, match="slack"):
+            compute_ledger_report(stub_spec(), n=100, k=4, bandwidth=32,
+                                  metrics=met, slack=0.0)
+
+
+class TestEntries:
+    def test_running_totals_and_labels(self):
+        met = make_metrics(phases=((64, 2), (96, 3), (32, 1)),
+                           labels=["a", "b", "c"])
+        spec = stub_spec(upper=lambda n, k, bandwidth, m=None: n)
+        report = compute_ledger_report(spec, n=1024, k=4, bandwidth=32,
+                                       metrics=met)
+        assert len(report.entries) == 3
+        assert [e.label for e in report.entries] == ["a", "b", "c"]
+        assert [e.cumulative_rounds for e in report.entries] == [
+            2, 5, 6
+        ]  # ceil(64/32)=2, +ceil(96/32)=3, +ceil(32/32)=1
+        assert [e.cumulative_bits for e in report.entries] == [64, 160, 192]
+        assert report.total_rounds == met.rounds
+        assert report.total_bits == met.bits
+        assert report.heaviest_entry.label == "b"
+
+    def test_undersized_envelope_flags_the_offending_phase(self):
+        met = make_metrics(phases=((64, 2), (96, 3), (32, 1)))
+        spec = stub_spec(upper=lambda n, k, bandwidth, m=None: n)
+        # Budget of ~3.5 rounds: phase 1 pushes cumulative rounds to 5.
+        tiny = 3.5 / (1024 * polylog(1024))
+        report = compute_ledger_report(spec, n=1024, k=4, bandwidth=32,
+                                       metrics=met, slack=tiny)
+        assert report.ok is False
+        assert report.first_violation.index == 1
+        # Once the cumulative budget is blown, every later phase stays
+        # flagged: the run never comes back inside the envelope.
+        assert [e.over_budget for e in report.entries] == [False, True, True]
+        assert "BUDGET EXCEEDED at phase 1" in report.rows()[0][1]
+
+    def test_heavy_link_check_is_independent_of_round_totals(self):
+        # The bits check compares each phase's own heaviest link against
+        # bits_budget; craft a phase log where rounds stay inside the
+        # round budget but one link load alone exceeds the bits budget
+        # (possible when metrics are merged across bandwidth contexts).
+        from repro.kmachine.metrics import PhaseStats
+
+        met = Metrics(k=4, bandwidth=1024)
+        met.phase_log.append(PhaseStats(
+            rounds=1, messages=4, bits=8192, max_link_bits=8192,
+            max_machine_sent=4, max_machine_received=4, label="burst",
+        ))
+        spec = stub_spec(upper=lambda n, k, bandwidth, m=None: 4.0)
+        tiny = 6 / (4.0 * polylog(64))  # round_budget=6, bits_budget=6144
+        report = compute_ledger_report(spec, n=64, k=4, bandwidth=1024,
+                                       metrics=met, slack=tiny)
+        entry = report.entries[0]
+        assert entry.cumulative_rounds <= report.round_budget
+        assert entry.max_link_bits > report.bits_budget
+        assert entry.over_budget is True
+
+
+class TestRealRuns:
+    """Default slack never false-positives on the shipped families."""
+
+    @pytest.mark.parametrize("algo", ["pagerank", "mst", "triangles"])
+    def test_shipped_families_stay_within_budget(self, algo):
+        g = repro.gnp_random_graph(200, 0.05, seed=3)
+        kwargs = {}
+        if algo == "mst":
+            kwargs["weights"] = np.random.default_rng(3).random(g.m)
+        rep = runtime.run(algo, g, 4, seed=3, **kwargs)
+        ledger = rep.ledger_report
+        assert isinstance(ledger, LedgerReport)
+        assert ledger.ok is True
+        assert ledger.violations == ()
+        assert len(ledger.entries) == rep.metrics.phases
+        assert ledger.total_rounds == rep.rounds
+
+    def test_cached_hit_still_carries_a_ledger(self, tmp_path, monkeypatch):
+        from repro import workloads
+        from repro.serve.results import RESULT_DB_ENV
+        from repro.workloads import DATA_DIR_ENV
+
+        monkeypatch.setenv(DATA_DIR_ENV, str(tmp_path / "data"))
+        monkeypatch.setenv(RESULT_DB_ENV, str(tmp_path / "results.sqlite"))
+        g = workloads.materialize("gnp:n=120,avg_deg=6,seed=5")
+        first = runtime.run("triangles", g, 4, seed=5, result_cache=True)
+        second = runtime.run("triangles", g, 4, seed=5, result_cache=True)
+        assert second.cached is True
+        assert second.ledger_report is not None
+        assert second.ledger_report.ok is True
+        assert (second.ledger_report.total_rounds
+                == first.ledger_report.total_rounds)
+
+    def test_traced_run_attaches_top_links(self):
+        # mst accounts phases through account_phase, the entry point
+        # that attaches per-phase top-link attributions to the trace.
+        g = repro.gnp_random_graph(150, 0.06, seed=7)
+        w = np.random.default_rng(7).random(g.m)
+        rep = runtime.run("mst", g, 4, seed=7, trace=True, weights=w)
+        ledger = rep.ledger_report
+        attributed = [e for e in ledger.entries if e.top_links]
+        assert attributed, "traced run attached no top_links to the ledger"
+        for entry in attributed:
+            src, dst, bits = entry.top_links[0]
+            assert 0 <= src < 4 and 0 <= dst < 4
+            assert bits <= entry.max_link_bits
+
+
+class TestSerialization:
+    def test_as_dict_is_json_ready_and_bounded(self):
+        met = make_metrics(phases=[(96, 3)] * 40)
+        spec = stub_spec(upper=lambda n, k, bandwidth, m=None: n)
+        tiny = 1 / (1024 * polylog(1024))  # budget ~1 round: all 40 flagged
+        report = compute_ledger_report(spec, n=1024, k=4, bandwidth=32,
+                                       metrics=met, slack=tiny)
+        doc = report.as_dict()
+        json.dumps(doc)
+        assert doc["phases"] == 40
+        assert doc["ok"] is False
+        assert doc["violation_count"] == 40
+        assert len(doc["violations"]) == 20  # capped
+
+    def test_rows_report_headroom(self):
+        met = make_metrics()
+        spec = stub_spec(upper=lambda n, k, bandwidth, m=None: n)
+        report = compute_ledger_report(spec, n=1024, k=4, bandwidth=32,
+                                       metrics=met)
+        labels = [label for label, _ in report.rows()]
+        assert labels == ["ledger", "ledger headroom"]

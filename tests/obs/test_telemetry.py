@@ -199,6 +199,83 @@ class TestMinuteRing:
         (row,) = ring.rows()
         assert "algos" not in row
 
+    def test_cap_boundary_is_exact(self):
+        # Exactly max_algos distinct labels: all named, no "other".
+        ring = MinuteRing(max_algos=3)
+        now = 1_000_000.0
+        for name in ("a", "b", "c"):
+            ring.observe(0.1, now=now, algo=name)
+        (row,) = ring.rows()
+        assert set(row["algos"]) == {"a", "b", "c"}
+        # The first label past the cap folds; labels seen before the cap
+        # keep accruing under their own name.
+        ring.observe(0.1, now=now, algo="d")
+        ring.observe(0.1, now=now, algo="a")
+        (row,) = ring.rows()
+        assert set(row["algos"]) == {"a", "b", "c", "other"}
+        assert row["algos"]["a"]["requests"] == 2
+        assert row["algos"]["other"]["requests"] == 1
+
+    def test_cap_is_per_bucket_not_global(self):
+        ring = MinuteRing(max_algos=1)
+        ring.observe(0.1, now=0.0, algo="a")
+        ring.observe(0.1, now=0.0, algo="b")       # folded in minute 0
+        ring.observe(0.1, now=60.0, algo="b")      # fresh bucket: named
+        rows = ring.rows()
+        assert set(rows[0]["algos"]) == {"a", "other"}
+        assert set(rows[1]["algos"]) == {"b"}
+
+    def test_quantiles_under_threaded_mixed_algo_storm(self):
+        import threading
+
+        # 8 threads x 64 observations = 512 samples: exactly the
+        # reservoir cap, so the quantiles are over the full population.
+        ring = MinuteRing(max_samples=512)
+        now = 1_000_000.0
+        threads = []
+
+        def storm(t):
+            for i in range(64):
+                ring.observe((t * 64 + i) / 512, now=now,
+                             kind="error" if t == 0 else "executed",
+                             algo=f"algo-{t}")
+
+        for t in range(8):
+            threads.append(threading.Thread(target=storm, args=(t,)))
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        (row,) = ring.rows()
+        assert row["requests"] == 512
+        assert row["errors"] == 64 and row["executed"] == 448
+        # Latencies form {0..511}/512 regardless of interleaving.
+        assert row["latency_p50_s"] == pytest.approx(0.5, abs=0.01)
+        assert row["latency_p99_s"] == pytest.approx(0.99, abs=0.01)
+        assert row["latency_max_s"] == pytest.approx(511 / 512)
+        # 8 labels, under the default cap: every one attributed exactly.
+        algos = row["algos"]
+        assert set(algos) == {f"algo-{t}" for t in range(8)}
+        assert all(a["requests"] == 64 for a in algos.values())
+
+    def test_window_merges_recent_buckets(self):
+        ring = MinuteRing()
+        ring.observe(0.1, kind="error", now=0.0)      # outside the window
+        ring.observe(0.2, kind="executed", now=60.0)
+        ring.observe(0.4, kind="error", now=120.0)
+        win = ring.window(minutes=2, now=125.0)
+        assert win["requests"] == 2
+        assert win["errors"] == 1
+        assert win["error_rate"] == pytest.approx(0.5)
+        assert win["latency_max_s"] == pytest.approx(0.4)
+
+    def test_window_error_rate_is_none_without_traffic(self):
+        ring = MinuteRing()
+        win = ring.window(minutes=2, now=1_000_000.0)
+        assert win["requests"] == 0
+        assert win["error_rate"] is None
+        assert "latency_p50_s" not in win
+
 
 DATASET = "gnp:n=120,avg_deg=5,seed=3"
 

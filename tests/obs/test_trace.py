@@ -178,7 +178,8 @@ class TestTracedRuns:
         for event in phases:
             assert event["wall_s"] >= 0
             assert event["op"] in ("exchange", "exchange_batches",
-                                   "account_phase", "map_machines")
+                                   "account_phase", "map_machines",
+                                   "resident")
         end = next(e for e in events if e["event"] == "run_end")
         assert end["cached"] is False
         assert end["rounds"] == rep.rounds

@@ -8,6 +8,7 @@ import urllib.request
 import pytest
 
 from repro.errors import ServeError
+from repro.obs.alerts import AlertRule
 from repro.serve import ReproServer, ServeClient
 
 DATASET = "gnp:n=150,avg_deg=5,seed=3"
@@ -171,3 +172,93 @@ class TestLifecycle:
             client = ServeClient(handle.host, handle.port)
             client.wait_until_ready()
             assert client.status()["session"]["resident_datasets"] == 1
+
+
+def _wait_for(predicate, deadline=15.0, interval=0.05):
+    import time
+
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestAlerting:
+    """The daemon's background alert loop, end to end over HTTP."""
+
+    ERROR_RULE = {"name": "error-rate", "metric": "serve.error_rate",
+                  "op": ">", "threshold": 0.5, "sustain_s": 0.0,
+                  "severity": "critical"}
+
+    @pytest.fixture
+    def alert_daemon(self):
+        events = []
+        server = ReproServer(
+            port=0, alert_rules=[AlertRule(**self.ERROR_RULE)],
+            alert_interval=0.05, alert_sinks=(events.append,),
+        )
+        with server.start_in_thread() as handle:
+            client = ServeClient(handle.host, handle.port)
+            client.wait_until_ready()
+            yield server, client, events
+
+    def _metrics_text(self, client):
+        url = f"http://{client.host}:{client.port}/metrics"
+        with urllib.request.urlopen(url, timeout=30) as reply:
+            return reply.read().decode()
+
+    def test_error_storm_fires_then_good_traffic_resolves(self, alert_daemon):
+        server, client, events = alert_daemon
+        # A storm of failing requests: unknown algos are 400s that land
+        # in the ring as errors, pushing the window error rate to 1.0.
+        for _ in range(5):
+            with pytest.raises(ServeError):
+                client.run("no-such-algo", dataset=DATASET, k=4, seed=1)
+        assert _wait_for(
+            lambda: client.alerts()["active"] == ["error-rate"]
+        ), "alert never fired under a 100% error rate"
+        gauge = 'repro_alert_active{rule="error-rate",severity="critical"}'
+        assert f"{gauge} 1" in self._metrics_text(client)
+
+        # Good traffic dilutes the window below the threshold: one
+        # executed run plus cached hits.
+        for _ in range(6):
+            report = client.run("triangles", dataset=DATASET, k=4, seed=1)
+            assert report["algo"] == "triangles"
+        assert _wait_for(
+            lambda: client.alerts()["active"] == []
+        ), "alert never resolved after the error rate recovered"
+        reply = client.alerts()
+        assert reply["enabled"] is True
+        assert reply["resolved"] == ["error-rate"]
+        (rule,) = reply["rules"]
+        assert rule["fired_at"] is not None
+        assert rule["resolved_at"] is not None
+        assert rule["last_value"] == pytest.approx(5 / 11)
+        assert f"{gauge} 0" in self._metrics_text(client)
+        kinds = [e["event"] for e in events]
+        assert kinds == ["fire", "resolve"]
+
+    def test_no_rules_means_no_engine_and_no_gauges(self, daemon):
+        server, client = daemon
+        assert server.alerts is None  # zero alerting state on the path
+        reply = client.alerts()
+        assert reply["enabled"] is False
+        assert reply["rules"] == [] and reply["active"] == []
+        assert "repro_alert_active" not in self._metrics_text(client)
+
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ServeError, match="alert_interval"):
+            ReproServer(port=0, alert_rules=[AlertRule(**self.ERROR_RULE)],
+                        alert_interval=0.0)
+
+    def test_run_reply_carries_the_ledger(self, daemon):
+        _, client = daemon
+        report = client.run("pagerank", dataset=DATASET, k=4, seed=1)
+        ledger = report["ledger"]
+        assert ledger["ok"] is True
+        assert ledger["algo"] == "pagerank"
+        assert ledger["phases"] > 0
+        assert ledger["violation_count"] == 0
